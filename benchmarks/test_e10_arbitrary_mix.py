@@ -1,0 +1,89 @@
+"""E10 -- arbitrary-partition cost vs ownership mix (paper Section 4.4).
+
+The arbitrary protocol decomposes each pair's distance into same-owner
+terms (free, accumulated locally) and cross-owner terms (paid for with
+Multiplication Protocol ciphertexts).  The cost driver is therefore the
+number of cross-owner attribute pairs.
+
+This sweep controls that driver directly: ``k`` of the ``n`` records are
+wholly Bob's, the rest wholly Alice's, giving exactly
+``2 * k * (n-k) * m`` cross attribute pairs.  A fully attribute-split
+(vertical-style) configuration is included for reference.
+
+Expected shape: bytes monotonically increasing in the cross-pair count;
+comparison count pinned at n(n-1) regardless of mix.
+
+(A note recorded by the first version of this experiment: under
+*uniformly random* ownership the expected cross-pair count is identical
+for every shared_fraction, so that sweep is flat by construction --
+the controlled sweep here is the informative one.)
+"""
+
+from benchmarks.conftest import protocol_config
+from repro.analysis.report import render_table
+from repro.core.arbitrary import run_arbitrary_dbscan
+from repro.data.dataset import Dataset
+from repro.data.partitioning import ALICE, BOB, partition_from_masks
+
+N = 10
+M = 2
+K_SWEEP = (0, 1, 2, 3, 5)
+
+
+def _cross_pairs(partition) -> int:
+    total = 0
+    for x in range(partition.size):
+        for y in range(partition.size):
+            if x == y:
+                continue
+            for attribute in range(partition.dimensions):
+                if (partition.owner_of(x, attribute)
+                        != partition.owner_of(y, attribute)):
+                    total += 1
+    return total
+
+
+def _run_sweep():
+    dataset = Dataset.from_points(
+        [(17 * i, 13 * i) for i in range(N)])  # isolated points
+    rows = []
+    measured = []
+    for k in K_SWEEP:
+        owner_rows = [[BOB] * M if record < k else [ALICE] * M
+                      for record in range(N)]
+        partition = partition_from_masks(dataset, owner_rows)
+        config = protocol_config(eps=1.0, min_pts=2)
+        result = run_arbitrary_dbscan(partition, config)
+        crosses = _cross_pairs(partition)
+        assert crosses == 2 * k * (N - k) * M
+        rows.append([f"k={k}", crosses, result.stats["total_bytes"],
+                     result.comparisons])
+        measured.append(result.stats["total_bytes"])
+
+    # Vertical-style reference: every record split column-wise.
+    split = partition_from_masks(dataset, [[ALICE, BOB]] * N)
+    config = protocol_config(eps=1.0, min_pts=2)
+    result = run_arbitrary_dbscan(split, config)
+    rows.append(["all-split", _cross_pairs(split),
+                 result.stats["total_bytes"], result.comparisons])
+    return rows, measured
+
+
+def test_e10_arbitrary_mix(benchmark, record_table):
+    rows, measured = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    table = render_table(
+        ["ownership", "cross_attr_pairs", "bytes", "comparisons"],
+        rows, title=f"E10: arbitrary partition ownership sweep, n={N}, m={M}")
+    record_table("e10_arbitrary_mix", table)
+
+    # Comparison count is mix-independent: one per ordered pair.
+    assert all(row[3] == N * (N - 1) for row in rows)
+    # Bytes strictly increase with the cross-pair count.
+    assert all(earlier < later
+               for earlier, later in zip(measured, measured[1:])), measured
+    # k=0 (no cross pairs) is the cheap floor; the gap above it is the
+    # Multiplication Protocol traffic (comparisons are a fixed cost).
+    assert measured[-1] > 1.15 * measured[0]
+    # Vertical-style column ownership generates NO cross-owner pairs --
+    # the structural reason Protocol VDP needs no Multiplication Protocol.
+    assert rows[-1][1] == 0

@@ -1,0 +1,75 @@
+"""E13 -- crypto-layer ablations: CRT decryption and the g = n+1 fast
+encrypt path.
+
+Neither is in the paper; both are standard Paillier engineering, and the
+ablation quantifies what the from-scratch implementation gains from
+them (and verifies bit-identical outputs).
+"""
+
+import random
+import time
+
+from repro.analysis.report import render_table
+from repro.crypto.keycache import cached_paillier_keypair
+from repro.crypto.paillier import generate_paillier_keypair
+
+BATCH = 60
+
+
+def _decrypt_ablation():
+    rows = []
+    speedups = []
+    for bits in (256, 512):
+        keys = cached_paillier_keypair(bits, 570)
+        rng = random.Random(1)
+        ciphers = [keys.public_key.encrypt(rng.randrange(keys.public_key.n),
+                                           rng).value
+                   for __ in range(BATCH)]
+        started = time.perf_counter()
+        crt = [keys.private_key.decrypt_raw(c) for c in ciphers]
+        crt_time = time.perf_counter() - started
+        started = time.perf_counter()
+        std = [keys.private_key.decrypt_raw_standard(c) for c in ciphers]
+        std_time = time.perf_counter() - started
+        assert crt == std
+        speedup = std_time / crt_time
+        speedups.append(speedup)
+        rows.append([bits, f"{1000 * std_time:.1f}", f"{1000 * crt_time:.1f}",
+                     f"{speedup:.2f}x"])
+    return rows, speedups
+
+
+def _encrypt_ablation():
+    rows = []
+    rng = random.Random(2)
+    fast = cached_paillier_keypair(256, 571)           # g = n + 1
+    slow = generate_paillier_keypair(256, random.Random(3), random_g=True)
+    for name, keys in (("g=n+1", fast), ("random g", slow)):
+        messages = [rng.randrange(keys.public_key.n) for __ in range(BATCH)]
+        started = time.perf_counter()
+        for message in messages:
+            keys.public_key.encrypt(message, rng)
+        elapsed = time.perf_counter() - started
+        rows.append([name, f"{1000 * elapsed:.1f}"])
+    return rows
+
+
+def test_e13_crypto_ablations(benchmark, record_table):
+    (decrypt_rows, speedups) = benchmark.pedantic(_decrypt_ablation,
+                                                  rounds=1, iterations=1)
+    encrypt_rows = _encrypt_ablation()
+    table = render_table(
+        ["paillier_bits", f"standard_ms({BATCH})", f"crt_ms({BATCH})",
+         "speedup"],
+        decrypt_rows, title="E13a: CRT vs standard decryption")
+    table += "\n\n" + render_table(
+        ["generator", f"encrypt_ms({BATCH})"], encrypt_rows,
+        title="E13b: fast-path vs random-g encryption")
+    record_table("e13_crypto_ablations", table)
+
+    # CRT should help at both sizes (generous floor for noisy CI boxes).
+    assert all(speedup > 1.2 for speedup in speedups)
+    # Random-g encryption pays an extra full-width modexp.
+    fast_ms = float(encrypt_rows[0][1])
+    slow_ms = float(encrypt_rows[1][1])
+    assert slow_ms > fast_ms

@@ -1,0 +1,66 @@
+"""E14 -- multi-party extension scaling (paper Section 1's noted
+extension).
+
+The k-party horizontal protocol runs one pairwise HDP batch per
+(driver, peer) pair per query, so total communication should scale with
+the number of ordered party pairs ``k*(k-1)`` at fixed per-party load.
+
+Expected shape: bytes vs k(k-1) roughly proportional; per-party labels
+always match the union-density reference.
+"""
+
+from benchmarks.conftest import protocol_config
+from repro.analysis.communication import fit_through_origin
+from repro.analysis.report import render_table
+from repro.clustering.labels import canonicalize
+from repro.clustering.union_density import union_density_dbscan
+from repro.multiparty.horizontal import run_multiparty_horizontal_dbscan
+
+K_SWEEP = (2, 3, 4)
+POINTS_PER_PARTY = 3
+
+
+def _points_for(k: int) -> dict[str, list]:
+    return {
+        f"party{i}": [(200 * i + 30 * j, 0)
+                      for j in range(POINTS_PER_PARTY)]
+        for i in range(k)
+    }
+
+
+def _run_sweep():
+    rows = []
+    xs, ys = [], []
+    for k in K_SWEEP:
+        points = _points_for(k)
+        config = protocol_config(eps=1.0, min_pts=2)
+        result = run_multiparty_horizontal_dbscan(
+            points, config, seeds=list(range(k)))
+        for name, own in points.items():
+            others = [p for other, pts in points.items()
+                      if other != name for p in pts]
+            reference = union_density_dbscan(own, others,
+                                             config.eps_squared,
+                                             config.min_pts)
+            assert canonicalize(result.labels_by_party[name]) \
+                == canonicalize(reference.labels.as_tuple())
+        pair_term = k * (k - 1)
+        xs.append(float(pair_term))
+        ys.append(float(result.stats["total_bytes"]))
+        rows.append([k, pair_term, result.stats["total_bytes"],
+                     result.comparisons])
+    fit = fit_through_origin(xs, ys)
+    return rows, fit
+
+
+def test_e14_multiparty_scaling(benchmark, record_table):
+    rows, fit = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    table = render_table(
+        ["parties", "k(k-1)", "bytes", "comparisons"], rows,
+        title="E14: multi-party horizontal scaling "
+              f"[fit bytes ~ {fit.coefficient:.0f} * pairs, "
+              f"R^2={fit.r_squared:.4f}]")
+    record_table("e14_multiparty", table)
+
+    assert fit.r_squared > 0.95, \
+        "bytes must scale with the ordered-pair count"

@@ -1,0 +1,64 @@
+"""E1 -- the Figure 1 intersection attack (paper Section 1).
+
+Paper claim: a Kumar-style protocol that reveals *linkable*
+neighbourhood hits lets Bob localize one of Alice's records to the
+(possibly tiny) intersection of his points' Eps-disks; the paper's
+protocols reveal only per-query counts over fresh permutations, leaving
+Bob with (at best) the disks' union.
+
+Expected shape: Kumar posterior area strictly shrinking in the number of
+observer points; count-only posterior flat at the union.
+"""
+
+import random
+
+from repro.analysis.attacks import (
+    Domain2D,
+    intersection_attack_report,
+    ring_of_observers,
+)
+from repro.analysis.report import format_ratio, render_table
+
+EPS = 2.0
+DOMAIN = Domain2D(x_min=-10, x_max=10, y_min=-10, y_max=10)
+OBSERVER_COUNTS = (1, 2, 3, 4, 6, 8, 12)
+SAMPLES = 60000
+
+
+def _run_sweep():
+    rows = []
+    reports = []
+    for count in OBSERVER_COUNTS:
+        observers = ring_of_observers((0.0, 0.0), count,
+                                      distance=EPS * 0.85)
+        report = intersection_attack_report(
+            observers, EPS, DOMAIN, random.Random(42), samples=SAMPLES)
+        reports.append(report)
+        rows.append([count,
+                     f"{report.kumar_posterior_area:.3f}",
+                     format_ratio(report.kumar_localization),
+                     f"{report.permuted_posterior_area:.2f}",
+                     format_ratio(report.permuted_localization)])
+    return rows, reports
+
+
+def test_e1_intersection_attack(benchmark, record_table):
+    rows, reports = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    table = render_table(
+        ["observers", "kumar_area", "kumar_frac", "ours_area", "ours_frac"],
+        rows,
+        title="E1: Figure 1 intersection attack "
+              f"(eps={EPS}, prior={DOMAIN.area:.0f})")
+    record_table("e1_intersection_attack", table)
+
+    # Shape assertions (common random numbers make these deterministic).
+    kumar = [r.kumar_posterior_area for r in reports]
+    ours = [r.permuted_posterior_area for r in reports]
+    assert kumar[0] > kumar[3] > kumar[-1] > 0, \
+        "Kumar posterior must shrink with more linkable observers"
+    import math
+    single_disk = math.pi * EPS * EPS
+    assert all(area >= 0.8 * single_disk for area in ours), \
+        "count-only posterior must never shrink below one disk"
+    # The end-state gap is the privacy win: orders of magnitude.
+    assert ours[-1] / kumar[-1] > 20

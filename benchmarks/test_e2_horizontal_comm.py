@@ -1,0 +1,70 @@
+"""E2 -- horizontal protocol communication scaling (paper Section 4.2.2).
+
+Paper claim: total cost is ``O(c1*m*l(n-l) + c2*n0*l(n-l))`` bits --
+i.e. proportional to the number of cross-party point pairs ``l*(n-l)``
+(both passes), with the attribute count ``m`` scaling the ciphertext
+term.
+
+Expected shape: measured channel bytes fit ``a * l(n-l)`` with R^2 near
+1 across the n sweep, and grow with m at fixed n.
+"""
+
+from benchmarks.conftest import protocol_config, spread_points
+from repro.analysis.communication import fit_through_origin
+from repro.analysis.report import render_table
+from repro.core.horizontal import run_horizontal_dbscan
+from repro.data.partitioning import HorizontalPartition
+
+N_SWEEP = (6, 10, 14, 18)
+
+
+def _run_sweep():
+    rows = []
+    work_terms = []
+    measured = []
+    for n in N_SWEEP:
+        l = n // 2
+        partition = HorizontalPartition(
+            alice_points=spread_points(l),
+            bob_points=spread_points(n - l, offset=7))
+        config = protocol_config(eps=1.0, min_pts=2)
+        result = run_horizontal_dbscan(partition, config)
+        pair_term = l * (n - l)
+        work_terms.append(float(2 * pair_term))   # both passes
+        measured.append(float(result.stats["total_bytes"]))
+        rows.append([n, l, 2 * pair_term, result.stats["total_bytes"],
+                     result.comparisons])
+    fit = fit_through_origin(work_terms, measured)
+    return rows, fit
+
+
+def _run_m_sweep():
+    rows = []
+    for m in (1, 2, 4):
+        points_a = tuple((30 * i,) + (0,) * (m - 1) for i in range(4))
+        points_b = tuple((30 * i + 7,) + (0,) * (m - 1) for i in range(4))
+        partition = HorizontalPartition(alice_points=points_a,
+                                        bob_points=points_b)
+        config = protocol_config(eps=1.0, min_pts=2)
+        result = run_horizontal_dbscan(partition, config)
+        rows.append([m, result.stats["total_bytes"]])
+    return rows
+
+
+def test_e2_horizontal_comm_scaling(benchmark, record_table):
+    (rows, fit) = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    m_rows = _run_m_sweep()
+    table = render_table(
+        ["n", "l", "2*l(n-l)", "bytes", "comparisons"], rows,
+        title="E2: horizontal bytes vs l(n-l)  "
+              f"[fit bytes ~ {fit.coefficient:.0f} * pairs, "
+              f"R^2={fit.r_squared:.4f}]")
+    table += "\n\n" + render_table(
+        ["m", "bytes (n=8)"], m_rows,
+        title="E2b: attribute count scaling at fixed n")
+    record_table("e2_horizontal_comm", table)
+
+    assert fit.r_squared > 0.98, \
+        "bytes must be proportional to l(n-l) (Sec 4.2.2)"
+    assert m_rows[-1][1] > m_rows[0][1], \
+        "bytes must grow with attribute count (c1*m term)"

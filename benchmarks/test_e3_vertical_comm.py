@@ -1,0 +1,49 @@
+"""E3 -- vertical protocol communication scaling (paper Section 4.3.2).
+
+Paper claim: ``O(c2*n0*n^2)`` bits total -- one secure comparison per
+ordered record pair, so measured bytes should fit ``a * n(n-1)`` with
+R^2 near 1.
+"""
+
+from benchmarks.conftest import protocol_config, spread_points
+from repro.analysis.communication import fit_through_origin, vertical_work_term
+from repro.analysis.report import render_table
+from repro.core.vertical import run_vertical_dbscan
+from repro.data.dataset import Dataset
+from repro.data.partitioning import partition_vertical
+
+N_SWEEP = (4, 8, 12, 16)
+
+
+def _run_sweep():
+    rows = []
+    work_terms = []
+    measured = []
+    for n in N_SWEEP:
+        dataset = Dataset.from_points(
+            [(30 * i, 30 * i) for i in range(n)])  # isolated points
+        partition = partition_vertical(dataset, 1)
+        config = protocol_config(eps=1.0, min_pts=2)
+        result = run_vertical_dbscan(partition, config)
+        work_terms.append(float(vertical_work_term(n)))
+        measured.append(float(result.stats["total_bytes"]))
+        rows.append([n, vertical_work_term(n),
+                     result.stats["total_bytes"], result.comparisons])
+    fit = fit_through_origin(work_terms, measured)
+    return rows, fit
+
+
+def test_e3_vertical_comm_scaling(benchmark, record_table):
+    rows, fit = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    table = render_table(
+        ["n", "n(n-1)", "bytes", "comparisons"], rows,
+        title="E3: vertical bytes vs n(n-1)  "
+              f"[fit bytes ~ {fit.coefficient:.0f} * pairs, "
+              f"R^2={fit.r_squared:.4f}]")
+    record_table("e3_vertical_comm", table)
+
+    assert fit.r_squared > 0.98, \
+        "bytes must be proportional to n^2 (Sec 4.3.2)"
+    # Comparisons are exactly n(n-1) on all-isolated data.
+    for row in rows:
+        assert row[3] == row[1]

@@ -1,0 +1,75 @@
+"""E4 -- enhanced protocol cost vs base horizontal (paper Section 5.1).
+
+Paper claim: the enhanced protocol costs
+``O(c1*m*l(n-l) + c2*n0*l(n-l))`` -- the *same order* as the base
+protocol; its privacy gain is not paid for with asymptotics.
+
+Expected shape: enhanced/base byte ratio roughly constant across n
+(bounded, no growth trend), while the enhanced ledger shows zero
+neighbour-count disclosures.
+
+A second table isolates the protocol's favourable special case: when
+points are locally dense (k <= 0 shortcut), the enhanced protocol
+engages in *no* interaction for those queries and gets cheaper than the
+base protocol, which always scans the peer's points.
+"""
+
+from benchmarks.conftest import clustered_points, protocol_config, spread_points
+from repro.analysis.report import render_table
+from repro.core.enhanced import run_enhanced_horizontal_dbscan
+from repro.core.horizontal import run_horizontal_dbscan
+from repro.data.partitioning import HorizontalPartition
+
+N_SWEEP = (6, 10, 14)
+
+
+def _run_sweep():
+    rows = []
+    ratios = []
+    for n in N_SWEEP:
+        l = n // 2
+        partition = HorizontalPartition(
+            alice_points=spread_points(l),
+            bob_points=spread_points(n - l, offset=7))
+        config = protocol_config(eps=1.0, min_pts=2)
+        base = run_horizontal_dbscan(partition, config)
+        enhanced = run_enhanced_horizontal_dbscan(partition, config)
+        ratio = enhanced.stats["total_bytes"] / base.stats["total_bytes"]
+        ratios.append(ratio)
+        rows.append([n, base.stats["total_bytes"],
+                     enhanced.stats["total_bytes"], f"{ratio:.2f}",
+                     enhanced.ledger.profile().get("neighbor_count", 0)])
+    return rows, ratios
+
+
+def _run_dense_case():
+    """Locally dense data: the k <= 0 shortcut skips peer interaction."""
+    partition = HorizontalPartition(
+        alice_points=clustered_points(9),
+        bob_points=clustered_points(9, origin=(500, 500)))
+    config = protocol_config(eps=1.0, min_pts=3)
+    base = run_horizontal_dbscan(partition, config)
+    enhanced = run_enhanced_horizontal_dbscan(partition, config)
+    return base.stats["total_bytes"], enhanced.stats["total_bytes"]
+
+
+def test_e4_enhanced_comm(benchmark, record_table):
+    rows, ratios = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    dense_base, dense_enhanced = _run_dense_case()
+    table = render_table(
+        ["n", "base_bytes", "enhanced_bytes", "ratio", "counts_leaked"],
+        rows,
+        title="E4: enhanced vs base horizontal cost (same-order claim)")
+    table += ("\n\nE4b: locally dense data (k<=0 shortcut): "
+              f"base={dense_base:,} bytes, enhanced={dense_enhanced:,} "
+              f"bytes (ratio {dense_enhanced / dense_base:.2f})")
+    record_table("e4_enhanced_comm", table)
+
+    # Same order: ratio bounded and not growing with n.
+    assert max(ratios) < 8.0
+    assert ratios[-1] < ratios[0] * 2.0, \
+        "enhanced/base ratio must not grow with n (same-order claim)"
+    # Privacy side of the trade: zero neighbour counts disclosed.
+    assert all(row[4] == 0 for row in rows)
+    # Dense shortcut makes enhanced strictly cheaper.
+    assert dense_enhanced < dense_base

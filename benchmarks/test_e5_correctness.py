@@ -1,0 +1,142 @@
+"""E5 -- correctness of all protocol variants (Theorems 9-11).
+
+E5a: every secure protocol reproduces its plaintext reference semantics
+*exactly* (horizontal/enhanced -> union-density model; vertical and
+arbitrary -> centralized DBSCAN) across the paper-motivated workloads.
+
+E5b: measured divergence between the horizontal per-party semantics and
+centralized DBSCAN (ARI / noise agreement) -- the honest finding that
+Algorithm 3/4 does not chain clusters through the other party's points
+(DESIGN.md Section 2, item 1).
+"""
+
+import random
+
+from benchmarks.conftest import protocol_config
+from repro.analysis.report import render_table
+from repro.clustering.dbscan import dbscan
+from repro.clustering.labels import canonicalize
+from repro.clustering.metrics import adjusted_rand_index, noise_agreement
+from repro.clustering.union_density import union_density_dbscan
+from repro.core.api import cluster_partitioned
+from repro.data.dataset import Dataset
+from repro.data.generators import (
+    concentric_rings,
+    gaussian_blobs,
+    grid_clusters,
+    interleave_for_horizontal,
+    two_moons,
+)
+from repro.data.partitioning import (
+    HorizontalPartition,
+    partition_arbitrary,
+    partition_vertical,
+)
+
+
+def _workloads():
+    rng = random.Random(77)
+    return {
+        "blobs": (gaussian_blobs(rng, centers=[(0, 0), (6, 6)],
+                                 points_per_blob=10, spread=0.4), 1.2, 4),
+        "moons": (two_moons(rng, points_per_moon=14, noise=0.1), 0.9, 3),
+        "rings": (concentric_rings(rng, points_per_ring=14, noise=0.08),
+                  0.9, 3),
+        "grid": (grid_clusters(clusters_per_side=2, cluster_size=3), 0.5, 3),
+    }
+
+
+def _run_matrix():
+    rows = []
+    all_exact = True
+    for name, (points, eps, min_pts) in _workloads().items():
+        config = protocol_config(eps=eps, min_pts=min_pts, backend="oracle",
+                                 scale=100)
+        alice_pts, bob_pts = interleave_for_horizontal(points,
+                                                       random.Random(3))
+        partition = HorizontalPartition(alice_points=tuple(alice_pts),
+                                        bob_points=tuple(bob_pts))
+        reference = dbscan(points, config.eps_squared, min_pts)
+
+        for variant, enhanced in (("horizontal", False), ("enhanced", True)):
+            run = cluster_partitioned(partition, config, enhanced=enhanced)
+            ref_alice = union_density_dbscan(
+                alice_pts, bob_pts, config.eps_squared, min_pts)
+            ref_bob = union_density_dbscan(
+                bob_pts, alice_pts, config.eps_squared, min_pts)
+            exact = (canonicalize(run.alice_labels)
+                     == canonicalize(ref_alice.labels.as_tuple())
+                     and canonicalize(run.bob_labels)
+                     == canonicalize(ref_bob.labels.as_tuple()))
+            all_exact &= exact
+            rows.append([name, variant, "union-density", exact])
+
+        dataset = Dataset.from_points(points)
+        vertical_run = cluster_partitioned(partition_vertical(dataset, 1),
+                                           config)
+        exact = (canonicalize(vertical_run.alice_labels)
+                 == canonicalize(reference.as_tuple()))
+        all_exact &= exact
+        rows.append([name, "vertical", "centralized", exact])
+
+        arbitrary_run = cluster_partitioned(
+            partition_arbitrary(dataset, random.Random(5)), config)
+        exact = (canonicalize(arbitrary_run.alice_labels)
+                 == canonicalize(reference.as_tuple()))
+        all_exact &= exact
+        rows.append([name, "arbitrary", "centralized", exact])
+    return rows, all_exact
+
+
+def _run_divergence():
+    """E5b: horizontal semantics vs centralized, separated vs bridged."""
+    rows = []
+    config = protocol_config(eps=1.5, min_pts=3, backend="oracle", scale=1)
+
+    # Separated clusters: both parties see the same cluster structure.
+    separated = [(i, j) for i in range(3) for j in range(3)]
+    separated += [(i + 30, j) for i in range(3) for j in range(3)]
+    alice_pts, bob_pts = interleave_for_horizontal(separated,
+                                                   random.Random(1))
+    run = cluster_partitioned(
+        HorizontalPartition(alice_points=tuple(alice_pts),
+                            bob_points=tuple(bob_pts)), config)
+    joint = dbscan(alice_pts + bob_pts, config.eps_squared, 3)
+    joint_alice = joint.as_tuple()[:len(alice_pts)]
+    rows.append(["separated",
+                 f"{adjusted_rand_index(run.alice_labels, joint_alice):.3f}",
+                 f"{noise_agreement(run.alice_labels, joint_alice):.3f}"])
+
+    # Bridged clusters: Alice's two groups joined only by Bob's bridge.
+    left = [(i, j) for i in range(3) for j in range(3)]
+    right = [(i + 20, j) for i in range(3) for j in range(3)]
+    bridge = [(i, 1) for i in range(3, 20)]
+    run = cluster_partitioned(
+        HorizontalPartition(alice_points=tuple(left + right),
+                            bob_points=tuple(bridge)), config)
+    joint = dbscan(left + right + bridge, config.eps_squared, 3)
+    joint_alice = joint.as_tuple()[:len(left + right)]
+    rows.append(["bridged",
+                 f"{adjusted_rand_index(run.alice_labels, joint_alice):.3f}",
+                 f"{noise_agreement(run.alice_labels, joint_alice):.3f}"])
+    return rows
+
+
+def test_e5_correctness(benchmark, record_table):
+    (rows, all_exact) = benchmark.pedantic(_run_matrix, rounds=1,
+                                           iterations=1)
+    divergence_rows = _run_divergence()
+    table = render_table(
+        ["workload", "variant", "reference", "exact_match"], rows,
+        title="E5a: protocol output == reference semantics")
+    table += "\n\n" + render_table(
+        ["geometry", "ARI_vs_centralized", "noise_agreement"],
+        divergence_rows,
+        title="E5b: horizontal per-party semantics vs centralized DBSCAN")
+    record_table("e5_correctness", table)
+
+    assert all_exact, "every variant must match its reference exactly"
+    # Separated data: perfect agreement with centralized.
+    assert float(divergence_rows[0][1]) == 1.0
+    # Bridged data: documented divergence (ARI < 1).
+    assert float(divergence_rows[1][1]) < 1.0

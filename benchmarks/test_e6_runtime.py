@@ -1,0 +1,75 @@
+"""E6 -- runtime scaling vs Paillier key size and dataset size.
+
+The paper motivates problem-specific protocols with efficiency
+(Section 2: generic Yao circuits are impractical).  This experiment
+pins the constant factors: wall-clock per protocol run as the Paillier
+modulus grows (modular exponentiation is ~cubic in key size) and as n
+grows (quadratic pair count).
+"""
+
+import time
+
+from benchmarks.conftest import spread_points
+from repro.analysis.report import render_table
+from repro.core.config import ProtocolConfig
+from repro.core.horizontal import run_horizontal_dbscan
+from repro.data.partitioning import HorizontalPartition
+from repro.smc.session import SmcConfig
+
+KEY_SIZES = (128, 256, 384)
+N_SWEEP = (4, 8, 12)
+
+
+def _config(bits: int) -> ProtocolConfig:
+    return ProtocolConfig(
+        eps=1.0, min_pts=2, scale=10,
+        smc=SmcConfig(paillier_bits=bits, key_seed=510, mask_sigma=8),
+        alice_seed=23, bob_seed=24)
+
+
+def _run_key_sweep():
+    partition = HorizontalPartition(alice_points=spread_points(4),
+                                    bob_points=spread_points(4, offset=7))
+    rows = []
+    timings = []
+    for bits in KEY_SIZES:
+        started = time.perf_counter()
+        result = run_horizontal_dbscan(partition, _config(bits))
+        elapsed = time.perf_counter() - started
+        timings.append(elapsed)
+        rows.append([bits, f"{elapsed:.2f}",
+                     result.stats["total_bytes"]])
+    return rows, timings
+
+
+def _run_n_sweep():
+    rows = []
+    timings = []
+    for n in N_SWEEP:
+        partition = HorizontalPartition(
+            alice_points=spread_points(n // 2),
+            bob_points=spread_points(n - n // 2, offset=7))
+        started = time.perf_counter()
+        run_horizontal_dbscan(partition, _config(256))
+        elapsed = time.perf_counter() - started
+        timings.append(elapsed)
+        rows.append([n, f"{elapsed:.2f}"])
+    return rows, timings
+
+
+def test_e6_runtime(benchmark, record_table):
+    (key_rows, key_timings) = benchmark.pedantic(_run_key_sweep, rounds=1,
+                                                 iterations=1)
+    n_rows, n_timings = _run_n_sweep()
+    table = render_table(["paillier_bits", "seconds", "bytes"], key_rows,
+                         title="E6a: runtime vs key size (n=8 horizontal)")
+    table += "\n\n" + render_table(
+        ["n", "seconds"], n_rows,
+        title="E6b: runtime vs dataset size (256-bit keys)")
+    record_table("e6_runtime", table)
+
+    # Bigger keys must cost more time; bytes also grow with key size.
+    assert key_timings[-1] > key_timings[0]
+    assert key_rows[-1][2] > key_rows[0][2]
+    # Quadratic-ish growth in n: 12 vs 4 points is 9x the pairs.
+    assert n_timings[-1] > 2.0 * n_timings[0]

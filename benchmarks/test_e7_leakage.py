@@ -1,0 +1,100 @@
+"""E7 -- disclosure profiles across protocol variants (Thms 9 vs 11).
+
+Paper claims, as a strict leakage ordering:
+
+- Kumar-style [14]: linkable neighbourhood identities (enables Figure 1).
+- Base horizontal (Thm 9): per-query neighbour *counts* (plus, as the
+  ledger makes visible, the zero-sum-mask dot products -- a write-up gap
+  the paper does not discuss; the ``blind_cross_sum`` option removes it).
+- Enhanced (Thm 11): a single core bit per engaged query, nothing at all
+  for own-density-sufficient or impossible queries.
+
+Expected shape: strictly decreasing disclosure counts down the table,
+with identical clustering output everywhere.
+"""
+
+from benchmarks.conftest import protocol_config, spread_points
+from repro.analysis.report import render_table
+from repro.clustering.labels import canonicalize
+from repro.clustering.neighborhoods import squared_distance
+from repro.core.enhanced import run_enhanced_horizontal_dbscan
+from repro.core.horizontal import run_horizontal_dbscan
+from repro.data.partitioning import HorizontalPartition
+
+ALICE_POINTS = tuple([(i * 6, 0) for i in range(4)]
+                     + [(100 + i * 6, 0) for i in range(3)])
+BOB_POINTS = tuple([(i * 6, 4) for i in range(4)]
+                   + [(200, 200), (206, 200), (203, 204)])
+CONFIG = protocol_config(eps=1.0, min_pts=3, backend="oracle", scale=10)
+
+
+def _kumar_style_disclosures() -> int:
+    """What a linkable protocol reveals: one identified (query point,
+    peer point) incidence per in-range cross pair, per direction."""
+    eps_squared = CONFIG.eps_squared
+    hits = 0
+    for a in ALICE_POINTS:
+        for b in BOB_POINTS:
+            if squared_distance(a, b) <= eps_squared:
+                hits += 2  # each party can link the other's record id
+    return hits
+
+
+def _run_profiles():
+    base = run_horizontal_dbscan(
+        HorizontalPartition(alice_points=ALICE_POINTS,
+                            bob_points=BOB_POINTS), CONFIG)
+    blinded = run_horizontal_dbscan(
+        HorizontalPartition(alice_points=ALICE_POINTS,
+                            bob_points=BOB_POINTS),
+        protocol_config(eps=1.0, min_pts=3, backend="oracle", scale=10,
+                        blind_cross_sum=True))
+    enhanced = run_enhanced_horizontal_dbscan(
+        HorizontalPartition(alice_points=ALICE_POINTS,
+                            bob_points=BOB_POINTS), CONFIG)
+    return base, blinded, enhanced
+
+
+def test_e7_leakage_profiles(benchmark, record_table):
+    base, blinded, enhanced = benchmark.pedantic(_run_profiles, rounds=1,
+                                                 iterations=1)
+    kumar_ids = _kumar_style_disclosures()
+
+    def row(name, profile):
+        return [name,
+                profile.get("linked_neighbor_id", 0),
+                profile.get("neighbor_count", 0),
+                profile.get("neighbor_bit", 0),
+                profile.get("dot_product", 0),
+                profile.get("order_bit", 0),
+                profile.get("core_bit", 0)]
+
+    rows = [
+        ["kumar[14]", kumar_ids, "n/a", "n/a", "n/a", 0, 0],
+        row("base (Thm 9)", base.ledger.profile()),
+        row("base+blind", blinded.ledger.profile()),
+        row("enhanced (Thm 11)", enhanced.ledger.profile()),
+    ]
+    table = render_table(
+        ["protocol", "linked_ids", "counts", "bits", "dot_prods",
+         "order_bits", "core_bits"],
+        rows, title="E7: disclosure profiles (events per full run)")
+    record_table("e7_leakage", table)
+
+    # Identical clustering everywhere.
+    assert canonicalize(enhanced.alice_labels) \
+        == canonicalize(base.alice_labels)
+    assert canonicalize(blinded.alice_labels) \
+        == canonicalize(base.alice_labels)
+
+    # The strict ordering.
+    assert kumar_ids > 0
+    base_profile = base.ledger.profile()
+    enhanced_profile = enhanced.ledger.profile()
+    assert base_profile.get("linked_neighbor_id", 0) == 0
+    assert base_profile["neighbor_count"] > 0
+    assert base_profile["dot_product"] > 0
+    assert blinded.ledger.profile().get("dot_product", 0) == 0
+    assert enhanced_profile.get("neighbor_count", 0) == 0
+    assert enhanced_profile.get("dot_product", 0) == 0
+    assert 0 < enhanced_profile["core_bit"] <= base_profile["neighbor_count"]

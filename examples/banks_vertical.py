@@ -1,0 +1,62 @@
+"""Vertically partitioned clustering: a bank and a credit bureau.
+
+Both institutions know the same customers (shared record ids) but hold
+different attributes -- the Figure 3 setting.  The bank holds
+(income, account balance); the bureau holds (credit utilization,
+delinquency score).  Neither can find behavioural segments alone,
+because the segments only separate in the joint 4-D space.
+
+Run:  python examples/banks_vertical.py
+"""
+
+import random
+
+from repro import ProtocolConfig, SmcConfig, cluster_partitioned
+from repro.clustering.dbscan import dbscan
+from repro.clustering.labels import canonicalize
+from repro.data.dataset import Dataset
+from repro.data.generators import gaussian_blobs
+from repro.data.partitioning import partition_vertical
+
+rng = random.Random(99)
+
+# Three customer segments in 4-D; the pairs of segments collide in the
+# bank-only and bureau-only projections.
+segments = gaussian_blobs(
+    rng,
+    centers=[
+        (30.0, 10.0, 4.0, 1.0),   # steady savers
+        (30.0, 10.0, 9.0, 7.0),   # same bank profile, stressed credit
+        (80.0, 40.0, 4.0, 1.0),   # affluent, clean credit
+    ],
+    points_per_blob=7, spread=0.4)
+
+dataset = Dataset.from_points(segments)
+partition = partition_vertical(dataset, alice_attributes=2)
+
+config = ProtocolConfig(eps=1.5, min_pts=4, scale=100,
+                        smc=SmcConfig(paillier_bits=256, key_seed=4),
+                        alice_seed=7, bob_seed=8)
+
+run = cluster_partitioned(partition, config)
+print(f"joint labels: {run.alice_labels}")
+print(f"clusters found: "
+      f"{len({l for l in run.alice_labels if l != -1})} (expected 3)")
+
+# The vertical protocol reproduces centralized DBSCAN exactly.
+reference = dbscan(list(dataset.records), config.eps_squared,
+                   config.min_pts)
+assert canonicalize(run.alice_labels) == canonicalize(reference.as_tuple())
+print("matches centralized DBSCAN on the (never materialized) joint data")
+
+# Neither projection separates all three segments.
+bank_only = dbscan([r[:2] for r in dataset.records], config.eps_squared,
+                   config.min_pts)
+bureau_only = dbscan([r[2:] for r in dataset.records], config.eps_squared,
+                     config.min_pts)
+print(f"bank-only view finds   : "
+      f"{len({l for l in bank_only.as_tuple() if l != -1})} clusters")
+print(f"bureau-only view finds : "
+      f"{len({l for l in bureau_only.as_tuple() if l != -1})} clusters")
+print(f"bytes exchanged: {run.stats['total_bytes']:,} "
+      f"({run.comparisons} secure comparisons)")

@@ -1,0 +1,54 @@
+"""Multi-party extension: a consortium of three clinics.
+
+The paper develops its protocols for two parties and notes that "the
+two-party algorithm can be extended to multi-party cases" (Section 1).
+This example runs the k-party horizontal extension: three clinics, each
+holding a few patients of a cohort that is only dense when *all three*
+contribute neighbours.
+
+Run:  python examples/consortium_multiparty.py
+"""
+
+import random
+
+from repro.analysis.report import render_table
+from repro.core.config import ProtocolConfig
+from repro.data.generators import gaussian_blobs
+from repro.multiparty.horizontal import run_multiparty_horizontal_dbscan
+from repro.smc.session import SmcConfig
+
+rng = random.Random(12)
+
+# A shared cohort around (20, 5): each clinic holds 3 of its patients.
+cohort = gaussian_blobs(rng, centers=[(20.0, 5.0)], points_per_blob=9,
+                        spread=0.3)
+points = {
+    "clinic_a": cohort[0:3] + gaussian_blobs(
+        rng, centers=[(5.0, 5.0)], points_per_blob=5, spread=0.4),
+    "clinic_b": cohort[3:6],
+    "clinic_c": cohort[6:9] + gaussian_blobs(
+        rng, centers=[(40.0, 5.0)], points_per_blob=5, spread=0.4),
+}
+
+config = ProtocolConfig(eps=1.5, min_pts=6, scale=100,
+                        smc=SmcConfig(paillier_bits=256, key_seed=6))
+
+run = run_multiparty_horizontal_dbscan(points, config, seeds=[1, 2, 3])
+
+rows = []
+for name, labels in run.labels_by_party.items():
+    cohort_members = labels[:3]
+    rows.append([name, len(points[name]), str(labels),
+                 "yes" if set(cohort_members) != {-1} else "no"])
+print(render_table(
+    ["clinic", "points", "labels", "cohort found"],
+    rows, title="three-clinic consortium (min_pts=6, cohort of 3+3+3)"))
+print(f"\nbytes over all pairwise channels: {run.stats['total_bytes']:,}")
+print(f"secure comparisons: {run.comparisons}")
+print(f"disclosures: {run.ledger.profile()}")
+
+# Pairwise runs cannot find the cohort: any two clinics hold only 6 of
+# the 9 points around (20, 5) but each query point also counts itself...
+# with min_pts=6 a clinic pair has at most 3+3=6 -- exactly at the edge;
+# drop one clinic's support and the margin disappears for boundary
+# points.  The three-party run finds it robustly.

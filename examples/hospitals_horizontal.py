@@ -1,0 +1,74 @@
+"""The paper's motivating scenario: two hospitals, shared clustering.
+
+Each hospital has its own patient records (Section 1).  Records are
+subject to confidentiality constraints, yet clustering the *joint*
+population finds patient subgroups neither hospital sees alone: here a
+cohort that is sparse at each site separately but dense in the union.
+
+The script runs both the base horizontal protocol (Algorithms 3 + 4)
+and the enhanced Section 5 protocol, and contrasts their disclosure
+profiles -- the enhanced run never reveals neighbourhood counts.
+
+Run:  python examples/hospitals_horizontal.py
+"""
+
+import random
+
+from repro import ProtocolConfig, SmcConfig, cluster_partitioned
+from repro.analysis.report import render_table
+from repro.data.generators import gaussian_blobs
+from repro.data.partitioning import HorizontalPartition
+
+rng = random.Random(2024)
+
+# Patient features: (age, biomarker level), both on a 1/100 grid.
+# Each hospital has a strong local cohort...
+hospital_a = gaussian_blobs(rng, centers=[(35.0, 2.0)], points_per_blob=10,
+                            spread=0.5)
+hospital_b = gaussian_blobs(rng, centers=[(62.0, 8.0)], points_per_blob=10,
+                            spread=0.5)
+# ...and each holds HALF of a cross-site cohort that is too sparse to be
+# found at either site alone (4 patients per site, MinPts = 6).
+shared_cohort = gaussian_blobs(rng, centers=[(50.0, 5.0)],
+                               points_per_blob=8, spread=0.3)
+hospital_a += shared_cohort[:4]
+hospital_b += shared_cohort[4:]
+
+partition = HorizontalPartition(alice_points=tuple(hospital_a),
+                                bob_points=tuple(hospital_b))
+config = ProtocolConfig(eps=1.5, min_pts=6, scale=100,
+                        smc=SmcConfig(paillier_bits=256, key_seed=3),
+                        alice_seed=5, bob_seed=6)
+
+print("=== base protocol (Algorithms 3 + 4) ===")
+base = cluster_partitioned(partition, config)
+print(f"hospital A labels: {base.alice_labels}")
+print(f"hospital B labels: {base.bob_labels}")
+
+# The cross-site cohort members are the last 4 points of each side; with
+# union density they form a cluster at both sites.
+print(f"cross-site cohort found at A: "
+      f"{set(base.alice_labels[-4:]) != {-1}}")
+print(f"cross-site cohort found at B: "
+      f"{set(base.bob_labels[-4:]) != {-1}}")
+
+print("\n=== enhanced protocol (Section 5) ===")
+enhanced = cluster_partitioned(partition, config, enhanced=True)
+assert enhanced.alice_labels == base.alice_labels
+assert enhanced.bob_labels == base.bob_labels
+print("identical clustering output, reduced disclosure:")
+
+rows = []
+for name, run in (("base", base), ("enhanced", enhanced)):
+    profile = run.ledger.profile()
+    rows.append([
+        name,
+        profile.get("neighbor_count", 0),
+        profile.get("neighbor_bit", 0),
+        profile.get("dot_product", 0),
+        profile.get("core_bit", 0),
+        f"{run.stats['total_bytes']:,}",
+    ])
+print(render_table(
+    ["protocol", "counts", "bits", "dot prods", "core bits", "bytes"],
+    rows))

@@ -1,0 +1,49 @@
+"""The Figure 1 intersection attack, demonstrated numerically.
+
+Bob has points ringing one of Alice's records.  Under a Kumar-style
+protocol [14] he learns, *linkably*, that the same record A falls in
+each of his points' Eps-neighbourhoods, so A must lie in the
+intersection of the disks -- which shrinks rapidly as he adds points.
+Under this paper's protocols he only learns per-query counts over
+freshly permuted points, so his posterior never shrinks below the union
+of the disks.
+
+Run:  python examples/intersection_attack_demo.py
+"""
+
+import random
+
+from repro.analysis.attacks import (
+    Domain2D,
+    intersection_attack_report,
+    ring_of_observers,
+)
+from repro.analysis.report import format_ratio, render_table
+
+EPS = 2.0
+DOMAIN = Domain2D(x_min=-10, x_max=10, y_min=-10, y_max=10)
+
+rows = []
+for observer_count in (1, 2, 3, 4, 6, 8, 12):
+    observers = ring_of_observers((0.0, 0.0), observer_count,
+                                  distance=EPS * 0.85)
+    report = intersection_attack_report(observers, EPS, DOMAIN,
+                                        random.Random(42), samples=80000)
+    rows.append([
+        observer_count,
+        f"{report.kumar_posterior_area:.2f}",
+        format_ratio(report.kumar_localization),
+        f"{report.permuted_posterior_area:.2f}",
+        format_ratio(report.permuted_localization),
+    ])
+
+print(render_table(
+    ["Bob points", "Kumar area", "Kumar frac", "ours area", "ours frac"],
+    rows,
+    title=f"Figure 1 attack, eps={EPS}, prior area={DOMAIN.area:.0f} "
+          f"(areas in squared units)"))
+print()
+print("Reading: the linkable ('Kumar') posterior collapses toward a "
+      "point as Bob adds\nobservers; the count-only posterior (this "
+      "paper's protocols) stays at the disk\nunion -- Bob cannot tell "
+      "which of Alice's records satisfied which query.")

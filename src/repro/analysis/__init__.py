@@ -1,0 +1,46 @@
+"""Analysis layer: cost models, the Figure-1 attack, report rendering.
+
+Turns the paper's analytical evaluation into measurable quantities:
+
+- :mod:`repro.analysis.communication` -- the closed-form communication
+  complexity formulas of Sections 4.2.2, 4.3.2 and 5.1, plus fitting
+  helpers that compare them against measured channel bytes.
+- :mod:`repro.analysis.attacks` -- the Section 1 / Figure 1 intersection
+  attack, quantified by Monte Carlo area estimation.
+- :mod:`repro.analysis.report` -- plain-text table rendering for the
+  benchmark harness output.
+"""
+
+from repro.analysis.communication import (
+    fit_through_origin,
+    horizontal_predicted_bits,
+    vertical_predicted_bits,
+    enhanced_predicted_bits,
+    ympp_predicted_bits,
+)
+from repro.analysis.attacks import (
+    disk_intersection_area,
+    disk_union_area,
+    intersection_attack_report,
+)
+from repro.analysis.figures import (
+    render_arbitrary_figure,
+    render_horizontal_figure,
+    render_vertical_figure,
+)
+from repro.analysis.report import render_table
+
+__all__ = [
+    "fit_through_origin",
+    "horizontal_predicted_bits",
+    "vertical_predicted_bits",
+    "enhanced_predicted_bits",
+    "ympp_predicted_bits",
+    "disk_intersection_area",
+    "disk_union_area",
+    "intersection_attack_report",
+    "render_arbitrary_figure",
+    "render_horizontal_figure",
+    "render_vertical_figure",
+    "render_table",
+]

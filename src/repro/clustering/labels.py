@@ -1,0 +1,87 @@
+"""Cluster label constants and containers.
+
+DBSCAN's three label states follow the original paper: every point
+starts ``UNCLASSIFIED``, may be demoted to ``NOISE``, and is promoted to
+a cluster id (``1, 2, 3, ...``) when reached by a cluster expansion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+UNCLASSIFIED = 0
+NOISE = -1
+_FIRST_CLUSTER_ID = 1
+
+
+@dataclass
+class ClusterLabels:
+    """Mutable label assignment for ``size`` points.
+
+    Mirrors the paper's ``SetOfPoints.changeClusterId`` interface so the
+    protocol code reads like Algorithm 3/4.
+    """
+
+    size: int
+    labels: list[int] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.labels:
+            self.labels = [UNCLASSIFIED] * self.size
+        if len(self.labels) != self.size:
+            raise ValueError(
+                f"{len(self.labels)} labels for {self.size} points")
+
+    def __getitem__(self, index: int) -> int:
+        return self.labels[index]
+
+    def change_cluster_id(self, index: int, cluster_id: int) -> None:
+        self.labels[index] = cluster_id
+
+    def change_cluster_ids(self, indices, cluster_id: int) -> None:
+        for index in indices:
+            self.labels[index] = cluster_id
+
+    def is_unclassified(self, index: int) -> bool:
+        return self.labels[index] == UNCLASSIFIED
+
+    def is_noise(self, index: int) -> bool:
+        return self.labels[index] == NOISE
+
+    def cluster_ids(self) -> list[int]:
+        """Distinct cluster ids in first-appearance order (noise excluded)."""
+        seen: list[int] = []
+        for label in self.labels:
+            if label not in (UNCLASSIFIED, NOISE) and label not in seen:
+                seen.append(label)
+        return seen
+
+    def as_tuple(self) -> tuple[int, ...]:
+        return tuple(self.labels)
+
+
+def next_cluster_id(current: int) -> int:
+    """The paper's ``nextId``: NOISE seeds the first real cluster id."""
+    if current in (NOISE, UNCLASSIFIED):
+        return _FIRST_CLUSTER_ID
+    return current + 1
+
+
+def canonicalize(labels) -> tuple[int, ...]:
+    """Relabel clusters by order of first appearance.
+
+    Two clusterings are identical up to cluster numbering iff their
+    canonical forms are equal; noise and unclassified map to themselves.
+    """
+    mapping: dict[int, int] = {}
+    canonical = []
+    next_id = _FIRST_CLUSTER_ID
+    for label in labels:
+        if label in (NOISE, UNCLASSIFIED):
+            canonical.append(label)
+            continue
+        if label not in mapping:
+            mapping[label] = next_id
+            next_id += 1
+        canonical.append(mapping[label])
+    return tuple(canonical)

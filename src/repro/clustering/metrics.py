@@ -1,0 +1,131 @@
+"""Clustering comparison metrics, implemented from scratch.
+
+Used by the E5 correctness experiments: exact equivalence for
+protocol-vs-reference checks, Rand/ARI/purity for the measured
+divergence between the horizontal per-party semantics and centralized
+DBSCAN.
+
+Noise handling follows the scikit-learn convention the community
+expects: noise points (label -1) are treated as singleton clusters for
+pair-counting metrics unless stated otherwise, and
+:func:`noise_agreement` reports the noise/non-noise confusion directly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+
+from repro.clustering.labels import NOISE, canonicalize
+
+
+def labelings_equivalent(left, right) -> bool:
+    """True iff the two labelings are identical up to cluster renaming."""
+    if len(left) != len(right):
+        return False
+    return canonicalize(left) == canonicalize(right)
+
+
+def _pair_counts(left, right) -> tuple[int, int, int, int]:
+    """Pair-counting contingency: (both-same, left-only, right-only, neither)."""
+    if len(left) != len(right):
+        raise ValueError(f"length mismatch: {len(left)} vs {len(right)}")
+    left = _noise_as_singletons(left)
+    right = _noise_as_singletons(right)
+    n = len(left)
+    same_both = same_left = same_right = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            in_left = left[i] == left[j]
+            in_right = right[i] == right[j]
+            same_left += in_left
+            same_right += in_right
+            same_both += in_left and in_right
+    total_pairs = n * (n - 1) // 2
+    neither = total_pairs - same_left - same_right + same_both
+    return same_both, same_left - same_both, same_right - same_both, neither
+
+
+def rand_index(left, right) -> float:
+    """Fraction of point pairs the two clusterings agree on."""
+    a, b, c, d = _pair_counts(left, right)
+    total = a + b + c + d
+    return 1.0 if total == 0 else (a + d) / total
+
+
+def adjusted_rand_index(left, right) -> float:
+    """Hubert-Arabie adjusted Rand index (chance-corrected)."""
+    if len(left) != len(right):
+        raise ValueError(f"length mismatch: {len(left)} vs {len(right)}")
+    left = _noise_as_singletons(left)
+    right = _noise_as_singletons(right)
+    n = len(left)
+    if n == 0:
+        return 1.0
+
+    contingency: dict[tuple, int] = defaultdict(int)
+    left_sizes: Counter = Counter()
+    right_sizes: Counter = Counter()
+    for l_label, r_label in zip(left, right):
+        contingency[(l_label, r_label)] += 1
+        left_sizes[l_label] += 1
+        right_sizes[r_label] += 1
+
+    def choose2(x: int) -> int:
+        return x * (x - 1) // 2
+
+    sum_cells = sum(choose2(count) for count in contingency.values())
+    sum_left = sum(choose2(count) for count in left_sizes.values())
+    sum_right = sum(choose2(count) for count in right_sizes.values())
+    total_pairs = choose2(n)
+    if total_pairs == 0:
+        return 1.0
+    expected = sum_left * sum_right / total_pairs
+    maximum = (sum_left + sum_right) / 2
+    if maximum == expected:
+        return 1.0
+    return (sum_cells - expected) / (maximum - expected)
+
+
+def purity(predicted, reference) -> float:
+    """Mean over predicted clusters of their majority reference label.
+
+    Noise points in ``predicted`` are excluded (they claim no cluster);
+    an all-noise prediction scores 1.0 vacuously.
+    """
+    if len(predicted) != len(reference):
+        raise ValueError(f"length mismatch: {len(predicted)} vs {len(reference)}")
+    members: dict[int, list[int]] = defaultdict(list)
+    for index, label in enumerate(predicted):
+        if label != NOISE:
+            members[label].append(index)
+    clustered = sum(len(indices) for indices in members.values())
+    if clustered == 0:
+        return 1.0
+    agreeing = 0
+    for indices in members.values():
+        majority = Counter(reference[i] for i in indices).most_common(1)[0][1]
+        agreeing += majority
+    return agreeing / clustered
+
+
+def noise_agreement(left, right) -> float:
+    """Fraction of points on which the two labelings agree about noise."""
+    if len(left) != len(right):
+        raise ValueError(f"length mismatch: {len(left)} vs {len(right)}")
+    if not left:
+        return 1.0
+    matches = sum((l == NOISE) == (r == NOISE) for l, r in zip(left, right))
+    return matches / len(left)
+
+
+def _noise_as_singletons(labels) -> list:
+    """Map each noise point to a unique label so pairs never co-cluster."""
+    result = []
+    next_singleton = -2
+    for label in labels:
+        if label == NOISE:
+            result.append(next_singleton)
+            next_singleton -= 1
+        else:
+            result.append(label)
+    return result

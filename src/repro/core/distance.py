@@ -1,0 +1,300 @@
+"""The paper's distance protocols: HDP (4.2), VDP (4.3), ADP (4.4).
+
+All three decide ``dist(d_x, d_y)^2 <= Eps^2`` for a pair of records
+without either party seeing the other's attribute values; they differ in
+who holds which pieces of the squared distance:
+
+- **HDP** (horizontal): the querying party holds one whole record, the
+  peer the other.  The peer obtains the masked cross terms through the
+  Multiplication Protocol; the final comparison splits the distance as
+  ``||d_x||^2`` (querier) + ``||d_y||^2 - 2<d_x, d_y>`` (peer).
+- **VDP** (vertical): each party locally sums its own attributes'
+  squared differences; one secure comparison finishes the job.
+- **ADP** (arbitrary): attribute-by-attribute composition of the two.
+
+Every function takes a ``value_bound`` -- the public upper bound on any
+squared distance -- from which mask sizes and comparison intervals are
+derived.  Results are directional: ``reveal_to`` states who may learn
+the predicate (Algorithm 4 steps 3/13 give it to the querier only).
+"""
+
+from __future__ import annotations
+
+from repro.core.leakage import Disclosure, LeakageLedger
+from repro.net.party import Party
+from repro.smc.session import SmcSession
+
+
+class DistanceProtocolError(ValueError):
+    """Raised on dimension mismatches."""
+
+
+def _comparison_interval(value_bound: int, eps_squared: int,
+                         mask_spread: int = 0) -> tuple[int, int]:
+    """A public interval containing every side-value the protocols compare.
+
+    Side values are sums/differences of squared norms, dot products, the
+    threshold, and (when blinding) a mask, so +/- the sum of their bounds
+    is always sufficient.
+    """
+    spread = 3 * value_bound + eps_squared + mask_spread + 1
+    return -spread, spread
+
+
+def hdp_within_eps(session: SmcSession, querier: Party,
+                   querier_point: tuple[int, ...], peer: Party,
+                   peer_point: tuple[int, ...], eps_squared: int,
+                   value_bound: int, *, ledger: LeakageLedger | None = None,
+                   blind_cross_sum: bool = False,
+                   label: str = "hdp") -> bool:
+    """Protocol HDP: querier learns whether the peer's point is within Eps.
+
+    Faithful to Section 4.2: the querier draws per-attribute masks
+    ``r_1..r_m`` summing to zero, the Multiplication Protocol hands the
+    peer each ``d_x,t * d_y,t + r_t``, and YMPP (or the configured
+    backend) compares the two halves of the squared distance.
+
+    With ``blind_cross_sum=True`` the masks sum to a random offset the
+    querier compensates for in the comparison, hiding the exact dot
+    product from the peer (see DESIGN.md; the ledger records the
+    difference).
+    """
+    if len(querier_point) != len(peer_point):
+        raise DistanceProtocolError(
+            f"dimension mismatch: {len(querier_point)} vs {len(peer_point)}")
+    dimensions = len(querier_point)
+    mask_bound = session.config.mask_bound(value_bound)
+
+    # Querier-side masks r_1..r_m.
+    masks = [querier.rng.randrange(-mask_bound, mask_bound + 1)
+             for _ in range(dimensions - 1)]
+    if blind_cross_sum:
+        offset = querier.rng.randrange(mask_bound + 1)
+    else:
+        offset = 0  # the paper's "r_1 + ... + r_m = 0"
+    masks.append(offset - sum(masks))
+
+    # Multiplication Protocol batch: the peer receives d_x,t*d_y,t + r_t.
+    received = session.masked_dot_terms(
+        peer, list(peer_point), querier, list(querier_point), masks,
+        label=f"{label}/cross_terms")
+    cross_sum = sum(received)  # = <d_x, d_y> + offset
+
+    if ledger is not None and not blind_cross_sum:
+        ledger.record(label, peer.name, Disclosure.DOT_PRODUCT,
+                      detail="zero-sum masks expose the exact cross dot product")
+
+    # The peer's side absorbed -2*offset through the masked cross terms,
+    # so dist^2 = querier_side + peer_side + 2*offset and the predicate
+    # becomes: peer_side <= eps^2 - querier_side - 2*offset.
+    querier_side = sum(c * c for c in querier_point)
+    peer_side = sum(c * c for c in peer_point) - 2 * cross_sum
+    threshold = eps_squared - querier_side - 2 * offset
+
+    lo, hi = _comparison_interval(value_bound, eps_squared,
+                                  mask_spread=2 * (mask_bound + 1))
+    outcome = session.compare_leq(
+        peer, peer_side, querier, threshold,
+        lo=lo, hi=hi, reveal_to="b", label=f"{label}/threshold")
+    if ledger is not None:
+        ledger.record(label, querier.name, Disclosure.NEIGHBOR_BIT)
+    return outcome.result
+
+
+class PeerCipherCache:
+    """Cache of a peer's encrypted coordinates, keyed by stable point id.
+
+    The optimization behind :func:`hdp_within_eps_cached`: a peer point's
+    Paillier-encrypted coordinates depend only on the point and the key,
+    so they can be transmitted once per run instead of once per query.
+    The price is a *stable identifier* on the wire -- the querier can now
+    link hits on the same peer point across queries, which is precisely
+    the disclosure that re-enables the Figure 1 intersection attack.
+    Experiment E12 measures both sides of the trade.
+    """
+
+    def __init__(self):
+        self.ciphers: dict[int, list[int]] = {}
+
+    def __contains__(self, point_id: int) -> bool:
+        return point_id in self.ciphers
+
+    def store(self, point_id: int, cipher_values: list[int]) -> None:
+        self.ciphers[point_id] = list(cipher_values)
+
+    def get(self, point_id: int) -> list[int]:
+        return self.ciphers[point_id]
+
+    def __len__(self) -> int:
+        return len(self.ciphers)
+
+
+def hdp_within_eps_cached(session: SmcSession, querier: Party,
+                          querier_point: tuple[int, ...], peer: Party,
+                          peer_point: tuple[int, ...], peer_point_id: int,
+                          cache: PeerCipherCache, eps_squared: int,
+                          value_bound: int, *,
+                          ledger: LeakageLedger | None = None,
+                          blind_cross_sum: bool = False,
+                          label: str = "hdp_cached") -> bool:
+    """HDP with the peer's encrypted coordinates cached across queries.
+
+    Functionally identical to :func:`hdp_within_eps` (property-tested);
+    differs in cost (the peer->querier ciphertext batch is sent once per
+    point per run) and in disclosure (the stable ``peer_point_id``
+    crosses the wire, recorded as ``LINKED_NEIGHBOR_ID`` on every hit).
+    """
+    if len(querier_point) != len(peer_point):
+        raise DistanceProtocolError(
+            f"dimension mismatch: {len(querier_point)} vs {len(peer_point)}")
+    from repro.crypto.encoding import SignedEncoder
+    from repro.crypto.paillier import PaillierCiphertext
+
+    dimensions = len(querier_point)
+    mask_bound = session.config.mask_bound(value_bound)
+    peer_keys = session.paillier_keys(peer.name)
+    public = peer_keys.public_key
+    encoder = SignedEncoder(public.n)
+
+    # Peer announces which cached entry this query uses (the linkable id)
+    # and uploads the encrypted coordinates on first use.
+    peer.send(f"{label}/point_id", peer_point_id)
+    announced_id = querier.receive(f"{label}/point_id")
+    if peer_point_id not in cache:
+        encrypted = [public.encrypt(encoder.encode(c), peer.rng).value
+                     for c in peer_point]
+        peer.send(f"{label}/coords", encrypted)
+        cache.store(peer_point_id, querier.receive(f"{label}/coords"))
+
+    # Querier-side masks, as in the base protocol.
+    masks = [querier.rng.randrange(-mask_bound, mask_bound + 1)
+             for _ in range(dimensions - 1)]
+    offset = (querier.rng.randrange(mask_bound + 1) if blind_cross_sum
+              else 0)
+    masks.append(offset - sum(masks))
+
+    # Querier is the masker: reply = E(y_t)^{x_t} * E(r_t), rerandomized.
+    replies = []
+    for cipher_value, coordinate, mask in zip(cache.get(announced_id),
+                                              querier_point, masks):
+        product = (PaillierCiphertext(public, cipher_value)
+                   * encoder.encode(coordinate))
+        masked = product + public.encrypt(encoder.encode(mask), querier.rng)
+        replies.append(masked.rerandomize(querier.rng).value)
+    querier.send(f"{label}/masked_terms", replies)
+
+    received = peer.receive(f"{label}/masked_terms")
+    private = peer_keys.private_key
+    cross_sum = sum(encoder.decode(private.decrypt_raw(value))
+                    for value in received)
+
+    querier_side = sum(c * c for c in querier_point)
+    peer_side = sum(c * c for c in peer_point) - 2 * cross_sum
+    threshold = eps_squared - querier_side - 2 * offset
+
+    if ledger is not None and not blind_cross_sum:
+        ledger.record(label, peer.name, Disclosure.DOT_PRODUCT,
+                      detail="zero-sum masks expose the exact cross dot product")
+
+    lo, hi = _comparison_interval(value_bound, eps_squared,
+                                  mask_spread=2 * (mask_bound + 1))
+    outcome = session.compare_leq(
+        peer, peer_side, querier, threshold,
+        lo=lo, hi=hi, reveal_to="b", label=f"{label}/threshold")
+    if ledger is not None:
+        ledger.record(label, querier.name, Disclosure.NEIGHBOR_BIT)
+        if outcome.result:
+            ledger.record(label, querier.name,
+                          Disclosure.LINKED_NEIGHBOR_ID,
+                          detail=f"stable peer point id {peer_point_id}")
+    return outcome.result
+
+
+def vdp_within_eps(session: SmcSession, alice: Party, alice_partial: int,
+                   bob: Party, bob_partial: int, eps_squared: int,
+                   value_bound: int, *, ledger: LeakageLedger | None = None,
+                   reveal_to: str = "both",
+                   label: str = "vdp") -> bool:
+    """Protocol VDP: compare locally-computed partial squared distances.
+
+    ``alice_partial`` / ``bob_partial`` are each party's sum of squared
+    attribute differences over their own columns; the predicate is
+    ``alice_partial <= eps^2 - bob_partial``.
+    """
+    lo, hi = _comparison_interval(value_bound, eps_squared)
+    outcome = session.compare_leq(
+        alice, alice_partial, bob, eps_squared - bob_partial,
+        lo=lo, hi=hi, reveal_to=reveal_to, label=f"{label}/threshold")
+    if ledger is not None:
+        for learner in outcome.revealed_to:
+            ledger.record(label, learner, Disclosure.NEIGHBOR_BIT)
+    return outcome.result
+
+
+def adp_within_eps(session: SmcSession, alice: Party, bob: Party,
+                   x_values: dict[int, tuple[str, int]],
+                   y_values: dict[int, tuple[str, int]],
+                   eps_squared: int, value_bound: int, *,
+                   ledger: LeakageLedger | None = None,
+                   reveal_to: str = "both",
+                   label: str = "adp") -> bool:
+    """Protocol for arbitrarily partitioned data (Section 4.4).
+
+    ``x_values`` / ``y_values`` map attribute index -> ``(owner, value)``
+    for the two records.  Same-owner attributes accumulate locally
+    (vertical part); cross-owner attributes route their products through
+    the Multiplication Protocol to Bob with Alice-known masks whose sum
+    Alice compensates on her side (horizontal part; the random-offset
+    generalization is required here because a pair may share only one
+    cross attribute -- see DESIGN.md).
+    """
+    if set(x_values) != set(y_values):
+        raise DistanceProtocolError(
+            "records disagree on attribute indices: "
+            f"{sorted(x_values)} vs {sorted(y_values)}")
+
+    alice_side = 0
+    bob_side = 0
+    # Cross terms: (alice_value, bob_value) pairs whose product is needed.
+    cross_alice: list[int] = []
+    cross_bob: list[int] = []
+
+    for attribute in sorted(x_values):
+        x_owner, x_value = x_values[attribute]
+        y_owner, y_value = y_values[attribute]
+        difference_squared = (x_value - y_value) ** 2
+        if x_owner == y_owner == alice.name:
+            alice_side += difference_squared
+        elif x_owner == y_owner == bob.name:
+            bob_side += difference_squared
+        else:
+            a_value = x_value if x_owner == alice.name else y_value
+            b_value = y_value if x_owner == alice.name else x_value
+            alice_side += a_value * a_value
+            bob_side += b_value * b_value
+            cross_alice.append(a_value)
+            cross_bob.append(b_value)
+
+    mask_bound = session.config.mask_bound(value_bound)
+    offset = 0
+    if cross_alice:
+        masks = [alice.rng.randrange(-mask_bound, mask_bound + 1)
+                 for _ in cross_alice]
+        offset = sum(masks)
+        received = session.masked_dot_terms(
+            bob, cross_bob, alice, cross_alice, masks,
+            label=f"{label}/cross_terms")
+        bob_side += -2 * sum(received)  # -2 * (<a, b> + offset)
+
+    # dist^2 = alice_side + bob_side + 2*offset; predicate:
+    #   alice_side + 2*offset <= eps^2 - bob_side.
+    lo, hi = _comparison_interval(
+        value_bound, eps_squared,
+        mask_spread=2 * len(cross_alice) * (mask_bound + 1))
+    outcome = session.compare_leq(
+        alice, alice_side + 2 * offset, bob, eps_squared - bob_side,
+        lo=lo, hi=hi, reveal_to=reveal_to, label=f"{label}/threshold")
+    if ledger is not None:
+        for learner in outcome.revealed_to:
+            ledger.record(label, learner, Disclosure.NEIGHBOR_BIT)
+    return outcome.result

@@ -1,0 +1,198 @@
+"""Privacy preserving DBSCAN over horizontally partitioned data.
+
+Algorithms 3 and 4 of the paper, as two symmetric passes:
+
+- Alice drives a DBSCAN over *her* points in which every region query
+  combines a local query (``seedsA``) with a secure query against Bob's
+  freshly permuted points (``seedsB``, via Protocol HDP, steps 3/13 of
+  Algorithm 4); the density test uses ``|seedsA| + |seedsB|`` but
+  expansion proceeds through ``seedsA`` only.
+- Bob then drives the symmetric pass over his points.
+
+Each party ends with cluster numbers for its own records; the two
+numberings are independent (see DESIGN.md Section 2, item 1 -- this is
+what the published algorithm computes, *not* centralized DBSCAN, and the
+plaintext model of it lives in
+:func:`repro.clustering.union_density.union_density_dbscan`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clustering.labels import (
+    NOISE,
+    UNCLASSIFIED,
+    ClusterLabels,
+    next_cluster_id,
+)
+from repro.clustering.neighborhoods import BruteForceIndex
+from repro.core.config import ProtocolConfig
+from repro.core.distance import (
+    PeerCipherCache,
+    hdp_within_eps,
+    hdp_within_eps_cached,
+)
+from repro.core.leakage import Disclosure, LeakageLedger
+from repro.data.partitioning import HorizontalPartition
+from repro.data.quantize import squared_distance_bound
+from repro.net.channel import Channel
+from repro.net.party import Party, make_party_pair
+from repro.smc.permutation import PermutedView
+from repro.smc.session import SmcSession
+
+
+@dataclass(frozen=True)
+class HorizontalRunResult:
+    """Output of a horizontal protocol run.
+
+    Attributes:
+        alice_labels / bob_labels: each party's cluster numbering over
+            its own points.
+        ledger: disclosure accounting for the whole run.
+        stats: communication statistics snapshot (bytes, messages).
+        comparisons: secure-comparison invocations across both passes.
+    """
+
+    alice_labels: tuple[int, ...]
+    bob_labels: tuple[int, ...]
+    ledger: LeakageLedger
+    stats: dict
+    comparisons: int
+
+
+def run_horizontal_dbscan(partition: HorizontalPartition,
+                          config: ProtocolConfig,
+                          *, channel: Channel | None = None,
+                          ) -> HorizontalRunResult:
+    """Run Algorithms 3 + 4 over a horizontal partition."""
+    channel = channel if channel is not None else Channel()
+    alice, bob = make_party_pair(channel, config.alice_seed, config.bob_seed)
+    session = SmcSession(alice, bob, config.smc)
+    ledger = LeakageLedger()
+
+    value_bound = squared_distance_bound(partition.alice_points,
+                                         partition.bob_points)
+
+    alice_labels = _party_pass(
+        session, driver=alice, driver_points=list(partition.alice_points),
+        peer=bob, peer_points=list(partition.bob_points),
+        config=config, value_bound=value_bound, ledger=ledger,
+        label="horizontal/alice_pass",
+        cache=PeerCipherCache() if config.cache_peer_ciphertexts else None)
+    bob_labels = _party_pass(
+        session, driver=bob, driver_points=list(partition.bob_points),
+        peer=alice, peer_points=list(partition.alice_points),
+        config=config, value_bound=value_bound, ledger=ledger,
+        label="horizontal/bob_pass",
+        cache=PeerCipherCache() if config.cache_peer_ciphertexts else None)
+
+    return HorizontalRunResult(
+        alice_labels=alice_labels.as_tuple(),
+        bob_labels=bob_labels.as_tuple(),
+        ledger=ledger,
+        stats=channel.stats.snapshot(),
+        comparisons=session.comparison_backend.invocations,
+    )
+
+
+def _party_pass(session: SmcSession, *, driver: Party,
+                driver_points: list[tuple[int, ...]], peer: Party,
+                peer_points: list[tuple[int, ...]], config: ProtocolConfig,
+                value_bound: int, ledger: LeakageLedger, label: str,
+                cache: PeerCipherCache | None = None) -> ClusterLabels:
+    """Algorithm 3 for one driving party."""
+    labels = ClusterLabels(len(driver_points))
+    index = BruteForceIndex(driver_points)
+    cluster_id = next_cluster_id(NOISE)
+    for point_index in range(len(driver_points)):
+        if labels.is_unclassified(point_index):
+            if _expand_cluster(session, driver=driver, index=index,
+                               labels=labels, point_index=point_index,
+                               cluster_id=cluster_id, peer=peer,
+                               peer_points=peer_points, config=config,
+                               value_bound=value_bound, ledger=ledger,
+                               label=label, cache=cache):
+                cluster_id = next_cluster_id(cluster_id)
+    return labels
+
+
+def _expand_cluster(session: SmcSession, *, driver: Party,
+                    index: BruteForceIndex, labels: ClusterLabels,
+                    point_index: int, cluster_id: int, peer: Party,
+                    peer_points: list[tuple[int, ...]],
+                    config: ProtocolConfig, value_bound: int,
+                    ledger: LeakageLedger, label: str,
+                    cache: PeerCipherCache | None = None) -> bool:
+    """Algorithm 4 (ExpandCluster) for the driving party."""
+    eps_squared = config.eps_squared
+    seeds = index.region_query(index.points[point_index], eps_squared)
+    peer_count = _secure_peer_neighbor_count(
+        session, driver, index.points[point_index], peer, peer_points,
+        eps_squared, value_bound, config, ledger, label=label, cache=cache)
+
+    if len(seeds) + peer_count < config.min_pts:
+        labels.change_cluster_id(point_index, NOISE)
+        return False
+
+    labels.change_cluster_ids(seeds, cluster_id)
+    queue = [s for s in seeds if s != point_index]
+    while queue:
+        current = queue.pop(0)
+        result = index.region_query(index.points[current], eps_squared)
+        peer_count = _secure_peer_neighbor_count(
+            session, driver, index.points[current], peer, peer_points,
+            eps_squared, value_bound, config, ledger, label=label,
+            cache=cache)
+        if len(result) + peer_count >= config.min_pts:
+            for neighbor in result:
+                if labels[neighbor] in (UNCLASSIFIED, NOISE):
+                    if labels[neighbor] == UNCLASSIFIED:
+                        queue.append(neighbor)
+                    labels.change_cluster_id(neighbor, cluster_id)
+    return True
+
+
+def _secure_peer_neighbor_count(session: SmcSession, driver: Party,
+                                query_point: tuple[int, ...], peer: Party,
+                                peer_points: list[tuple[int, ...]],
+                                eps_squared: int, value_bound: int,
+                                config: ProtocolConfig,
+                                ledger: LeakageLedger, *, label: str,
+                                cache: PeerCipherCache | None = None) -> int:
+    """Steps 3/13 of Algorithm 4: ``|seedsB|`` via HDP over a permutation.
+
+    The peer presents its points in a fresh random order for every query
+    (``SetOfPointsOfBobPermutation``), so the driver's per-point bits are
+    unlinkable across queries; the count is the base protocol's
+    Theorem 9 disclosure, recorded in the ledger.
+
+    With a :class:`PeerCipherCache` (``cache_peer_ciphertexts=True``),
+    the peer's encrypted coordinates travel once per point per pass and
+    the permutation is dropped -- stable ids make it pointless.  The
+    ledger then records the linkable hits.
+    """
+    if not peer_points:
+        return 0
+    count = 0
+    if cache is not None:
+        for point_id, peer_point in enumerate(peer_points):
+            if hdp_within_eps_cached(
+                    session, driver, query_point, peer, peer_point,
+                    point_id, cache, eps_squared, value_bound,
+                    ledger=ledger, blind_cross_sum=config.blind_cross_sum,
+                    label=f"{label}/hdp_cached"):
+                count += 1
+    else:
+        view = PermutedView.fresh(len(peer_points), peer.rng)
+        for permuted_position in range(len(view)):
+            peer_point = peer_points[view.true_index(permuted_position)]
+            if hdp_within_eps(session, driver, query_point, peer,
+                              peer_point, eps_squared, value_bound,
+                              ledger=ledger,
+                              blind_cross_sum=config.blind_cross_sum,
+                              label=f"{label}/hdp"):
+                count += 1
+    ledger.record(label, driver.name, Disclosure.NEIGHBOR_COUNT,
+                  detail=f"peer neighbourhood size {count}")
+    return count

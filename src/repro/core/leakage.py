@@ -1,0 +1,86 @@
+"""Machine-checkable disclosure accounting.
+
+Theorems 9, 10 and 11 each name precisely what their protocol reveals
+beyond the output ("...revealing the number of points from the other
+party in the neighborhood of this point").  The :class:`LeakageLedger`
+turns those clauses into data: every protocol appends an event whenever
+a party learns something derived from the other party's data, and
+experiment E7 compares the resulting profiles across protocol variants
+(including the Kumar-style linkable baseline the Figure 1 attack needs).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Disclosure(Enum):
+    """Classes of information a party can learn during a run."""
+
+    NEIGHBOR_BIT = "neighbor_bit"
+    """One unlinkable 'a peer point is within Eps of this query' bit."""
+
+    NEIGHBOR_COUNT = "neighbor_count"
+    """The count of the peer's points inside a query neighbourhood
+    (Theorem 9's disclosure)."""
+
+    LINKED_NEIGHBOR_ID = "linked_neighbor_id"
+    """A *linkable* peer-point identity inside a neighbourhood -- the
+    Kumar-style disclosure that enables the Figure 1 attack."""
+
+    DOT_PRODUCT = "dot_product"
+    """The exact cross dot product the zero-sum HDP masks hand the
+    non-querying party (a write-up gap the ledger makes visible)."""
+
+    ORDER_BIT = "order_bit"
+    """One masked-distance order bit from the Section 5 selection."""
+
+    CORE_BIT = "core_bit"
+    """Theorem 11's disclosure: whether the peer holds at least
+    k = MinPts - |own neighbours| points within Eps."""
+
+    CLUSTER_OUTPUT = "cluster_output"
+    """The protocol's intended output (cluster numbers)."""
+
+
+@dataclass(frozen=True)
+class LeakageEvent:
+    """One disclosure: who learned what, during which protocol phase."""
+
+    protocol: str
+    learner: str
+    disclosure: Disclosure
+    detail: str = ""
+
+
+@dataclass
+class LeakageLedger:
+    """Append-only record of disclosures for one protocol run."""
+
+    events: list[LeakageEvent] = field(default_factory=list)
+
+    def record(self, protocol: str, learner: str, disclosure: Disclosure,
+               detail: str = "") -> None:
+        self.events.append(LeakageEvent(protocol=protocol, learner=learner,
+                                        disclosure=disclosure, detail=detail))
+
+    def count(self, disclosure: Disclosure,
+              learner: str | None = None) -> int:
+        return sum(
+            1 for event in self.events
+            if event.disclosure is disclosure
+            and (learner is None or event.learner == learner)
+        )
+
+    def profile(self) -> dict[str, int]:
+        """Disclosure-kind -> event-count summary (the E7 table rows)."""
+        counter = Counter(event.disclosure.value for event in self.events)
+        return dict(counter)
+
+    def learners(self) -> set[str]:
+        return {event.learner for event in self.events}
+
+    def extend(self, other: "LeakageLedger") -> None:
+        self.events.extend(other.events)

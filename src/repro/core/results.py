@@ -1,0 +1,77 @@
+"""Result persistence: serialize clustering runs to plain JSON.
+
+A downstream pipeline wants to store what a protocol run produced and
+disclosed; :func:`run_to_dict` / :func:`run_from_dict` round-trip the
+:class:`~repro.core.api.ClusteringRun` through JSON-compatible
+structures (the ledger serializes event-by-event).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.api import ClusteringRun
+from repro.core.leakage import Disclosure, LeakageEvent, LeakageLedger
+
+
+class ResultSerializationError(ValueError):
+    """Raised on malformed stored runs."""
+
+
+def run_to_dict(run: ClusteringRun) -> dict:
+    """JSON-compatible representation of a run."""
+    return {
+        "variant": run.variant,
+        "alice_labels": list(run.alice_labels),
+        "bob_labels": list(run.bob_labels),
+        "stats": run.stats,
+        "comparisons": run.comparisons,
+        "elapsed_seconds": run.elapsed_seconds,
+        "ledger": [
+            {
+                "protocol": event.protocol,
+                "learner": event.learner,
+                "disclosure": event.disclosure.value,
+                "detail": event.detail,
+            }
+            for event in run.ledger.events
+        ],
+    }
+
+
+def run_from_dict(data: dict) -> ClusteringRun:
+    """Inverse of :func:`run_to_dict`."""
+    try:
+        ledger = LeakageLedger(events=[
+            LeakageEvent(
+                protocol=event["protocol"],
+                learner=event["learner"],
+                disclosure=Disclosure(event["disclosure"]),
+                detail=event.get("detail", ""),
+            )
+            for event in data["ledger"]
+        ])
+        return ClusteringRun(
+            variant=data["variant"],
+            alice_labels=tuple(data["alice_labels"]),
+            bob_labels=tuple(data["bob_labels"]),
+            ledger=ledger,
+            stats=data["stats"],
+            comparisons=data["comparisons"],
+            elapsed_seconds=data["elapsed_seconds"],
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise ResultSerializationError(
+            f"malformed stored run: {exc}") from exc
+
+
+def run_to_json(run: ClusteringRun, *, indent: int | None = None) -> str:
+    return json.dumps(run_to_dict(run), indent=indent)
+
+
+def run_from_json(payload: str) -> ClusteringRun:
+    try:
+        data = json.loads(payload)
+    except json.JSONDecodeError as exc:
+        raise ResultSerializationError(f"invalid JSON: {exc}") from exc
+    return run_from_dict(data)

@@ -1,0 +1,103 @@
+"""Encodings between real-valued records and integer plaintext spaces.
+
+The paper's protocols operate on integers ("both Alice and Bob transform
+their inputs to positive integers", Section 4.1).  Two encoders implement
+that transformation:
+
+- :class:`FixedPointEncoder` quantizes real coordinates onto a fixed grid
+  (``scale`` steps per unit) so squared distances become exact integers.
+- :class:`SignedEncoder` maps signed integers into ``Z_n`` using the
+  half-range convention, the standard way to run subtractions through an
+  additively homomorphic system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class EncodingError(ValueError):
+    """Raised when a value cannot be represented in the target space."""
+
+
+@dataclass(frozen=True)
+class FixedPointEncoder:
+    """Quantize reals to integers with ``scale`` steps per unit.
+
+    The DBSCAN protocols compare *squared* distances, so a coordinate
+    bound ``max_abs`` and dimensionality ``m`` induce the public bound
+    ``max_squared_distance`` used to size comparison domains and masks.
+    """
+
+    scale: int = 100
+
+    def __post_init__(self):
+        if self.scale < 1:
+            raise EncodingError(f"scale must be >= 1, got {self.scale}")
+
+    def encode(self, value: float) -> int:
+        """Round ``value`` to the nearest grid point."""
+        scaled = value * self.scale
+        return int(round(scaled))
+
+    def decode(self, encoded: int) -> float:
+        return encoded / self.scale
+
+    def encode_point(self, point) -> tuple[int, ...]:
+        return tuple(self.encode(v) for v in point)
+
+    def encode_eps_squared(self, eps: float) -> int:
+        """Integer threshold for ``dist^2 <= eps^2`` comparisons.
+
+        ``floor((eps * scale)^2)`` -- with grid-aligned inputs the squared
+        integer distance equals ``scale^2 * dist^2`` exactly, so flooring
+        the threshold preserves the predicate.
+        """
+        scaled = eps * self.scale
+        return int(scaled * scaled + 1e-9)
+
+    def max_squared_distance(self, max_abs: float, dimensions: int) -> int:
+        """Public upper bound on any encoded squared distance.
+
+        Coordinates in ``[-max_abs, max_abs]`` differ by at most
+        ``2 * max_abs``, so dist^2 <= m * (2 * max_abs * scale)^2.
+        """
+        if dimensions < 1:
+            raise EncodingError(f"dimensions must be >= 1, got {dimensions}")
+        per_axis = 2 * self.encode(max_abs)
+        return dimensions * per_axis * per_axis
+
+
+@dataclass(frozen=True)
+class SignedEncoder:
+    """Half-range mapping between signed integers and ``Z_n``.
+
+    Values in ``[-(n-1)//2, (n-1)//2]`` round-trip exactly; anything
+    larger raises, which is how plaintext-space overflow (a silent
+    correctness killer in homomorphic pipelines) surfaces as an error.
+    """
+
+    modulus: int
+
+    def __post_init__(self):
+        if self.modulus < 3:
+            raise EncodingError(f"modulus too small: {self.modulus}")
+
+    @property
+    def half_range(self) -> int:
+        return (self.modulus - 1) // 2
+
+    def encode(self, value: int) -> int:
+        if abs(value) > self.half_range:
+            raise EncodingError(
+                f"value {value} exceeds signed capacity +/-{self.half_range} "
+                f"of modulus {self.modulus}"
+            )
+        return value % self.modulus
+
+    def decode(self, encoded: int) -> int:
+        if not 0 <= encoded < self.modulus:
+            raise EncodingError(f"encoded value {encoded} outside Z_n")
+        if encoded > self.half_range:
+            return encoded - self.modulus
+        return encoded

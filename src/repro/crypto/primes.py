@@ -1,0 +1,108 @@
+"""Prime generation for Paillier and RSA key material.
+
+Miller-Rabin with a small-prime sieve front end.  All randomness is drawn
+from an injected :class:`random.Random` so key generation is reproducible
+under a seed (tests, benchmarks) -- production callers should pass an
+instance seeded from ``secrets``.
+"""
+
+from __future__ import annotations
+
+import random
+
+# Primes below 1000; trial division by these rejects ~92% of candidates
+# before the (much more expensive) Miller-Rabin rounds run.
+_SMALL_PRIMES: tuple[int, ...] = tuple(
+    n for n in range(2, 1000)
+    if all(n % d for d in range(2, int(n ** 0.5) + 1))
+)
+
+# 40 rounds gives a 2^-80 error bound, the conventional choice.
+_MILLER_RABIN_ROUNDS = 40
+
+
+def is_probable_prime(candidate: int, rng: random.Random | None = None,
+                      rounds: int = _MILLER_RABIN_ROUNDS) -> bool:
+    """Miller-Rabin primality test.
+
+    Args:
+        candidate: integer to test.
+        rng: randomness source for witness selection; a fresh unseeded
+            ``Random`` is used when omitted.
+        rounds: number of Miller-Rabin witnesses.
+    """
+    if candidate < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if candidate == p:
+            return True
+        if candidate % p == 0:
+            return False
+    rng = rng or random.Random()
+
+    # Write candidate - 1 = d * 2^s with d odd.
+    d = candidate - 1
+    s = 0
+    while d % 2 == 0:
+        d //= 2
+        s += 1
+
+    for _ in range(rounds):
+        witness = rng.randrange(2, candidate - 1)
+        x = pow(witness, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(s - 1):
+            x = pow(x, 2, candidate)
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """Generate a random prime with exactly ``bits`` bits.
+
+    The top two bits are forced to 1 so that the product of two such
+    primes has exactly ``2 * bits`` bits (Paillier and RSA moduli rely on
+    this for predictable plaintext-space sizes).
+    """
+    if bits < 8:
+        raise ValueError(f"prime size too small: {bits} bits")
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        if is_probable_prime(candidate, rng):
+            return candidate
+
+
+def generate_distinct_primes(bits: int, rng: random.Random) -> tuple[int, int]:
+    """Two distinct primes of ``bits`` bits each (the ``p, q`` of a keypair)."""
+    p = generate_prime(bits, rng)
+    q = generate_prime(bits, rng)
+    while q == p:
+        q = generate_prime(bits, rng)
+    return p, q
+
+
+def random_prime_in_range(low: int, high: int, rng: random.Random) -> int:
+    """Uniformly sample a prime from ``[low, high)``.
+
+    Used by YMPP step 4, where Alice repeatedly draws a random prime ``p``
+    of ``N/2`` bits until all residues ``z_u`` are well separated mod ``p``.
+
+    Raises:
+        ValueError: if the interval contains no prime (guarded by a
+            bounded number of attempts).
+    """
+    if high <= low:
+        raise ValueError(f"empty range [{low}, {high})")
+    # Expected gap between primes near x is ln(x); 64 * ln(high) draws make
+    # failure probability negligible for any interval that contains primes.
+    attempts = max(1000, 64 * high.bit_length())
+    for _ in range(attempts):
+        candidate = rng.randrange(low, high) | 1
+        if candidate >= low and is_probable_prime(candidate, rng):
+            return candidate
+    raise ValueError(f"no prime found in [{low}, {high}) after {attempts} draws")

@@ -1,0 +1,80 @@
+"""Textbook RSA, the public-key system inside YMPP (paper Section 3.8).
+
+Yao's Millionaires' Problem Protocol needs a public-key system where Bob
+can evaluate ``Ea(x)`` under Alice's public key and Alice can decrypt
+*arbitrary* group elements ``Da(k - j + u)`` -- i.e. a trapdoor
+permutation over ``Z_n``, which is exactly raw RSA.  No padding is used
+(and none is wanted: the protocol decrypts adversarially shifted
+ciphertexts on purpose).
+
+This module is **only** used as the YMPP trapdoor; the DBSCAN protocols'
+homomorphic arithmetic runs on Paillier.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.crypto.integer_math import mod_inverse
+from repro.crypto.primes import generate_distinct_primes
+
+_PUBLIC_EXPONENT = 65537
+
+
+class RsaError(ValueError):
+    """Raised on invalid key sizes or out-of-range values."""
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    n: int
+    e: int
+
+    @property
+    def bits(self) -> int:
+        return self.n.bit_length()
+
+    def encrypt(self, message: int) -> int:
+        """Raw RSA: ``c = m^e mod n``."""
+        if not 0 <= message < self.n:
+            raise RsaError(f"message {message} outside [0, {self.n})")
+        return pow(message, self.e, self.n)
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    public_key: RsaPublicKey
+    d: int
+
+    def decrypt(self, ciphertext: int) -> int:
+        """Raw RSA: ``m = c^d mod n``; defined for every element of Z_n."""
+        return pow(ciphertext % self.public_key.n, self.d,
+                   self.public_key.n)
+
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    public_key: RsaPublicKey
+    private_key: RsaPrivateKey
+
+
+def generate_rsa_keypair(bits: int, rng: random.Random) -> RsaKeyPair:
+    """Generate an RSA keypair with a ``bits``-bit modulus.
+
+    Retries prime selection until ``gcd(e, phi) = 1`` (with e = 65537 a
+    redraw is vanishingly rare but must be handled).
+    """
+    if bits < 64:
+        raise RsaError(f"modulus of {bits} bits is too small to be useful")
+    while True:
+        p, q = generate_distinct_primes(bits // 2, rng)
+        phi = (p - 1) * (q - 1)
+        try:
+            d = mod_inverse(_PUBLIC_EXPONENT, phi)
+        except ValueError:
+            continue
+        n = p * q
+        public = RsaPublicKey(n=n, e=_PUBLIC_EXPONENT)
+        return RsaKeyPair(public_key=public,
+                          private_key=RsaPrivateKey(public_key=public, d=d))

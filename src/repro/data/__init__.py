@@ -1,0 +1,41 @@
+"""Data substrate: records, partitioning, and synthetic workloads.
+
+Implements Section 3.2 of the paper: the virtual database
+``D = {d_1..d_n}`` of m-attribute records and its three partitioning
+formats (horizontal, vertical, arbitrary -- Figures 2, 3, 4), plus the
+synthetic workload generators used across tests and benchmarks.
+"""
+
+from repro.data.dataset import Dataset
+from repro.data.quantize import quantize_points
+from repro.data.partitioning import (
+    ArbitraryPartition,
+    HorizontalPartition,
+    VerticalPartition,
+    partition_arbitrary,
+    partition_horizontal,
+    partition_vertical,
+)
+from repro.data.generators import (
+    gaussian_blobs,
+    two_moons,
+    concentric_rings,
+    uniform_noise,
+    grid_clusters,
+)
+
+__all__ = [
+    "Dataset",
+    "quantize_points",
+    "ArbitraryPartition",
+    "HorizontalPartition",
+    "VerticalPartition",
+    "partition_arbitrary",
+    "partition_horizontal",
+    "partition_vertical",
+    "gaussian_blobs",
+    "two_moons",
+    "concentric_rings",
+    "uniform_noise",
+    "grid_clusters",
+]

@@ -1,0 +1,58 @@
+"""The virtual database of Section 3.2.
+
+A :class:`Dataset` is the joint view ``D = {d_1..d_n}`` of n records
+with m integer attributes each.  Partitioning helpers split it into the
+per-party holdings of Figures 2-4; the dataset itself only ever exists
+in tests and references (the protocols never materialize it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class DatasetError(ValueError):
+    """Raised on ragged records or empty datasets where not allowed."""
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Immutable n x m integer record table."""
+
+    records: tuple[tuple[int, ...], ...]
+
+    @classmethod
+    def from_points(cls, points) -> "Dataset":
+        records = tuple(tuple(point) for point in points)
+        if records:
+            width = len(records[0])
+            for index, record in enumerate(records):
+                if len(record) != width:
+                    raise DatasetError(
+                        f"record {index} has {len(record)} attributes, "
+                        f"expected {width}"
+                    )
+        return cls(records=records)
+
+    @property
+    def size(self) -> int:
+        return len(self.records)
+
+    @property
+    def dimensions(self) -> int:
+        if not self.records:
+            raise DatasetError("empty dataset has no dimensionality")
+        return len(self.records[0])
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __getitem__(self, index: int) -> tuple[int, ...]:
+        return self.records[index]
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def max_abs_coordinate(self) -> int:
+        return max((abs(c) for record in self.records for c in record),
+                   default=0)

@@ -1,0 +1,246 @@
+"""Partitioned data models -- Figures 2, 3, 4 of the paper.
+
+Three containers describe who holds what:
+
+- :class:`HorizontalPartition` -- each party owns a subset of records
+  with full attributes (Figure 2).
+- :class:`VerticalPartition` -- each party owns all records but only a
+  subset of attributes (Figure 3).
+- :class:`ArbitraryPartition` -- per-record, per-attribute ownership
+  (Figure 4); subsumes the other two.
+
+Constructors validate that the partition is total and non-overlapping,
+and each container can reassemble the joint database (test/reference use
+only -- protocols never call ``merged``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.data.dataset import Dataset, DatasetError
+
+ALICE = "alice"
+BOB = "bob"
+
+
+class PartitionError(ValueError):
+    """Raised for invalid splits or inconsistent shapes."""
+
+
+@dataclass(frozen=True)
+class HorizontalPartition:
+    """Figure 2: Alice holds records ``d_1..d_l``, Bob ``d_{l+1}..d_n``."""
+
+    alice_points: tuple[tuple[int, ...], ...]
+    bob_points: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self):
+        widths = {len(p) for p in self.alice_points}
+        widths |= {len(p) for p in self.bob_points}
+        if len(widths) > 1:
+            raise PartitionError(f"inconsistent attribute counts: {widths}")
+
+    @property
+    def dimensions(self) -> int:
+        for side in (self.alice_points, self.bob_points):
+            for point in side:
+                return len(point)
+        raise PartitionError("empty partition has no dimensionality")
+
+    @property
+    def total_size(self) -> int:
+        return len(self.alice_points) + len(self.bob_points)
+
+    def merged(self) -> Dataset:
+        """Joint database, Alice's records first (reference use only)."""
+        return Dataset.from_points(list(self.alice_points) +
+                                   list(self.bob_points))
+
+
+@dataclass(frozen=True)
+class VerticalPartition:
+    """Figure 3: Alice holds attributes ``1..l`` of every record."""
+
+    alice_columns: tuple[int, ...]
+    bob_columns: tuple[int, ...]
+    alice_records: tuple[tuple[int, ...], ...]
+    bob_records: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self):
+        if set(self.alice_columns) & set(self.bob_columns):
+            raise PartitionError("attribute sets overlap")
+        if len(self.alice_records) != len(self.bob_records):
+            raise PartitionError(
+                f"record counts differ: {len(self.alice_records)} vs "
+                f"{len(self.bob_records)}"
+            )
+        for records, columns, owner in (
+                (self.alice_records, self.alice_columns, ALICE),
+                (self.bob_records, self.bob_columns, BOB)):
+            for index, record in enumerate(records):
+                if len(record) != len(columns):
+                    raise PartitionError(
+                        f"{owner} record {index} has {len(record)} values "
+                        f"for {len(columns)} owned attributes"
+                    )
+
+    @property
+    def size(self) -> int:
+        return len(self.alice_records)
+
+    @property
+    def dimensions(self) -> int:
+        return len(self.alice_columns) + len(self.bob_columns)
+
+    def merged(self) -> Dataset:
+        """Joint database in original attribute order (reference only)."""
+        points = []
+        for alice_rec, bob_rec in zip(self.alice_records, self.bob_records):
+            record = [0] * self.dimensions
+            for column, value in zip(self.alice_columns, alice_rec):
+                record[column] = value
+            for column, value in zip(self.bob_columns, bob_rec):
+                record[column] = value
+            points.append(tuple(record))
+        return Dataset.from_points(points)
+
+
+@dataclass(frozen=True)
+class ArbitraryPartition:
+    """Figure 4: ownership decided per record, per attribute.
+
+    ``owners[i][k]`` names the party holding attribute ``k`` of record
+    ``i``; ``values[i][k]`` is the joint value (only the owner's code
+    path may read it -- the protocols slice through the accessors below).
+    """
+
+    values: tuple[tuple[int, ...], ...]
+    owners: tuple[tuple[str, ...], ...]
+
+    def __post_init__(self):
+        if len(self.values) != len(self.owners):
+            raise PartitionError(
+                f"{len(self.values)} records but {len(self.owners)} owner rows")
+        for index, (record, owner_row) in enumerate(
+                zip(self.values, self.owners)):
+            if len(record) != len(owner_row):
+                raise PartitionError(
+                    f"record {index}: {len(record)} values vs "
+                    f"{len(owner_row)} owners"
+                )
+            for owner in owner_row:
+                if owner not in (ALICE, BOB):
+                    raise PartitionError(f"unknown owner {owner!r}")
+
+    @property
+    def size(self) -> int:
+        return len(self.values)
+
+    @property
+    def dimensions(self) -> int:
+        if not self.values:
+            raise PartitionError("empty partition has no dimensionality")
+        return len(self.values[0])
+
+    def owner_of(self, record: int, attribute: int) -> str:
+        return self.owners[record][attribute]
+
+    def value_for(self, party: str, record: int, attribute: int) -> int:
+        """The attribute value, readable only by its owner."""
+        if self.owners[record][attribute] != party:
+            raise PartitionError(
+                f"{party} does not own attribute {attribute} of record "
+                f"{record}"
+            )
+        return self.values[record][attribute]
+
+    def attributes_owned_by(self, party: str, record: int) -> list[int]:
+        return [k for k, owner in enumerate(self.owners[record])
+                if owner == party]
+
+    def fully_owned_by(self, record: int) -> str | None:
+        """The sole owner of a record, or None if it is split."""
+        owner_row = set(self.owners[record])
+        if len(owner_row) == 1:
+            return next(iter(owner_row))
+        return None
+
+    def merged(self) -> Dataset:
+        return Dataset.from_points(self.values)
+
+
+def partition_horizontal(dataset: Dataset,
+                         alice_count: int) -> HorizontalPartition:
+    """Alice takes the first ``alice_count`` records (the paper's ``l``)."""
+    if not 0 <= alice_count <= dataset.size:
+        raise PartitionError(
+            f"alice_count={alice_count} outside [0, {dataset.size}]")
+    return HorizontalPartition(
+        alice_points=dataset.records[:alice_count],
+        bob_points=dataset.records[alice_count:],
+    )
+
+
+def partition_vertical(dataset: Dataset,
+                       alice_attributes: int) -> VerticalPartition:
+    """Alice takes the first ``alice_attributes`` attributes (the ``l``)."""
+    try:
+        dimensions = dataset.dimensions
+    except DatasetError as exc:
+        raise PartitionError(str(exc)) from exc
+    if not 1 <= alice_attributes <= dimensions - 1:
+        raise PartitionError(
+            f"alice_attributes={alice_attributes} must leave both parties "
+            f"at least one of the {dimensions} attributes"
+        )
+    alice_columns = tuple(range(alice_attributes))
+    bob_columns = tuple(range(alice_attributes, dimensions))
+    return VerticalPartition(
+        alice_columns=alice_columns,
+        bob_columns=bob_columns,
+        alice_records=tuple(tuple(r[c] for c in alice_columns)
+                            for r in dataset.records),
+        bob_records=tuple(tuple(r[c] for c in bob_columns)
+                          for r in dataset.records),
+    )
+
+
+def partition_arbitrary(dataset: Dataset, rng: random.Random, *,
+                        shared_fraction: float = 0.5) -> ArbitraryPartition:
+    """Random Figure-4 partition.
+
+    A ``shared_fraction`` of records get their attributes split between
+    the parties (at least one attribute each); the rest are wholly owned
+    by a coin-flipped party.  ``shared_fraction=1.0`` degenerates to a
+    (randomized) vertical-style partition, ``0.0`` to horizontal-style --
+    the knob experiment E10 sweeps.
+    """
+    if not 0.0 <= shared_fraction <= 1.0:
+        raise PartitionError(
+            f"shared_fraction={shared_fraction} outside [0, 1]")
+    owner_rows = []
+    for record in dataset.records:
+        width = len(record)
+        if rng.random() < shared_fraction and width >= 2:
+            row = [ALICE if rng.random() < 0.5 else BOB for _ in range(width)]
+            # Guarantee the record is genuinely split.
+            if all(owner == ALICE for owner in row):
+                row[rng.randrange(width)] = BOB
+            elif all(owner == BOB for owner in row):
+                row[rng.randrange(width)] = ALICE
+        else:
+            sole = ALICE if rng.random() < 0.5 else BOB
+            row = [sole] * width
+        owner_rows.append(tuple(row))
+    return ArbitraryPartition(values=dataset.records,
+                              owners=tuple(owner_rows))
+
+
+def partition_from_masks(dataset: Dataset, owner_rows) -> ArbitraryPartition:
+    """Build an arbitrary partition from explicit ownership rows."""
+    return ArbitraryPartition(
+        values=dataset.records,
+        owners=tuple(tuple(row) for row in owner_rows),
+    )

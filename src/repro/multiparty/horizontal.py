@@ -1,0 +1,164 @@
+"""k-party privacy preserving DBSCAN over horizontally partitioned data.
+
+Algorithm 3/4 generalized: each party drives a pass over its own points;
+the density test for a queried point sums the local neighbour count with
+one secure count per peer (each an independent HDP batch over that
+peer's freshly permuted points); expansion proceeds through own points
+only.  For ``k = 2`` this reduces exactly to the two-party protocol.
+
+Reference semantics: each party's labels equal
+``union_density_dbscan(own_points, concatenation_of_all_peer_points)``
+-- property-tested in ``tests/multiparty``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clustering.labels import (
+    NOISE,
+    UNCLASSIFIED,
+    ClusterLabels,
+    next_cluster_id,
+)
+from repro.clustering.neighborhoods import BruteForceIndex
+from repro.core.config import ProtocolConfig
+from repro.core.distance import hdp_within_eps
+from repro.core.leakage import Disclosure, LeakageLedger
+from repro.data.quantize import squared_distance_bound
+from repro.multiparty.mesh import MeshError, PartyMesh
+from repro.smc.permutation import PermutedView
+
+
+@dataclass(frozen=True)
+class MultipartyRunResult:
+    """Output of a k-party horizontal run.
+
+    Attributes:
+        labels_by_party: each party's cluster numbering over its points.
+        ledger: disclosure accounting across all pairwise protocols.
+        stats: merged communication snapshot over all pairwise channels.
+        comparisons: secure-comparison invocations, summed over sessions.
+    """
+
+    labels_by_party: dict[str, tuple[int, ...]]
+    ledger: LeakageLedger
+    stats: dict
+    comparisons: int
+
+
+def run_multiparty_horizontal_dbscan(points_by_party: dict[str, list],
+                                     config: ProtocolConfig,
+                                     *, seeds: list[int] | None = None,
+                                     ) -> MultipartyRunResult:
+    """Run the k-party horizontal protocol.
+
+    Args:
+        points_by_party: party name -> that party's integer-grid points.
+        config: protocol parameters; ``config.smc`` configures every
+            pairwise session.
+        seeds: optional per-party RNG seeds (ordered as the dict).
+    """
+    names = list(points_by_party)
+    if len(names) < 2:
+        raise MeshError("need at least two parties")
+    mesh = PartyMesh(names, config.smc, seeds=seeds)
+    ledger = LeakageLedger()
+
+    all_points = [p for points in points_by_party.values() for p in points]
+    value_bound = squared_distance_bound(all_points, all_points)
+
+    labels_by_party = {}
+    for driver_name in names:
+        labels = _driver_pass(mesh, driver_name, points_by_party, config,
+                              value_bound, ledger)
+        labels_by_party[driver_name] = labels.as_tuple()
+
+    comparisons = sum(
+        mesh.session_between(a, b).comparison_backend.invocations
+        for index, a in enumerate(names) for b in names[index + 1:])
+    return MultipartyRunResult(
+        labels_by_party=labels_by_party,
+        ledger=ledger,
+        stats=mesh.merged_stats().snapshot(),
+        comparisons=comparisons,
+    )
+
+
+def _driver_pass(mesh: PartyMesh, driver_name: str,
+                 points_by_party: dict[str, list], config: ProtocolConfig,
+                 value_bound: int, ledger: LeakageLedger) -> ClusterLabels:
+    """Algorithm 3 for one driving party against all peers."""
+    own_points = list(points_by_party[driver_name])
+    labels = ClusterLabels(len(own_points))
+    index = BruteForceIndex(own_points)
+    cluster_id = next_cluster_id(NOISE)
+    for point_index in range(len(own_points)):
+        if labels.is_unclassified(point_index):
+            if _expand(mesh, driver_name, points_by_party, config,
+                       value_bound, ledger, index, labels, point_index,
+                       cluster_id):
+                cluster_id = next_cluster_id(cluster_id)
+    return labels
+
+
+def _expand(mesh: PartyMesh, driver_name: str,
+            points_by_party: dict[str, list], config: ProtocolConfig,
+            value_bound: int, ledger: LeakageLedger,
+            index: BruteForceIndex, labels: ClusterLabels,
+            point_index: int, cluster_id: int) -> bool:
+    """Algorithm 4 with the density test summed over every peer."""
+    eps_squared = config.eps_squared
+    seeds = index.region_query(index.points[point_index], eps_squared)
+    peer_total = _all_peer_counts(mesh, driver_name, points_by_party,
+                                  index.points[point_index], config,
+                                  value_bound, ledger)
+    if len(seeds) + peer_total < config.min_pts:
+        labels.change_cluster_id(point_index, NOISE)
+        return False
+
+    labels.change_cluster_ids(seeds, cluster_id)
+    queue = [s for s in seeds if s != point_index]
+    while queue:
+        current = queue.pop(0)
+        result = index.region_query(index.points[current], eps_squared)
+        peer_total = _all_peer_counts(mesh, driver_name, points_by_party,
+                                      index.points[current], config,
+                                      value_bound, ledger)
+        if len(result) + peer_total >= config.min_pts:
+            for neighbor in result:
+                if labels[neighbor] in (UNCLASSIFIED, NOISE):
+                    if labels[neighbor] == UNCLASSIFIED:
+                        queue.append(neighbor)
+                    labels.change_cluster_id(neighbor, cluster_id)
+    return True
+
+
+def _all_peer_counts(mesh: PartyMesh, driver_name: str,
+                     points_by_party: dict[str, list],
+                     query_point: tuple[int, ...], config: ProtocolConfig,
+                     value_bound: int, ledger: LeakageLedger) -> int:
+    """One secure neighbour count per peer, summed."""
+    total = 0
+    for peer_name in mesh.peers_of(driver_name):
+        peer_points = points_by_party[peer_name]
+        if not peer_points:
+            continue
+        session = mesh.session_between(driver_name, peer_name)
+        driver = mesh.party_in_pair(driver_name, peer_name)
+        peer = mesh.party_in_pair(peer_name, driver_name)
+        view = PermutedView.fresh(len(peer_points), peer.rng)
+        count = 0
+        for position in range(len(view)):
+            point = peer_points[view.true_index(position)]
+            if hdp_within_eps(session, driver, query_point, peer, point,
+                              config.eps_squared, value_bound,
+                              ledger=ledger,
+                              blind_cross_sum=config.blind_cross_sum,
+                              label=f"multiparty/{driver_name}-{peer_name}"):
+                count += 1
+        ledger.record(f"multiparty/{driver_name}", driver_name,
+                      Disclosure.NEIGHBOR_COUNT,
+                      detail=f"peer {peer_name}: {count}")
+        total += count
+    return total

@@ -1,0 +1,117 @@
+"""Pairwise session mesh for k-party protocols.
+
+Each physical party has one RNG and one set of key material, reused
+across all of its pairwise channels; each unordered pair of parties gets
+its own channel (with its own transcript) and an :class:`SmcSession`
+over it.  Global statistics are the merge of the pairwise channels.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.net.channel import Channel
+from repro.net.party import Party
+from repro.net.stats import CommunicationStats
+from repro.smc.session import CryptoContext, SmcConfig, SmcSession
+from repro.crypto.keycache import cached_paillier_keypair, cached_rsa_keypair
+from repro.crypto.paillier import generate_paillier_keypair
+from repro.crypto.rsa import generate_rsa_keypair
+
+
+class MeshError(ValueError):
+    """Raised for degenerate meshes or unknown parties."""
+
+
+class PartyMesh:
+    """``k`` parties, a channel and session per unordered pair.
+
+    Args:
+        names: distinct party names, e.g. ``["party0", "party1", ...]``.
+        config: shared cryptographic configuration.
+        seeds: optional per-party RNG seeds (parallel to ``names``).
+    """
+
+    def __init__(self, names: list[str], config: SmcConfig,
+                 seeds: list[int | None] | None = None):
+        if len(names) < 2:
+            raise MeshError("a mesh needs at least two parties")
+        if len(set(names)) != len(names):
+            raise MeshError(f"duplicate party names in {names}")
+        if seeds is not None and len(seeds) != len(names):
+            raise MeshError("seeds must parallel names")
+        self.names = list(names)
+        self.config = config
+        self._rngs = {
+            name: random.Random(seeds[index] if seeds else None)
+            for index, name in enumerate(names)
+        }
+        self._contexts = {
+            name: self._make_context(name, slot)
+            for slot, name in enumerate(names)
+        }
+        self._channels: dict[tuple[str, str], Channel] = {}
+        self._sessions: dict[tuple[str, str], SmcSession] = {}
+        self._parties: dict[tuple[str, str], dict[str, Party]] = {}
+        for index, left in enumerate(names):
+            for right in names[index + 1:]:
+                self._build_pair(left, right)
+
+    def _make_context(self, name: str, slot: int) -> CryptoContext:
+        cfg = self.config
+        needs_rsa = cfg.comparison == "ympp"
+        rng = self._rngs[name]
+        if cfg.key_seed is not None:
+            paillier = cached_paillier_keypair(
+                cfg.paillier_bits, 100 * cfg.key_seed + slot)
+            rsa = (cached_rsa_keypair(cfg.rsa_bits, 100 * cfg.key_seed + slot)
+                   if needs_rsa else None)
+        else:
+            paillier = generate_paillier_keypair(cfg.paillier_bits, rng)
+            rsa = (generate_rsa_keypair(cfg.rsa_bits, rng)
+                   if needs_rsa else None)
+        return CryptoContext(paillier=paillier, rsa=rsa)
+
+    def _build_pair(self, left: str, right: str) -> None:
+        channel = Channel(left_name=left, right_name=right)
+        left_party = Party(channel.left, self._rngs[left])
+        right_party = Party(channel.right, self._rngs[right])
+        session = SmcSession(left_party, right_party, self.config,
+                             preset_contexts=self._contexts)
+        key = (left, right)
+        self._channels[key] = channel
+        self._sessions[key] = session
+        self._parties[key] = {left: left_party, right: right_party}
+
+    def _pair_key(self, a: str, b: str) -> tuple[str, str]:
+        if a == b:
+            raise MeshError(f"{a!r} cannot pair with itself")
+        for name in (a, b):
+            if name not in self.names:
+                raise MeshError(f"unknown party {name!r}")
+        return (a, b) if self.names.index(a) < self.names.index(b) else (b, a)
+
+    def session_between(self, a: str, b: str) -> SmcSession:
+        return self._sessions[self._pair_key(a, b)]
+
+    def party_in_pair(self, name: str, peer: str) -> Party:
+        """The :class:`Party` handle ``name`` uses when talking to ``peer``."""
+        return self._parties[self._pair_key(name, peer)][name]
+
+    def peers_of(self, name: str) -> list[str]:
+        if name not in self.names:
+            raise MeshError(f"unknown party {name!r}")
+        return [other for other in self.names if other != name]
+
+    def merged_stats(self) -> CommunicationStats:
+        total = CommunicationStats()
+        for channel in self._channels.values():
+            total.merge(channel.stats)
+        return total
+
+    def pair_stats(self, a: str, b: str) -> CommunicationStats:
+        return self._channels[self._pair_key(a, b)].stats
+
+    @property
+    def size(self) -> int:
+        return len(self.names)

@@ -1,0 +1,27 @@
+"""Two-party messaging substrate.
+
+The paper's complexity claims (Sections 4.2.2, 4.3.2, 5.1) are about
+communication bits, and its privacy proofs (Definition 5) are about the
+*view* -- the sequence of messages a party receives.  This package
+provides both: an in-process duplex channel whose endpoints serialize
+every message, count the exact bytes, and append to a transcript that the
+privacy simulators replay.
+"""
+
+from repro.net.serialization import serialize_message, deserialize_message
+from repro.net.channel import Channel, ChannelEndpoint, ChannelClosedError
+from repro.net.transcript import Transcript, TranscriptEntry
+from repro.net.stats import CommunicationStats
+from repro.net.party import Party
+
+__all__ = [
+    "serialize_message",
+    "deserialize_message",
+    "Channel",
+    "ChannelEndpoint",
+    "ChannelClosedError",
+    "Transcript",
+    "TranscriptEntry",
+    "CommunicationStats",
+    "Party",
+]

@@ -1,0 +1,110 @@
+"""In-process duplex channel between two semi-honest parties.
+
+The protocols in this library are written in "choreography" style: a
+single thread alternates between the two parties' local steps, and every
+cross-party value moves through a :class:`Channel`.  Each endpoint has a
+FIFO inbox; sending serializes the value (charging exact wire bytes to
+the shared :class:`CommunicationStats`) and appends to the
+:class:`Transcript`.  Receiving deserializes from the wire bytes, so a
+value that cannot round-trip the wire format can never silently leak
+through the accounting.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.net.serialization import deserialize_message, serialize_message
+from repro.net.stats import CommunicationStats
+from repro.net.transcript import Transcript
+
+
+class ChannelClosedError(RuntimeError):
+    """Raised when sending or receiving on a closed channel."""
+
+
+class ProtocolDesyncError(RuntimeError):
+    """Raised when a receive finds an empty inbox or a label mismatch.
+
+    In a single-threaded choreography an empty inbox means the two party
+    programs disagree about the message sequence -- always a bug, never a
+    timing issue, so it fails loudly.
+    """
+
+
+class Channel:
+    """A duplex link between two named parties."""
+
+    def __init__(self, left_name: str = "alice", right_name: str = "bob",
+                 transcript: Transcript | None = None,
+                 stats: CommunicationStats | None = None):
+        if left_name == right_name:
+            raise ValueError("parties must have distinct names")
+        self.transcript = transcript if transcript is not None else Transcript()
+        self.stats = stats if stats is not None else CommunicationStats()
+        self._closed = False
+        self._inboxes: dict[str, deque] = {left_name: deque(),
+                                           right_name: deque()}
+        self.left = ChannelEndpoint(self, left_name, right_name)
+        self.right = ChannelEndpoint(self, right_name, left_name)
+
+    @property
+    def endpoints(self) -> tuple["ChannelEndpoint", "ChannelEndpoint"]:
+        return self.left, self.right
+
+    def close(self) -> None:
+        self._closed = True
+
+    def _send(self, sender: str, receiver: str, label: str, value) -> None:
+        if self._closed:
+            raise ChannelClosedError("channel is closed")
+        wire = serialize_message(value)
+        self.stats.record(sender, receiver, label, len(wire))
+        self.transcript.record(sender, receiver, label,
+                               deserialize_message(wire), len(wire))
+        self._inboxes[receiver].append((label, wire))
+
+    def _receive(self, receiver: str, expected_label: str | None):
+        if self._closed:
+            raise ChannelClosedError("channel is closed")
+        inbox = self._inboxes[receiver]
+        if not inbox:
+            raise ProtocolDesyncError(
+                f"{receiver} tried to receive "
+                f"{expected_label or 'a message'} but the inbox is empty"
+            )
+        label, wire = inbox.popleft()
+        if expected_label is not None and label != expected_label:
+            raise ProtocolDesyncError(
+                f"{receiver} expected message {expected_label!r} "
+                f"but got {label!r}"
+            )
+        return deserialize_message(wire)
+
+
+class ChannelEndpoint:
+    """One party's handle on a channel: ``send`` to the peer, ``receive``."""
+
+    def __init__(self, channel: Channel, name: str, peer_name: str):
+        self._channel = channel
+        self.name = name
+        self.peer_name = peer_name
+
+    def send(self, label: str, value) -> None:
+        """Send ``value`` to the peer, tagged with a protocol-phase label."""
+        self._channel._send(self.name, self.peer_name, label, value)
+
+    def receive(self, expected_label: str | None = None):
+        """Pop the next inbound message; verify its label when given."""
+        return self._channel._receive(self.name, expected_label)
+
+    @property
+    def stats(self) -> CommunicationStats:
+        return self._channel.stats
+
+    @property
+    def transcript(self) -> Transcript:
+        return self._channel.transcript
+
+    def __repr__(self) -> str:
+        return f"ChannelEndpoint({self.name!r} <-> {self.peer_name!r})"

@@ -1,0 +1,94 @@
+"""Communication accounting.
+
+Tracks bytes and message counts per direction and per protocol-phase
+label.  This is the measurement side of the paper's cost claims: the E2,
+E3, E4, E9 and E10 benchmarks read these counters and fit them against
+the closed-form predictions in ``repro.analysis.communication``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CommunicationStats:
+    """Mutable accumulator shared by both endpoints of a channel.
+
+    ``rounds`` counts direction switches: consecutive messages from the
+    same sender batch into one round (the latency-relevant cost measure
+    for interactive protocols).
+    """
+
+    bytes_by_direction: dict[str, int] = field(
+        default_factory=lambda: defaultdict(int))
+    messages_by_direction: dict[str, int] = field(
+        default_factory=lambda: defaultdict(int))
+    bytes_by_label: dict[str, int] = field(
+        default_factory=lambda: defaultdict(int))
+    messages_by_label: dict[str, int] = field(
+        default_factory=lambda: defaultdict(int))
+    rounds: int = 0
+    _last_sender: str | None = field(default=None, repr=False)
+
+    def record(self, sender: str, receiver: str, label: str,
+               size_bytes: int) -> None:
+        direction = f"{sender}->{receiver}"
+        self.bytes_by_direction[direction] += size_bytes
+        self.messages_by_direction[direction] += 1
+        self.bytes_by_label[label] += size_bytes
+        self.messages_by_label[label] += 1
+        if sender != self._last_sender:
+            self.rounds += 1
+            self._last_sender = sender
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_direction.values())
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages_by_direction.values())
+
+    @property
+    def total_bits(self) -> int:
+        """The unit the paper's formulas are stated in."""
+        return 8 * self.total_bytes
+
+    def bytes_for_phase(self, label_prefix: str) -> int:
+        return sum(size for label, size in self.bytes_by_label.items()
+                   if label.startswith(label_prefix))
+
+    def messages_for_phase(self, label_prefix: str) -> int:
+        return sum(count for label, count in self.messages_by_label.items()
+                   if label.startswith(label_prefix))
+
+    def merge(self, other: "CommunicationStats") -> None:
+        """Fold another accumulator into this one (multi-channel runs).
+
+        Rounds add up: pairwise channels are independent links, so a
+        lower bound on the merged round count is the per-channel sum
+        (channels could in principle overlap in time; we report the
+        conservative sequential figure).
+        """
+        for key, value in other.bytes_by_direction.items():
+            self.bytes_by_direction[key] += value
+        for key, value in other.messages_by_direction.items():
+            self.messages_by_direction[key] += value
+        for key, value in other.bytes_by_label.items():
+            self.bytes_by_label[key] += value
+        for key, value in other.messages_by_label.items():
+            self.messages_by_label[key] += value
+        self.rounds += other.rounds
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy for reports and benchmark JSON output."""
+        return {
+            "total_bytes": self.total_bytes,
+            "total_messages": self.total_messages,
+            "rounds": self.rounds,
+            "bytes_by_direction": dict(self.bytes_by_direction),
+            "messages_by_direction": dict(self.messages_by_direction),
+            "bytes_by_label": dict(self.bytes_by_label),
+        }

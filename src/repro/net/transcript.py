@@ -1,0 +1,68 @@
+"""Protocol transcripts -- the "view" of Definition 5.
+
+A :class:`Transcript` records every message that crossed the channel:
+sender, receiver, a protocol-phase label, the deserialized value, and the
+wire size.  The privacy simulators (``repro.core.simulators``) compare
+the distribution of real transcript entries against simulator output, and
+the leakage ledger cites transcript labels as evidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class TranscriptEntry:
+    """One message crossing the channel."""
+
+    index: int
+    sender: str
+    receiver: str
+    label: str
+    value: object
+    size_bytes: int
+
+
+@dataclass
+class Transcript:
+    """Ordered record of all messages in a protocol execution."""
+
+    entries: list[TranscriptEntry] = field(default_factory=list)
+
+    def record(self, sender: str, receiver: str, label: str, value,
+               size_bytes: int) -> TranscriptEntry:
+        entry = TranscriptEntry(
+            index=len(self.entries),
+            sender=sender,
+            receiver=receiver,
+            label=label,
+            value=value,
+            size_bytes=size_bytes,
+        )
+        self.entries.append(entry)
+        return entry
+
+    def received_by(self, party_name: str) -> list[TranscriptEntry]:
+        """The messages constituting ``party_name``'s view (Def. 5)."""
+        return [e for e in self.entries if e.receiver == party_name]
+
+    def sent_by(self, party_name: str) -> list[TranscriptEntry]:
+        return [e for e in self.entries if e.sender == party_name]
+
+    def with_label(self, label_prefix: str) -> list[TranscriptEntry]:
+        """All entries whose label starts with ``label_prefix``.
+
+        Protocols namespace labels like ``"mult/encrypted_x"`` so phases
+        can be isolated for analysis.
+        """
+        return [e for e in self.entries if e.label.startswith(label_prefix)]
+
+    def total_bytes(self) -> int:
+        return sum(e.size_bytes for e in self.entries)
+
+    def message_count(self) -> int:
+        return len(self.entries)
+
+    def clear(self) -> None:
+        self.entries.clear()

@@ -1,0 +1,43 @@
+"""Secure multi-party computation protocols (paper Sections 3.8 and 4.1).
+
+The building blocks the DBSCAN protocols are composed from:
+
+- :mod:`repro.smc.millionaires` -- Yao's Millionaires' Problem Protocol,
+  Algorithm 1, implemented literally over textbook RSA.
+- :mod:`repro.smc.bitwise_comparison` -- a DGK-style bitwise comparison
+  used as the large-domain comparison backend (see DESIGN.md,
+  Substitutions).
+- :mod:`repro.smc.comparison` -- the backend abstraction gluing both (plus
+  an ideal-functionality oracle) behind one ``a <= b`` interface.
+- :mod:`repro.smc.multiplication` -- the paper's Multiplication Protocol
+  (Algorithm 2) on Paillier.
+- :mod:`repro.smc.scalar_product` -- the batched vector form used by HDP
+  and the Section 5 distance sharing.
+- :mod:`repro.smc.secret_sharing` -- additive two-party shares.
+- :mod:`repro.smc.kth_smallest` -- secure selection of the k-th smallest
+  shared distance (Section 5), scan and quickselect variants.
+- :mod:`repro.smc.session` -- per-run session bundling keys, config, and
+  the channel so higher layers call one object.
+"""
+
+from repro.smc.comparison import (
+    BitwiseComparison,
+    ComparisonOutcome,
+    OracleComparison,
+    SecureComparison,
+    YaoMillionairesComparison,
+    make_comparison_backend,
+)
+from repro.smc.session import CryptoContext, SmcConfig, SmcSession
+
+__all__ = [
+    "BitwiseComparison",
+    "ComparisonOutcome",
+    "OracleComparison",
+    "SecureComparison",
+    "YaoMillionairesComparison",
+    "make_comparison_backend",
+    "CryptoContext",
+    "SmcConfig",
+    "SmcSession",
+]

@@ -1,0 +1,99 @@
+"""DGK-style bitwise secure comparison over Paillier.
+
+This is the large-domain substitute for YMPP (see DESIGN.md,
+Substitutions).  YMPP transfers ``n0`` numbers per comparison, which is
+infeasible when the compared values are fixed-point squared distances
+living in a 2^40-sized domain; this protocol computes the identical
+one-sided functionality with ``O(log n0)`` ciphertexts, following the
+blueprint of Damgard-Geisler-Kroigaard (DGK 2007) instantiated on the
+same Paillier cryptosystem the rest of the paper uses.
+
+Functionality: the *key holder* has private ``x``, the *other party* has
+private ``y``, both ``bits``-bit non-negative integers.  The key holder
+learns whether ``x > y``; the other party learns nothing.
+
+Protocol:
+
+1. Key holder sends ``E(x_t)`` for each bit ``x_t`` (MSB first).
+2. For each position ``t`` the other party homomorphically computes
+   ``E(c_t)`` with ``c_t = x_t - y_t - 1 + 3 * w_t`` where
+   ``w_t = sum_{s<t} (x_s XOR y_s)`` counts disagreeing higher bits;
+   ``c_t = 0`` iff position ``t`` witnesses ``x > y`` (``x_t=1, y_t=0``,
+   all higher bits equal).
+3. The other party blinds each ``E(c_t)`` with a random multiplier,
+   rerandomizes, shuffles, and returns the batch.
+4. The key holder decrypts: some plaintext is 0  <=>  ``x > y``.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.paillier import PaillierCiphertext, PaillierKeyPair
+from repro.net.party import Party
+
+# Blinding multipliers are drawn from [1, 2^_BLIND_BITS); they keep
+# c_t * r_t nonzero mod n (|c_t| is tiny and n is cryptographic) while
+# hiding the magnitude of nonzero c_t.
+_BLIND_BITS = 40
+
+
+class BitwiseComparisonError(ValueError):
+    """Raised on out-of-domain inputs."""
+
+
+def dgk_greater_than(key_holder: Party, x: int, other: Party, y: int,
+                     bits: int, keypair: PaillierKeyPair, *,
+                     label: str = "dgk") -> bool:
+    """Decide ``x > y``; only ``key_holder`` (who owns ``keypair``) learns it.
+
+    Args:
+        key_holder: party holding ``x`` and the Paillier private key.
+        x: key holder's value, in ``[0, 2^bits)``.
+        other: party holding ``y``.
+        y: other party's value, in ``[0, 2^bits)``.
+        bits: public bit-width of the compared domain.
+        keypair: key holder's Paillier keys; the public half is assumed
+            already known to ``other`` (session exchanges it once).
+        label: transcript label prefix.
+    """
+    if bits < 1:
+        raise BitwiseComparisonError(f"bits must be >= 1, got {bits}")
+    if not 0 <= x < (1 << bits):
+        raise BitwiseComparisonError(f"x={x} outside [0, 2^{bits})")
+    if not 0 <= y < (1 << bits):
+        raise BitwiseComparisonError(f"y={y} outside [0, 2^{bits})")
+
+    public = keypair.public_key
+
+    # --- Step 1 (key holder): encrypt bits of x, MSB first. ---------------
+    x_bits = [(x >> (bits - 1 - t)) & 1 for t in range(bits)]
+    encrypted_bits = [public.encrypt(b, key_holder.rng) for b in x_bits]
+    key_holder.send(f"{label}/x_bits", [c.value for c in encrypted_bits])
+
+    # --- Steps 2-3 (other party): blinded witness ciphertexts. ------------
+    received_values = other.receive(f"{label}/x_bits")
+    received = [PaillierCiphertext(public, v) for v in received_values]
+    y_bits = [(y >> (bits - 1 - t)) & 1 for t in range(bits)]
+
+    one = public.raw_encrypt_constant(1)
+    blinded: list[int] = []
+    # running_w accumulates E(sum of XORs of strictly-higher bit positions).
+    running_w = PaillierCiphertext(public, public.raw_encrypt_constant(0))
+    for enc_x_bit, y_bit in zip(received, y_bits):
+        # c_t = x_t - y_t - 1 + 3 * w_t, all under encryption.
+        c = enc_x_bit + (-y_bit - 1) + running_w * 3
+        multiplier = other.rng.randrange(1, 1 << _BLIND_BITS)
+        masked = (c * multiplier).rerandomize(other.rng)
+        blinded.append(masked.value)
+        # XOR under encryption: x ^ y = x when y=0, 1 - x when y=1.
+        if y_bit == 0:
+            xor_term = enc_x_bit
+        else:
+            xor_term = PaillierCiphertext(public, one) - enc_x_bit
+        running_w = running_w + xor_term
+    other.rng.shuffle(blinded)
+    other.send(f"{label}/witnesses", blinded)
+
+    # --- Step 4 (key holder): decrypt, look for a zero. --------------------
+    witnesses = key_holder.receive(f"{label}/witnesses")
+    private = keypair.private_key
+    return any(private.decrypt_raw(value) == 0 for value in witnesses)

@@ -1,0 +1,201 @@
+"""Secure comparison backends behind one ``a <= b`` interface.
+
+The DBSCAN protocols only ever need one predicate: *"decide whether
+``a <= b`` where one party holds ``a``, the other holds ``b``, both lie
+in a public interval, and a designated party (or both) learns the
+answer"*.  Three interchangeable backends provide it:
+
+- :class:`YaoMillionairesComparison` -- the paper's Algorithm 1, literal,
+  ``O(n0)`` communication; practical for small public domains.
+- :class:`BitwiseComparison` -- DGK-style, ``O(log n0)`` communication;
+  the default for fixed-point distance domains (see DESIGN.md,
+  Substitutions).
+- :class:`OracleComparison` -- the ideal functionality: a trusted third
+  party that sends nothing.  Zero communication and zero crypto, used to
+  (a) run fast functional tests of the clustering layers and (b) serve as
+  the ideal world that the simulation-paradigm tests compare against.
+
+Strict/loose mapping: all backends reduce ``a <= b`` to the primitive
+each protocol natively offers (YMPP decides ``i < j``; DGK decides
+``x > y``) using the integer identity ``a <= b  <=>  a < b + 1`` so no
+backend ever mis-handles ties.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.crypto.paillier import PaillierKeyPair
+from repro.crypto.rsa import RsaKeyPair
+from repro.net.party import Party
+from repro.smc.bitwise_comparison import dgk_greater_than
+from repro.smc.millionaires import ympp_less_than
+
+
+class ComparisonError(ValueError):
+    """Raised for out-of-interval inputs or invalid reveal targets."""
+
+
+_REVEAL_TARGETS = ("a", "b", "both")
+
+
+@dataclass
+class ComparisonOutcome:
+    """Result of one comparison plus who learned it (for the ledger)."""
+
+    result: bool
+    revealed_to: tuple[str, ...]
+
+
+class SecureComparison(ABC):
+    """Backend interface: decide ``a <= b`` over a public interval.
+
+    Subclasses count invocations (``self.invocations``) so benchmarks can
+    report secure-comparison counts (experiment E8) without touching
+    protocol internals.
+    """
+
+    name: str = "abstract"
+
+    def __init__(self):
+        self.invocations = 0
+
+    def leq(self, a_party: Party, a: int, b_party: Party, b: int, *,
+            lo: int, hi: int, reveal_to: str = "both",
+            label: str = "cmp") -> ComparisonOutcome:
+        """Decide ``a <= b``; ``a, b`` must lie in ``[lo, hi]``.
+
+        Args:
+            a_party: holder of ``a``.
+            b_party: holder of ``b``.
+            lo, hi: public interval bounds (inclusive).
+            reveal_to: ``"a"``, ``"b"``, or ``"both"`` -- which party may
+                learn the predicate.  When ``"both"``, the learning party
+                sends one conclusion bit to the peer (counted).
+            label: transcript label prefix.
+        """
+        if reveal_to not in _REVEAL_TARGETS:
+            raise ComparisonError(f"reveal_to must be one of {_REVEAL_TARGETS}")
+        if hi < lo:
+            raise ComparisonError(f"empty interval [{lo}, {hi}]")
+        if not lo <= a <= hi:
+            raise ComparisonError(f"a={a} outside [{lo}, {hi}]")
+        if not lo <= b <= hi:
+            raise ComparisonError(f"b={b} outside [{lo}, {hi}]")
+        self.invocations += 1
+        result = self._leq(a_party, a - lo, b_party, b - lo,
+                           domain=hi - lo, reveal_to=reveal_to,
+                           label=f"{label}/{self.name}")
+        if reveal_to == "both":
+            revealed: tuple[str, ...] = (a_party.name, b_party.name)
+        else:
+            revealed = (a_party.name if reveal_to == "a" else b_party.name,)
+        return ComparisonOutcome(result=result, revealed_to=revealed)
+
+    @abstractmethod
+    def _leq(self, a_party: Party, a: int, b_party: Party, b: int, *,
+             domain: int, reveal_to: str, label: str) -> bool:
+        """Decide ``a <= b`` for shifted inputs in ``[0, domain]``."""
+
+
+class YaoMillionairesComparison(SecureComparison):
+    """Algorithm 1 as the comparison backend.
+
+    Input mapping: values are shifted to ``[1, n0]`` with
+    ``n0 = domain + 2`` (one slot of headroom for the ``b + 1`` strict-to-
+    loose trick).  The party that must learn the result plays the
+    j-holder role (Algorithm 1's Bob); the peer owns the RSA keypair.
+    """
+
+    name = "ympp"
+
+    def __init__(self, a_party_keys: RsaKeyPair, b_party_keys: RsaKeyPair):
+        super().__init__()
+        self._keys = {"a": a_party_keys, "b": b_party_keys}
+
+    def _leq(self, a_party: Party, a: int, b_party: Party, b: int, *,
+             domain: int, reveal_to: str, label: str) -> bool:
+        n0 = domain + 2
+        if reveal_to in ("a", "both"):
+            # a-holder learns: run with i = b, j = a (keypair: b-holder),
+            # so the j-holder (a-holder) learns b < a, and
+            # a <= b  <=>  not (b < a).
+            strictly_greater = ympp_less_than(
+                b_party, b + 1, a_party, a + 1, n0,
+                self._keys["b"], announce=(reveal_to == "both"),
+                label=f"{label}/b_lt_a")
+            return not strictly_greater
+        # b-holder learns: i = a, j = b + 1 -> j-holder learns
+        # a < b + 1 <=> a <= b.
+        return ympp_less_than(
+            a_party, a + 1, b_party, b + 2, n0,
+            self._keys["a"], announce=False, label=f"{label}/a_le_b")
+
+
+class BitwiseComparison(SecureComparison):
+    """DGK-style backend; the key holder is the learning party."""
+
+    name = "bitwise"
+
+    def __init__(self, a_party_keys: PaillierKeyPair,
+                 b_party_keys: PaillierKeyPair):
+        super().__init__()
+        self._keys = {"a": a_party_keys, "b": b_party_keys}
+
+    def _leq(self, a_party: Party, a: int, b_party: Party, b: int, *,
+             domain: int, reveal_to: str, label: str) -> bool:
+        # Width covers domain + 1 so the b + 1 trick cannot overflow.
+        bits = max(1, (domain + 1).bit_length())
+        if reveal_to in ("a", "both"):
+            # a-holder keyed, learns a > b; a <= b is the negation.
+            greater = dgk_greater_than(a_party, a, b_party, b, bits,
+                                       self._keys["a"], label=label)
+            result = not greater
+            if reveal_to == "both":
+                a_party.send(f"{label}/conclusion", result)
+                return b_party.receive(f"{label}/conclusion")
+            return result
+        # b-holder keyed, learns b + 1 > a  <=>  a <= b.
+        return dgk_greater_than(b_party, b + 1, a_party, a, bits,
+                                self._keys["b"], label=label)
+
+
+class OracleComparison(SecureComparison):
+    """Ideal functionality: a trusted third party, zero communication.
+
+    Exists for fast functional testing of the clustering layers and as
+    the ideal-world reference in simulation tests.  Never use where the
+    privacy properties themselves are under test.
+    """
+
+    name = "oracle"
+
+    def _leq(self, a_party: Party, a: int, b_party: Party, b: int, *,
+             domain: int, reveal_to: str, label: str) -> bool:
+        return a <= b
+
+
+def make_comparison_backend(kind: str, *, alice_rsa: RsaKeyPair | None = None,
+                            bob_rsa: RsaKeyPair | None = None,
+                            alice_paillier: PaillierKeyPair | None = None,
+                            bob_paillier: PaillierKeyPair | None = None,
+                            ) -> SecureComparison:
+    """Factory used by :class:`repro.smc.session.SmcSession`.
+
+    ``kind`` is one of ``"ympp"``, ``"bitwise"``, ``"oracle"``; the
+    relevant key material must be supplied for the crypto backends.
+    """
+    if kind == "ympp":
+        if alice_rsa is None or bob_rsa is None:
+            raise ComparisonError("ympp backend requires both RSA keypairs")
+        return YaoMillionairesComparison(alice_rsa, bob_rsa)
+    if kind == "bitwise":
+        if alice_paillier is None or bob_paillier is None:
+            raise ComparisonError(
+                "bitwise backend requires both Paillier keypairs")
+        return BitwiseComparison(alice_paillier, bob_paillier)
+    if kind == "oracle":
+        return OracleComparison()
+    raise ComparisonError(f"unknown comparison backend {kind!r}")

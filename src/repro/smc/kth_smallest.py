@@ -1,0 +1,114 @@
+"""Secure k-th order statistic over additively shared values (Section 5).
+
+The driving party holds ``u_i``, the peer holds ``v_i``, the hidden
+values are ``d_i = u_i - v_i``.  Whether ``d_i <= d_j`` reduces to a
+secure comparison of ``u_i - u_j`` (driver) against ``v_i - v_j``
+(peer) -- the paper's ``(v1 - v2) - (u1 - u2) > 0`` test -- so selection
+needs nothing beyond the comparison backend.
+
+The paper sketches two selection algorithms and we implement both:
+
+- :func:`kth_smallest_scan` -- k passes of minimum finding, ``O(k*n)``
+  comparisons, "appropriate when k is small";
+- :func:`kth_smallest_quickselect` -- the "quick sorted based algorithm"
+  with expected ``O(n)`` comparisons and worst case ``O(n^2)``.
+
+Both return the *index* of a k-th smallest element (1-based rank), known
+to the driving party only.  Experiment E8 benchmarks their comparison
+counts against each other.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.net.party import Party
+from repro.smc.comparison import SecureComparison
+from repro.smc.secret_sharing import SharedValues
+
+
+class SelectionError(ValueError):
+    """Raised for out-of-range ranks."""
+
+
+def _shared_leq(backend: SecureComparison, u_party: Party, v_party: Party,
+                shares: SharedValues, i: int, j: int, *,
+                label: str) -> bool:
+    """Decide ``d_i <= d_j`` revealing only the bit, to the u-holder.
+
+    ``d_i <= d_j  <=>  u_i - u_j <= v_i - v_j`` with the left side known
+    to the u-holder and the right to the v-holder.
+    """
+    lo, hi = shares.difference_interval()
+    outcome = backend.leq(
+        u_party, shares.u_values[i] - shares.u_values[j],
+        v_party, shares.v_values[i] - shares.v_values[j],
+        lo=lo, hi=hi, reveal_to="a", label=label)
+    return outcome.result
+
+
+def kth_smallest_scan(backend: SecureComparison, u_party: Party,
+                      v_party: Party, shares: SharedValues, k: int, *,
+                      label: str = "kselect") -> int:
+    """k rounds of secure minimum finding; ``O(k*n)`` comparisons.
+
+    Returns the index (into the share vectors) of the k-th smallest
+    hidden value; the u-holder learns this index and the comparison bits
+    along the way, the v-holder learns nothing.
+    """
+    size = len(shares)
+    if not 1 <= k <= size:
+        raise SelectionError(f"rank k={k} outside [1, {size}]")
+    remaining = list(range(size))
+    smallest = remaining[0]
+    for round_number in range(k):
+        smallest = remaining[0]
+        for candidate in remaining[1:]:
+            candidate_leq = _shared_leq(
+                backend, u_party, v_party, shares, candidate, smallest,
+                label=f"{label}/scan{round_number}")
+            if candidate_leq:
+                smallest = candidate
+        remaining.remove(smallest)
+    return smallest
+
+
+def kth_smallest_quickselect(backend: SecureComparison, u_party: Party,
+                             v_party: Party, shares: SharedValues,
+                             k: int, *, rng: random.Random | None = None,
+                             label: str = "kselect") -> int:
+    """Randomized quickselect; expected ``O(n)`` comparisons.
+
+    Pivots are drawn from the u-holder's randomness (they drive the
+    selection); partition comparisons reveal to them only pivot-relative
+    order bits, the same class of disclosure as the scan variant.
+    """
+    size = len(shares)
+    if not 1 <= k <= size:
+        raise SelectionError(f"rank k={k} outside [1, {size}]")
+    rng = rng if rng is not None else u_party.rng
+    candidates = list(range(size))
+    rank = k
+    depth = 0
+    while True:
+        if len(candidates) == 1:
+            return candidates[0]
+        pivot = candidates[rng.randrange(len(candidates))]
+        not_greater = []
+        greater = []
+        for index in candidates:
+            if index == pivot:
+                continue
+            if _shared_leq(backend, u_party, v_party, shares, index, pivot,
+                           label=f"{label}/qs{depth}"):
+                not_greater.append(index)
+            else:
+                greater.append(index)
+        depth += 1
+        if rank <= len(not_greater):
+            candidates = not_greater
+        elif rank == len(not_greater) + 1:
+            return pivot
+        else:
+            rank -= len(not_greater) + 1
+            candidates = greater

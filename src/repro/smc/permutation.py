@@ -1,0 +1,43 @@
+"""Random permutations for unlinkable region queries.
+
+Algorithm 4's ``SetOfPointsOfBobPermutation`` is the privacy mechanism
+that defeats the Figure 1 intersection attack: Bob presents his points in
+a fresh random order for *every* region query, so the querying party can
+never link "a hit at position 3" across two queries.  Fisher-Yates,
+driven by the owning party's private RNG.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+def random_permutation(size: int, rng: random.Random) -> list[int]:
+    """A fresh uniform permutation of ``range(size)`` (Fisher-Yates)."""
+    order = list(range(size))
+    for position in range(size - 1, 0, -1):
+        other = rng.randint(0, position)
+        order[position], order[other] = order[other], order[position]
+    return order
+
+
+@dataclass(frozen=True)
+class PermutedView:
+    """A one-query view of a party's points in permuted order.
+
+    ``order[k]`` is the true index shown at permuted position ``k``; only
+    the owning party ever holds this mapping.
+    """
+
+    order: tuple[int, ...]
+
+    @classmethod
+    def fresh(cls, size: int, rng: random.Random) -> "PermutedView":
+        return cls(order=tuple(random_permutation(size, rng)))
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def true_index(self, permuted_position: int) -> int:
+        return self.order[permuted_position]

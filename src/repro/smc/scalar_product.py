@@ -1,0 +1,107 @@
+"""Batched masked scalar products over Paillier.
+
+Two call shapes the DBSCAN protocols need:
+
+- :func:`secure_masked_dot_terms` -- the HDP inner loop (Section 4.2):
+  the receiver holds one vector, the masker holds another plus per-
+  coordinate masks; the receiver obtains each ``x_t * y_t + r_t``
+  separately (the paper runs one Multiplication Protocol per attribute).
+
+- :func:`secure_scalar_products` -- the Section 5 distance sharing: the
+  receiver's vector ``alpha`` is encrypted once, then for each of the
+  masker's vectors ``beta_i`` the receiver obtains
+  ``<alpha, beta_i> + v_i``.  This is the batched form of Algorithm 2
+  that makes the enhanced protocol's ``u_i = dist^2 + v_i`` shares cost
+  ``m + 2`` ciphertexts up front plus one per point.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.encoding import SignedEncoder
+from repro.crypto.paillier import PaillierCiphertext, PaillierKeyPair
+from repro.net.party import Party
+
+
+class ScalarProductError(ValueError):
+    """Raised on shape mismatches or plaintext-space overflow."""
+
+
+def secure_masked_dot_terms(receiver: Party, x_vector: list[int],
+                            masker: Party, y_vector: list[int],
+                            masks: list[int], keypair: PaillierKeyPair, *,
+                            label: str = "dot") -> list[int]:
+    """Per-coordinate Multiplication Protocol batch (HDP inner loop).
+
+    The receiver learns ``[x_t * y_t + r_t for t]``; the masker learns
+    nothing.  One message each way carries the whole batch.
+    """
+    if not len(x_vector) == len(y_vector) == len(masks):
+        raise ScalarProductError(
+            f"length mismatch: x={len(x_vector)} y={len(y_vector)} "
+            f"masks={len(masks)}"
+        )
+    public = keypair.public_key
+    encoder = SignedEncoder(public.n)
+
+    encrypted = [public.encrypt(encoder.encode(x), receiver.rng).value
+                 for x in x_vector]
+    receiver.send(f"{label}/encrypted_vector", encrypted)
+
+    received = masker.receive(f"{label}/encrypted_vector")
+    replies = []
+    for value, y, mask in zip(received, y_vector, masks):
+        product = PaillierCiphertext(public, value) * encoder.encode(y)
+        masked = product + public.encrypt(encoder.encode(mask), masker.rng)
+        replies.append(masked.rerandomize(masker.rng).value)
+    masker.send(f"{label}/masked_terms", replies)
+
+    results = receiver.receive(f"{label}/masked_terms")
+    private = keypair.private_key
+    return [encoder.decode(private.decrypt_raw(value)) for value in results]
+
+
+def secure_scalar_products(receiver: Party, alpha: list[int],
+                           masker: Party, betas: list[list[int]],
+                           masks: list[int], keypair: PaillierKeyPair, *,
+                           label: str = "sprod") -> list[int]:
+    """Section 5 batched sharing: receiver learns ``<alpha, beta_i> + v_i``.
+
+    Args:
+        receiver: holds ``alpha`` and the keypair; learns the masked
+            products.
+        alpha: receiver's vector (signed ints).
+        masker: holds the ``beta_i`` vectors and the masks ``v_i``.
+        betas: list of vectors, each the same length as ``alpha``.
+        masks: one signed mask per beta vector.
+        keypair: receiver's Paillier keys.
+    """
+    if len(betas) != len(masks):
+        raise ScalarProductError(
+            f"{len(betas)} beta vectors but {len(masks)} masks")
+    for index, beta in enumerate(betas):
+        if len(beta) != len(alpha):
+            raise ScalarProductError(
+                f"beta[{index}] has length {len(beta)}, alpha has "
+                f"{len(alpha)}"
+            )
+    public = keypair.public_key
+    encoder = SignedEncoder(public.n)
+
+    encrypted_alpha = [public.encrypt(encoder.encode(a), receiver.rng).value
+                       for a in alpha]
+    receiver.send(f"{label}/encrypted_alpha", encrypted_alpha)
+
+    received = [PaillierCiphertext(public, v)
+                for v in masker.receive(f"{label}/encrypted_alpha")]
+    replies = []
+    for beta, mask in zip(betas, masks):
+        accumulator = public.encrypt(encoder.encode(mask), masker.rng)
+        for cipher, coefficient in zip(received, beta):
+            if coefficient:
+                accumulator = accumulator + cipher * encoder.encode(coefficient)
+        replies.append(accumulator.rerandomize(masker.rng).value)
+    masker.send(f"{label}/masked_products", replies)
+
+    results = receiver.receive(f"{label}/masked_products")
+    private = keypair.private_key
+    return [encoder.decode(private.decrypt_raw(value)) for value in results]

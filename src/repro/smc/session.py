@@ -1,0 +1,203 @@
+"""Per-run SMC session: keys, configuration, and protocol entry points.
+
+A :class:`SmcSession` is created once per distributed-DBSCAN run.  It
+
+- generates (or deterministically caches) each party's Paillier and RSA
+  key material,
+- performs the one-time public-key exchange over the channel so key
+  bytes are charged to the communication accounting exactly once,
+- exposes the protocol primitives (comparison, multiplication, scalar
+  products, k-th smallest) with party lookup by name, so the DBSCAN
+  layers never touch raw key objects.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.crypto.keycache import cached_paillier_keypair, cached_rsa_keypair
+from repro.crypto.paillier import PaillierKeyPair, generate_paillier_keypair
+from repro.crypto.rsa import RsaKeyPair, generate_rsa_keypair
+from repro.net.party import Party
+from repro.smc.comparison import (
+    ComparisonOutcome,
+    SecureComparison,
+    make_comparison_backend,
+)
+from repro.smc.kth_smallest import kth_smallest_quickselect, kth_smallest_scan
+from repro.smc.multiplication import secure_multiplication
+from repro.smc.scalar_product import (
+    secure_masked_dot_terms,
+    secure_scalar_products,
+)
+from repro.smc.secret_sharing import SharedValues
+
+
+class SessionError(ValueError):
+    """Raised on unknown parties or misconfiguration."""
+
+
+@dataclass(frozen=True)
+class SmcConfig:
+    """Tunables for the cryptographic layer.
+
+    Attributes:
+        paillier_bits: Paillier modulus size; 256 is comfortable for
+            tests, 512+ realistic for benchmarks.
+        rsa_bits: RSA modulus for YMPP (only generated when the ympp
+            backend is selected).
+        comparison: ``"bitwise"`` (default), ``"ympp"``, or ``"oracle"``.
+        mask_sigma: statistical-hiding parameter; masks are drawn from
+            ``[0, value_bound * 2^mask_sigma)``.
+        faithful_shared_r: reproduce Algorithm 2's shared-randomness step
+            literally (leakage demonstration only).
+        key_seed: when set, key material is derived deterministically
+            from this seed (and memoized) -- reproducible tests and
+            benchmarks that should not pay key-generation time.
+    """
+
+    paillier_bits: int = 256
+    rsa_bits: int = 512
+    comparison: str = "bitwise"
+    mask_sigma: int = 16
+    faithful_shared_r: bool = False
+    key_seed: int | None = None
+
+    def mask_bound(self, value_bound: int) -> int:
+        """Mask interval size for hiding values bounded by ``value_bound``."""
+        return max(2, value_bound) << self.mask_sigma
+
+
+@dataclass
+class CryptoContext:
+    """One party's key material."""
+
+    paillier: PaillierKeyPair
+    rsa: RsaKeyPair | None = None
+
+
+@dataclass
+class SmcSession:
+    """Protocol session between two parties over one channel.
+
+    ``preset_contexts`` lets callers inject pre-generated key material --
+    the multi-party mesh reuses one keypair per physical party across all
+    of its pairwise sessions.
+    """
+
+    alice: Party
+    bob: Party
+    config: SmcConfig = field(default_factory=SmcConfig)
+    preset_contexts: dict | None = None
+
+    def __post_init__(self):
+        if self.alice.name == self.bob.name:
+            raise SessionError("parties must have distinct names")
+        preset = self.preset_contexts or {}
+        self._contexts = {
+            self.alice.name: preset.get(self.alice.name) or
+            self._make_context(self.alice, slot=0),
+            self.bob.name: preset.get(self.bob.name) or
+            self._make_context(self.bob, slot=1),
+        }
+        self._exchange_public_keys()
+        alice_ctx = self._contexts[self.alice.name]
+        bob_ctx = self._contexts[self.bob.name]
+        self.comparison_backend: SecureComparison = make_comparison_backend(
+            self.config.comparison,
+            alice_rsa=alice_ctx.rsa, bob_rsa=bob_ctx.rsa,
+            alice_paillier=alice_ctx.paillier, bob_paillier=bob_ctx.paillier,
+        )
+
+    # -- key management ----------------------------------------------------
+
+    def _make_context(self, party: Party, slot: int) -> CryptoContext:
+        cfg = self.config
+        needs_rsa = cfg.comparison == "ympp"
+        if cfg.key_seed is not None:
+            paillier = cached_paillier_keypair(cfg.paillier_bits,
+                                               2 * cfg.key_seed + slot)
+            rsa = (cached_rsa_keypair(cfg.rsa_bits, 2 * cfg.key_seed + slot)
+                   if needs_rsa else None)
+        else:
+            paillier = generate_paillier_keypair(cfg.paillier_bits, party.rng)
+            rsa = (generate_rsa_keypair(cfg.rsa_bits, party.rng)
+                   if needs_rsa else None)
+        return CryptoContext(paillier=paillier, rsa=rsa)
+
+    def _exchange_public_keys(self) -> None:
+        """Send each party's public keys to the peer, once, accounted."""
+        for party, peer in ((self.alice, self.bob), (self.bob, self.alice)):
+            context = self._contexts[party.name]
+            public = context.paillier.public_key
+            party.send("keys/paillier_pub", [public.n, public.g])
+            peer.receive("keys/paillier_pub")
+            if context.rsa is not None:
+                party.send("keys/rsa_pub",
+                           [context.rsa.public_key.n, context.rsa.public_key.e])
+                peer.receive("keys/rsa_pub")
+
+    def party(self, name: str) -> Party:
+        if name == self.alice.name:
+            return self.alice
+        if name == self.bob.name:
+            return self.bob
+        raise SessionError(f"unknown party {name!r}")
+
+    def peer_of(self, name: str) -> Party:
+        return self.bob if name == self.alice.name else self.alice
+
+    def paillier_keys(self, name: str) -> PaillierKeyPair:
+        return self._contexts[self.party(name).name].paillier
+
+    # -- protocol entry points ----------------------------------------------
+
+    def compare_leq(self, a_party: Party, a: int, b_party: Party, b: int, *,
+                    lo: int, hi: int, reveal_to: str = "both",
+                    label: str = "cmp") -> ComparisonOutcome:
+        """Secure ``a <= b`` through the configured backend."""
+        return self.comparison_backend.leq(
+            a_party, a, b_party, b, lo=lo, hi=hi, reveal_to=reveal_to,
+            label=label)
+
+    def multiplication(self, receiver: Party, x: int, masker: Party, y: int,
+                       mask: int, *, label: str = "mult") -> int:
+        """Algorithm 2: receiver learns ``x*y + mask``."""
+        return secure_multiplication(
+            receiver, x, masker, y, mask,
+            self.paillier_keys(receiver.name), label=label,
+            faithful_shared_r=self.config.faithful_shared_r)
+
+    def masked_dot_terms(self, receiver: Party, x_vector: list[int],
+                         masker: Party, y_vector: list[int],
+                         masks: list[int], *,
+                         label: str = "dot") -> list[int]:
+        """HDP inner loop: receiver learns each ``x_t*y_t + r_t``."""
+        return secure_masked_dot_terms(
+            receiver, x_vector, masker, y_vector, masks,
+            self.paillier_keys(receiver.name), label=label)
+
+    def scalar_products(self, receiver: Party, alpha: list[int],
+                        masker: Party, betas: list[list[int]],
+                        masks: list[int], *,
+                        label: str = "sprod") -> list[int]:
+        """Section 5 batched sharing: receiver learns ``<alpha, b_i> + v_i``."""
+        return secure_scalar_products(
+            receiver, alpha, masker, betas, masks,
+            self.paillier_keys(receiver.name), label=label)
+
+    def kth_smallest(self, u_party: Party, v_party: Party,
+                     shares: SharedValues, k: int, *,
+                     method: str = "scan",
+                     label: str = "kselect") -> int:
+        """Section 5 selection; ``method`` is ``"scan"`` or ``"quickselect"``."""
+        if method == "scan":
+            return kth_smallest_scan(
+                self.comparison_backend, u_party, v_party, shares, k,
+                label=label)
+        if method == "quickselect":
+            return kth_smallest_quickselect(
+                self.comparison_backend, u_party, v_party, shares, k,
+                label=label)
+        raise SessionError(f"unknown selection method {method!r}")

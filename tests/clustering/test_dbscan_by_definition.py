@@ -1,0 +1,121 @@
+"""Cross-validation of DBSCAN against an independent by-definition model.
+
+The implementation in ``repro.clustering.dbscan`` follows the original
+ExpandCluster control flow.  This module checks it against a *different*
+construction built straight from Definitions 1-4 of the paper:
+
+- core points: ``|N_eps(p)| >= MinPts``;
+- clusters: connected components of the "core points within eps of each
+  other" graph (density-reachability restricted to cores);
+- border points: non-core points with at least one core neighbour join
+  one of its core neighbours' clusters (which one is
+  implementation-defined -- the original algorithm assigns first-found);
+- noise: everything else.
+
+Agreement is checked up to the border-assignment freedom: core-point
+partitions must match exactly, border points must be assigned to the
+cluster of SOME core neighbour, and noise must match exactly.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering.dbscan import dbscan
+from repro.clustering.labels import NOISE
+from repro.clustering.neighborhoods import BruteForceIndex
+
+points_strategy = st.lists(
+    st.tuples(st.integers(min_value=-60, max_value=60),
+              st.integers(min_value=-60, max_value=60)),
+    min_size=1, max_size=40)
+
+
+def _by_definition(points, eps_squared, min_pts):
+    """Independent model: (core_components, border_options, noise_set).
+
+    Returns:
+        core_component: dict core_index -> component id
+        border_options: dict border_index -> set of component ids it may
+            legally join
+        noise: set of indices
+    """
+    index = BruteForceIndex(points)
+    neighborhoods = [index.region_query(p, eps_squared) for p in points]
+    cores = {i for i, neighbors in enumerate(neighborhoods)
+             if len(neighbors) >= min_pts}
+
+    # Union-find over core points.
+    parent = {c: c for c in cores}
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for core in cores:
+        for neighbor in neighborhoods[core]:
+            if neighbor in cores:
+                parent[find(core)] = find(neighbor)
+
+    core_component = {core: find(core) for core in cores}
+    border_options = {}
+    noise = set()
+    for i in range(len(points)):
+        if i in cores:
+            continue
+        reachable = {core_component[n] for n in neighborhoods[i]
+                     if n in cores}
+        if reachable:
+            border_options[i] = reachable
+        else:
+            noise.add(i)
+    return core_component, border_options, noise
+
+
+class TestAgainstDefinition:
+    @settings(max_examples=60, deadline=None)
+    @given(points_strategy, st.integers(min_value=1, max_value=600),
+           st.integers(min_value=1, max_value=6))
+    def test_full_agreement(self, points, eps_squared, min_pts):
+        labels = dbscan(points, eps_squared, min_pts).as_tuple()
+        core_component, border_options, noise = _by_definition(
+            points, eps_squared, min_pts)
+
+        # 1. Noise matches exactly.
+        assert {i for i, l in enumerate(labels) if l == NOISE} == noise
+
+        # 2. Core partition matches: same component <=> same label.
+        by_component = {}
+        for core, component in core_component.items():
+            by_component.setdefault(component, set()).add(labels[core])
+        for labels_in_component in by_component.values():
+            assert len(labels_in_component) == 1
+        distinct_components = len(by_component)
+        distinct_core_labels = len(
+            {labels[c] for c in core_component})
+        assert distinct_components == distinct_core_labels
+
+        # 3. Every border point is assigned to a legal component.
+        component_label = {component: labels[core]
+                           for core, component in core_component.items()}
+        for border, options in border_options.items():
+            legal_labels = {component_label[c] for c in options}
+            assert labels[border] in legal_labels
+
+    @settings(max_examples=30, deadline=None)
+    @given(points_strategy, st.integers(min_value=1, max_value=600))
+    def test_min_pts_one_means_singletons_cluster(self, points, eps_squared):
+        """With MinPts=1 every point is core: no noise can exist."""
+        labels = dbscan(points, eps_squared, 1).as_tuple()
+        assert NOISE not in labels
+
+    @settings(max_examples=30, deadline=None)
+    @given(points_strategy, st.integers(min_value=1, max_value=6))
+    def test_huge_eps_single_cluster(self, points, min_pts):
+        """With eps covering everything, either one cluster or all noise."""
+        eps_squared = 4 * 60 * 60 * 2 + 1
+        labels = dbscan(points, eps_squared, min_pts).as_tuple()
+        if len(points) >= min_pts:
+            assert set(labels) == {1}
+        else:
+            assert set(labels) == {NOISE}

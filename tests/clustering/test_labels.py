@@ -1,0 +1,73 @@
+"""Tests for label containers and canonicalization."""
+
+import pytest
+
+from repro.clustering.labels import (
+    NOISE,
+    UNCLASSIFIED,
+    ClusterLabels,
+    canonicalize,
+    next_cluster_id,
+)
+
+
+class TestClusterLabels:
+    def test_initial_state(self):
+        labels = ClusterLabels(3)
+        assert labels.as_tuple() == (UNCLASSIFIED,) * 3
+        assert labels.is_unclassified(0)
+
+    def test_change_single(self):
+        labels = ClusterLabels(3)
+        labels.change_cluster_id(1, 5)
+        assert labels[1] == 5
+        assert not labels.is_unclassified(1)
+
+    def test_change_many(self):
+        labels = ClusterLabels(4)
+        labels.change_cluster_ids([0, 2], 7)
+        assert labels.as_tuple() == (7, UNCLASSIFIED, 7, UNCLASSIFIED)
+
+    def test_noise(self):
+        labels = ClusterLabels(2)
+        labels.change_cluster_id(0, NOISE)
+        assert labels.is_noise(0)
+        assert not labels.is_noise(1)
+
+    def test_cluster_ids_in_order(self):
+        labels = ClusterLabels(5, labels=[2, NOISE, 1, 2, UNCLASSIFIED])
+        assert labels.cluster_ids() == [2, 1]
+
+    def test_size_mismatch(self):
+        with pytest.raises(ValueError, match="labels"):
+            ClusterLabels(2, labels=[1, 2, 3])
+
+
+class TestNextClusterId:
+    def test_from_noise(self):
+        assert next_cluster_id(NOISE) == 1
+
+    def test_from_unclassified(self):
+        assert next_cluster_id(UNCLASSIFIED) == 1
+
+    def test_increments(self):
+        assert next_cluster_id(1) == 2
+        assert next_cluster_id(7) == 8
+
+
+class TestCanonicalize:
+    def test_identity_for_canonical(self):
+        assert canonicalize((1, 1, 2, NOISE)) == (1, 1, 2, NOISE)
+
+    def test_renames_by_first_appearance(self):
+        assert canonicalize((5, 5, 3, NOISE, 3)) == (1, 1, 2, NOISE, 2)
+
+    def test_noise_and_unclassified_fixed(self):
+        assert canonicalize((NOISE, UNCLASSIFIED, 9)) \
+            == (NOISE, UNCLASSIFIED, 1)
+
+    def test_equivalent_labelings_share_canonical_form(self):
+        assert canonicalize((7, 7, 2)) == canonicalize((1, 1, 9))
+
+    def test_different_structures_differ(self):
+        assert canonicalize((1, 1, 2)) != canonicalize((1, 2, 2))

@@ -1,0 +1,123 @@
+"""Tests for clustering comparison metrics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering.labels import NOISE
+from repro.clustering.metrics import (
+    adjusted_rand_index,
+    labelings_equivalent,
+    noise_agreement,
+    purity,
+    rand_index,
+)
+
+labelings = st.lists(
+    st.integers(min_value=-1, max_value=4), min_size=1, max_size=30)
+
+
+class TestLabelingsEquivalent:
+    def test_identical(self):
+        assert labelings_equivalent((1, 1, 2), (1, 1, 2))
+
+    def test_renamed(self):
+        assert labelings_equivalent((1, 1, 2), (9, 9, 4))
+
+    def test_different_structure(self):
+        assert not labelings_equivalent((1, 1, 2), (1, 2, 2))
+
+    def test_noise_respected(self):
+        assert labelings_equivalent((NOISE, 1), (NOISE, 7))
+        assert not labelings_equivalent((NOISE, 1), (1, NOISE))
+
+    def test_length_mismatch(self):
+        assert not labelings_equivalent((1,), (1, 1))
+
+
+class TestRandIndex:
+    def test_perfect(self):
+        assert rand_index((1, 1, 2, 2), (5, 5, 9, 9)) == 1.0
+
+    def test_total_disagreement(self):
+        # One big cluster vs all singletons: no agreeing same-pairs, and
+        # no agreeing different-pairs either.
+        assert rand_index((1, 1, 1), (1, 2, 3)) == 0.0
+
+    def test_single_point(self):
+        assert rand_index((1,), (2,)) == 1.0
+
+    @given(labelings)
+    def test_self_comparison_is_one(self, labels):
+        assert rand_index(labels, labels) == 1.0
+
+    @given(labelings, labelings)
+    def test_symmetric_and_bounded(self, left, right):
+        if len(left) != len(right):
+            left = (left * len(right))[:max(len(left), len(right))]
+            right = (right * len(left))[:len(left)]
+        value = rand_index(left, right)
+        assert 0.0 <= value <= 1.0
+        assert value == rand_index(right, left)
+
+
+class TestAdjustedRandIndex:
+    def test_perfect(self):
+        assert adjusted_rand_index((1, 1, 2, 2), (3, 3, 8, 8)) == 1.0
+
+    def test_known_value(self):
+        # Classic example: ARI is lower than RI for partial agreement.
+        left = (1, 1, 1, 2, 2, 2)
+        right = (1, 1, 2, 2, 3, 3)
+        ari = adjusted_rand_index(left, right)
+        assert 0.0 < ari < 1.0
+        assert ari < rand_index(left, right)
+
+    @given(labelings)
+    def test_self_comparison_is_one(self, labels):
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    @given(labelings, labelings)
+    def test_symmetry(self, left, right):
+        size = min(len(left), len(right))
+        left, right = left[:size], right[:size]
+        assert adjusted_rand_index(left, right) \
+            == pytest.approx(adjusted_rand_index(right, left))
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="length"):
+            adjusted_rand_index((1,), (1, 2))
+
+
+class TestPurity:
+    def test_perfect(self):
+        assert purity((1, 1, 2, 2), (1, 1, 2, 2)) == 1.0
+
+    def test_mixed_cluster(self):
+        assert purity((1, 1, 1, 1), (1, 1, 2, 2)) == 0.5
+
+    def test_noise_excluded(self):
+        assert purity((NOISE, NOISE, 1), (1, 2, 3)) == 1.0
+
+    def test_all_noise_vacuous(self):
+        assert purity((NOISE, NOISE), (1, 2)) == 1.0
+
+    @given(labelings, labelings)
+    def test_bounded(self, predicted, reference):
+        size = min(len(predicted), len(reference))
+        value = purity(predicted[:size], reference[:size])
+        assert 0.0 <= value <= 1.0
+
+
+class TestNoiseAgreement:
+    def test_perfect(self):
+        assert noise_agreement((NOISE, 1, 2), (NOISE, 5, 5)) == 1.0
+
+    def test_half(self):
+        assert noise_agreement((NOISE, 1), (NOISE, NOISE)) == 0.5
+
+    def test_empty(self):
+        assert noise_agreement((), ()) == 1.0
+
+    @given(labelings)
+    def test_self_is_one(self, labels):
+        assert noise_agreement(labels, labels) == 1.0

@@ -1,0 +1,85 @@
+"""Tests for region queries; the grid index must agree with brute force."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering.neighborhoods import (
+    BruteForceIndex,
+    GridIndex,
+    squared_distance,
+)
+
+points_strategy = st.lists(
+    st.tuples(st.integers(min_value=-500, max_value=500),
+              st.integers(min_value=-500, max_value=500)),
+    min_size=1, max_size=60)
+
+
+class TestSquaredDistance:
+    def test_basic(self):
+        assert squared_distance((0, 0), (3, 4)) == 25
+
+    def test_zero(self):
+        assert squared_distance((7, -2), (7, -2)) == 0
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError, match="dimension"):
+            squared_distance((1,), (1, 2))
+
+    @given(st.tuples(st.integers(), st.integers()),
+           st.tuples(st.integers(), st.integers()))
+    def test_symmetry(self, a, b):
+        assert squared_distance(a, b) == squared_distance(b, a)
+
+
+class TestBruteForceIndex:
+    def test_includes_self(self):
+        index = BruteForceIndex([(0, 0), (10, 10)])
+        assert index.region_query((0, 0), 4) == [0]
+
+    def test_radius_boundary_inclusive(self):
+        index = BruteForceIndex([(0, 0), (3, 4)])
+        assert index.region_query((0, 0), 25) == [0, 1]
+        assert index.region_query((0, 0), 24) == [0]
+
+    def test_empty(self):
+        assert BruteForceIndex([]).region_query((0, 0), 100) == []
+
+
+class TestGridIndex:
+    def test_wrong_eps_rejected(self):
+        index = GridIndex([(0, 0)], eps_squared=25)
+        with pytest.raises(ValueError, match="built for"):
+            index.region_query((0, 0), 16)
+
+    def test_negative_eps_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            GridIndex([(0, 0)], eps_squared=-1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(points_strategy, st.integers(min_value=0, max_value=40000),
+           st.integers(min_value=0, max_value=1000))
+    def test_agrees_with_brute_force(self, points, eps_squared, seed):
+        brute = BruteForceIndex(points)
+        grid = GridIndex(points, eps_squared)
+        rng = random.Random(seed)
+        center = points[rng.randrange(len(points))]
+        assert grid.region_query(center, eps_squared) \
+            == brute.region_query(center, eps_squared)
+
+    @settings(max_examples=20, deadline=None)
+    @given(points_strategy)
+    def test_agrees_on_offgrid_centers(self, points):
+        eps_squared = 10000
+        brute = BruteForceIndex(points)
+        grid = GridIndex(points, eps_squared)
+        for center in [(-1000, -1000), (0, 0), (501, 499)]:
+            assert grid.region_query(center, eps_squared) \
+                == brute.region_query(center, eps_squared)
+
+    def test_three_dimensional(self):
+        points = [(0, 0, 0), (1, 1, 1), (100, 100, 100)]
+        grid = GridIndex(points, eps_squared=3)
+        assert grid.region_query((0, 0, 0), 3) == [0, 1]

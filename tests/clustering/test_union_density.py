@@ -1,0 +1,109 @@
+"""Tests for the union-density per-party semantics (Algorithm 3/4 model)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering.dbscan import dbscan
+from repro.clustering.labels import NOISE, UNCLASSIFIED
+from repro.clustering.union_density import union_density_dbscan
+
+points_strategy = st.lists(
+    st.tuples(st.integers(min_value=-50, max_value=50),
+              st.integers(min_value=-50, max_value=50)),
+    min_size=1, max_size=25)
+
+
+class TestBasicBehaviour:
+    def test_no_other_points_reduces_to_dbscan(self):
+        points = [(0, 0), (1, 0), (2, 0), (50, 50)]
+        result = union_density_dbscan(points, [], eps_squared=1, min_pts=2)
+        assert result.labels.as_tuple() \
+            == dbscan(points, eps_squared=1, min_pts=2).as_tuple()
+
+    def test_peer_density_promotes_core(self):
+        """A lone own-point becomes core thanks to peer support."""
+        own = [(0, 0)]
+        other = [(1, 0), (0, 1), (-1, 0)]
+        result = union_density_dbscan(own, other, eps_squared=1, min_pts=4)
+        assert result.labels.as_tuple() == (1,)
+        assert result.core_flags == (True,)
+        assert result.other_neighbor_counts == (3,)
+
+    def test_no_expansion_through_peer_points(self):
+        """Two own points bridged ONLY by peer density stay separate --
+        the defining divergence from centralized DBSCAN."""
+        own = [(0, 0), (10, 0)]
+        other = [(2, 0), (4, 0), (5, 0), (6, 0), (8, 0),
+                 (1, 0), (3, 0), (7, 0), (9, 0)]
+        eps_squared = 4  # eps = 2
+        result = union_density_dbscan(own, other, eps_squared, min_pts=3)
+        # Each own point is core (peer support) but they are 10 apart.
+        assert result.core_flags == (True, True)
+        labels = result.labels.as_tuple()
+        assert labels[0] != labels[1]
+        # Centralized DBSCAN on the union merges everything into one.
+        joint = dbscan(own + other, eps_squared, 3)
+        assert joint.as_tuple()[0] == joint.as_tuple()[1]
+
+    def test_counts_include_self(self):
+        result = union_density_dbscan([(0, 0)], [], eps_squared=1, min_pts=1)
+        assert result.own_neighbor_counts == (1,)
+
+    def test_min_pts_validation(self):
+        with pytest.raises(ValueError, match="min_pts"):
+            union_density_dbscan([(0, 0)], [], eps_squared=1, min_pts=0)
+
+
+class TestInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(points_strategy, points_strategy,
+           st.integers(min_value=1, max_value=100),
+           st.integers(min_value=1, max_value=5))
+    def test_no_unclassified(self, own, other, eps_squared, min_pts):
+        result = union_density_dbscan(own, other, eps_squared, min_pts)
+        assert UNCLASSIFIED not in result.labels.as_tuple()
+
+    @settings(max_examples=40, deadline=None)
+    @given(points_strategy, points_strategy,
+           st.integers(min_value=1, max_value=100),
+           st.integers(min_value=1, max_value=5))
+    def test_core_flags_match_counts(self, own, other, eps_squared, min_pts):
+        result = union_density_dbscan(own, other, eps_squared, min_pts)
+        for own_count, other_count, flag in zip(
+                result.own_neighbor_counts, result.other_neighbor_counts,
+                result.core_flags):
+            assert flag == (own_count + other_count >= min_pts)
+
+    @settings(max_examples=40, deadline=None)
+    @given(points_strategy, points_strategy,
+           st.integers(min_value=1, max_value=100),
+           st.integers(min_value=1, max_value=5))
+    def test_core_points_clustered(self, own, other, eps_squared, min_pts):
+        result = union_density_dbscan(own, other, eps_squared, min_pts)
+        for index, flag in enumerate(result.core_flags):
+            if flag:
+                assert result.labels[index] != NOISE
+
+    @settings(max_examples=40, deadline=None)
+    @given(points_strategy,
+           st.integers(min_value=1, max_value=100),
+           st.integers(min_value=1, max_value=5))
+    def test_reduces_to_dbscan_property(self, own, eps_squared, min_pts):
+        result = union_density_dbscan(own, [], eps_squared, min_pts)
+        assert result.labels.as_tuple() \
+            == dbscan(own, eps_squared, min_pts).as_tuple()
+
+    @settings(max_examples=30, deadline=None)
+    @given(points_strategy, points_strategy,
+           st.integers(min_value=1, max_value=100),
+           st.integers(min_value=1, max_value=5))
+    def test_more_peer_support_never_loses_members(self, own, other,
+                                                   eps_squared, min_pts):
+        """Monotonicity: adding peer points can only turn noise into
+        cluster members, never the reverse."""
+        sparse = union_density_dbscan(own, [], eps_squared, min_pts)
+        dense = union_density_dbscan(own, other, eps_squared, min_pts)
+        for before, after in zip(sparse.labels.as_tuple(),
+                                 dense.labels.as_tuple()):
+            if before != NOISE:
+                assert after != NOISE

@@ -1,0 +1,70 @@
+"""Shared fixtures: channels, parties, sessions, cached keys.
+
+Conventions used across the suite:
+
+- Crypto tests use 256-bit Paillier / 512-bit RSA keys via the
+  deterministic key cache (``key_seed``), so key generation cost is paid
+  once per session, not per test.
+- Clustering-layer tests that are not about cryptography use the
+  ``oracle`` comparison backend (the ideal functionality), which keeps
+  whole-protocol runs fast while exercising identical control flow.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.net.channel import Channel
+from repro.net.party import make_party_pair
+from repro.smc.session import SmcConfig, SmcSession
+
+
+@pytest.fixture
+def channel() -> Channel:
+    return Channel()
+
+
+@pytest.fixture
+def parties(channel):
+    return make_party_pair(channel, alice_seed=101, bob_seed=202)
+
+
+@pytest.fixture
+def bitwise_config() -> SmcConfig:
+    return SmcConfig(paillier_bits=256, comparison="bitwise", key_seed=11)
+
+
+@pytest.fixture
+def ympp_config() -> SmcConfig:
+    return SmcConfig(paillier_bits=256, rsa_bits=512, comparison="ympp",
+                     key_seed=12)
+
+
+@pytest.fixture
+def oracle_config() -> SmcConfig:
+    return SmcConfig(paillier_bits=256, comparison="oracle", key_seed=13)
+
+
+@pytest.fixture
+def bitwise_session(parties, bitwise_config) -> SmcSession:
+    alice, bob = parties
+    return SmcSession(alice, bob, bitwise_config)
+
+
+@pytest.fixture
+def ympp_session(parties, ympp_config) -> SmcSession:
+    alice, bob = parties
+    return SmcSession(alice, bob, ympp_config)
+
+
+@pytest.fixture
+def oracle_session(parties, oracle_config) -> SmcSession:
+    alice, bob = parties
+    return SmcSession(alice, bob, oracle_config)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xDB5CA)

@@ -1,0 +1,89 @@
+"""Tests for the one-call public API."""
+
+import random
+
+import pytest
+
+from repro.core.api import ApiError, ClusteringRun, cluster_partitioned
+from repro.core.config import ProtocolConfig
+from repro.data.dataset import Dataset
+from repro.data.partitioning import (
+    partition_arbitrary,
+    partition_horizontal,
+    partition_vertical,
+)
+from repro.smc.session import SmcConfig
+
+RECORDS = [(0, 0), (1, 0), (0, 1), (50, 50), (51, 50), (50, 51)]
+DATASET = Dataset.from_points(RECORDS)
+
+
+def _config(**kwargs) -> ProtocolConfig:
+    defaults = dict(eps=2.0, min_pts=2, scale=10,
+                    smc=SmcConfig(comparison="oracle", key_seed=140),
+                    alice_seed=9, bob_seed=10)
+    defaults.update(kwargs)
+    return ProtocolConfig(**defaults)
+
+
+class TestDispatch:
+    def test_horizontal(self):
+        run = cluster_partitioned(partition_horizontal(DATASET, 3),
+                                  _config())
+        assert run.variant == "horizontal"
+        assert len(run.alice_labels) == 3
+        assert len(run.bob_labels) == 3
+
+    def test_enhanced(self):
+        run = cluster_partitioned(partition_horizontal(DATASET, 3),
+                                  _config(), enhanced=True)
+        assert run.variant == "enhanced"
+
+    def test_vertical(self):
+        run = cluster_partitioned(partition_vertical(DATASET, 1), _config())
+        assert run.variant == "vertical"
+        assert run.alice_labels == run.bob_labels
+        assert len(run.alice_labels) == len(RECORDS)
+
+    def test_arbitrary(self):
+        partition = partition_arbitrary(DATASET, random.Random(1))
+        run = cluster_partitioned(partition, _config())
+        assert run.variant == "arbitrary"
+        assert run.alice_labels == run.bob_labels
+
+    def test_enhanced_only_for_horizontal(self):
+        with pytest.raises(ApiError, match="horizontal"):
+            cluster_partitioned(partition_vertical(DATASET, 1), _config(),
+                                enhanced=True)
+        partition = partition_arbitrary(DATASET, random.Random(1))
+        with pytest.raises(ApiError, match="horizontal"):
+            cluster_partitioned(partition, _config(), enhanced=True)
+
+    def test_unsupported_type(self):
+        with pytest.raises(ApiError, match="unsupported"):
+            cluster_partitioned([(1, 2)], _config())
+
+
+class TestRunMetadata:
+    def test_fields_populated(self):
+        run = cluster_partitioned(partition_horizontal(DATASET, 3),
+                                  _config())
+        assert isinstance(run, ClusteringRun)
+        assert run.elapsed_seconds > 0
+        assert run.comparisons >= 0
+        assert "total_bytes" in run.stats
+        assert run.ledger.events
+
+    def test_vertical_and_horizontal_agree_on_clear_geometry(self):
+        """With well-separated clusters, the per-party horizontal labels
+        agree with the joint vertical clustering on each party's subset."""
+        config = _config()
+        horizontal = cluster_partitioned(partition_horizontal(DATASET, 3),
+                                         config)
+        vertical = cluster_partitioned(partition_vertical(DATASET, 1),
+                                       config)
+        from repro.clustering.labels import canonicalize
+        assert canonicalize(horizontal.alice_labels) \
+            == canonicalize(vertical.alice_labels[:3])
+        assert canonicalize(horizontal.bob_labels) \
+            == canonicalize(vertical.alice_labels[3:])

@@ -1,0 +1,87 @@
+"""Tests for the arbitrary-partition protocol (Section 4.4)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering.dbscan import dbscan
+from repro.clustering.labels import canonicalize
+from repro.core.arbitrary import run_arbitrary_dbscan
+from repro.core.config import ProtocolConfig
+from repro.data.dataset import Dataset
+from repro.data.partitioning import (
+    partition_arbitrary,
+    partition_from_masks,
+)
+from repro.smc.session import SmcConfig
+
+
+def _config(backend="oracle", **kwargs) -> ProtocolConfig:
+    defaults = dict(eps=1.0, min_pts=3, scale=10,
+                    smc=SmcConfig(comparison=backend, key_seed=120,
+                                  mask_sigma=8),
+                    alice_seed=5, bob_seed=6)
+    defaults.update(kwargs)
+    return ProtocolConfig(**defaults)
+
+
+records_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=40),
+              st.integers(min_value=0, max_value=40)),
+    min_size=2, max_size=12)
+
+
+class TestAgainstCentralized:
+    @settings(max_examples=20, deadline=None)
+    @given(records_strategy, st.integers(min_value=1, max_value=4),
+           st.floats(min_value=0.0, max_value=1.0),
+           st.integers(min_value=0, max_value=1000))
+    def test_random_partitions(self, records, min_pts, shared_fraction,
+                               seed):
+        dataset = Dataset.from_points(records)
+        partition = partition_arbitrary(dataset, random.Random(seed),
+                                        shared_fraction=shared_fraction)
+        config = _config(min_pts=min_pts)
+        result = run_arbitrary_dbscan(partition, config)
+        reference = dbscan(list(dataset.records), config.eps_squared,
+                           config.min_pts)
+        assert canonicalize(result.labels) \
+            == canonicalize(reference.as_tuple())
+
+    def test_figure_4_example_shape(self):
+        """Two records, four attributes, mixed ownership as in Figure 4."""
+        dataset = Dataset.from_points([(1, 2, 3, 4), (5, 6, 7, 8)])
+        partition = partition_from_masks(dataset, [
+            ("alice", "bob", "alice", "alice"),
+            ("alice", "bob", "bob", "bob"),
+        ])
+        config = _config(min_pts=1, eps=10.0)
+        result = run_arbitrary_dbscan(partition, config)
+        reference = dbscan(list(dataset.records), config.eps_squared, 1)
+        assert canonicalize(result.labels) \
+            == canonicalize(reference.as_tuple())
+
+
+class TestWithRealCrypto:
+    def test_mixed_ownership(self):
+        dataset = Dataset.from_points([(0, 0), (1, 0), (0, 1), (50, 50)])
+        partition = partition_from_masks(dataset, [
+            ("alice", "alice"), ("bob", "bob"),
+            ("alice", "bob"), ("bob", "alice"),
+        ])
+        config = _config(backend="bitwise", min_pts=3, eps=2.0)
+        result = run_arbitrary_dbscan(partition, config)
+        reference = dbscan(list(dataset.records), config.eps_squared, 3)
+        assert canonicalize(result.labels) \
+            == canonicalize(reference.as_tuple())
+
+    def test_degenerate_vertical_and_horizontal_mixes(self):
+        dataset = Dataset.from_points([(0, 0), (1, 1), (30, 30)])
+        for shared_fraction in (0.0, 1.0):
+            partition = partition_arbitrary(dataset, random.Random(4),
+                                            shared_fraction=shared_fraction)
+            config = _config(backend="bitwise", min_pts=2, eps=2.0)
+            result = run_arbitrary_dbscan(partition, config)
+            reference = dbscan(list(dataset.records), config.eps_squared, 2)
+            assert canonicalize(result.labels) \
+                == canonicalize(reference.as_tuple())

@@ -1,0 +1,34 @@
+"""Tests for protocol configuration."""
+
+import pytest
+
+from repro.core.config import ConfigError, ProtocolConfig
+
+
+class TestProtocolConfig:
+    def test_eps_squared(self):
+        config = ProtocolConfig(eps=1.0, min_pts=3, scale=100)
+        assert config.eps_squared == 10000
+
+    def test_eps_squared_fractional(self):
+        config = ProtocolConfig(eps=0.5, min_pts=3, scale=10)
+        assert config.eps_squared == 25
+
+    def test_validation(self):
+        with pytest.raises(ConfigError, match="eps"):
+            ProtocolConfig(eps=0.0, min_pts=3)
+        with pytest.raises(ConfigError, match="min_pts"):
+            ProtocolConfig(eps=1.0, min_pts=0)
+        with pytest.raises(ConfigError, match="selection"):
+            ProtocolConfig(eps=1.0, min_pts=3, selection="bogo")
+
+    def test_defaults(self):
+        config = ProtocolConfig(eps=1.0, min_pts=3)
+        assert config.selection == "scan"
+        assert config.blind_cross_sum is False
+        assert config.smc.comparison == "bitwise"
+
+    def test_frozen(self):
+        config = ProtocolConfig(eps=1.0, min_pts=3)
+        with pytest.raises(AttributeError):
+            config.eps = 2.0

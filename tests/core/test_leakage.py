@@ -1,0 +1,48 @@
+"""Tests for the leakage ledger."""
+
+from repro.core.leakage import Disclosure, LeakageLedger
+
+
+def _populated() -> LeakageLedger:
+    ledger = LeakageLedger()
+    ledger.record("hdp", "alice", Disclosure.NEIGHBOR_BIT)
+    ledger.record("hdp", "alice", Disclosure.NEIGHBOR_BIT)
+    ledger.record("hdp", "bob", Disclosure.DOT_PRODUCT, "masks sum to zero")
+    ledger.record("alg4", "alice", Disclosure.NEIGHBOR_COUNT, "count 3")
+    return ledger
+
+
+class TestLeakageLedger:
+    def test_counting(self):
+        ledger = _populated()
+        assert ledger.count(Disclosure.NEIGHBOR_BIT) == 2
+        assert ledger.count(Disclosure.NEIGHBOR_BIT, learner="alice") == 2
+        assert ledger.count(Disclosure.NEIGHBOR_BIT, learner="bob") == 0
+        assert ledger.count(Disclosure.CORE_BIT) == 0
+
+    def test_profile(self):
+        profile = _populated().profile()
+        assert profile == {"neighbor_bit": 2, "dot_product": 1,
+                           "neighbor_count": 1}
+
+    def test_learners(self):
+        assert _populated().learners() == {"alice", "bob"}
+
+    def test_extend(self):
+        left = _populated()
+        right = LeakageLedger()
+        right.record("x", "bob", Disclosure.CORE_BIT)
+        left.extend(right)
+        assert left.count(Disclosure.CORE_BIT) == 1
+
+    def test_event_details_preserved(self):
+        ledger = _populated()
+        dot_events = [e for e in ledger.events
+                      if e.disclosure is Disclosure.DOT_PRODUCT]
+        assert dot_events[0].detail == "masks sum to zero"
+        assert dot_events[0].protocol == "hdp"
+
+    def test_empty_ledger(self):
+        ledger = LeakageLedger()
+        assert ledger.profile() == {}
+        assert ledger.learners() == set()

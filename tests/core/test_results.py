@@ -1,0 +1,64 @@
+"""Tests for clustering-run serialization."""
+
+import pytest
+
+from repro.core.api import cluster_partitioned
+from repro.core.config import ProtocolConfig
+from repro.core.results import (
+    ResultSerializationError,
+    run_from_dict,
+    run_from_json,
+    run_to_dict,
+    run_to_json,
+)
+from repro.data.dataset import Dataset
+from repro.data.partitioning import partition_horizontal
+from repro.smc.session import SmcConfig
+
+
+def _sample_run():
+    dataset = Dataset.from_points([(0, 0), (1, 0), (0, 1), (50, 50)])
+    config = ProtocolConfig(eps=2.0, min_pts=2, scale=10,
+                            smc=SmcConfig(comparison="oracle", key_seed=240),
+                            alice_seed=1, bob_seed=2)
+    return cluster_partitioned(partition_horizontal(dataset, 2), config)
+
+
+class TestRoundTrip:
+    def test_dict_roundtrip(self):
+        run = _sample_run()
+        restored = run_from_dict(run_to_dict(run))
+        assert restored.variant == run.variant
+        assert restored.alice_labels == run.alice_labels
+        assert restored.bob_labels == run.bob_labels
+        assert restored.comparisons == run.comparisons
+        assert restored.ledger.profile() == run.ledger.profile()
+
+    def test_json_roundtrip(self):
+        run = _sample_run()
+        restored = run_from_json(run_to_json(run))
+        assert restored.alice_labels == run.alice_labels
+        assert restored.stats["total_bytes"] == run.stats["total_bytes"]
+
+    def test_json_is_plain(self):
+        import json
+        payload = run_to_json(_sample_run(), indent=2)
+        parsed = json.loads(payload)
+        assert "ledger" in parsed
+        assert isinstance(parsed["ledger"], list)
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(ResultSerializationError, match="invalid JSON"):
+            run_from_json("{not json")
+
+    def test_missing_fields(self):
+        with pytest.raises(ResultSerializationError, match="malformed"):
+            run_from_dict({"variant": "horizontal"})
+
+    def test_unknown_disclosure_kind(self):
+        data = run_to_dict(_sample_run())
+        data["ledger"][0]["disclosure"] = "telepathy"
+        with pytest.raises(ResultSerializationError, match="malformed"):
+            run_from_dict(data)

@@ -1,0 +1,112 @@
+"""Tests for the Definition 5 simulation harness (Lemmas 7, 8)."""
+
+import random
+
+import pytest
+
+from repro.core.simulators import (
+    KsReport,
+    ks_two_sample,
+    real_hdp_term_samples,
+    real_masker_view_samples,
+    real_receiver_output_samples,
+    simulated_hdp_term_samples,
+    simulated_masker_view_samples,
+    simulated_receiver_output_samples,
+)
+from repro.crypto.keycache import cached_paillier_keypair
+from repro.smc.session import SmcConfig
+
+CONFIG = SmcConfig(paillier_bits=256, key_seed=150, mask_sigma=16)
+
+
+class TestKsMachinery:
+    def test_identical_samples_pass(self):
+        values = [i / 100 for i in range(100)]
+        report = ks_two_sample(values, list(values))
+        assert report.statistic == 0.0
+        assert report.indistinguishable()
+
+    def test_disjoint_samples_fail(self):
+        left = [i / 100 for i in range(100)]
+        right = [1.0 + i / 100 for i in range(100)]
+        report = ks_two_sample(left, right)
+        assert report.statistic == 1.0
+        assert not report.indistinguishable()
+
+    def test_same_distribution_passes(self):
+        rng = random.Random(0)
+        left = [rng.random() for _ in range(400)]
+        right = [rng.random() for _ in range(400)]
+        assert ks_two_sample(left, right).indistinguishable()
+
+    def test_shifted_distribution_fails(self):
+        rng = random.Random(1)
+        left = [rng.random() for _ in range(400)]
+        right = [rng.random() * 0.5 for _ in range(400)]
+        assert not ks_two_sample(left, right).indistinguishable()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ks_two_sample([], [1.0])
+
+    def test_report_fields(self):
+        report = ks_two_sample([0.1, 0.2], [0.1, 0.3])
+        assert isinstance(report, KsReport)
+        assert report.samples == 2
+        assert 0.0 <= report.p_value <= 1.0
+
+
+class TestLemma7Simulators:
+    """Multiplication Protocol views vs their simulators."""
+
+    def test_masker_view_indistinguishable(self):
+        real = real_masker_view_samples(60, x=37, y=11, config=CONFIG)
+        keys = cached_paillier_keypair(256, 2 * CONFIG.key_seed)
+        simulated = simulated_masker_view_samples(
+            60, keys, random.Random(5))
+        assert ks_two_sample(real, simulated).indistinguishable()
+
+    def test_masker_view_depends_not_on_x(self):
+        """Views for two different x values are themselves
+        indistinguishable -- the ciphertext hides the operand."""
+        for_x1 = real_masker_view_samples(60, x=1, y=2, config=CONFIG)
+        for_x2 = real_masker_view_samples(60, x=999999, y=2, config=CONFIG,
+                                          seed=10_000)
+        assert ks_two_sample(for_x1, for_x2).indistinguishable()
+
+    def test_receiver_output_simulatable(self):
+        mask_bound = 1 << 24
+        real = real_receiver_output_samples(
+            120, x=3, y=41, mask_bound=mask_bound, config=CONFIG)
+        simulated = simulated_receiver_output_samples(
+            120, x=3, y_bound=100, mask_bound=mask_bound,
+            rng=random.Random(8))
+        # With mask_bound >> x*y both are ~uniform over the mask range.
+        assert ks_two_sample(real, simulated).indistinguishable(alpha=0.001)
+
+
+class TestLemma8Simulators:
+    """Protocol HDP's peer view vs the Lemma 8 simulator."""
+
+    def test_masked_terms_indistinguishable_from_uniform(self):
+        real = real_hdp_term_samples(
+            40, querier_point=(7, -3, 12), peer_point=(2, 9, -5),
+            value_bound=1000, config=CONFIG)
+        simulated = simulated_hdp_term_samples(
+            40, dimensions=3, value_bound=1000, config=CONFIG,
+            rng=random.Random(13))
+        assert ks_two_sample(real, simulated).indistinguishable()
+
+    def test_broken_masking_detected(self):
+        """Sanity check that the harness has teeth: masks drawn from a
+        range not covering the products fail the KS test."""
+        weak_config = SmcConfig(paillier_bits=256, key_seed=150,
+                                mask_sigma=0)
+        real = real_hdp_term_samples(
+            40, querier_point=(1000, 1000), peer_point=(1000, 1000),
+            value_bound=1, config=weak_config)
+        simulated = simulated_hdp_term_samples(
+            40, dimensions=2, value_bound=1, config=weak_config,
+            rng=random.Random(14))
+        assert not ks_two_sample(real, simulated).indistinguishable()

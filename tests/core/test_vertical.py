@@ -1,0 +1,85 @@
+"""Tests for the vertical protocol (Algorithms 5 + 6).
+
+Binding property: exact agreement with centralized DBSCAN on the joint
+database.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering.dbscan import dbscan
+from repro.clustering.labels import canonicalize
+from repro.core.config import ProtocolConfig
+from repro.core.leakage import Disclosure
+from repro.core.vertical import run_vertical_dbscan
+from repro.data.dataset import Dataset
+from repro.data.partitioning import partition_vertical
+from repro.smc.session import SmcConfig
+
+
+def _config(backend="oracle", **kwargs) -> ProtocolConfig:
+    defaults = dict(eps=1.0, min_pts=3, scale=10,
+                    smc=SmcConfig(comparison=backend, key_seed=110,
+                                  mask_sigma=8),
+                    alice_seed=3, bob_seed=4)
+    defaults.update(kwargs)
+    return ProtocolConfig(**defaults)
+
+
+records_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=40),
+              st.integers(min_value=0, max_value=40),
+              st.integers(min_value=0, max_value=40)),
+    min_size=2, max_size=14)
+
+
+class TestAgainstCentralized:
+    @settings(max_examples=25, deadline=None)
+    @given(records_strategy, st.integers(min_value=1, max_value=4),
+           st.integers(min_value=1, max_value=2))
+    def test_random_geometries(self, records, min_pts, alice_attrs):
+        dataset = Dataset.from_points(records)
+        partition = partition_vertical(dataset, alice_attrs)
+        config = _config(min_pts=min_pts)
+        result = run_vertical_dbscan(partition, config)
+        reference = dbscan(list(dataset.records), config.eps_squared,
+                           config.min_pts)
+        assert canonicalize(result.labels) \
+            == canonicalize(reference.as_tuple())
+
+    def test_known_clusters(self):
+        records = [(0, 0, 0), (1, 0, 0), (0, 1, 0),
+                   (100, 100, 100), (101, 100, 100), (100, 101, 100)]
+        partition = partition_vertical(Dataset.from_points(records), 1)
+        config = _config(min_pts=2, eps=2.0)
+        result = run_vertical_dbscan(partition, config)
+        assert canonicalize(result.labels) == (1, 1, 1, 2, 2, 2)
+
+
+class TestWithRealCrypto:
+    def test_small_geometry(self):
+        records = [(0, 0), (1, 0), (0, 1), (50, 50)]
+        partition = partition_vertical(Dataset.from_points(records), 1)
+        config = _config(backend="bitwise", min_pts=3, eps=2.0)
+        result = run_vertical_dbscan(partition, config)
+        reference = dbscan(records, config.eps_squared, config.min_pts)
+        assert canonicalize(result.labels) \
+            == canonicalize(reference.as_tuple())
+        assert result.stats["total_bytes"] > 0
+
+
+class TestCostShape:
+    def test_quadratic_comparison_count(self):
+        """Sec 4.3.2: every point queried once, n-1 comparisons each."""
+        records = [(100 * i, 0) for i in range(6)]  # all isolated
+        partition = partition_vertical(Dataset.from_points(records), 1)
+        result = run_vertical_dbscan(partition, _config(min_pts=2))
+        assert result.comparisons == 6 * 5
+
+    def test_both_parties_learn_counts(self):
+        records = [(0, 0), (1, 0), (40, 40)]
+        partition = partition_vertical(Dataset.from_points(records), 1)
+        result = run_vertical_dbscan(partition, _config(min_pts=2))
+        assert result.ledger.count(Disclosure.NEIGHBOR_COUNT,
+                                   learner="alice") > 0
+        assert result.ledger.count(Disclosure.NEIGHBOR_COUNT,
+                                   learner="bob") > 0

@@ -1,0 +1,107 @@
+"""Tests for fixed-point and signed encodings."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.crypto.encoding import (
+    EncodingError,
+    FixedPointEncoder,
+    SignedEncoder,
+)
+
+
+class TestFixedPointEncoder:
+    def test_basic_quantization(self):
+        encoder = FixedPointEncoder(100)
+        assert encoder.encode(1.25) == 125
+        assert encoder.encode(-0.335) == -34  # round half away handled by round()
+        assert encoder.decode(125) == 1.25
+
+    def test_scale_one(self):
+        encoder = FixedPointEncoder(1)
+        assert encoder.encode(3.4) == 3
+
+    def test_invalid_scale(self):
+        with pytest.raises(EncodingError, match="scale"):
+            FixedPointEncoder(0)
+
+    def test_encode_point(self):
+        encoder = FixedPointEncoder(10)
+        assert encoder.encode_point((1.0, -2.5)) == (10, -25)
+
+    def test_eps_squared_exact_grid(self):
+        encoder = FixedPointEncoder(100)
+        # eps = 1.0 -> threshold (100)^2 = 10000.
+        assert encoder.encode_eps_squared(1.0) == 10000
+
+    def test_eps_squared_fractional(self):
+        encoder = FixedPointEncoder(100)
+        assert encoder.encode_eps_squared(0.25) == 625
+
+    @given(st.floats(min_value=-1000, max_value=1000, allow_nan=False))
+    def test_roundtrip_error_bounded(self, value):
+        encoder = FixedPointEncoder(100)
+        decoded = encoder.decode(encoder.encode(value))
+        assert abs(decoded - value) <= 0.5 / 100 + 1e-9
+
+    @given(st.integers(min_value=-10**6, max_value=10**6))
+    def test_grid_values_roundtrip_exactly(self, grid_value):
+        encoder = FixedPointEncoder(100)
+        assert encoder.encode(grid_value / 100) == grid_value
+
+    def test_max_squared_distance_bound(self):
+        encoder = FixedPointEncoder(10)
+        # coords within +/-5.0 -> per axis diff <= 100 grid steps.
+        bound = encoder.max_squared_distance(5.0, 2)
+        assert bound == 2 * 100 * 100
+
+    def test_max_squared_distance_is_an_upper_bound(self):
+        encoder = FixedPointEncoder(10)
+        bound = encoder.max_squared_distance(5.0, 2)
+        a = encoder.encode_point((5.0, 5.0))
+        b = encoder.encode_point((-5.0, -5.0))
+        actual = sum((x - y) ** 2 for x, y in zip(a, b))
+        assert actual <= bound
+
+    def test_bad_dimensions(self):
+        with pytest.raises(EncodingError, match="dimensions"):
+            FixedPointEncoder(10).max_squared_distance(1.0, 0)
+
+
+class TestSignedEncoder:
+    def test_roundtrip(self):
+        encoder = SignedEncoder(1009)
+        for value in (-504, -1, 0, 1, 504):
+            assert encoder.decode(encoder.encode(value)) == value
+
+    def test_overflow_raises(self):
+        encoder = SignedEncoder(1009)
+        with pytest.raises(EncodingError, match="capacity"):
+            encoder.encode(505)
+
+    def test_decode_range_check(self):
+        encoder = SignedEncoder(1009)
+        with pytest.raises(EncodingError, match="outside"):
+            encoder.decode(1009)
+
+    def test_small_modulus_rejected(self):
+        with pytest.raises(EncodingError, match="too small"):
+            SignedEncoder(2)
+
+    @given(st.integers(min_value=3, max_value=10**9), st.data())
+    def test_roundtrip_property(self, modulus, data):
+        encoder = SignedEncoder(modulus)
+        value = data.draw(st.integers(min_value=-encoder.half_range,
+                                      max_value=encoder.half_range))
+        encoded = encoder.encode(value)
+        assert 0 <= encoded < modulus
+        assert encoder.decode(encoded) == value
+
+    @given(st.integers(min_value=3, max_value=10**6), st.data())
+    def test_addition_mod_n_matches_integer_addition(self, modulus, data):
+        encoder = SignedEncoder(modulus)
+        quarter = encoder.half_range // 2
+        a = data.draw(st.integers(min_value=-quarter, max_value=quarter))
+        b = data.draw(st.integers(min_value=-quarter, max_value=quarter))
+        total = (encoder.encode(a) + encoder.encode(b)) % modulus
+        assert encoder.decode(total) == a + b

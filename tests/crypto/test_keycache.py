@@ -1,0 +1,30 @@
+"""Tests for the deterministic key cache."""
+
+from repro.crypto.keycache import cached_paillier_keypair, cached_rsa_keypair
+
+
+class TestKeyCache:
+    def test_same_arguments_same_object(self):
+        assert cached_paillier_keypair(256, 1) is cached_paillier_keypair(256, 1)
+        assert cached_rsa_keypair(512, 1) is cached_rsa_keypair(512, 1)
+
+    def test_different_seeds_different_keys(self):
+        a = cached_paillier_keypair(256, 2)
+        b = cached_paillier_keypair(256, 3)
+        assert a.public_key.n != b.public_key.n
+
+    def test_different_sizes_different_keys(self):
+        a = cached_paillier_keypair(128, 4)
+        b = cached_paillier_keypair(256, 4)
+        assert a.public_key.bits < b.public_key.bits
+
+    def test_rsa_and_paillier_independent(self):
+        rsa = cached_rsa_keypair(256, 5)
+        paillier = cached_paillier_keypair(256, 5)
+        assert rsa.public_key.n != paillier.public_key.n
+
+    def test_cached_keys_work(self):
+        import random
+        keys = cached_paillier_keypair(256, 6)
+        cipher = keys.public_key.encrypt(777, random.Random(0))
+        assert keys.private_key.decrypt(cipher) == 777

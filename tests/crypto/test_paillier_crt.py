@@ -1,0 +1,64 @@
+"""Tests for CRT-accelerated Paillier decryption."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.keycache import cached_paillier_keypair
+from repro.crypto.paillier import generate_paillier_keypair
+
+KEYS = cached_paillier_keypair(256, 905)
+RNG = random.Random(77)
+
+
+class TestCrtDecryption:
+    def test_constants_present(self):
+        assert KEYS.private_key.hp is not None
+        assert KEYS.private_key.hq is not None
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**120))
+    def test_matches_standard_path(self, message):
+        cipher = KEYS.public_key.encrypt(message, RNG)
+        assert KEYS.private_key.decrypt_raw(cipher.value) \
+            == KEYS.private_key.decrypt_raw_standard(cipher.value)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**100),
+           st.integers(min_value=0, max_value=2**20))
+    def test_matches_after_homomorphic_ops(self, m1, m2):
+        combined = (KEYS.public_key.encrypt(m1, RNG) * 3 + m2)
+        assert KEYS.private_key.decrypt_raw(combined.value) \
+            == KEYS.private_key.decrypt_raw_standard(combined.value)
+
+    def test_random_g_keys_also_crt(self):
+        keys = generate_paillier_keypair(128, random.Random(8),
+                                         random_g=True)
+        for message in (0, 1, 12345, keys.public_key.n - 1):
+            cipher = keys.public_key.encrypt(message, random.Random(9))
+            assert keys.private_key.decrypt(cipher) == message
+            assert keys.private_key.decrypt_raw_standard(cipher.value) \
+                == message
+
+    def test_crt_is_faster(self):
+        """Not a strict perf assertion -- just that CRT never regresses
+        past the standard path on a batch (generous 1.5x allowance for
+        scheduler noise)."""
+        import time
+        keys = cached_paillier_keypair(512, 906)
+        ciphers = [keys.public_key.encrypt(i * 999983, RNG).value
+                   for i in range(40)]
+        started = time.perf_counter()
+        crt_results = [keys.private_key.decrypt_raw(c) for c in ciphers]
+        crt_elapsed = time.perf_counter() - started
+        started = time.perf_counter()
+        std_results = [keys.private_key.decrypt_raw_standard(c)
+                       for c in ciphers]
+        std_elapsed = time.perf_counter() - started
+        assert crt_results == std_results
+        assert crt_elapsed < 1.5 * std_elapsed
+
+    def test_tampered_ciphertext_still_defined(self):
+        cipher = KEYS.public_key.encrypt(42, RNG)
+        garbage = KEYS.private_key.decrypt_raw(cipher.value ^ 3)
+        assert 0 <= garbage < KEYS.public_key.n

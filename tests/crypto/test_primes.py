@@ -1,0 +1,87 @@
+"""Tests for Miller-Rabin prime generation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.primes import (
+    generate_distinct_primes,
+    generate_prime,
+    is_probable_prime,
+    random_prime_in_range,
+)
+
+_KNOWN_PRIMES = [2, 3, 5, 7, 11, 101, 997, 7919, 104729, 2 ** 31 - 1]
+_KNOWN_COMPOSITES = [1, 4, 9, 15, 100, 561, 1105, 6601, 2 ** 31 - 3,
+                     7919 * 104729]
+# Carmichael numbers (561, 1105, 6601) specifically stress Miller-Rabin.
+
+
+class TestIsProbablePrime:
+    @pytest.mark.parametrize("prime", _KNOWN_PRIMES)
+    def test_accepts_primes(self, prime):
+        assert is_probable_prime(prime, random.Random(1))
+
+    @pytest.mark.parametrize("composite", _KNOWN_COMPOSITES)
+    def test_rejects_composites(self, composite):
+        assert not is_probable_prime(composite, random.Random(1))
+
+    def test_rejects_below_two(self):
+        assert not is_probable_prime(0)
+        assert not is_probable_prime(1)
+        assert not is_probable_prime(-7)
+
+    @given(st.integers(min_value=2, max_value=3000))
+    def test_agrees_with_trial_division(self, candidate):
+        by_trial = all(candidate % d for d in range(2, int(candidate ** 0.5) + 1))
+        assert is_probable_prime(candidate, random.Random(0)) == by_trial
+
+
+class TestGeneratePrime:
+    def test_exact_bit_length(self):
+        rng = random.Random(7)
+        for bits in (16, 32, 64, 128):
+            prime = generate_prime(bits, rng)
+            assert prime.bit_length() == bits
+            assert is_probable_prime(prime, rng)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError, match="too small"):
+            generate_prime(4, random.Random(0))
+
+    def test_deterministic_under_seed(self):
+        assert (generate_prime(64, random.Random(3))
+                == generate_prime(64, random.Random(3)))
+
+    def test_top_two_bits_set(self):
+        # Guarantees products of two such primes have exactly 2*bits bits.
+        rng = random.Random(11)
+        for _ in range(5):
+            prime = generate_prime(32, rng)
+            assert prime >> 30 == 0b11
+
+
+class TestGenerateDistinctPrimes:
+    def test_distinct(self):
+        p, q = generate_distinct_primes(32, random.Random(5))
+        assert p != q
+        assert is_probable_prime(p) and is_probable_prime(q)
+
+    def test_product_bit_length(self):
+        p, q = generate_distinct_primes(64, random.Random(9))
+        assert (p * q).bit_length() == 128
+
+
+class TestRandomPrimeInRange:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=100, max_value=10**6))
+    def test_in_range(self, low):
+        high = low * 2
+        prime = random_prime_in_range(low, high, random.Random(low))
+        assert low <= prime < high
+        assert is_probable_prime(prime)
+
+    def test_empty_range_raises(self):
+        with pytest.raises(ValueError, match="empty range"):
+            random_prime_in_range(100, 100, random.Random(0))

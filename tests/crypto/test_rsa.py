@@ -1,0 +1,57 @@
+"""Tests for the textbook RSA used inside YMPP."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.keycache import cached_rsa_keypair
+from repro.crypto.rsa import RsaError, generate_rsa_keypair
+
+KEYS = cached_rsa_keypair(512, 800)
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self):
+        assert KEYS.public_key.bits in (511, 512)
+
+    def test_public_exponent(self):
+        assert KEYS.public_key.e == 65537
+
+    def test_too_small_raises(self):
+        with pytest.raises(RsaError, match="too small"):
+            generate_rsa_keypair(32, random.Random(0))
+
+    def test_deterministic_under_seed(self):
+        a = generate_rsa_keypair(128, random.Random(4))
+        b = generate_rsa_keypair(128, random.Random(4))
+        assert a.public_key.n == b.public_key.n
+
+
+class TestEncryptDecrypt:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**256))
+    def test_roundtrip(self, message):
+        message %= KEYS.public_key.n
+        assert KEYS.private_key.decrypt(
+            KEYS.public_key.encrypt(message)) == message
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(RsaError, match="outside"):
+            KEYS.public_key.encrypt(KEYS.public_key.n)
+
+    def test_decrypt_arbitrary_group_elements(self):
+        # YMPP decrypts shifted ciphertexts that were never produced by
+        # encrypt(); raw RSA must be a permutation of Z_n.
+        n = KEYS.public_key.n
+        seen = {KEYS.private_key.decrypt(value)
+                for value in (0, 1, 2, n - 1, 12345)}
+        assert len(seen) == 5
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**128))
+    def test_permutation_property(self, value):
+        # decrypt(encrypt(x)) == x and encrypt(decrypt(y)) == y.
+        value %= KEYS.public_key.n
+        assert KEYS.public_key.encrypt(
+            KEYS.private_key.decrypt(value)) == value

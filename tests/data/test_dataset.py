@@ -1,0 +1,41 @@
+"""Tests for the Dataset container."""
+
+import pytest
+
+from repro.data.dataset import Dataset, DatasetError
+
+
+class TestDataset:
+    def test_from_points(self):
+        dataset = Dataset.from_points([(1, 2), (3, 4)])
+        assert dataset.size == 2
+        assert dataset.dimensions == 2
+        assert dataset[1] == (3, 4)
+
+    def test_iteration(self):
+        dataset = Dataset.from_points([(1,), (2,)])
+        assert list(dataset) == [(1,), (2,)]
+
+    def test_ragged_rejected(self):
+        with pytest.raises(DatasetError, match="attributes"):
+            Dataset.from_points([(1, 2), (3,)])
+
+    def test_empty_allowed_but_dimensionless(self):
+        dataset = Dataset.from_points([])
+        assert dataset.size == 0
+        with pytest.raises(DatasetError, match="empty"):
+            __ = dataset.dimensions
+
+    def test_max_abs_coordinate(self):
+        dataset = Dataset.from_points([(1, -9), (3, 4)])
+        assert dataset.max_abs_coordinate() == 9
+
+    def test_max_abs_of_empty(self):
+        assert Dataset.from_points([]).max_abs_coordinate() == 0
+
+    def test_lists_coerced_to_tuples(self):
+        dataset = Dataset.from_points([[1, 2], [3, 4]])
+        assert dataset[0] == (1, 2)
+
+    def test_len(self):
+        assert len(Dataset.from_points([(0,)])) == 1

@@ -1,0 +1,145 @@
+"""Tests for the three partition models (Figures 2-4)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.dataset import Dataset
+from repro.data.partitioning import (
+    ALICE,
+    BOB,
+    ArbitraryPartition,
+    HorizontalPartition,
+    PartitionError,
+    VerticalPartition,
+    partition_arbitrary,
+    partition_from_masks,
+    partition_horizontal,
+    partition_vertical,
+)
+
+DATASET = Dataset.from_points([(1, 2, 3), (4, 5, 6), (7, 8, 9), (10, 11, 12)])
+
+
+class TestHorizontal:
+    def test_split(self):
+        partition = partition_horizontal(DATASET, 1)
+        assert partition.alice_points == ((1, 2, 3),)
+        assert len(partition.bob_points) == 3
+        assert partition.total_size == 4
+        assert partition.dimensions == 3
+
+    def test_merged_roundtrip(self):
+        partition = partition_horizontal(DATASET, 2)
+        assert partition.merged().records == DATASET.records
+
+    def test_out_of_range(self):
+        with pytest.raises(PartitionError, match="alice_count"):
+            partition_horizontal(DATASET, 5)
+
+    def test_inconsistent_widths_rejected(self):
+        with pytest.raises(PartitionError, match="inconsistent"):
+            HorizontalPartition(alice_points=((1, 2),),
+                                bob_points=((1, 2, 3),))
+
+    def test_empty_side_allowed(self):
+        partition = partition_horizontal(DATASET, 0)
+        assert partition.alice_points == ()
+
+    @given(st.integers(min_value=0, max_value=4))
+    def test_merge_preserves_everything(self, alice_count):
+        partition = partition_horizontal(DATASET, alice_count)
+        assert sorted(partition.merged().records) == sorted(DATASET.records)
+
+
+class TestVertical:
+    def test_split(self):
+        partition = partition_vertical(DATASET, 2)
+        assert partition.alice_columns == (0, 1)
+        assert partition.bob_columns == (2,)
+        assert partition.alice_records[0] == (1, 2)
+        assert partition.bob_records[0] == (3,)
+        assert partition.size == 4
+
+    def test_merged_roundtrip(self):
+        partition = partition_vertical(DATASET, 1)
+        assert partition.merged().records == DATASET.records
+
+    def test_both_parties_need_attributes(self):
+        with pytest.raises(PartitionError, match="both parties"):
+            partition_vertical(DATASET, 0)
+        with pytest.raises(PartitionError, match="both parties"):
+            partition_vertical(DATASET, 3)
+
+    def test_overlapping_columns_rejected(self):
+        with pytest.raises(PartitionError, match="overlap"):
+            VerticalPartition(alice_columns=(0, 1), bob_columns=(1, 2),
+                              alice_records=((1, 2),), bob_records=((2, 3),))
+
+    def test_record_count_mismatch_rejected(self):
+        with pytest.raises(PartitionError, match="record counts"):
+            VerticalPartition(alice_columns=(0,), bob_columns=(1,),
+                              alice_records=((1,), (2,)),
+                              bob_records=((1,),))
+
+
+class TestArbitrary:
+    def test_ownership_accessors(self):
+        partition = partition_from_masks(
+            DATASET, [(ALICE, BOB, ALICE)] * 4)
+        assert partition.owner_of(0, 0) == ALICE
+        assert partition.owner_of(0, 1) == BOB
+        assert partition.value_for(ALICE, 0, 0) == 1
+        with pytest.raises(PartitionError, match="does not own"):
+            partition.value_for(BOB, 0, 0)
+
+    def test_attributes_owned_by(self):
+        partition = partition_from_masks(DATASET, [(ALICE, BOB, ALICE)] * 4)
+        assert partition.attributes_owned_by(ALICE, 0) == [0, 2]
+        assert partition.attributes_owned_by(BOB, 0) == [1]
+
+    def test_fully_owned(self):
+        partition = partition_from_masks(
+            DATASET, [(ALICE,) * 3, (BOB,) * 3, (ALICE, BOB, ALICE),
+                      (BOB,) * 3])
+        assert partition.fully_owned_by(0) == ALICE
+        assert partition.fully_owned_by(1) == BOB
+        assert partition.fully_owned_by(2) is None
+
+    def test_unknown_owner_rejected(self):
+        with pytest.raises(PartitionError, match="unknown owner"):
+            partition_from_masks(DATASET, [("carol", ALICE, BOB)] * 4)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(PartitionError, match="owners"):
+            partition_from_masks(DATASET, [(ALICE, BOB)] * 4)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.integers(min_value=0, max_value=1000))
+    def test_random_partition_is_valid(self, shared_fraction, seed):
+        partition = partition_arbitrary(DATASET, random.Random(seed),
+                                        shared_fraction=shared_fraction)
+        assert partition.size == DATASET.size
+        assert partition.merged().records == DATASET.records
+        for record in range(partition.size):
+            for attribute in range(partition.dimensions):
+                assert partition.owner_of(record, attribute) in (ALICE, BOB)
+
+    def test_shared_fraction_one_splits_every_record(self):
+        partition = partition_arbitrary(DATASET, random.Random(0),
+                                        shared_fraction=1.0)
+        for record in range(partition.size):
+            assert partition.fully_owned_by(record) is None
+
+    def test_shared_fraction_zero_never_splits(self):
+        partition = partition_arbitrary(DATASET, random.Random(0),
+                                        shared_fraction=0.0)
+        for record in range(partition.size):
+            assert partition.fully_owned_by(record) is not None
+
+    def test_invalid_fraction(self):
+        with pytest.raises(PartitionError, match="shared_fraction"):
+            partition_arbitrary(DATASET, random.Random(0),
+                                shared_fraction=1.5)

@@ -1,0 +1,220 @@
+"""End-to-end integration: every protocol variant against its reference
+semantics over the paper-motivated workload shapes.
+
+Oracle-backend runs cover the full workload matrix cheaply; a bitwise
+(real crypto) run per variant guards the cryptographic path.
+"""
+
+import random
+
+import pytest
+
+from repro.clustering.dbscan import dbscan
+from repro.clustering.labels import canonicalize
+from repro.clustering.metrics import (
+    adjusted_rand_index,
+    noise_agreement,
+)
+from repro.clustering.union_density import union_density_dbscan
+from repro.core.api import cluster_partitioned
+from repro.core.config import ProtocolConfig
+from repro.data.dataset import Dataset
+from repro.data.generators import (
+    concentric_rings,
+    gaussian_blobs,
+    grid_clusters,
+    interleave_for_horizontal,
+    two_moons,
+    uniform_noise,
+)
+from repro.data.partitioning import (
+    HorizontalPartition,
+    partition_arbitrary,
+    partition_vertical,
+)
+from repro.smc.session import SmcConfig
+
+
+def _workloads():
+    rng = random.Random(7)
+    return {
+        "blobs": gaussian_blobs(rng, centers=[(0, 0), (6, 6), (0, 6)],
+                                points_per_blob=8, spread=0.4),
+        "moons": two_moons(rng, points_per_moon=12, noise=0.1),
+        "rings": concentric_rings(rng, points_per_ring=12, noise=0.08),
+        "grid": grid_clusters(clusters_per_side=2, cluster_size=3),
+        "noisy": (gaussian_blobs(rng, centers=[(0, 0)], points_per_blob=10,
+                                 spread=0.3)
+                  + uniform_noise(rng, count=6)),
+    }
+
+
+def _config(eps, min_pts, backend="oracle", **kwargs):
+    return ProtocolConfig(
+        eps=eps, min_pts=min_pts, scale=100,
+        smc=SmcConfig(comparison=backend, key_seed=160, mask_sigma=8),
+        alice_seed=11, bob_seed=12, **kwargs)
+
+
+WORKLOAD_PARAMS = {"blobs": (1.2, 4), "moons": (0.9, 3), "rings": (0.9, 3),
+                   "grid": (0.5, 3), "noisy": (1.0, 4)}
+
+
+class TestHorizontalAcrossWorkloads:
+    @pytest.mark.parametrize("name", list(WORKLOAD_PARAMS))
+    @pytest.mark.parametrize("enhanced", [False, True])
+    def test_matches_union_density(self, name, enhanced):
+        points = _workloads()[name]
+        eps, min_pts = WORKLOAD_PARAMS[name]
+        alice_pts, bob_pts = interleave_for_horizontal(
+            points, random.Random(3))
+        partition = HorizontalPartition(alice_points=tuple(alice_pts),
+                                        bob_points=tuple(bob_pts))
+        config = _config(eps, min_pts)
+        run = cluster_partitioned(partition, config, enhanced=enhanced)
+        ref_alice = union_density_dbscan(alice_pts, bob_pts,
+                                         config.eps_squared, min_pts)
+        ref_bob = union_density_dbscan(bob_pts, alice_pts,
+                                       config.eps_squared, min_pts)
+        assert canonicalize(run.alice_labels) \
+            == canonicalize(ref_alice.labels.as_tuple())
+        assert canonicalize(run.bob_labels) \
+            == canonicalize(ref_bob.labels.as_tuple())
+
+
+class TestVerticalAcrossWorkloads:
+    @pytest.mark.parametrize("name", list(WORKLOAD_PARAMS))
+    def test_matches_centralized(self, name):
+        points = _workloads()[name]
+        eps, min_pts = WORKLOAD_PARAMS[name]
+        dataset = Dataset.from_points(points)
+        partition = partition_vertical(dataset, 1)
+        config = _config(eps, min_pts)
+        run = cluster_partitioned(partition, config)
+        reference = dbscan(points, config.eps_squared, min_pts)
+        assert canonicalize(run.alice_labels) \
+            == canonicalize(reference.as_tuple())
+
+
+class TestArbitraryAcrossWorkloads:
+    @pytest.mark.parametrize("name", ["blobs", "grid"])
+    @pytest.mark.parametrize("shared_fraction", [0.0, 0.5, 1.0])
+    def test_matches_centralized(self, name, shared_fraction):
+        points = _workloads()[name]
+        eps, min_pts = WORKLOAD_PARAMS[name]
+        dataset = Dataset.from_points(points)
+        partition = partition_arbitrary(dataset, random.Random(5),
+                                        shared_fraction=shared_fraction)
+        config = _config(eps, min_pts)
+        run = cluster_partitioned(partition, config)
+        reference = dbscan(points, config.eps_squared, min_pts)
+        assert canonicalize(run.alice_labels) \
+            == canonicalize(reference.as_tuple())
+
+
+class TestHorizontalVsCentralizedDivergence:
+    """E5b: the per-party semantics is close to centralized DBSCAN on
+    well-separated data but may split peer-bridged clusters."""
+
+    def test_separated_clusters_agree(self):
+        points = grid_clusters(clusters_per_side=2, cluster_size=3,
+                               cluster_gap=8.0)
+        alice_pts, bob_pts = interleave_for_horizontal(
+            points, random.Random(1))
+        config = _config(0.5, 3)
+        run = cluster_partitioned(
+            HorizontalPartition(alice_points=tuple(alice_pts),
+                                bob_points=tuple(bob_pts)), config)
+        joint = dbscan(alice_pts + bob_pts, config.eps_squared, 3)
+        joint_alice = joint.as_tuple()[:len(alice_pts)]
+        ari = adjusted_rand_index(run.alice_labels, joint_alice)
+        assert ari == pytest.approx(1.0)
+
+    def test_bridged_clusters_may_split(self):
+        """Alice's two dense groups joined only by Bob's bridge: the
+        horizontal protocol keeps them separate, centralized merges."""
+        left = [(i, j) for i in range(3) for j in range(3)]
+        right = [(i + 20, j) for i in range(3) for j in range(3)]
+        bridge = [(i, 1) for i in range(3, 20)]
+        config = _config(1.5, 3, )
+        run = cluster_partitioned(
+            HorizontalPartition(alice_points=tuple(left + right),
+                                bob_points=tuple(bridge)),
+            ProtocolConfig(eps=1.5, min_pts=3, scale=1,
+                           smc=SmcConfig(comparison="oracle", key_seed=161),
+                           alice_seed=1, bob_seed=2))
+        alice_labels = run.alice_labels
+        assert alice_labels[0] != alice_labels[len(left)]
+        joint = dbscan(left + right + bridge, 2, 3)  # scale=1, eps^2=2
+        assert joint.as_tuple()[0] == joint.as_tuple()[len(left)]
+
+
+class TestRealCryptoEndToEnd:
+    """One full bitwise-backend run per variant on a small workload."""
+
+    def _small_points(self):
+        return [(0, 0), (0, 10), (10, 0), (300, 300), (300, 310), (310, 300)]
+
+    def test_horizontal_bitwise(self):
+        points = self._small_points()
+        partition = HorizontalPartition(alice_points=tuple(points[:3]),
+                                        bob_points=tuple(points[3:]))
+        config = ProtocolConfig(
+            eps=2.0, min_pts=3, scale=10,
+            smc=SmcConfig(comparison="bitwise", key_seed=162, mask_sigma=8),
+            alice_seed=13, bob_seed=14)
+        run = cluster_partitioned(partition, config)
+        ref = union_density_dbscan(points[:3], points[3:],
+                                   config.eps_squared, 3)
+        assert canonicalize(run.alice_labels) \
+            == canonicalize(ref.labels.as_tuple())
+        assert run.stats["total_bytes"] > 1000
+
+    def test_enhanced_bitwise(self):
+        points = self._small_points()
+        partition = HorizontalPartition(alice_points=tuple(points[:3]),
+                                        bob_points=tuple(points[3:]))
+        config = ProtocolConfig(
+            eps=2.0, min_pts=4, scale=10,
+            smc=SmcConfig(comparison="bitwise", key_seed=162, mask_sigma=8),
+            alice_seed=13, bob_seed=14)
+        run = cluster_partitioned(partition, config, enhanced=True)
+        base = cluster_partitioned(partition, config)
+        assert canonicalize(run.alice_labels) \
+            == canonicalize(base.alice_labels)
+
+    def test_vertical_bitwise(self):
+        points = self._small_points()
+        partition = partition_vertical(Dataset.from_points(points), 1)
+        config = ProtocolConfig(
+            eps=2.0, min_pts=3, scale=10,
+            smc=SmcConfig(comparison="bitwise", key_seed=162, mask_sigma=8),
+            alice_seed=13, bob_seed=14)
+        run = cluster_partitioned(partition, config)
+        ref = dbscan(points, config.eps_squared, 3)
+        assert canonicalize(run.alice_labels) \
+            == canonicalize(ref.as_tuple())
+
+    def test_ympp_backend_vertical(self):
+        """The faithful YMPP backend on a tiny instance (domain kept small
+        through a coarse grid and tight coordinates)."""
+        points = [(0, 0), (1, 0), (0, 1), (3, 3)]
+        partition = partition_vertical(Dataset.from_points(points), 1)
+        config = ProtocolConfig(
+            eps=1.5, min_pts=2, scale=1,
+            smc=SmcConfig(comparison="ympp", key_seed=163, mask_sigma=2),
+            alice_seed=15, bob_seed=16)
+        run = cluster_partitioned(partition, config)
+        ref = dbscan(points, config.eps_squared, 2)
+        assert canonicalize(run.alice_labels) \
+            == canonicalize(ref.as_tuple())
+
+
+class TestOutputQualityMetrics:
+    def test_noise_agreement_on_clean_data(self):
+        points = grid_clusters(cluster_gap=10.0)
+        config = _config(0.5, 3)
+        dataset = Dataset.from_points(points)
+        run = cluster_partitioned(partition_vertical(dataset, 1), config)
+        reference = dbscan(points, config.eps_squared, 3)
+        assert noise_agreement(run.alice_labels, reference.as_tuple()) == 1.0

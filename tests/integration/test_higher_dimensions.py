@@ -1,0 +1,92 @@
+"""End-to-end protocol runs in 3-D and 4-D.
+
+The paper's records have m attributes; most tests use m = 2 for speed,
+so this module pins the m-generic paths (mask vectors, scalar products
+with m+2 entries, partial sums over column subsets).
+"""
+
+import random
+
+import pytest
+
+from repro.clustering.dbscan import dbscan
+from repro.clustering.labels import canonicalize
+from repro.clustering.union_density import union_density_dbscan
+from repro.core.api import cluster_partitioned
+from repro.core.config import ProtocolConfig
+from repro.data.dataset import Dataset
+from repro.data.generators import gaussian_blobs, interleave_for_horizontal
+from repro.data.partitioning import (
+    HorizontalPartition,
+    partition_arbitrary,
+    partition_vertical,
+)
+from repro.smc.session import SmcConfig
+
+
+def _points(dimensions: int) -> list[tuple[int, ...]]:
+    centers = [tuple(0.0 for _ in range(dimensions)),
+               tuple(6.0 for _ in range(dimensions))]
+    return gaussian_blobs(random.Random(4), centers=centers,
+                          points_per_blob=6, spread=0.4)
+
+
+def _config(backend="oracle", **kwargs) -> ProtocolConfig:
+    defaults = dict(eps=1.5, min_pts=3, scale=100,
+                    smc=SmcConfig(comparison=backend, key_seed=260,
+                                  mask_sigma=8),
+                    alice_seed=1, bob_seed=2)
+    defaults.update(kwargs)
+    return ProtocolConfig(**defaults)
+
+
+class TestHigherDimensionalRuns:
+    @pytest.mark.parametrize("dimensions", [3, 4])
+    @pytest.mark.parametrize("enhanced", [False, True])
+    def test_horizontal(self, dimensions, enhanced):
+        points = _points(dimensions)
+        alice_pts, bob_pts = interleave_for_horizontal(points,
+                                                       random.Random(2))
+        partition = HorizontalPartition(alice_points=tuple(alice_pts),
+                                        bob_points=tuple(bob_pts))
+        config = _config()
+        run = cluster_partitioned(partition, config, enhanced=enhanced)
+        reference = union_density_dbscan(alice_pts, bob_pts,
+                                         config.eps_squared, config.min_pts)
+        assert canonicalize(run.alice_labels) \
+            == canonicalize(reference.labels.as_tuple())
+
+    @pytest.mark.parametrize("dimensions", [3, 4])
+    @pytest.mark.parametrize("alice_attributes", [1, 2])
+    def test_vertical(self, dimensions, alice_attributes):
+        points = _points(dimensions)
+        partition = partition_vertical(Dataset.from_points(points),
+                                       alice_attributes)
+        config = _config()
+        run = cluster_partitioned(partition, config)
+        reference = dbscan(points, config.eps_squared, config.min_pts)
+        assert canonicalize(run.alice_labels) \
+            == canonicalize(reference.as_tuple())
+
+    @pytest.mark.parametrize("dimensions", [3, 4])
+    def test_arbitrary(self, dimensions):
+        points = _points(dimensions)
+        partition = partition_arbitrary(Dataset.from_points(points),
+                                        random.Random(8))
+        config = _config()
+        run = cluster_partitioned(partition, config)
+        reference = dbscan(points, config.eps_squared, config.min_pts)
+        assert canonicalize(run.alice_labels) \
+            == canonicalize(reference.as_tuple())
+
+    def test_three_dimensional_with_crypto(self):
+        """One 3-D run through the real cryptographic stack."""
+        points = [(0, 0, 0), (10, 0, 0), (0, 10, 0), (300, 300, 300)]
+        partition = HorizontalPartition(alice_points=tuple(points[:2]),
+                                        bob_points=tuple(points[2:]))
+        config = _config(backend="bitwise", eps=2.0, min_pts=3, scale=10)
+        run = cluster_partitioned(partition, config, enhanced=True)
+        reference = union_density_dbscan(points[:2], points[2:],
+                                         config.eps_squared, 3)
+        assert canonicalize(run.alice_labels) \
+            == canonicalize(reference.labels.as_tuple())

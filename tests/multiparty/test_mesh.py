@@ -1,0 +1,79 @@
+"""Tests for the k-party session mesh."""
+
+import pytest
+
+from repro.multiparty.mesh import MeshError, PartyMesh
+from repro.smc.session import SmcConfig
+
+CONFIG = SmcConfig(comparison="oracle", key_seed=200)
+
+
+class TestMeshConstruction:
+    def test_pairwise_sessions_exist(self):
+        mesh = PartyMesh(["p0", "p1", "p2"], CONFIG, seeds=[1, 2, 3])
+        for a, b in (("p0", "p1"), ("p0", "p2"), ("p1", "p2")):
+            session = mesh.session_between(a, b)
+            assert {session.alice.name, session.bob.name} == {a, b}
+
+    def test_session_symmetric_lookup(self):
+        mesh = PartyMesh(["p0", "p1"], CONFIG)
+        assert mesh.session_between("p0", "p1") \
+            is mesh.session_between("p1", "p0")
+
+    def test_keys_shared_across_pairs(self):
+        """One keypair per physical party, reused in every session."""
+        mesh = PartyMesh(["p0", "p1", "p2"], CONFIG, seeds=[1, 2, 3])
+        n_01 = mesh.session_between("p0", "p1").paillier_keys("p0").public_key.n
+        n_02 = mesh.session_between("p0", "p2").paillier_keys("p0").public_key.n
+        assert n_01 == n_02
+
+    def test_peers_of(self):
+        mesh = PartyMesh(["a", "b", "c"], CONFIG)
+        assert mesh.peers_of("b") == ["a", "c"]
+        with pytest.raises(MeshError, match="unknown"):
+            mesh.peers_of("zz")
+
+    def test_party_in_pair(self):
+        mesh = PartyMesh(["a", "b"], CONFIG)
+        party = mesh.party_in_pair("a", "b")
+        assert party.name == "a"
+        assert party.peer_name == "b"
+
+    def test_validation(self):
+        with pytest.raises(MeshError, match="two parties"):
+            PartyMesh(["solo"], CONFIG)
+        with pytest.raises(MeshError, match="duplicate"):
+            PartyMesh(["x", "x"], CONFIG)
+        with pytest.raises(MeshError, match="seeds"):
+            PartyMesh(["a", "b"], CONFIG, seeds=[1])
+        mesh = PartyMesh(["a", "b"], CONFIG)
+        with pytest.raises(MeshError, match="itself"):
+            mesh.session_between("a", "a")
+
+    def test_shared_rng_across_endpoints(self):
+        """A party's coin tosses come from ONE stream regardless of
+        which peer it is talking to."""
+        mesh = PartyMesh(["a", "b", "c"], CONFIG, seeds=[7, 8, 9])
+        a_to_b = mesh.party_in_pair("a", "b")
+        a_to_c = mesh.party_in_pair("a", "c")
+        assert a_to_b.rng is a_to_c.rng
+
+    def test_merged_stats(self):
+        mesh = PartyMesh(["a", "b", "c"], CONFIG, seeds=[1, 2, 3])
+        baseline = mesh.merged_stats().total_messages  # key exchange
+        assert baseline == 6  # one Paillier pubkey each way, per pair
+        mesh.party_in_pair("a", "b").send("x", 123)
+        mesh.party_in_pair("a", "c").send("y", 456)
+        merged = mesh.merged_stats()
+        assert merged.total_messages == baseline + 2
+        assert merged.messages_by_label["x"] == 1
+        assert mesh.pair_stats("a", "b").messages_by_label["x"] == 1
+
+    def test_protocols_run_over_mesh_sessions(self):
+        mesh = PartyMesh(["a", "b", "c"], SmcConfig(key_seed=201),
+                         seeds=[1, 2, 3])
+        for peer in ("b", "c"):
+            session = mesh.session_between("a", peer)
+            receiver = mesh.party_in_pair("a", peer)
+            masker = mesh.party_in_pair(peer, "a")
+            assert session.multiplication(receiver, 6, masker, 7, 1) == 43

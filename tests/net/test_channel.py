@@ -1,0 +1,87 @@
+"""Channel behaviour: framing, accounting, desync detection."""
+
+import pytest
+
+from repro.net.channel import Channel, ChannelClosedError, ProtocolDesyncError
+
+
+class TestSendReceive:
+    def test_basic_exchange(self, channel):
+        channel.left.send("greeting", [1, 2, 3])
+        assert channel.right.receive("greeting") == [1, 2, 3]
+
+    def test_fifo_ordering(self, channel):
+        channel.left.send("a", 1)
+        channel.left.send("b", 2)
+        assert channel.right.receive("a") == 1
+        assert channel.right.receive("b") == 2
+
+    def test_bidirectional(self, channel):
+        channel.left.send("ping", 1)
+        channel.right.send("pong", 2)
+        assert channel.right.receive("ping") == 1
+        assert channel.left.receive("pong") == 2
+
+    def test_receive_any_label(self, channel):
+        channel.left.send("whatever", "x")
+        assert channel.right.receive() == "x"
+
+    def test_self_messages_not_allowed(self):
+        with pytest.raises(ValueError, match="distinct"):
+            Channel(left_name="same", right_name="same")
+
+
+class TestDesyncDetection:
+    def test_empty_inbox(self, channel):
+        with pytest.raises(ProtocolDesyncError, match="inbox is empty"):
+            channel.right.receive("missing")
+
+    def test_label_mismatch(self, channel):
+        channel.left.send("actual", 1)
+        with pytest.raises(ProtocolDesyncError, match="expected"):
+            channel.right.receive("expected_something_else")
+
+    def test_closed_channel(self, channel):
+        channel.close()
+        with pytest.raises(ChannelClosedError):
+            channel.left.send("x", 1)
+        with pytest.raises(ChannelClosedError):
+            channel.right.receive()
+
+
+class TestAccounting:
+    def test_bytes_counted(self, channel):
+        channel.left.send("data", 2**64)
+        assert channel.stats.total_bytes > 8
+        assert channel.stats.total_messages == 1
+
+    def test_direction_split(self, channel):
+        channel.left.send("a", 1)
+        channel.left.send("b", 2)
+        channel.right.send("c", 3)
+        directions = channel.stats.messages_by_direction
+        assert directions["alice->bob"] == 2
+        assert directions["bob->alice"] == 1
+
+    def test_label_accounting(self, channel):
+        channel.left.send("phase1/x", 100)
+        channel.left.send("phase1/y", 200)
+        channel.left.send("phase2/z", 300)
+        assert channel.stats.messages_for_phase("phase1") == 2
+        assert channel.stats.bytes_for_phase("phase1") > 0
+
+    def test_transcript_records_everything(self, channel):
+        channel.left.send("m1", [1, "two"])
+        channel.right.receive("m1")
+        channel.right.send("m2", True)
+        channel.left.receive("m2")
+        entries = channel.transcript.entries
+        assert len(entries) == 2
+        assert entries[0].sender == "alice"
+        assert entries[0].value == [1, "two"]
+        assert entries[1].receiver == "alice"
+
+    def test_unserializable_value_never_counted(self, channel):
+        with pytest.raises(Exception):
+            channel.left.send("bad", {"dict": 1})
+        assert channel.stats.total_messages == 0

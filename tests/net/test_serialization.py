@@ -1,0 +1,87 @@
+"""Wire-format tests, including a full hypothesis roundtrip property."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.serialization import (
+    SerializationError,
+    deserialize_message,
+    serialize_message,
+    serialized_size,
+)
+
+message_values = st.recursive(
+    st.one_of(
+        st.integers(min_value=-(2**512), max_value=2**512),
+        st.booleans(),
+        st.text(max_size=40),
+        st.none(),
+    ),
+    lambda children: st.lists(children, max_size=8),
+    max_leaves=40,
+)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("value", [
+        0, 1, -1, 255, 256, -256, 2**256, -(2**256),
+        True, False, None, "", "hello", "unicode: é中",
+        [], [1, 2, 3], [1, [2, [3, [True, None, "x"]]]],
+    ])
+    def test_cases(self, value):
+        assert deserialize_message(serialize_message(value)) == value
+
+    @given(message_values)
+    def test_roundtrip_property(self, value):
+        restored = deserialize_message(serialize_message(value))
+        assert restored == _tuples_to_lists(value)
+
+    def test_tuples_become_lists(self):
+        assert deserialize_message(serialize_message((1, 2))) == [1, 2]
+
+
+class TestSizes:
+    def test_small_int_size(self):
+        # Tag(1) + sign(1) + length(4) + one magnitude byte.
+        assert serialized_size(7) == 7
+
+    def test_int_size_grows_with_magnitude(self):
+        assert serialized_size(2**100) > serialized_size(2**10)
+
+    def test_size_matches_serialization(self):
+        for value in (12345, "abc", [1, "x", None]):
+            assert serialized_size(value) == len(serialize_message(value))
+
+
+class TestErrors:
+    def test_unsupported_type(self):
+        with pytest.raises(SerializationError, match="unsupported"):
+            serialize_message(3.14)
+
+    def test_unsupported_nested_type(self):
+        with pytest.raises(SerializationError, match="unsupported"):
+            serialize_message([1, {"a": 2}])
+
+    def test_truncated_input(self):
+        wire = serialize_message(123456789)
+        with pytest.raises(SerializationError, match="truncated"):
+            deserialize_message(wire[:-1])
+
+    def test_trailing_bytes(self):
+        wire = serialize_message(5) + b"\x00"
+        with pytest.raises(SerializationError, match="trailing"):
+            deserialize_message(wire)
+
+    def test_unknown_tag(self):
+        with pytest.raises(SerializationError, match="unknown"):
+            deserialize_message(b"Z")
+
+    def test_empty_input(self):
+        with pytest.raises(SerializationError, match="no type tag"):
+            deserialize_message(b"")
+
+
+def _tuples_to_lists(value):
+    if isinstance(value, (list, tuple)):
+        return [_tuples_to_lists(v) for v in value]
+    return value

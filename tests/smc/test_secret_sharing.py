@@ -1,0 +1,84 @@
+"""Tests for additive secret shares."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.smc.secret_sharing import (
+    SecretSharingError,
+    SharedValues,
+    share_additively,
+)
+
+
+class TestShareAdditively:
+    @given(st.integers(min_value=0, max_value=10**9),
+           st.integers(min_value=1, max_value=10**12),
+           st.integers(min_value=0, max_value=1000))
+    def test_reconstruction(self, value, mask_bound, seed):
+        u, v = share_additively(value, random.Random(seed), mask_bound)
+        assert u - v == value
+        assert 0 <= v < mask_bound
+
+    def test_bad_mask_bound(self):
+        with pytest.raises(SecretSharingError, match="mask_bound"):
+            share_additively(5, random.Random(0), 0)
+
+    def test_mask_varies(self):
+        rng = random.Random(1)
+        masks = {share_additively(7, rng, 10**9)[1] for _ in range(10)}
+        assert len(masks) > 1
+
+
+class TestSharedValues:
+    def _shares(self, values, mask_bound=1 << 20, seed=0):
+        rng = random.Random(seed)
+        pairs = [share_additively(v, rng, mask_bound) for v in values]
+        return SharedValues(
+            u_values=tuple(p[0] for p in pairs),
+            v_values=tuple(p[1] for p in pairs),
+            value_bound=max(values) if values else 1,
+            mask_bound=mask_bound,
+        )
+
+    def test_reconstruct(self):
+        values = [5, 100, 0, 42]
+        shares = self._shares(values)
+        assert [shares.reconstruct(i) for i in range(4)] == values
+
+    def test_length(self):
+        assert len(self._shares([1, 2, 3])) == 3
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(SecretSharingError, match="length"):
+            SharedValues(u_values=(1, 2), v_values=(1,),
+                         value_bound=10, mask_bound=10)
+
+    def test_difference_interval_contains_all_differences(self):
+        shares = self._shares([3, 500, 77, 0])
+        lo, hi = shares.difference_interval()
+        for i in range(len(shares)):
+            for j in range(len(shares)):
+                assert lo <= shares.u_values[i] - shares.u_values[j] <= hi
+                assert lo <= shares.v_values[i] - shares.v_values[j] <= hi
+
+    def test_threshold_interval_contains_operands(self):
+        shares = self._shares([3, 500, 77])
+        threshold = 250
+        lo, hi = shares.threshold_interval(threshold)
+        for i in range(len(shares)):
+            assert lo <= shares.u_values[i] - threshold <= hi
+            assert lo <= shares.v_values[i] <= hi
+
+    @given(st.lists(st.integers(min_value=0, max_value=10**6),
+                    min_size=1, max_size=20),
+           st.integers(min_value=0, max_value=100))
+    def test_interval_property(self, values, seed):
+        shares = self._shares(values, seed=seed)
+        lo, hi = shares.difference_interval()
+        diffs = [shares.u_values[i] - shares.u_values[j]
+                 for i in range(len(values)) for j in range(len(values))]
+        diffs += [shares.v_values[i] - shares.v_values[j]
+                  for i in range(len(values)) for j in range(len(values))]
+        assert all(lo <= d <= hi for d in diffs)

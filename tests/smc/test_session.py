@@ -1,0 +1,93 @@
+"""Tests for the SMC session layer (keys, exchange, dispatch)."""
+
+import pytest
+
+from repro.net.channel import Channel
+from repro.net.party import make_party_pair
+from repro.smc.session import SessionError, SmcConfig, SmcSession
+
+
+class TestSessionSetup:
+    def test_key_exchange_is_counted(self):
+        channel = Channel()
+        alice, bob = make_party_pair(channel, 1, 2)
+        SmcSession(alice, bob, SmcConfig(key_seed=70))
+        assert channel.stats.messages_for_phase("keys/paillier_pub") == 2
+        assert channel.stats.total_bytes > 0
+
+    def test_rsa_keys_only_for_ympp(self):
+        channel = Channel()
+        alice, bob = make_party_pair(channel, 1, 2)
+        SmcSession(alice, bob, SmcConfig(comparison="bitwise", key_seed=70))
+        assert channel.stats.messages_for_phase("keys/rsa_pub") == 0
+
+        channel2 = Channel()
+        alice2, bob2 = make_party_pair(channel2, 1, 2)
+        SmcSession(alice2, bob2, SmcConfig(comparison="ympp", key_seed=70))
+        assert channel2.stats.messages_for_phase("keys/rsa_pub") == 2
+
+    def test_distinct_party_keys(self):
+        alice, bob = make_party_pair(Channel(), 1, 2)
+        session = SmcSession(alice, bob, SmcConfig(key_seed=70))
+        assert (session.paillier_keys("alice").public_key.n
+                != session.paillier_keys("bob").public_key.n)
+
+    def test_party_lookup(self):
+        alice, bob = make_party_pair(Channel(), 1, 2)
+        session = SmcSession(alice, bob, SmcConfig(key_seed=70))
+        assert session.party("alice") is alice
+        assert session.party("bob") is bob
+        assert session.peer_of("alice") is bob
+        assert session.peer_of("bob") is alice
+        with pytest.raises(SessionError, match="unknown"):
+            session.party("carol")
+
+    def test_duplicate_names_rejected(self):
+        channel = Channel(left_name="x", right_name="y")
+        alice, bob = make_party_pair(channel, 1, 2)
+        bob.endpoint.name = "x"  # sabotage
+        with pytest.raises(SessionError, match="distinct"):
+            SmcSession(alice, bob, SmcConfig(key_seed=70))
+
+    def test_unknown_selection_method(self):
+        alice, bob = make_party_pair(Channel(), 1, 2)
+        session = SmcSession(alice, bob, SmcConfig(key_seed=70))
+        from repro.smc.secret_sharing import SharedValues
+        shares = SharedValues(u_values=(1,), v_values=(0,),
+                              value_bound=2, mask_bound=2)
+        with pytest.raises(SessionError, match="selection"):
+            session.kth_smallest(alice, bob, shares, 1, method="bogosort")
+
+
+class TestConfig:
+    def test_mask_bound_scales(self):
+        config = SmcConfig(mask_sigma=10)
+        assert config.mask_bound(100) == 100 << 10
+
+    def test_mask_bound_floor(self):
+        config = SmcConfig(mask_sigma=4)
+        assert config.mask_bound(0) == 2 << 4
+
+    def test_defaults(self):
+        config = SmcConfig()
+        assert config.comparison == "bitwise"
+        assert config.faithful_shared_r is False
+
+
+class TestSessionProtocols:
+    def test_multiplication_both_directions(self):
+        alice, bob = make_party_pair(Channel(), 1, 2)
+        session = SmcSession(alice, bob, SmcConfig(key_seed=71))
+        assert session.multiplication(alice, 6, bob, 7, 1) == 43
+        assert session.multiplication(bob, 6, alice, 7, 1) == 43
+
+    def test_deterministic_under_seeds(self):
+        def run() -> tuple:
+            channel = Channel()
+            alice, bob = make_party_pair(channel, 5, 6)
+            session = SmcSession(alice, bob, SmcConfig(key_seed=72))
+            session.multiplication(alice, 3, bob, 4, 9)
+            return tuple(e.value for e in channel.transcript.entries
+                         if isinstance(e.value, int))
+
+        assert run() == run()

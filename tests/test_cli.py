@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.scenario == "horizontal"
+        assert args.backend == "bitwise"
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--scenario", "quantum"])
+
+
+class TestDemoCommand:
+    @pytest.mark.parametrize("scenario", ["horizontal", "enhanced",
+                                          "vertical", "arbitrary"])
+    def test_two_party_scenarios(self, scenario, capsys):
+        exit_code = main(["demo", "--scenario", scenario, "--points", "8",
+                          "--backend", "oracle", "--min-pts", "2"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "labels" in output
+        assert "disclosures" in output
+
+    def test_multiparty_scenario(self, capsys):
+        exit_code = main(["demo", "--scenario", "multiparty",
+                          "--points", "9", "--backend", "oracle",
+                          "--min-pts", "2"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "party0" in output and "party2" in output
+
+    def test_crypto_backend_small(self, capsys):
+        exit_code = main(["demo", "--points", "4", "--min-pts", "2",
+                          "--backend", "bitwise"])
+        assert exit_code == 0
+        assert "bytes" in capsys.readouterr().out
+
+
+class TestAttackCommand:
+    def test_attack_table(self, capsys):
+        exit_code = main(["attack", "--observers", "3",
+                          "--samples", "5000"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "kumar_area" in output
+        assert output.count("\n") >= 5
+
+
+class TestFiguresCommand:
+    def test_renders_all_three(self, capsys):
+        exit_code = main(["figures"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Figure 2" in output
+        assert "Figure 3" in output
+        assert "Figure 4" in output
+        assert "attr1" in output
