@@ -1,0 +1,190 @@
+"""Quick fixed-workload perf snapshot -- the PR-over-PR trajectory file.
+
+Runs one small, deterministic workload per protocol and writes
+``benchmarks/results/BENCH_PR1.json`` with wall-clock, bytes, messages,
+and secure-comparison counts, so future PRs have a stable baseline to
+compare against.  For the horizontal protocol it additionally runs the
+offline/online ablation introduced in PR 1:
+
+- ``seed``: the seed-era pipeline (per-point HDP, no randomness pools).
+- ``pipeline``: batched region queries + pools prefilled offline (the
+  prefill plan comes from an untimed probe run; the offline phase is
+  timed separately from the online protocol).
+
+The script verifies the two pipelines produce bit-identical cluster
+labels and identical leakage-ledger disclosure sequences before
+reporting the speedup.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_quick.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from benchmarks.conftest import clustered_points, spread_points
+from repro.core.config import ProtocolConfig
+from repro.core.enhanced import run_enhanced_horizontal_dbscan
+from repro.core.horizontal import run_horizontal_dbscan
+from repro.core.vertical import run_vertical_dbscan
+from repro.data.dataset import Dataset
+from repro.data.partitioning import HorizontalPartition, partition_vertical
+from repro.net.channel import Channel
+from repro.net.party import make_party_pair
+from repro.smc.session import SmcConfig, SmcSession
+
+RESULTS_PATH = (pathlib.Path(__file__).parent / "results"
+                / "BENCH_PR1.json")
+
+MIN_EXPECTED_SPEEDUP = 3.0
+
+
+def _smc(precompute: bool) -> SmcConfig:
+    return SmcConfig(paillier_bits=256, comparison="bitwise", key_seed=990,
+                     mask_sigma=8, precompute=precompute)
+
+
+def _config(*, batched: bool, precompute: bool) -> ProtocolConfig:
+    return ProtocolConfig(
+        eps=1.0, min_pts=3, scale=10, smc=_smc(precompute),
+        alice_seed=41, bob_seed=42, batched_region_queries=batched)
+
+
+def _horizontal_workload() -> HorizontalPartition:
+    return HorizontalPartition(
+        alice_points=clustered_points(6),
+        bob_points=clustered_points(6, origin=(3, 3)))
+
+
+def _summarize(result, seconds: float) -> dict:
+    return {
+        "wall_clock_s": round(seconds, 4),
+        "bytes": result.stats["total_bytes"],
+        "messages": result.stats["total_messages"],
+        "rounds": result.stats["rounds"],
+        "comparisons": result.comparisons,
+    }
+
+
+def _timed(run, *args, **kwargs):
+    started = time.perf_counter()
+    result = run(*args, **kwargs)
+    return result, time.perf_counter() - started
+
+
+def _horizontal_ablation() -> dict:
+    partition = _horizontal_workload()
+
+    # Seed-era pipeline: per-point HDP, no pools, everything online.
+    seed_result, seed_seconds = _timed(
+        run_horizontal_dbscan, partition,
+        _config(batched=False, precompute=False))
+
+    # Probe run (untimed): learn how much randomness each pool consumes.
+    pipeline_config = _config(batched=True, precompute=True)
+    probe_channel = Channel()
+    probe_session = SmcSession(
+        *make_party_pair(probe_channel, pipeline_config.alice_seed,
+                         pipeline_config.bob_seed), pipeline_config.smc)
+    run_horizontal_dbscan(partition, pipeline_config, session=probe_session)
+    plan = {key: report["consumed"]
+            for key, report in probe_session.pool_report().items()}
+
+    # Offline phase (timed separately), then the online protocol.
+    channel = Channel()
+    session = SmcSession(
+        *make_party_pair(channel, pipeline_config.alice_seed,
+                         pipeline_config.bob_seed), pipeline_config.smc)
+    started = time.perf_counter()
+    session.precompute_pools(plan)
+    offline_seconds = time.perf_counter() - started
+    pipeline_result, online_seconds = _timed(
+        run_horizontal_dbscan, partition, pipeline_config, session=session)
+
+    pool_totals = {"pregenerated": 0, "consumed": 0, "misses": 0}
+    for report in session.pool_report().values():
+        for key in pool_totals:
+            pool_totals[key] += report[key]
+
+    labels_identical = (
+        seed_result.alice_labels == pipeline_result.alice_labels
+        and seed_result.bob_labels == pipeline_result.bob_labels)
+    ledger_identical = (seed_result.ledger.events
+                        == pipeline_result.ledger.events)
+    speedup = seed_seconds / online_seconds if online_seconds else float("inf")
+
+    return {
+        "workload": {"alice_points": 6, "bob_points": 6, "dimensions": 2},
+        "seed": _summarize(seed_result, seed_seconds),
+        "pipeline": {
+            **_summarize(pipeline_result, online_seconds),
+            "offline_s": round(offline_seconds, 4),
+            "pool": pool_totals,
+        },
+        "speedup_online_vs_seed": round(speedup, 2),
+        "labels_bit_identical": labels_identical,
+        "ledger_identical": ledger_identical,
+    }
+
+
+def _enhanced_quick() -> dict:
+    # Sparse own-side neighbourhoods so the single-bit core test (the
+    # Section 5 machinery) actually runs; a dense patch would make every
+    # point core locally with zero interaction.
+    partition = HorizontalPartition(
+        alice_points=((0, 0), (7, 0), (14, 0), (40, 40)),
+        bob_points=((3, 0), (10, 0), (43, 40), (50, 0)))
+    result, seconds = _timed(
+        run_enhanced_horizontal_dbscan, partition,
+        _config(batched=True, precompute=True))
+    return _summarize(result, seconds)
+
+
+def _vertical_quick() -> dict:
+    dataset = Dataset.from_points(list(spread_points(6))
+                                  + [(1, 1), (2, 31), (31, 2), (32, 32)])
+    partition = partition_vertical(dataset, 1)
+    result, seconds = _timed(
+        run_vertical_dbscan, partition, _config(batched=True,
+                                                precompute=True))
+    return _summarize(result, seconds)
+
+
+def main() -> int:
+    horizontal = _horizontal_ablation()
+    payload = {
+        "pr": 1,
+        "description": "quick fixed-workload perf snapshot "
+                       "(offline/online crypto pipeline ablation)",
+        "horizontal": horizontal,
+        "enhanced": _enhanced_quick(),
+        "vertical": _vertical_quick(),
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"\n[written to {RESULTS_PATH}]")
+
+    if not horizontal["labels_bit_identical"]:
+        print("FAIL: pipeline changed cluster labels", file=sys.stderr)
+        return 1
+    if not horizontal["ledger_identical"]:
+        print("FAIL: pipeline changed the disclosure sequence",
+              file=sys.stderr)
+        return 1
+    speedup = horizontal["speedup_online_vs_seed"]
+    if speedup < MIN_EXPECTED_SPEEDUP:
+        print(f"WARNING: online speedup {speedup:.2f}x below the "
+              f"{MIN_EXPECTED_SPEEDUP:.0f}x target", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

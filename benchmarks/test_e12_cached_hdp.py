@@ -26,10 +26,17 @@ SIZES = (4, 9, 16)
 
 
 def _config(cached: bool) -> ProtocolConfig:
+    # Pinned to the per-point pipeline: this experiment measures the
+    # *seed-era* cache-vs-permutation trade.  The PR-1 batched pipeline
+    # (batched_region_queries=True) stops re-encrypting the peer's
+    # coordinates per query in the base path, which absorbs most of the
+    # byte saving the cache used to buy (the linkability cost stays the
+    # same either way -- see tests/core/test_batched_hdp.py).
     return ProtocolConfig(
         eps=1.0, min_pts=3, scale=10,
         smc=SmcConfig(paillier_bits=256, key_seed=560, mask_sigma=8),
-        alice_seed=31, bob_seed=32, cache_peer_ciphertexts=cached)
+        alice_seed=31, bob_seed=32, cache_peer_ciphertexts=cached,
+        batched_region_queries=False)
 
 
 def _run_sweep():

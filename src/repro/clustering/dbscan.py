@@ -12,13 +12,15 @@ threshold so results are bit-comparable with protocol runs.
 
 from __future__ import annotations
 
+from collections import deque
+
 from repro.clustering.labels import (
     NOISE,
     UNCLASSIFIED,
     ClusterLabels,
     next_cluster_id,
 )
-from repro.clustering.neighborhoods import BruteForceIndex, GridIndex
+from repro.clustering.neighborhoods import BruteForceIndex, make_index
 
 
 def dbscan(points: list[tuple[int, ...]], eps_squared: int, min_pts: int, *,
@@ -38,8 +40,7 @@ def dbscan(points: list[tuple[int, ...]], eps_squared: int, min_pts: int, *,
     if eps_squared < 0:
         raise ValueError(f"eps_squared must be >= 0, got {eps_squared}")
 
-    index = (GridIndex(points, eps_squared) if use_grid_index
-             else BruteForceIndex(points))
+    index = make_index(points, eps_squared, use_grid=use_grid_index)
     labels = ClusterLabels(len(points))
     cluster_id = next_cluster_id(NOISE)
     for point_index in range(len(points)):
@@ -59,9 +60,9 @@ def _expand_cluster(points, index, labels: ClusterLabels, point_index: int,
         return False
 
     labels.change_cluster_ids(seeds, cluster_id)
-    queue = [s for s in seeds if s != point_index]
+    queue = deque(s for s in seeds if s != point_index)
     while queue:
-        current = queue.pop(0)
+        current = queue.popleft()
         result = index.region_query(points[current], eps_squared)
         if len(result) >= min_pts:
             for neighbor in result:

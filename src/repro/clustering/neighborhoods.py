@@ -87,6 +87,18 @@ class GridIndex:
         return len(self.points)
 
 
+def make_index(points: list[tuple[int, ...]], eps_squared: int, *,
+               use_grid: bool = False) -> "BruteForceIndex | GridIndex":
+    """Index factory shared by the clustering and protocol layers.
+
+    Both implementations return identical, ascending hit lists for the
+    same query (property-tested), so swapping them never changes
+    clustering output -- only local query time.
+    """
+    return (GridIndex(points, eps_squared) if use_grid
+            else BruteForceIndex(points))
+
+
 def _neighbor_offsets(dimensions: int) -> list[tuple[int, ...]]:
     """All offsets in {-1, 0, 1}^d."""
     offsets: list[tuple[int, ...]] = [()]

@@ -14,6 +14,7 @@ centralized DBSCAN.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.clustering.labels import (
@@ -101,9 +102,9 @@ def _expand(index: BruteForceIndex, labels: ClusterLabels, point_index: int,
 
     seeds = index.region_query(index.points[point_index], eps_squared)
     labels.change_cluster_ids(seeds, cluster_id)
-    queue = [s for s in seeds if s != point_index]
+    queue = deque(s for s in seeds if s != point_index)
     while queue:
-        current = queue.pop(0)
+        current = queue.popleft()
         if core_flags[current]:
             for neighbor in index.region_query(index.points[current],
                                                eps_squared):

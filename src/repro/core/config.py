@@ -34,6 +34,18 @@ class ProtocolConfig:
             cheaper, but the stable point ids on the wire make hits
             linkable (the Figure 1 vector; ledger records it).  Off by
             default; experiment E12 quantifies the trade.
+        batched_region_queries: when True (default), the horizontal
+            protocol runs each secure region query as one batched HDP
+            (querier point encrypted once, one cross-term round-trip for
+            all peer points) instead of one HDP per peer point.  Bits,
+            labels, and ledger disclosures are identical
+            (property-tested); only wall-clock and message counts
+            change.  Off reproduces the seed-era per-point loop for
+            ablations.
+        use_grid_index: accelerate the *local plaintext* region queries
+            of the driving party with a uniform grid index (identical
+            hit lists to the brute-force scan, property-tested; no
+            change to anything that crosses the wire).  On by default.
         alice_seed / bob_seed: per-party RNG seeds; None = nondeterministic.
     """
 
@@ -44,6 +56,8 @@ class ProtocolConfig:
     selection: str = "scan"
     blind_cross_sum: bool = False
     cache_peer_ciphertexts: bool = False
+    batched_region_queries: bool = True
+    use_grid_index: bool = True
     alice_seed: int | None = None
     bob_seed: int | None = None
 

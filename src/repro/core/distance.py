@@ -16,12 +16,22 @@ Every function takes a ``value_bound`` -- the public upper bound on any
 squared distance -- from which mask sizes and comparison intervals are
 derived.  Results are directional: ``reveal_to`` states who may learn
 the predicate (Algorithm 4 steps 3/13 give it to the querier only).
+
+Region-query batching: :func:`hdp_region_query` (and its cached twin
+:func:`hdp_region_query_cached`) run one whole Algorithm 4 step-3/13
+region query -- the querier's point against *all* peer points -- through
+a single batched cross-term exchange instead of one HDP per peer point.
+The predicate bits, the comparison sub-protocols, and every ledger
+disclosure are identical to the per-point loop (property-tested); only
+the encryption count (querier: ``O(d)`` per query instead of
+``O(n_peer * d)``) and the message count change.
 """
 
 from __future__ import annotations
 
 from repro.core.leakage import Disclosure, LeakageLedger
 from repro.net.party import Party
+from repro.smc.permutation import PermutedView
 from repro.smc.session import SmcSession
 
 
@@ -101,6 +111,98 @@ def hdp_within_eps(session: SmcSession, querier: Party,
     return outcome.result
 
 
+def hdp_region_query(session: SmcSession, querier: Party,
+                     querier_point: tuple[int, ...], peer: Party,
+                     peer_points: list[tuple[int, ...]], eps_squared: int,
+                     value_bound: int, *,
+                     ledger: LeakageLedger | None = None,
+                     blind_cross_sum: bool = False,
+                     label: str = "hdp") -> list[bool]:
+    """Batched HDP: one region query against all of the peer's points.
+
+    Semantically one :func:`hdp_within_eps` per peer point -- same
+    predicate bits, same per-point ledger disclosures (``DOT_PRODUCT``
+    to the peer unless blinded, ``NEIGHBOR_BIT`` to the querier), same
+    comparison interval -- but the querier's coordinates are encrypted
+    **once** for the whole query (``O(d)`` querier encryptions,
+    independent of the peer point count) and the cross terms for every
+    peer point travel in one message round-trip.
+
+    The peer presents its points in a fresh random order
+    (Algorithm 4's ``SetOfPointsOfBobPermutation``), so the returned
+    bits -- in presentation order -- are unlinkable across queries; only
+    their sum is meaningful to callers.
+    """
+    if not peer_points:
+        return []
+    for peer_point in peer_points:
+        if len(querier_point) != len(peer_point):
+            raise DistanceProtocolError(
+                f"dimension mismatch: {len(querier_point)} vs "
+                f"{len(peer_point)}")
+    mask_bound = session.config.mask_bound(value_bound)
+
+    view = PermutedView.fresh(len(peer_points), peer.rng)
+    presented = [peer_points[view.true_index(position)]
+                 for position in range(len(view))]
+    offsets = [querier.rng.randrange(mask_bound + 1) if blind_cross_sum
+               else 0 for _ in presented]
+
+    # Batched cross terms: the peer ends with <d_x, d_y_i> + offset_i for
+    # every presented point -- exactly the per-point HDP cross sum.
+    cross_sums = session.masked_dot_terms_batch(
+        querier, list(querier_point), peer,
+        [list(point) for point in presented], offsets,
+        blind_bound=mask_bound, label=f"{label}/cross_terms")
+
+    return _batched_threshold_comparisons(
+        session, querier, querier_point, peer, presented, cross_sums,
+        offsets, eps_squared, value_bound, mask_bound, ledger=ledger,
+        blind_cross_sum=blind_cross_sum, point_ids=None, label=label)
+
+
+def _batched_threshold_comparisons(session: SmcSession, querier: Party,
+                                   querier_point: tuple[int, ...],
+                                   peer: Party,
+                                   presented: list[tuple[int, ...]],
+                                   cross_sums: list[int],
+                                   offsets: list[int], eps_squared: int,
+                                   value_bound: int, mask_bound: int, *,
+                                   ledger: LeakageLedger | None,
+                                   blind_cross_sum: bool,
+                                   point_ids: list[int] | None,
+                                   label: str) -> list[bool]:
+    """Per-point threshold comparisons shared by the batched variants.
+
+    Reproduces the per-point HDP tail exactly: identical comparison
+    sides, interval, reveal direction, and ledger record sequence.
+    """
+    querier_side = sum(c * c for c in querier_point)
+    lo, hi = _comparison_interval(value_bound, eps_squared,
+                                  mask_spread=2 * (mask_bound + 1))
+    results = []
+    for position, (peer_point, cross_sum, offset) in enumerate(
+            zip(presented, cross_sums, offsets)):
+        if ledger is not None and not blind_cross_sum:
+            ledger.record(label, peer.name, Disclosure.DOT_PRODUCT,
+                          detail="zero-sum masks expose the exact cross "
+                                 "dot product")
+        peer_side = sum(c * c for c in peer_point) - 2 * cross_sum
+        threshold = eps_squared - querier_side - 2 * offset
+        outcome = session.compare_leq(
+            peer, peer_side, querier, threshold,
+            lo=lo, hi=hi, reveal_to="b", label=f"{label}/threshold")
+        if ledger is not None:
+            ledger.record(label, querier.name, Disclosure.NEIGHBOR_BIT)
+            if point_ids is not None and outcome.result:
+                ledger.record(label, querier.name,
+                              Disclosure.LINKED_NEIGHBOR_ID,
+                              detail=f"stable peer point id "
+                                     f"{point_ids[position]}")
+        results.append(outcome.result)
+    return results
+
+
 class PeerCipherCache:
     """Cache of a peer's encrypted coordinates, keyed by stable point id.
 
@@ -161,7 +263,8 @@ def hdp_within_eps_cached(session: SmcSession, querier: Party,
     peer.send(f"{label}/point_id", peer_point_id)
     announced_id = querier.receive(f"{label}/point_id")
     if peer_point_id not in cache:
-        encrypted = [public.encrypt(encoder.encode(c), peer.rng).value
+        encrypted = [public.encrypt(encoder.encode(c), peer.rng,
+                                    session.pool(peer, peer)).value
                      for c in peer_point]
         peer.send(f"{label}/coords", encrypted)
         cache.store(peer_point_id, querier.receive(f"{label}/coords"))
@@ -174,13 +277,15 @@ def hdp_within_eps_cached(session: SmcSession, querier: Party,
     masks.append(offset - sum(masks))
 
     # Querier is the masker: reply = E(y_t)^{x_t} * E(r_t), rerandomized.
+    querier_pool = session.pool(querier, peer)
     replies = []
     for cipher_value, coordinate, mask in zip(cache.get(announced_id),
                                               querier_point, masks):
         product = (PaillierCiphertext(public, cipher_value)
                    * encoder.encode(coordinate))
-        masked = product + public.encrypt(encoder.encode(mask), querier.rng)
-        replies.append(masked.rerandomize(querier.rng).value)
+        masked = product + public.encrypt(encoder.encode(mask), querier.rng,
+                                          querier_pool)
+        replies.append(masked.rerandomize(querier.rng, querier_pool).value)
     querier.send(f"{label}/masked_terms", replies)
 
     received = peer.receive(f"{label}/masked_terms")
@@ -208,6 +313,87 @@ def hdp_within_eps_cached(session: SmcSession, querier: Party,
                           Disclosure.LINKED_NEIGHBOR_ID,
                           detail=f"stable peer point id {peer_point_id}")
     return outcome.result
+
+
+def hdp_region_query_cached(session: SmcSession, querier: Party,
+                            querier_point: tuple[int, ...], peer: Party,
+                            peer_points: list[tuple[int, ...]],
+                            point_ids: list[int], cache: PeerCipherCache,
+                            eps_squared: int, value_bound: int, *,
+                            ledger: LeakageLedger | None = None,
+                            blind_cross_sum: bool = False,
+                            label: str = "hdp_cached") -> list[bool]:
+    """Batched cached HDP: one region query over the peer's cached ciphers.
+
+    The batched form of :func:`hdp_within_eps_cached`: the peer's
+    encrypted coordinates are uploaded once per stable ``point_id`` (the
+    linkable disclosure E12 measures -- recorded per hit exactly as in
+    the per-point variant), and each query sends back **one accumulated
+    ciphertext per peer point** -- ``E(<d_x, d_y_i> + offset_i)`` built
+    homomorphically from the cached coordinates -- instead of ``d``
+    masked terms per point.  The peer decrypts the same cross sum the
+    per-point protocol delivers, so bits and disclosures are identical.
+    """
+    if len(point_ids) != len(peer_points):
+        raise DistanceProtocolError(
+            f"{len(peer_points)} peer points but {len(point_ids)} ids")
+    for peer_point in peer_points:
+        if len(querier_point) != len(peer_point):
+            raise DistanceProtocolError(
+                f"dimension mismatch: {len(querier_point)} vs "
+                f"{len(peer_point)}")
+    if not peer_points:
+        return []
+    from repro.crypto.encoding import SignedEncoder
+    from repro.crypto.paillier import PaillierCiphertext
+
+    mask_bound = session.config.mask_bound(value_bound)
+    peer_keys = session.paillier_keys(peer.name)
+    public = peer_keys.public_key
+    encoder = SignedEncoder(public.n)
+
+    # First-use upload: ids the cache has not seen yet, in one message.
+    missing = [(point_id, point)
+               for point_id, point in zip(point_ids, peer_points)
+               if point_id not in cache]
+    if missing:
+        peer_pool = session.pool(peer, peer)
+        payload = [[point_id,
+                    [public.encrypt(encoder.encode(c), peer.rng,
+                                    peer_pool).value for c in point]]
+                   for point_id, point in missing]
+        peer.send(f"{label}/coords", payload)
+        for point_id, ciphers in querier.receive(f"{label}/coords"):
+            cache.store(point_id, ciphers)
+
+    offsets = [querier.rng.randrange(mask_bound + 1) if blind_cross_sum
+               else 0 for _ in peer_points]
+
+    # Querier accumulates E(<d_x, d_y_i> + offset_i) per cached point.
+    querier_pool = session.pool(querier, peer)
+    replies = []
+    for point_id, offset in zip(point_ids, offsets):
+        accumulator = None
+        for cipher_value, coordinate in zip(cache.get(point_id),
+                                            querier_point):
+            term = (PaillierCiphertext(public, cipher_value)
+                    * encoder.encode(coordinate))
+            accumulator = term if accumulator is None else accumulator + term
+        if offset:
+            accumulator = accumulator + encoder.encode(offset)
+        replies.append(accumulator.rerandomize(querier.rng,
+                                               querier_pool).value)
+    querier.send(f"{label}/masked_sums", replies)
+
+    cross_sums = [encoder.decode(value) for value in
+                  peer_keys.private_key.decrypt_raw_batch(
+                      peer.receive(f"{label}/masked_sums"))]
+
+    return _batched_threshold_comparisons(
+        session, querier, querier_point, peer, list(peer_points),
+        cross_sums, offsets, eps_squared, value_bound, mask_bound,
+        ledger=ledger, blind_cross_sum=blind_cross_sum,
+        point_ids=list(point_ids), label=label)
 
 
 def vdp_within_eps(session: SmcSession, alice: Party, alice_partial: int,

@@ -29,6 +29,7 @@ only; Algorithm 8).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.clustering.labels import (
@@ -37,7 +38,7 @@ from repro.clustering.labels import (
     ClusterLabels,
     next_cluster_id,
 )
-from repro.clustering.neighborhoods import BruteForceIndex
+from repro.clustering.neighborhoods import make_index
 from repro.core.config import ProtocolConfig
 from repro.core.leakage import Disclosure, LeakageLedger
 from repro.data.partitioning import HorizontalPartition
@@ -63,11 +64,23 @@ class EnhancedRunResult:
 def run_enhanced_horizontal_dbscan(partition: HorizontalPartition,
                                    config: ProtocolConfig,
                                    *, channel: Channel | None = None,
+                                   session: SmcSession | None = None,
                                    ) -> EnhancedRunResult:
-    """Run Algorithms 7 + 8 over a horizontal partition."""
-    channel = channel if channel is not None else Channel()
-    alice, bob = make_party_pair(channel, config.alice_seed, config.bob_seed)
-    session = SmcSession(alice, bob, config.smc)
+    """Run Algorithms 7 + 8 over a horizontal partition.
+
+    A pre-built ``session`` may be supplied so callers can run the
+    offline phase (``session.precompute_pools``) outside whatever they
+    are timing; otherwise channel, parties, and session are created here.
+    """
+    if session is None:
+        channel = channel if channel is not None else Channel()
+        alice, bob = make_party_pair(channel, config.alice_seed,
+                                     config.bob_seed)
+        session = SmcSession(alice, bob, config.smc)
+    elif channel is not None:
+        raise ValueError("pass either channel or session, not both")
+    else:
+        alice, bob = session.alice, session.bob
     ledger = LeakageLedger()
 
     value_bound = squared_distance_bound(partition.alice_points,
@@ -88,7 +101,7 @@ def run_enhanced_horizontal_dbscan(partition: HorizontalPartition,
         alice_labels=alice_labels.as_tuple(),
         bob_labels=bob_labels.as_tuple(),
         ledger=ledger,
-        stats=channel.stats.snapshot(),
+        stats=alice.endpoint.stats.snapshot(),
         comparisons=session.comparison_backend.invocations,
     )
 
@@ -100,7 +113,8 @@ def _party_pass(session: SmcSession, *, driver: Party,
                 label: str) -> ClusterLabels:
     """Algorithm 7 for one driving party."""
     labels = ClusterLabels(len(driver_points))
-    index = BruteForceIndex(driver_points)
+    index = make_index(driver_points, config.eps_squared,
+                       use_grid=config.use_grid_index)
     cluster_id = next_cluster_id(NOISE)
     for point_index in range(len(driver_points)):
         if labels.is_unclassified(point_index):
@@ -114,7 +128,7 @@ def _party_pass(session: SmcSession, *, driver: Party,
 
 
 def _enhanced_expand_cluster(session: SmcSession, *, driver: Party,
-                             index: BruteForceIndex, labels: ClusterLabels,
+                             index, labels: ClusterLabels,
                              point_index: int, cluster_id: int, peer: Party,
                              peer_points: list[tuple[int, ...]],
                              config: ProtocolConfig, value_bound: int,
@@ -129,9 +143,9 @@ def _enhanced_expand_cluster(session: SmcSession, *, driver: Party,
         return False
 
     labels.change_cluster_ids(seeds, cluster_id)
-    queue = [s for s in seeds if s != point_index]
+    queue = deque(s for s in seeds if s != point_index)
     while queue:
-        current = queue.pop(0)
+        current = queue.popleft()
         result = index.region_query(index.points[current], eps_squared)
         if _is_core_point(session, driver, index.points[current],
                           len(result), peer, peer_points, config,

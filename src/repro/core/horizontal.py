@@ -18,6 +18,7 @@ plaintext model of it lives in
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.clustering.labels import (
@@ -26,10 +27,12 @@ from repro.clustering.labels import (
     ClusterLabels,
     next_cluster_id,
 )
-from repro.clustering.neighborhoods import BruteForceIndex
+from repro.clustering.neighborhoods import make_index
 from repro.core.config import ProtocolConfig
 from repro.core.distance import (
     PeerCipherCache,
+    hdp_region_query,
+    hdp_region_query_cached,
     hdp_within_eps,
     hdp_within_eps_cached,
 )
@@ -64,11 +67,23 @@ class HorizontalRunResult:
 def run_horizontal_dbscan(partition: HorizontalPartition,
                           config: ProtocolConfig,
                           *, channel: Channel | None = None,
+                          session: SmcSession | None = None,
                           ) -> HorizontalRunResult:
-    """Run Algorithms 3 + 4 over a horizontal partition."""
-    channel = channel if channel is not None else Channel()
-    alice, bob = make_party_pair(channel, config.alice_seed, config.bob_seed)
-    session = SmcSession(alice, bob, config.smc)
+    """Run Algorithms 3 + 4 over a horizontal partition.
+
+    A pre-built ``session`` may be supplied so callers can run the
+    offline phase (``session.precompute_pools``) outside whatever they
+    are timing; otherwise channel, parties, and session are created here.
+    """
+    if session is None:
+        channel = channel if channel is not None else Channel()
+        alice, bob = make_party_pair(channel, config.alice_seed,
+                                     config.bob_seed)
+        session = SmcSession(alice, bob, config.smc)
+    elif channel is not None:
+        raise ValueError("pass either channel or session, not both")
+    else:
+        alice, bob = session.alice, session.bob
     ledger = LeakageLedger()
 
     value_bound = squared_distance_bound(partition.alice_points,
@@ -91,7 +106,7 @@ def run_horizontal_dbscan(partition: HorizontalPartition,
         alice_labels=alice_labels.as_tuple(),
         bob_labels=bob_labels.as_tuple(),
         ledger=ledger,
-        stats=channel.stats.snapshot(),
+        stats=alice.endpoint.stats.snapshot(),
         comparisons=session.comparison_backend.invocations,
     )
 
@@ -103,7 +118,8 @@ def _party_pass(session: SmcSession, *, driver: Party,
                 cache: PeerCipherCache | None = None) -> ClusterLabels:
     """Algorithm 3 for one driving party."""
     labels = ClusterLabels(len(driver_points))
-    index = BruteForceIndex(driver_points)
+    index = make_index(driver_points, config.eps_squared,
+                       use_grid=config.use_grid_index)
     cluster_id = next_cluster_id(NOISE)
     for point_index in range(len(driver_points)):
         if labels.is_unclassified(point_index):
@@ -118,7 +134,7 @@ def _party_pass(session: SmcSession, *, driver: Party,
 
 
 def _expand_cluster(session: SmcSession, *, driver: Party,
-                    index: BruteForceIndex, labels: ClusterLabels,
+                    index, labels: ClusterLabels,
                     point_index: int, cluster_id: int, peer: Party,
                     peer_points: list[tuple[int, ...]],
                     config: ProtocolConfig, value_bound: int,
@@ -136,9 +152,9 @@ def _expand_cluster(session: SmcSession, *, driver: Party,
         return False
 
     labels.change_cluster_ids(seeds, cluster_id)
-    queue = [s for s in seeds if s != point_index]
+    queue = deque(s for s in seeds if s != point_index)
     while queue:
-        current = queue.pop(0)
+        current = queue.popleft()
         result = index.region_query(index.points[current], eps_squared)
         peer_count = _secure_peer_neighbor_count(
             session, driver, index.points[current], peer, peer_points,
@@ -171,11 +187,31 @@ def _secure_peer_neighbor_count(session: SmcSession, driver: Party,
     the peer's encrypted coordinates travel once per point per pass and
     the permutation is dropped -- stable ids make it pointless.  The
     ledger then records the linkable hits.
+
+    With ``batched_region_queries`` (the default) the whole query runs
+    as one batched HDP -- same bits, same ledger records, one cross-term
+    round-trip; the per-point loops below reproduce the seed-era
+    behaviour for ablations.
     """
     if not peer_points:
         return 0
-    count = 0
-    if cache is not None:
+    if config.batched_region_queries:
+        if cache is not None:
+            bits = hdp_region_query_cached(
+                session, driver, query_point, peer, peer_points,
+                list(range(len(peer_points))), cache, eps_squared,
+                value_bound, ledger=ledger,
+                blind_cross_sum=config.blind_cross_sum,
+                label=f"{label}/hdp_cached")
+        else:
+            bits = hdp_region_query(
+                session, driver, query_point, peer, peer_points,
+                eps_squared, value_bound, ledger=ledger,
+                blind_cross_sum=config.blind_cross_sum,
+                label=f"{label}/hdp")
+        count = sum(bits)
+    elif cache is not None:
+        count = 0
         for point_id, peer_point in enumerate(peer_points):
             if hdp_within_eps_cached(
                     session, driver, query_point, peer, peer_point,
@@ -184,6 +220,7 @@ def _secure_peer_neighbor_count(session: SmcSession, driver: Party,
                     label=f"{label}/hdp_cached"):
                 count += 1
     else:
+        count = 0
         view = PermutedView.fresh(len(peer_points), peer.rng)
         for permuted_position in range(len(view)):
             peer_point = peer_points[view.true_index(permuted_position)]

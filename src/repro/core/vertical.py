@@ -15,6 +15,7 @@ over the joint database exactly (property-tested).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.clustering.labels import (
@@ -94,9 +95,9 @@ class _VerticalPass:
             self.labels.change_cluster_id(record, NOISE)
             return False
         self.labels.change_cluster_ids(seeds, cluster_id)
-        queue = [s for s in seeds if s != record]
+        queue = deque(s for s in seeds if s != record)
         while queue:
-            current = queue.pop(0)
+            current = queue.popleft()
             result = self._region_query(current)
             if len(result) >= self.config.min_pts:
                 for neighbor in result:

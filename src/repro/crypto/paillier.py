@@ -26,9 +26,14 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import lru_cache
+from typing import TYPE_CHECKING
 
 from repro.crypto.integer_math import lcm, mod_inverse
 from repro.crypto.primes import generate_distinct_primes
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
+    from repro.crypto.precompute import RandomnessPool
 
 
 class PaillierError(ValueError):
@@ -73,21 +78,58 @@ class PaillierPublicKey:
                 "with SignedEncoder first"
             )
         n_sq = self.n_squared
+        return (self._g_pow(plaintext) * pow(r, self.n, n_sq)) % n_sq
+
+    def raw_encrypt_with_factor(self, plaintext: int, factor: int) -> int:
+        """``c = g^m * factor`` with a pregenerated factor ``r^n mod n^2``.
+
+        The online half of the offline/online split: with the factor
+        drawn from a :class:`~repro.crypto.precompute.RandomnessPool`
+        (and ``g = n + 1``), encryption is two mulmods, no powmod.
+        """
+        if not 0 <= plaintext < self.n:
+            raise PaillierError(
+                f"plaintext {plaintext} outside [0, n); encode signed values "
+                "with SignedEncoder first"
+            )
+        return (self._g_pow(plaintext) * factor) % self.n_squared
+
+    def _g_pow(self, plaintext: int) -> int:
+        """``g^plaintext mod n^2`` -- the deterministic half of encryption."""
+        n_sq = self.n_squared
         if self.g == self.n + 1:
             # (n+1)^m = 1 + m*n (mod n^2): one mulmod instead of a powmod.
-            g_m = (1 + plaintext * self.n) % n_sq
-        else:
-            g_m = pow(self.g, plaintext, n_sq)
-        return (g_m * pow(r, self.n, n_sq)) % n_sq
+            return (1 + plaintext * self.n) % n_sq
+        return _fixed_base_table(self.g, n_sq, self.n.bit_length()).pow(
+            plaintext)
 
-    def encrypt(self, plaintext: int,
-                rng: random.Random) -> "PaillierCiphertext":
-        """Encrypt with fresh randomness drawn from ``rng``."""
+    def encrypt(self, plaintext: int, rng: random.Random,
+                pool: "RandomnessPool | None" = None) -> "PaillierCiphertext":
+        """Encrypt with fresh randomness drawn from ``rng``.
+
+        With ``pool`` the randomness factor is taken from the pool
+        instead (one mulmod online when the pool is filled); the result
+        is a perfectly ordinary ciphertext either way.
+        """
+        if pool is not None:
+            if pool.public_key != self:
+                raise PaillierError("randomness pool bound to a different key")
+            return PaillierCiphertext(
+                self,
+                self.raw_encrypt_with_factor(plaintext,
+                                             pool.encryption_factor()))
         r = self.random_unit(rng)
         return PaillierCiphertext(self, self.raw_encrypt(plaintext, r))
 
-    def encrypt_signed(self, value: int,
-                       rng: random.Random) -> "PaillierCiphertext":
+    def encrypt_batch(self, plaintexts: list[int], rng: random.Random,
+                      pool: "RandomnessPool | None" = None,
+                      ) -> list["PaillierCiphertext"]:
+        """Encrypt a batch; the entry point batched protocols call."""
+        return [self.encrypt(plaintext, rng, pool) for plaintext in plaintexts]
+
+    def encrypt_signed(self, value: int, rng: random.Random,
+                       pool: "RandomnessPool | None" = None,
+                       ) -> "PaillierCiphertext":
         """Encrypt a signed value using the half-range convention.
 
         Values in ``[-(n-1)//2, (n-1)//2]`` map to ``value mod n``;
@@ -96,7 +138,7 @@ class PaillierPublicKey:
         half = (self.n - 1) // 2
         if not -half <= value <= half:
             raise PaillierError(f"signed value {value} exceeds +/-{half}")
-        return self.encrypt(value % self.n, rng)
+        return self.encrypt(value % self.n, rng, pool)
 
 
 @dataclass(frozen=True)
@@ -149,6 +191,15 @@ class PaillierPrivateKey:
         if ciphertext.public_key != self.public_key:
             raise PaillierError("ciphertext was encrypted under a different key")
         return self.decrypt_raw(ciphertext.value)
+
+    def decrypt_raw_batch(self, ciphertext_values: list[int]) -> list[int]:
+        """Decrypt a batch of integer ciphertexts (batched replies)."""
+        return [self.decrypt_raw(value) for value in ciphertext_values]
+
+    def decrypt_batch(self,
+                      ciphertexts: list["PaillierCiphertext"]) -> list[int]:
+        """Decrypt a batch of bound ciphertexts."""
+        return [self.decrypt(ciphertext) for ciphertext in ciphertexts]
 
     def decrypt_signed(self, ciphertext: "PaillierCiphertext") -> int:
         """Inverse of :meth:`PaillierPublicKey.encrypt_signed`."""
@@ -210,16 +261,24 @@ class PaillierCiphertext:
             return self + (other * -1)
         return self + (-other)
 
-    def rerandomize(self, rng: random.Random) -> "PaillierCiphertext":
+    def rerandomize(self, rng: random.Random,
+                    pool: "RandomnessPool | None" = None,
+                    ) -> "PaillierCiphertext":
         """Multiply by a fresh encryption of zero.
 
         Strips any algebraic relationship between this ciphertext and the
         operands it was derived from -- required before a ciphertext built
-        with homomorphic ops is sent to the key holder.
+        with homomorphic ops is sent to the key holder.  With ``pool``
+        the zero-encryption comes pregenerated (one mulmod online).
         """
-        r = self.public_key.random_unit(rng)
         n_sq = self.public_key.n_squared
-        zero_enc = pow(r, self.public_key.n, n_sq)
+        if pool is not None:
+            if pool.public_key != self.public_key:
+                raise PaillierError("randomness pool bound to a different key")
+            zero_enc = pool.rerandomization_unit()
+        else:
+            r = self.public_key.random_unit(rng)
+            zero_enc = pow(r, self.public_key.n, n_sq)
         return PaillierCiphertext(self.public_key,
                                   (self.value * zero_enc) % n_sq)
 
@@ -263,11 +322,18 @@ def _gcd(a: int, b: int) -> int:
 
 def _raw_encrypt_constant(self: PaillierPublicKey, constant: int) -> int:
     """``g^constant mod n^2`` -- deterministic encryption with unit randomness."""
-    n_sq = self.n_squared
-    constant %= self.n
-    if self.g == self.n + 1:
-        return (1 + constant * self.n) % n_sq
-    return pow(self.g, constant, n_sq)
+    return self._g_pow(constant % self.n)
+
+
+@lru_cache(maxsize=16)
+def _fixed_base_table(g: int, n_squared: int, bits: int):
+    """Memoized fixed-base window table for random-``g`` keys.
+
+    Imported lazily: :mod:`repro.crypto.precompute` type-checks against
+    this module, so a module-level import would be circular.
+    """
+    from repro.crypto.precompute import FixedBaseExp
+    return FixedBaseExp(g, n_squared, bits)
 
 
 # Attached here rather than in the dataclass body to keep the frozen

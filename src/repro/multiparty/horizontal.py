@@ -13,6 +13,7 @@ Reference semantics: each party's labels equal
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.clustering.labels import (
@@ -118,9 +119,9 @@ def _expand(mesh: PartyMesh, driver_name: str,
         return False
 
     labels.change_cluster_ids(seeds, cluster_id)
-    queue = [s for s in seeds if s != point_index]
+    queue = deque(s for s in seeds if s != point_index)
     while queue:
-        current = queue.pop(0)
+        current = queue.popleft()
         result = index.region_query(index.points[current], eps_squared)
         peer_total = _all_peer_counts(mesh, driver_name, points_by_party,
                                       index.points[current], config,

@@ -28,6 +28,7 @@ Protocol:
 from __future__ import annotations
 
 from repro.crypto.paillier import PaillierCiphertext, PaillierKeyPair
+from repro.crypto.precompute import RandomnessPool
 from repro.net.party import Party
 
 # Blinding multipliers are drawn from [1, 2^_BLIND_BITS); they keep
@@ -42,7 +43,9 @@ class BitwiseComparisonError(ValueError):
 
 def dgk_greater_than(key_holder: Party, x: int, other: Party, y: int,
                      bits: int, keypair: PaillierKeyPair, *,
-                     label: str = "dgk") -> bool:
+                     label: str = "dgk",
+                     key_holder_pool: RandomnessPool | None = None,
+                     other_pool: RandomnessPool | None = None) -> bool:
     """Decide ``x > y``; only ``key_holder`` (who owns ``keypair``) learns it.
 
     Args:
@@ -54,6 +57,10 @@ def dgk_greater_than(key_holder: Party, x: int, other: Party, y: int,
         keypair: key holder's Paillier keys; the public half is assumed
             already known to ``other`` (session exchanges it once).
         label: transcript label prefix.
+        key_holder_pool / other_pool: optional pregenerated randomness
+            for each party's encryptions under the key holder's key --
+            the bit-encryption and blinding loops are the protocols'
+            hottest powmod sites, and pools turn each into a mulmod.
     """
     if bits < 1:
         raise BitwiseComparisonError(f"bits must be >= 1, got {bits}")
@@ -66,7 +73,8 @@ def dgk_greater_than(key_holder: Party, x: int, other: Party, y: int,
 
     # --- Step 1 (key holder): encrypt bits of x, MSB first. ---------------
     x_bits = [(x >> (bits - 1 - t)) & 1 for t in range(bits)]
-    encrypted_bits = [public.encrypt(b, key_holder.rng) for b in x_bits]
+    encrypted_bits = public.encrypt_batch(x_bits, key_holder.rng,
+                                          key_holder_pool)
     key_holder.send(f"{label}/x_bits", [c.value for c in encrypted_bits])
 
     # --- Steps 2-3 (other party): blinded witness ciphertexts. ------------
@@ -82,7 +90,7 @@ def dgk_greater_than(key_holder: Party, x: int, other: Party, y: int,
         # c_t = x_t - y_t - 1 + 3 * w_t, all under encryption.
         c = enc_x_bit + (-y_bit - 1) + running_w * 3
         multiplier = other.rng.randrange(1, 1 << _BLIND_BITS)
-        masked = (c * multiplier).rerandomize(other.rng)
+        masked = (c * multiplier).rerandomize(other.rng, other_pool)
         blinded.append(masked.value)
         # XOR under encryption: x ^ y = x when y=0, 1 - x when y=1.
         if y_bit == 0:

@@ -135,14 +135,24 @@ class YaoMillionairesComparison(SecureComparison):
 
 
 class BitwiseComparison(SecureComparison):
-    """DGK-style backend; the key holder is the learning party."""
+    """DGK-style backend; the key holder is the learning party.
+
+    ``pool_lookup(actor_name, role)`` optionally resolves a
+    :class:`~repro.crypto.precompute.RandomnessPool` for the named party
+    encrypting under the keypair configured for ``role`` (``"a"`` or
+    ``"b"``); the session wires its per-(actor, key) pools through here
+    so DGK's bit-encryption and blinding loops run on pregenerated
+    randomness.
+    """
 
     name = "bitwise"
 
     def __init__(self, a_party_keys: PaillierKeyPair,
-                 b_party_keys: PaillierKeyPair):
+                 b_party_keys: PaillierKeyPair,
+                 pool_lookup=None):
         super().__init__()
         self._keys = {"a": a_party_keys, "b": b_party_keys}
+        self._pools = pool_lookup or (lambda actor_name, role: None)
 
     def _leq(self, a_party: Party, a: int, b_party: Party, b: int, *,
              domain: int, reveal_to: str, label: str) -> bool:
@@ -150,16 +160,20 @@ class BitwiseComparison(SecureComparison):
         bits = max(1, (domain + 1).bit_length())
         if reveal_to in ("a", "both"):
             # a-holder keyed, learns a > b; a <= b is the negation.
-            greater = dgk_greater_than(a_party, a, b_party, b, bits,
-                                       self._keys["a"], label=label)
+            greater = dgk_greater_than(
+                a_party, a, b_party, b, bits, self._keys["a"], label=label,
+                key_holder_pool=self._pools(a_party.name, "a"),
+                other_pool=self._pools(b_party.name, "a"))
             result = not greater
             if reveal_to == "both":
                 a_party.send(f"{label}/conclusion", result)
                 return b_party.receive(f"{label}/conclusion")
             return result
         # b-holder keyed, learns b + 1 > a  <=>  a <= b.
-        return dgk_greater_than(b_party, b + 1, a_party, a, bits,
-                                self._keys["b"], label=label)
+        return dgk_greater_than(
+            b_party, b + 1, a_party, a, bits, self._keys["b"], label=label,
+            key_holder_pool=self._pools(b_party.name, "b"),
+            other_pool=self._pools(a_party.name, "b"))
 
 
 class OracleComparison(SecureComparison):
@@ -181,11 +195,14 @@ def make_comparison_backend(kind: str, *, alice_rsa: RsaKeyPair | None = None,
                             bob_rsa: RsaKeyPair | None = None,
                             alice_paillier: PaillierKeyPair | None = None,
                             bob_paillier: PaillierKeyPair | None = None,
+                            pool_lookup=None,
                             ) -> SecureComparison:
     """Factory used by :class:`repro.smc.session.SmcSession`.
 
     ``kind`` is one of ``"ympp"``, ``"bitwise"``, ``"oracle"``; the
     relevant key material must be supplied for the crypto backends.
+    ``pool_lookup`` routes pregenerated Paillier randomness into the
+    bitwise backend (see :class:`BitwiseComparison`).
     """
     if kind == "ympp":
         if alice_rsa is None or bob_rsa is None:
@@ -195,7 +212,8 @@ def make_comparison_backend(kind: str, *, alice_rsa: RsaKeyPair | None = None,
         if alice_paillier is None or bob_paillier is None:
             raise ComparisonError(
                 "bitwise backend requires both Paillier keypairs")
-        return BitwiseComparison(alice_paillier, bob_paillier)
+        return BitwiseComparison(alice_paillier, bob_paillier,
+                                 pool_lookup=pool_lookup)
     if kind == "oracle":
         return OracleComparison()
     raise ComparisonError(f"unknown comparison backend {kind!r}")

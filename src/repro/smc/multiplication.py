@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from repro.crypto.encoding import SignedEncoder
 from repro.crypto.paillier import PaillierCiphertext, PaillierKeyPair
+from repro.crypto.precompute import RandomnessPool
 from repro.net.party import Party
 
 
@@ -37,7 +38,9 @@ class MultiplicationError(ValueError):
 def secure_multiplication(receiver: Party, x: int, masker: Party, y: int,
                           mask: int, keypair: PaillierKeyPair, *,
                           label: str = "mult",
-                          faithful_shared_r: bool = False) -> int:
+                          faithful_shared_r: bool = False,
+                          receiver_pool: RandomnessPool | None = None,
+                          masker_pool: RandomnessPool | None = None) -> int:
     """Run Algorithm 2; returns ``x*y + mask`` as learned by ``receiver``.
 
     Args:
@@ -51,7 +54,10 @@ def secure_multiplication(receiver: Party, x: int, masker: Party, y: int,
             the masker (the session sends it once).
         label: transcript label prefix.
         faithful_shared_r: reproduce the paper's shared-randomness step
-            literally (see module docstring).
+            literally (see module docstring).  This mode encrypts under
+            an explicitly agreed ``r``, so pools never apply to it.
+        receiver_pool / masker_pool: optional pregenerated randomness
+            for the default mode's encryptions under the receiver's key.
     """
     public = keypair.public_key
     encoder = SignedEncoder(public.n)
@@ -70,7 +76,8 @@ def secure_multiplication(receiver: Party, x: int, masker: Party, y: int,
         receiver.send(f"{label}/encrypted_x", ciphertext)
         receiver.send(f"{label}/shared_r", shared_r)
     else:
-        ciphertext = public.encrypt(encoder.encode(x), receiver.rng).value
+        ciphertext = public.encrypt(encoder.encode(x), receiver.rng,
+                                    receiver_pool).value
         receiver.send(f"{label}/encrypted_x", ciphertext)
 
     # --- Steps 4-6 (masker): u' = E(x)^y * E(v). --------------------------
@@ -85,8 +92,9 @@ def secure_multiplication(receiver: Party, x: int, masker: Party, y: int,
     else:
         product = received * encoder.encode(y)
         masked = product + public.encrypt(encoder.encode(mask),
-                                          masker.rng)
-        masker.send(f"{label}/masked_product", masked.rerandomize(masker.rng).value)
+                                          masker.rng, masker_pool)
+        masker.send(f"{label}/masked_product",
+                    masked.rerandomize(masker.rng, masker_pool).value)
 
     # --- Step 7 (receiver): decrypt. ---------------------------------------
     result_cipher = PaillierCiphertext(

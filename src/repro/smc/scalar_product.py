@@ -1,11 +1,19 @@
 """Batched masked scalar products over Paillier.
 
-Two call shapes the DBSCAN protocols need:
+Three call shapes the DBSCAN protocols need:
 
 - :func:`secure_masked_dot_terms` -- the HDP inner loop (Section 4.2):
   the receiver holds one vector, the masker holds another plus per-
   coordinate masks; the receiver obtains each ``x_t * y_t + r_t``
   separately (the paper runs one Multiplication Protocol per attribute).
+
+- :func:`secure_masked_dot_terms_batch` -- the batched region-query
+  form: the holder's vector ``alpha`` is encrypted **once** and reused
+  against every ``beta_i``, so the holder's encryptions are
+  ``O(len(alpha))`` per call regardless of ``len(betas)``; the receiver
+  ends with ``<alpha, beta_i> + offsets[i]`` -- exactly the cross sum
+  Protocol HDP hands the non-querying party, for a whole region query
+  in one message round-trip.
 
 - :func:`secure_scalar_products` -- the Section 5 distance sharing: the
   receiver's vector ``alpha`` is encrypted once, then for each of the
@@ -13,12 +21,17 @@ Two call shapes the DBSCAN protocols need:
   ``<alpha, beta_i> + v_i``.  This is the batched form of Algorithm 2
   that makes the enhanced protocol's ``u_i = dist^2 + v_i`` shares cost
   ``m + 2`` ciphertexts up front plus one per point.
+
+All three accept optional :class:`~repro.crypto.precompute.RandomnessPool`
+arguments -- one per (acting party, key) -- which move the ``r^n mod n^2``
+powmods of encryption and rerandomization into an offline phase.
 """
 
 from __future__ import annotations
 
 from repro.crypto.encoding import SignedEncoder
 from repro.crypto.paillier import PaillierCiphertext, PaillierKeyPair
+from repro.crypto.precompute import RandomnessPool
 from repro.net.party import Party
 
 
@@ -29,7 +42,10 @@ class ScalarProductError(ValueError):
 def secure_masked_dot_terms(receiver: Party, x_vector: list[int],
                             masker: Party, y_vector: list[int],
                             masks: list[int], keypair: PaillierKeyPair, *,
-                            label: str = "dot") -> list[int]:
+                            label: str = "dot",
+                            receiver_pool: RandomnessPool | None = None,
+                            masker_pool: RandomnessPool | None = None,
+                            ) -> list[int]:
     """Per-coordinate Multiplication Protocol batch (HDP inner loop).
 
     The receiver learns ``[x_t * y_t + r_t for t]``; the masker learns
@@ -43,27 +59,106 @@ def secure_masked_dot_terms(receiver: Party, x_vector: list[int],
     public = keypair.public_key
     encoder = SignedEncoder(public.n)
 
-    encrypted = [public.encrypt(encoder.encode(x), receiver.rng).value
-                 for x in x_vector]
+    encrypted = [cipher.value for cipher in public.encrypt_batch(
+        [encoder.encode(x) for x in x_vector], receiver.rng, receiver_pool)]
     receiver.send(f"{label}/encrypted_vector", encrypted)
 
     received = masker.receive(f"{label}/encrypted_vector")
     replies = []
     for value, y, mask in zip(received, y_vector, masks):
         product = PaillierCiphertext(public, value) * encoder.encode(y)
-        masked = product + public.encrypt(encoder.encode(mask), masker.rng)
-        replies.append(masked.rerandomize(masker.rng).value)
+        masked = product + public.encrypt(encoder.encode(mask), masker.rng,
+                                          masker_pool)
+        replies.append(masked.rerandomize(masker.rng, masker_pool).value)
     masker.send(f"{label}/masked_terms", replies)
 
     results = receiver.receive(f"{label}/masked_terms")
     private = keypair.private_key
-    return [encoder.decode(private.decrypt_raw(value)) for value in results]
+    return [encoder.decode(value)
+            for value in private.decrypt_raw_batch(results)]
+
+
+def secure_masked_dot_terms_batch(holder: Party, alpha: list[int],
+                                  receiver: Party, betas: list[list[int]],
+                                  offsets: list[int],
+                                  keypair: PaillierKeyPair, *,
+                                  blind_bound: int,
+                                  label: str = "dotbatch",
+                                  holder_pool: RandomnessPool | None = None,
+                                  receiver_pool: RandomnessPool | None = None,
+                                  ) -> list[int]:
+    """Batched region-query cross terms: receiver learns
+    ``<alpha, beta_i> + offsets[i]`` for every ``beta_i``.
+
+    The batched form of the HDP inner loop.  Flow (3 messages total):
+
+    1. The holder (who owns ``keypair``) encrypts ``alpha`` once --
+       ``len(alpha)`` ciphertexts, independent of ``len(betas)``.
+    2. For each ``beta_i`` the receiver homomorphically accumulates
+       ``E(<alpha, beta_i> + s_i)`` under the holder's key, with a
+       private blind ``s_i`` drawn from ``[0, blind_bound]``, and
+       returns the whole batch rerandomized.
+    3. The holder decrypts, adds its per-``beta`` offset, and returns
+       the sums; the receiver strips its blinds.
+
+    The receiver ends with exactly the cross sum the per-point HDP
+    produces (``<alpha, beta_i>`` when offsets are zero -- the paper's
+    zero-sum-mask disclosure -- or offset-shifted in the blinded mode);
+    the holder sees only blind-masked sums, statistically hidden by the
+    same ``blind_bound`` sizing every other mask in the system uses.
+    """
+    if len(betas) != len(offsets):
+        raise ScalarProductError(
+            f"{len(betas)} beta vectors but {len(offsets)} offsets")
+    for index, beta in enumerate(betas):
+        if len(beta) != len(alpha):
+            raise ScalarProductError(
+                f"beta[{index}] has length {len(beta)}, alpha has "
+                f"{len(alpha)}"
+            )
+    if blind_bound < 1:
+        raise ScalarProductError(
+            f"blind_bound must be >= 1, got {blind_bound}")
+    public = keypair.public_key
+    encoder = SignedEncoder(public.n)
+
+    encrypted_alpha = [cipher.value for cipher in public.encrypt_batch(
+        [encoder.encode(a) for a in alpha], holder.rng, holder_pool)]
+    holder.send(f"{label}/encrypted_alpha", encrypted_alpha)
+
+    received = [PaillierCiphertext(public, value)
+                for value in receiver.receive(f"{label}/encrypted_alpha")]
+    blinds = []
+    replies = []
+    for beta in betas:
+        blind = receiver.rng.randrange(blind_bound + 1)
+        blinds.append(blind)
+        accumulator = public.encrypt(encoder.encode(blind), receiver.rng,
+                                     receiver_pool)
+        for cipher, coefficient in zip(received, beta):
+            if coefficient:
+                accumulator = accumulator + cipher * encoder.encode(coefficient)
+        replies.append(accumulator.rerandomize(receiver.rng,
+                                               receiver_pool).value)
+    receiver.send(f"{label}/blinded_sums", replies)
+
+    private = keypair.private_key
+    blinded = [encoder.decode(value) for value in
+               private.decrypt_raw_batch(holder.receive(f"{label}/blinded_sums"))]
+    holder.send(f"{label}/cross_sums",
+                [value + offset for value, offset in zip(blinded, offsets)])
+
+    returned = receiver.receive(f"{label}/cross_sums")
+    return [value - blind for value, blind in zip(returned, blinds)]
 
 
 def secure_scalar_products(receiver: Party, alpha: list[int],
                            masker: Party, betas: list[list[int]],
                            masks: list[int], keypair: PaillierKeyPair, *,
-                           label: str = "sprod") -> list[int]:
+                           label: str = "sprod",
+                           receiver_pool: RandomnessPool | None = None,
+                           masker_pool: RandomnessPool | None = None,
+                           ) -> list[int]:
     """Section 5 batched sharing: receiver learns ``<alpha, beta_i> + v_i``.
 
     Args:
@@ -74,6 +169,8 @@ def secure_scalar_products(receiver: Party, alpha: list[int],
         betas: list of vectors, each the same length as ``alpha``.
         masks: one signed mask per beta vector.
         keypair: receiver's Paillier keys.
+        receiver_pool / masker_pool: optional randomness pools for each
+            party's encryptions under the receiver's key.
     """
     if len(betas) != len(masks):
         raise ScalarProductError(
@@ -87,21 +184,23 @@ def secure_scalar_products(receiver: Party, alpha: list[int],
     public = keypair.public_key
     encoder = SignedEncoder(public.n)
 
-    encrypted_alpha = [public.encrypt(encoder.encode(a), receiver.rng).value
-                       for a in alpha]
+    encrypted_alpha = [cipher.value for cipher in public.encrypt_batch(
+        [encoder.encode(a) for a in alpha], receiver.rng, receiver_pool)]
     receiver.send(f"{label}/encrypted_alpha", encrypted_alpha)
 
     received = [PaillierCiphertext(public, v)
                 for v in masker.receive(f"{label}/encrypted_alpha")]
     replies = []
     for beta, mask in zip(betas, masks):
-        accumulator = public.encrypt(encoder.encode(mask), masker.rng)
+        accumulator = public.encrypt(encoder.encode(mask), masker.rng,
+                                     masker_pool)
         for cipher, coefficient in zip(received, beta):
             if coefficient:
                 accumulator = accumulator + cipher * encoder.encode(coefficient)
-        replies.append(accumulator.rerandomize(masker.rng).value)
+        replies.append(accumulator.rerandomize(masker.rng, masker_pool).value)
     masker.send(f"{label}/masked_products", replies)
 
     results = receiver.receive(f"{label}/masked_products")
     private = keypair.private_key
-    return [encoder.decode(private.decrypt_raw(value)) for value in results]
+    return [encoder.decode(value)
+            for value in private.decrypt_raw_batch(results)]

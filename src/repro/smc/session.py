@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.crypto.keycache import cached_paillier_keypair, cached_rsa_keypair
 from repro.crypto.paillier import PaillierKeyPair, generate_paillier_keypair
+from repro.crypto.precompute import RandomnessPool
 from repro.crypto.rsa import RsaKeyPair, generate_rsa_keypair
 from repro.net.party import Party
 from repro.smc.comparison import (
@@ -29,6 +30,7 @@ from repro.smc.kth_smallest import kth_smallest_quickselect, kth_smallest_scan
 from repro.smc.multiplication import secure_multiplication
 from repro.smc.scalar_product import (
     secure_masked_dot_terms,
+    secure_masked_dot_terms_batch,
     secure_scalar_products,
 )
 from repro.smc.secret_sharing import SharedValues
@@ -55,6 +57,13 @@ class SmcConfig:
         key_seed: when set, key material is derived deterministically
             from this seed (and memoized) -- reproducible tests and
             benchmarks that should not pay key-generation time.
+        precompute: enable per-(actor, key) randomness pools (the
+            offline/online split).  Pools change only *when* the
+            ``r^n mod n^2`` powmods happen -- never the protocol
+            semantics or disclosures; empty pools generate on demand.
+            Call :meth:`SmcSession.precompute_pools` to move that work
+            into an offline phase.  Off = seed-era behaviour, useful for
+            ablations.
     """
 
     paillier_bits: int = 256
@@ -63,6 +72,7 @@ class SmcConfig:
     mask_sigma: int = 16
     faithful_shared_r: bool = False
     key_seed: int | None = None
+    precompute: bool = True
 
     def mask_bound(self, value_bound: int) -> int:
         """Mask interval size for hiding values bounded by ``value_bound``."""
@@ -102,12 +112,14 @@ class SmcSession:
             self._make_context(self.bob, slot=1),
         }
         self._exchange_public_keys()
+        self._pools: dict[tuple[str, str], RandomnessPool] = {}
         alice_ctx = self._contexts[self.alice.name]
         bob_ctx = self._contexts[self.bob.name]
         self.comparison_backend: SecureComparison = make_comparison_backend(
             self.config.comparison,
             alice_rsa=alice_ctx.rsa, bob_rsa=bob_ctx.rsa,
             alice_paillier=alice_ctx.paillier, bob_paillier=bob_ctx.paillier,
+            pool_lookup=self._role_pool,
         )
 
     # -- key management ----------------------------------------------------
@@ -151,6 +163,60 @@ class SmcSession:
     def paillier_keys(self, name: str) -> PaillierKeyPair:
         return self._contexts[self.party(name).name].paillier
 
+    # -- randomness pools (offline/online split) ----------------------------
+
+    def pool(self, actor: "Party | str",
+             key_owner: "Party | str") -> RandomnessPool | None:
+        """Randomness pool for ``actor`` encrypting under ``key_owner``'s key.
+
+        Pools are keyed by both coordinates because each party draws its
+        encryption randomness from its *own* RNG, but may encrypt under
+        either Paillier key (e.g. DGK blinding happens under the key
+        holder's key).  Lazily created; ``None`` when ``precompute`` is
+        disabled, which every pooled primitive treats as "generate
+        fresh".
+        """
+        if not self.config.precompute:
+            return None
+        actor_name = actor if isinstance(actor, str) else actor.name
+        owner_name = key_owner if isinstance(key_owner, str) else key_owner.name
+        key = (self.party(actor_name).name, self.party(owner_name).name)
+        if key not in self._pools:
+            self._pools[key] = RandomnessPool(
+                self.paillier_keys(key[1]).public_key,
+                self.party(key[0]).rng)
+        return self._pools[key]
+
+    def _role_pool(self, actor_name: str, role: str) -> RandomnessPool | None:
+        """Comparison-backend hook: pool for the role-``a``/``b`` keypair."""
+        owner = self.alice.name if role == "a" else self.bob.name
+        return self.pool(actor_name, owner)
+
+    def precompute_pools(self, factors: "int | dict") -> None:
+        """Offline phase: pregenerate encryption/rerandomization factors.
+
+        ``factors`` is either one count applied to every (actor, key)
+        combination or a ``{(actor, key_owner): count}`` plan -- e.g. the
+        consumption a probe run reported via :meth:`pool_report`.
+        """
+        if not self.config.precompute:
+            raise SessionError(
+                "precompute_pools requires SmcConfig(precompute=True)")
+        names = (self.alice.name, self.bob.name)
+        if isinstance(factors, int):
+            plan = {(actor, owner): factors
+                    for actor in names for owner in names}
+        else:
+            plan = factors
+        for (actor, owner), count in plan.items():
+            if count > 0:
+                self.pool(actor, owner).refill(count)
+
+    def pool_report(self) -> dict[tuple[str, str], dict[str, int]]:
+        """Per-pool accounting: pregenerated/consumed/misses/available."""
+        return {key: pool.report()
+                for key, pool in sorted(self._pools.items())}
+
     # -- protocol entry points ----------------------------------------------
 
     def compare_leq(self, a_party: Party, a: int, b_party: Party, b: int, *,
@@ -167,7 +233,9 @@ class SmcSession:
         return secure_multiplication(
             receiver, x, masker, y, mask,
             self.paillier_keys(receiver.name), label=label,
-            faithful_shared_r=self.config.faithful_shared_r)
+            faithful_shared_r=self.config.faithful_shared_r,
+            receiver_pool=self.pool(receiver, receiver),
+            masker_pool=self.pool(masker, receiver))
 
     def masked_dot_terms(self, receiver: Party, x_vector: list[int],
                          masker: Party, y_vector: list[int],
@@ -176,7 +244,23 @@ class SmcSession:
         """HDP inner loop: receiver learns each ``x_t*y_t + r_t``."""
         return secure_masked_dot_terms(
             receiver, x_vector, masker, y_vector, masks,
-            self.paillier_keys(receiver.name), label=label)
+            self.paillier_keys(receiver.name), label=label,
+            receiver_pool=self.pool(receiver, receiver),
+            masker_pool=self.pool(masker, receiver))
+
+    def masked_dot_terms_batch(self, holder: Party, alpha: list[int],
+                               receiver: Party, betas: list[list[int]],
+                               offsets: list[int], *, blind_bound: int,
+                               label: str = "dotbatch") -> list[int]:
+        """Batched region-query cross terms: receiver learns
+        ``<alpha, beta_i> + offsets[i]`` with the holder's vector
+        encrypted once for the whole batch."""
+        return secure_masked_dot_terms_batch(
+            holder, alpha, receiver, betas, offsets,
+            self.paillier_keys(holder.name), blind_bound=blind_bound,
+            label=label,
+            holder_pool=self.pool(holder, holder),
+            receiver_pool=self.pool(receiver, holder))
 
     def scalar_products(self, receiver: Party, alpha: list[int],
                         masker: Party, betas: list[list[int]],
@@ -185,7 +269,9 @@ class SmcSession:
         """Section 5 batched sharing: receiver learns ``<alpha, b_i> + v_i``."""
         return secure_scalar_products(
             receiver, alpha, masker, betas, masks,
-            self.paillier_keys(receiver.name), label=label)
+            self.paillier_keys(receiver.name), label=label,
+            receiver_pool=self.pool(receiver, receiver),
+            masker_pool=self.pool(masker, receiver))
 
     def kth_smallest(self, u_party: Party, v_party: Party,
                      shares: SharedValues, k: int, *,
