@@ -1,19 +1,26 @@
 """Quick fixed-workload perf snapshot -- the PR-over-PR trajectory file.
 
 Runs one small, deterministic workload per protocol and writes
-``benchmarks/results/BENCH_PR1.json`` with wall-clock, bytes, messages,
+``benchmarks/results/BENCH_PR2.json`` with wall-clock, bytes, messages,
 and secure-comparison counts, so future PRs have a stable baseline to
-compare against.  For the horizontal protocol it additionally runs the
-offline/online ablation introduced in PR 1:
+compare against.  Three ablations ride along:
 
-- ``seed``: the seed-era pipeline (per-point HDP, no randomness pools).
-- ``pipeline``: batched region queries + pools prefilled offline (the
-  prefill plan comes from an untimed probe run; the offline phase is
-  timed separately from the online protocol).
+- **horizontal** (PR 1): seed-era pipeline (per-point HDP, no pools)
+  vs. batched region queries + pools prefilled offline.
+- **multiparty** (PR 2): the PR-1 per-point mesh (one
+  ``hdp_within_eps`` per peer point per query) vs. the batched mesh
+  (one ``hdp_region_query`` per peer per query, pools prefilled from an
+  untimed probe run; the offline phase is timed separately).
+- **offline_scaling** (PR 2): pool-fill wall-clock through the
+  :class:`~repro.crypto.engine.ModexpEngine` at workers 1, 2 and 4
+  against the serial ``refill`` baseline.  The speedup is real
+  parallelism, so it tracks the host's usable cores --
+  ``host_cpus`` is recorded next to the numbers; on a single-core
+  host the worker configurations can only show IPC overhead.
 
-The script verifies the two pipelines produce bit-identical cluster
-labels and identical leakage-ledger disclosure sequences before
-reporting the speedup.
+The script verifies that each optimized pipeline produces bit-identical
+cluster labels and identical leakage-ledger disclosure sequences before
+reporting its speedup.
 
 Usage::
 
@@ -23,7 +30,9 @@ Usage::
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import random
 import sys
 import time
 
@@ -34,16 +43,24 @@ from repro.core.config import ProtocolConfig
 from repro.core.enhanced import run_enhanced_horizontal_dbscan
 from repro.core.horizontal import run_horizontal_dbscan
 from repro.core.vertical import run_vertical_dbscan
+from repro.crypto.engine import ModexpEngine
+from repro.crypto.keycache import cached_paillier_keypair
+from repro.crypto.precompute import RandomnessPool, combine_pool_reports
 from repro.data.dataset import Dataset
 from repro.data.partitioning import HorizontalPartition, partition_vertical
+from repro.multiparty.horizontal import run_multiparty_horizontal_dbscan
+from repro.multiparty.mesh import PartyMesh
 from repro.net.channel import Channel
 from repro.net.party import make_party_pair
 from repro.smc.session import SmcConfig, SmcSession
 
 RESULTS_PATH = (pathlib.Path(__file__).parent / "results"
-                / "BENCH_PR1.json")
+                / "BENCH_PR2.json")
 
 MIN_EXPECTED_SPEEDUP = 3.0
+MIN_EXPECTED_MESH_SPEEDUP = 2.0
+OFFLINE_SCALING_FACTORS = 600
+OFFLINE_SCALING_WORKERS = (1, 2, 4)
 
 
 def _smc(precompute: bool) -> SmcConfig:
@@ -108,11 +125,7 @@ def _horizontal_ablation() -> dict:
     pipeline_result, online_seconds = _timed(
         run_horizontal_dbscan, partition, pipeline_config, session=session)
 
-    pool_totals = {"pregenerated": 0, "consumed": 0, "misses": 0}
-    for report in session.pool_report().values():
-        for key in pool_totals:
-            pool_totals[key] += report[key]
-
+    pool_totals = combine_pool_reports(session.pool_report().values())
     labels_identical = (
         seed_result.alice_labels == pipeline_result.alice_labels
         and seed_result.bob_labels == pipeline_result.bob_labels)
@@ -132,6 +145,106 @@ def _horizontal_ablation() -> dict:
         "labels_bit_identical": labels_identical,
         "ledger_identical": ledger_identical,
     }
+
+
+def _multiparty_workload() -> dict[str, list]:
+    return {
+        "party0": list(clustered_points(4)),
+        "party1": list(clustered_points(4, origin=(2, 2))),
+        "party2": list(clustered_points(4, origin=(40, 40))),
+    }
+
+
+def _multiparty_ablation() -> dict:
+    """PR-1 per-point mesh vs the PR-2 batched mesh (prefilled offline)."""
+    points = _multiparty_workload()
+    seeds = [61, 62, 63]
+
+    # The PR-1 mesh: per-point HDP loops, pools filling on demand.
+    per_point_result, per_point_seconds = _timed(
+        run_multiparty_horizontal_dbscan, points,
+        _config(batched=False, precompute=True), seeds=seeds)
+
+    # Probe run (untimed): per-pair pool consumption of the batched mesh.
+    batched_config = _config(batched=True, precompute=True)
+    probe_mesh = PartyMesh(list(points), batched_config.smc, seeds=seeds)
+    run_multiparty_horizontal_dbscan(points, batched_config, mesh=probe_mesh)
+    plan = {pair: {key: entry["consumed"] for key, entry in report.items()}
+            for pair, report in probe_mesh.pool_report().items()}
+
+    # Offline phase (timed separately), then the online batched mesh.
+    mesh = PartyMesh(list(points), batched_config.smc, seeds=seeds)
+    started = time.perf_counter()
+    mesh.precompute_pools(plan)
+    offline_seconds = time.perf_counter() - started
+    batched_result, online_seconds = _timed(
+        run_multiparty_horizontal_dbscan, points, batched_config, mesh=mesh)
+
+    pool_totals = combine_pool_reports(
+        entry for report in mesh.pool_report().values()
+        for entry in report.values())
+    labels_identical = (per_point_result.labels_by_party
+                        == batched_result.labels_by_party)
+    ledger_identical = (per_point_result.ledger.events
+                        == batched_result.ledger.events)
+    speedup = (per_point_seconds / online_seconds if online_seconds
+               else float("inf"))
+
+    return {
+        "workload": {"parties": 3, "points_per_party": 4, "dimensions": 2},
+        "per_point_mesh": _summarize(per_point_result, per_point_seconds),
+        "batched_mesh": {
+            **_summarize(batched_result, online_seconds),
+            "offline_s": round(offline_seconds, 4),
+            "pool": pool_totals,
+        },
+        "speedup_online_vs_per_point": round(speedup, 2),
+        "labels_bit_identical": labels_identical,
+        "ledger_identical": ledger_identical,
+    }
+
+
+def _offline_scaling_ablation() -> dict:
+    """Pool-fill wall-clock: serial refill vs engine workers 1/2/4.
+
+    All fills draw from identically seeded RNGs, so every configuration
+    produces the same factors; only where the powmods run differs.  The
+    parallel speedup is bounded by the host's usable cores.
+    """
+    keys = cached_paillier_keypair(256, 991)
+    count = OFFLINE_SCALING_FACTORS
+
+    def _fresh_pool():
+        return RandomnessPool(keys.public_key, random.Random(2024))
+
+    serial_pool = _fresh_pool()
+    started = time.perf_counter()
+    serial_pool.refill(count)
+    serial_seconds = time.perf_counter() - started
+    reference = [serial_pool.encryption_factor() for _ in range(count)]
+
+    runs = {"serial_refill_s": round(serial_seconds, 4)}
+    factors_identical = True
+    for workers in OFFLINE_SCALING_WORKERS:
+        pool = _fresh_pool()
+        with ModexpEngine(workers=workers) as engine:
+            started = time.perf_counter()
+            engine.fill_pool(pool, count)
+            seconds = time.perf_counter() - started
+        if [pool.encryption_factor() for _ in range(count)] != reference:
+            factors_identical = False
+        runs[f"workers_{workers}_s"] = round(seconds, 4)
+        runs[f"speedup_workers_{workers}"] = round(
+            serial_seconds / seconds if seconds else float("inf"), 2)
+
+    runs["factors"] = count
+    runs["host_cpus"] = os.cpu_count()
+    try:
+        runs["host_usable_cpus"] = len(os.sched_getaffinity(0))
+    except AttributeError:  # non-linux
+        runs["host_usable_cpus"] = os.cpu_count()
+    runs["factors_bit_identical"] = factors_identical
+    return runs
 
 
 def _enhanced_quick() -> dict:
@@ -159,11 +272,15 @@ def _vertical_quick() -> dict:
 
 def main() -> int:
     horizontal = _horizontal_ablation()
+    multiparty = _multiparty_ablation()
+    offline = _offline_scaling_ablation()
     payload = {
-        "pr": 1,
-        "description": "quick fixed-workload perf snapshot "
-                       "(offline/online crypto pipeline ablation)",
+        "pr": 2,
+        "description": "quick fixed-workload perf snapshot (parallel "
+                       "modexp engine + batched multiparty mesh)",
         "horizontal": horizontal,
+        "multiparty": multiparty,
+        "offline_scaling": offline,
         "enhanced": _enhanced_quick(),
         "vertical": _vertical_quick(),
     }
@@ -172,17 +289,37 @@ def main() -> int:
     print(json.dumps(payload, indent=2))
     print(f"\n[written to {RESULTS_PATH}]")
 
-    if not horizontal["labels_bit_identical"]:
-        print("FAIL: pipeline changed cluster labels", file=sys.stderr)
-        return 1
-    if not horizontal["ledger_identical"]:
-        print("FAIL: pipeline changed the disclosure sequence",
+    failed = False
+    for name, section in (("horizontal", horizontal),
+                          ("multiparty", multiparty)):
+        if not section["labels_bit_identical"]:
+            print(f"FAIL: {name} pipeline changed cluster labels",
+                  file=sys.stderr)
+            failed = True
+        if not section["ledger_identical"]:
+            print(f"FAIL: {name} pipeline changed the disclosure sequence",
+                  file=sys.stderr)
+            failed = True
+    if not offline["factors_bit_identical"]:
+        print("FAIL: a worker configuration changed the pool factors",
               file=sys.stderr)
+        failed = True
+    if failed:
         return 1
-    speedup = horizontal["speedup_online_vs_seed"]
-    if speedup < MIN_EXPECTED_SPEEDUP:
-        print(f"WARNING: online speedup {speedup:.2f}x below the "
+    if horizontal["speedup_online_vs_seed"] < MIN_EXPECTED_SPEEDUP:
+        print(f"WARNING: horizontal online speedup "
+              f"{horizontal['speedup_online_vs_seed']:.2f}x below the "
               f"{MIN_EXPECTED_SPEEDUP:.0f}x target", file=sys.stderr)
+    if multiparty["speedup_online_vs_per_point"] < MIN_EXPECTED_MESH_SPEEDUP:
+        print(f"WARNING: multiparty online speedup "
+              f"{multiparty['speedup_online_vs_per_point']:.2f}x below the "
+              f"{MIN_EXPECTED_MESH_SPEEDUP:.0f}x target", file=sys.stderr)
+    top_workers = max(OFFLINE_SCALING_WORKERS)
+    top_speedup = offline[f"speedup_workers_{top_workers}"]
+    if (offline["host_usable_cpus"] or 1) >= 2 and top_speedup < 2.0:
+        print(f"WARNING: offline fill speedup {top_speedup:.2f}x with "
+              f"{top_workers} workers on a "
+              f"{offline['host_usable_cpus']}-cpu host", file=sys.stderr)
     return 0
 
 

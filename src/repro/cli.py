@@ -39,8 +39,13 @@ from repro.data.partitioning import (
     partition_horizontal,
     partition_vertical,
 )
+from repro.crypto.engine import ModexpEngine
+from repro.crypto.precompute import combine_pool_reports
 from repro.multiparty.horizontal import run_multiparty_horizontal_dbscan
-from repro.smc.session import SmcConfig
+from repro.multiparty.mesh import PartyMesh
+from repro.net.channel import Channel
+from repro.net.party import make_party_pair
+from repro.smc.session import SmcConfig, SmcSession
 
 _SCENARIOS = ("horizontal", "enhanced", "vertical", "arbitrary",
               "multiparty")
@@ -64,6 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--backend", choices=("bitwise", "ympp", "oracle"),
                       default="bitwise")
     demo.add_argument("--key-bits", type=int, default=256)
+    demo.add_argument("--workers", type=int, default=1,
+                      help="modexp engine worker processes (1 = serial)")
+    demo.add_argument("--no-precompute", action="store_true",
+                      help="disable randomness pools (seed-era behaviour)")
+    demo.add_argument("--prefill", type=int, default=0,
+                      help="factors to pregenerate per randomness pool "
+                           "before the run (offline phase)")
 
     attack = commands.add_parser("attack",
                                  help="quantify the Figure 1 attack")
@@ -88,12 +100,26 @@ def main(argv: list[str] | None = None) -> int:
     return 2  # unreachable: argparse enforces the choices
 
 
-def _demo_config(args) -> ProtocolConfig:
+def _demo_config(args, engine: ModexpEngine) -> ProtocolConfig:
     return ProtocolConfig(
         eps=args.eps, min_pts=args.min_pts, scale=100,
         smc=SmcConfig(paillier_bits=args.key_bits, comparison=args.backend,
-                      key_seed=args.seed),
+                      key_seed=args.seed, engine=engine,
+                      precompute=not args.no_precompute),
         alice_seed=args.seed, bob_seed=args.seed + 1)
+
+
+def _print_crypto_summary(engine: ModexpEngine, pool_reports) -> None:
+    """The --workers / --precompute visibility lines of the run summary."""
+    pool_reports = list(pool_reports)
+    if pool_reports:
+        totals = combine_pool_reports(pool_reports)
+        print("pools: pregenerated={pregenerated}  consumed={consumed}  "
+              "misses={misses}  available={available}".format(**totals))
+    stats = engine.report()
+    print("engine: workers={workers}  batches={batches}  jobs={jobs}  "
+          "parallel_modexps={parallel_modexps}  fallbacks={fallbacks}".format(
+              **stats))
 
 
 def _demo_points(args) -> list[tuple[int, ...]]:
@@ -106,29 +132,51 @@ def _demo_points(args) -> list[tuple[int, ...]]:
 
 def _run_demo(args) -> int:
     points = _demo_points(args)
-    config = _demo_config(args)
+    with ModexpEngine(workers=args.workers) as engine:
+        return _run_demo_with_engine(args, points, engine)
+
+
+def _run_demo_with_engine(args, points, engine: ModexpEngine) -> int:
+    config = _demo_config(args, engine)
+    prefill = 0 if args.no_precompute else args.prefill
     if args.scenario == "multiparty":
         thirds = max(1, len(points) // 3)
         by_party = {"party0": points[:thirds],
                     "party1": points[thirds:2 * thirds],
                     "party2": points[2 * thirds:]}
-        result = run_multiparty_horizontal_dbscan(
-            by_party, config, seeds=[args.seed, args.seed + 1,
-                                     args.seed + 2])
+        mesh = PartyMesh(list(by_party), config.smc,
+                         seeds=[args.seed, args.seed + 1, args.seed + 2])
+        if prefill:
+            mesh.precompute_pools(prefill)
+        result = run_multiparty_horizontal_dbscan(by_party, config,
+                                                  mesh=mesh)
         for name, labels in result.labels_by_party.items():
             print(f"{name}: {labels}")
         print(f"bytes: {result.stats['total_bytes']:,}  "
               f"comparisons: {result.comparisons}")
         print(f"disclosures: {result.ledger.profile()}")
+        _print_crypto_summary(
+            engine, (entry for report in mesh.pool_report().values()
+                     for entry in report.values()))
         return 0
 
+    session = None
     if args.scenario in ("horizontal", "enhanced"):
         alice_pts, bob_pts = interleave_for_horizontal(
             points, random.Random(args.seed + 9))
         partition = HorizontalPartition(alice_points=tuple(alice_pts),
                                         bob_points=tuple(bob_pts))
+        if args.scenario == "horizontal":
+            # Plain horizontal runs over an injected session so the pool
+            # accounting (and any --prefill offline phase) is visible.
+            session = SmcSession(
+                *make_party_pair(Channel(), config.alice_seed,
+                                 config.bob_seed), config.smc)
+            if prefill:
+                session.precompute_pools(prefill)
         run = cluster_partitioned(partition, config,
-                                  enhanced=args.scenario == "enhanced")
+                                  enhanced=args.scenario == "enhanced",
+                                  session=session)
     elif args.scenario == "vertical":
         run = cluster_partitioned(
             partition_vertical(Dataset.from_points(points), 1), config)
@@ -144,6 +192,8 @@ def _run_demo(args) -> int:
           f"comparisons: {run.comparisons}  "
           f"time: {run.elapsed_seconds:.2f}s")
     print(f"disclosures: {run.ledger.profile()}")
+    _print_crypto_summary(
+        engine, session.pool_report().values() if session else ())
     return 0
 
 

@@ -29,18 +29,20 @@ class ProtocolConfig:
             comparison) instead of the paper's zero -- hides the exact
             dot product from the non-querying party.  Default False =
             paper-faithful.  See DESIGN.md and experiment E7.
-        cache_peer_ciphertexts: when True, the horizontal protocol reuses
-            each peer point's encrypted coordinates across queries --
-            cheaper, but the stable point ids on the wire make hits
-            linkable (the Figure 1 vector; ledger records it).  Off by
-            default; experiment E12 quantifies the trade.
+        cache_peer_ciphertexts: when True, the horizontal protocols
+            (two-party and k-party) reuse each peer point's encrypted
+            coordinates across queries -- cheaper, but the stable point
+            ids on the wire make hits linkable (the Figure 1 vector;
+            ledger records it).  Off by default; experiment E12
+            quantifies the trade.
         batched_region_queries: when True (default), the horizontal
-            protocol runs each secure region query as one batched HDP
-            (querier point encrypted once, one cross-term round-trip for
-            all peer points) instead of one HDP per peer point.  Bits,
-            labels, and ledger disclosures are identical
+            protocols -- two-party passes and every per-peer count of
+            the k-party mesh -- run each secure region query as one
+            batched HDP (querier point encrypted once, one cross-term
+            round-trip for all peer points) instead of one HDP per peer
+            point.  Bits, labels, and ledger disclosures are identical
             (property-tested); only wall-clock and message counts
-            change.  Off reproduces the seed-era per-point loop for
+            change.  Off reproduces the seed-era per-point loops for
             ablations.
         use_grid_index: accelerate the *local plaintext* region queries
             of the driving party with a uniform grid index (identical

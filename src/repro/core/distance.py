@@ -263,9 +263,9 @@ def hdp_within_eps_cached(session: SmcSession, querier: Party,
     peer.send(f"{label}/point_id", peer_point_id)
     announced_id = querier.receive(f"{label}/point_id")
     if peer_point_id not in cache:
-        encrypted = [public.encrypt(encoder.encode(c), peer.rng,
-                                    session.pool(peer, peer)).value
-                     for c in peer_point]
+        encrypted = [cipher.value for cipher in session.engine.encrypt_batch(
+            public, [encoder.encode(c) for c in peer_point], peer.rng,
+            session.pool(peer, peer))]
         peer.send(f"{label}/coords", encrypted)
         cache.store(peer_point_id, querier.receive(f"{label}/coords"))
 
@@ -289,9 +289,9 @@ def hdp_within_eps_cached(session: SmcSession, querier: Party,
     querier.send(f"{label}/masked_terms", replies)
 
     received = peer.receive(f"{label}/masked_terms")
-    private = peer_keys.private_key
-    cross_sum = sum(encoder.decode(private.decrypt_raw(value))
-                    for value in received)
+    cross_sum = sum(
+        encoder.decode(value) for value in session.engine.decrypt_raw_batch(
+            peer_keys.private_key, received))
 
     querier_side = sum(c * c for c in querier_point)
     peer_side = sum(c * c for c in peer_point) - 2 * cross_sum
@@ -358,10 +358,18 @@ def hdp_region_query_cached(session: SmcSession, querier: Party,
                if point_id not in cache]
     if missing:
         peer_pool = session.pool(peer, peer)
-        payload = [[point_id,
-                    [public.encrypt(encoder.encode(c), peer.rng,
-                                    peer_pool).value for c in point]]
-                   for point_id, point in missing]
+        # One engine batch over all missing coordinates, in the same
+        # RNG order as per-point encryption, then regrouped per point.
+        flat = session.engine.encrypt_batch(
+            public,
+            [encoder.encode(c) for _, point in missing for c in point],
+            peer.rng, peer_pool)
+        payload = []
+        cursor = 0
+        for point_id, point in missing:
+            payload.append([point_id, [cipher.value for cipher in
+                                       flat[cursor:cursor + len(point)]]])
+            cursor += len(point)
         peer.send(f"{label}/coords", payload)
         for point_id, ciphers in querier.receive(f"{label}/coords"):
             cache.store(point_id, ciphers)
@@ -386,7 +394,8 @@ def hdp_region_query_cached(session: SmcSession, querier: Party,
     querier.send(f"{label}/masked_sums", replies)
 
     cross_sums = [encoder.decode(value) for value in
-                  peer_keys.private_key.decrypt_raw_batch(
+                  session.engine.decrypt_raw_batch(
+                      peer_keys.private_key,
                       peer.receive(f"{label}/masked_sums"))]
 
     return _batched_threshold_comparisons(

@@ -10,8 +10,14 @@ Implements everything Section 3.7/3.8 of the paper depends on:
   plugged into Yao's Millionaires' Problem Protocol (Section 3.8).
 - :mod:`repro.crypto.encoding` -- signed/fixed-point encodings bridging
   real-valued records and the integer plaintext spaces.
+- :mod:`repro.crypto.precompute` -- offline randomness pools and fixed
+  bases (the offline/online split).
+- :mod:`repro.crypto.engine` -- the parallel modexp engine executing
+  pool refills and batch encrypt/decrypt as sharded worker jobs.
 """
 
+from repro.crypto.engine import ModexpEngine, default_engine
+from repro.crypto.precompute import RandomnessPool
 from repro.crypto.paillier import (
     PaillierCiphertext,
     PaillierKeyPair,
@@ -23,6 +29,9 @@ from repro.crypto.rsa import RsaKeyPair, generate_rsa_keypair
 from repro.crypto.encoding import FixedPointEncoder, SignedEncoder
 
 __all__ = [
+    "ModexpEngine",
+    "default_engine",
+    "RandomnessPool",
     "PaillierCiphertext",
     "PaillierKeyPair",
     "PaillierPrivateKey",

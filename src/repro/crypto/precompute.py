@@ -77,21 +77,44 @@ class RandomnessPool:
         r = public.random_unit(self.rng)
         return pow(r, public.n, public.n_squared)
 
+    def draw_units(self, count: int) -> list[int]:
+        """Draw ``count`` randomness units from the actor's RNG, in order.
+
+        The RNG half of :meth:`refill`, split out so a
+        :class:`~repro.crypto.engine.ModexpEngine` can keep the private
+        randomness draws in-process while sharding the ``r^n`` powmods
+        across workers.  Consuming the same RNG in the same order keeps
+        engine fills bit-identical to serial fills.
+        """
+        if count < 0:
+            raise PrecomputeError(f"cannot draw {count} units")
+        return [self.public_key.random_unit(self.rng) for _ in range(count)]
+
+    def deposit(self, factors: list[int]) -> None:
+        """Queue externally computed factors (the modexp half of refill)."""
+        self._factors.extend(factors)
+        self.pregenerated += len(factors)
+
     def refill(self, count: int) -> None:
         """Offline phase: pregenerate ``count`` factors."""
-        if count < 0:
-            raise PrecomputeError(f"cannot refill {count} factors")
-        for _ in range(count):
-            self._factors.append(self._fresh_factor())
-        self.pregenerated += count
+        units = self.draw_units(count)
+        public = self.public_key
+        self.deposit([pow(r, public.n, public.n_squared) for r in units])
 
-    def encryption_factor(self) -> int:
-        """Pop one factor; falls back to on-demand generation when empty."""
+    def try_factor(self) -> int | None:
+        """Pop one factor if available; ``None`` (and a counted miss)
+        when the queue is empty, letting batched callers collect their
+        misses and generate them in one sharded modexp batch."""
         self.consumed += 1
         if self._factors:
             return self._factors.popleft()
         self.misses += 1
-        return self._fresh_factor()
+        return None
+
+    def encryption_factor(self) -> int:
+        """Pop one factor; falls back to on-demand generation when empty."""
+        factor = self.try_factor()
+        return self._fresh_factor() if factor is None else factor
 
     def rerandomization_unit(self) -> int:
         """Alias of :meth:`encryption_factor` (same object, see class doc)."""
@@ -105,6 +128,17 @@ class RandomnessPool:
             "misses": self.misses,
             "available": len(self._factors),
         }
+
+
+def combine_pool_reports(reports) -> dict[str, int]:
+    """Sum per-pool accounting dicts (from :meth:`RandomnessPool.report`)
+    into one totals line -- the shape the CLI summary and the benchmark
+    snapshots both print."""
+    totals = {"pregenerated": 0, "consumed": 0, "misses": 0, "available": 0}
+    for report in reports:
+        for key in totals:
+            totals[key] += report[key]
+    return totals
 
 
 class FixedBaseExp:

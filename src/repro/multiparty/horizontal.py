@@ -2,9 +2,20 @@
 
 Algorithm 3/4 generalized: each party drives a pass over its own points;
 the density test for a queried point sums the local neighbour count with
-one secure count per peer (each an independent HDP batch over that
-peer's freshly permuted points); expansion proceeds through own points
-only.  For ``k = 2`` this reduces exactly to the two-party protocol.
+one secure count per peer; expansion proceeds through own points only.
+For ``k = 2`` this reduces exactly to the two-party protocol.
+
+Each per-peer secure count runs, by default, as **one batched HDP region
+query** (:func:`repro.core.distance.hdp_region_query`): the driver's
+point is encrypted once per peer (``O(d)`` encryptions regardless of the
+peer's point count) and all cross terms travel in a single round-trip.
+``ProtocolConfig(batched_region_queries=False)`` reproduces the seed-era
+per-point ``hdp_within_eps`` loop -- bit-identical labels and identical
+leakage-ledger sequences, property-tested in ``tests/multiparty``.  With
+``cache_peer_ciphertexts=True`` each driver pass keeps one
+:class:`~repro.core.distance.PeerCipherCache` per peer, so a peer
+point's encrypted coordinates cross the wire once per pass (the linkable
+trade recorded by the ledger, exactly as in the two-party protocol).
 
 Reference semantics: each party's labels equal
 ``union_density_dbscan(own_points, concatenation_of_all_peer_points)``
@@ -24,7 +35,13 @@ from repro.clustering.labels import (
 )
 from repro.clustering.neighborhoods import BruteForceIndex
 from repro.core.config import ProtocolConfig
-from repro.core.distance import hdp_within_eps
+from repro.core.distance import (
+    PeerCipherCache,
+    hdp_region_query,
+    hdp_region_query_cached,
+    hdp_within_eps,
+    hdp_within_eps_cached,
+)
 from repro.core.leakage import Disclosure, LeakageLedger
 from repro.data.quantize import squared_distance_bound
 from repro.multiparty.mesh import MeshError, PartyMesh
@@ -51,6 +68,7 @@ class MultipartyRunResult:
 def run_multiparty_horizontal_dbscan(points_by_party: dict[str, list],
                                      config: ProtocolConfig,
                                      *, seeds: list[int] | None = None,
+                                     mesh: PartyMesh | None = None,
                                      ) -> MultipartyRunResult:
     """Run the k-party horizontal protocol.
 
@@ -59,11 +77,19 @@ def run_multiparty_horizontal_dbscan(points_by_party: dict[str, list],
         config: protocol parameters; ``config.smc`` configures every
             pairwise session.
         seeds: optional per-party RNG seeds (ordered as the dict).
+        mesh: a pre-built :class:`PartyMesh` over the same party names,
+            so callers can run the offline phase
+            (``mesh.precompute_pools``) outside whatever they are
+            timing; when omitted, the mesh is created here.
     """
     names = list(points_by_party)
     if len(names) < 2:
         raise MeshError("need at least two parties")
-    mesh = PartyMesh(names, config.smc, seeds=seeds)
+    if mesh is None:
+        mesh = PartyMesh(names, config.smc, seeds=seeds)
+    elif set(mesh.names) != set(names):
+        raise MeshError(
+            f"mesh parties {mesh.names} do not match data parties {names}")
     ledger = LeakageLedger()
 
     all_points = [p for points in points_by_party.values() for p in points]
@@ -71,8 +97,11 @@ def run_multiparty_horizontal_dbscan(points_by_party: dict[str, list],
 
     labels_by_party = {}
     for driver_name in names:
+        caches = ({peer: PeerCipherCache() for peer in
+                   mesh.peers_of(driver_name)}
+                  if config.cache_peer_ciphertexts else None)
         labels = _driver_pass(mesh, driver_name, points_by_party, config,
-                              value_bound, ledger)
+                              value_bound, ledger, caches)
         labels_by_party[driver_name] = labels.as_tuple()
 
     comparisons = sum(
@@ -88,7 +117,8 @@ def run_multiparty_horizontal_dbscan(points_by_party: dict[str, list],
 
 def _driver_pass(mesh: PartyMesh, driver_name: str,
                  points_by_party: dict[str, list], config: ProtocolConfig,
-                 value_bound: int, ledger: LeakageLedger) -> ClusterLabels:
+                 value_bound: int, ledger: LeakageLedger,
+                 caches: dict[str, PeerCipherCache] | None) -> ClusterLabels:
     """Algorithm 3 for one driving party against all peers."""
     own_points = list(points_by_party[driver_name])
     labels = ClusterLabels(len(own_points))
@@ -98,7 +128,7 @@ def _driver_pass(mesh: PartyMesh, driver_name: str,
         if labels.is_unclassified(point_index):
             if _expand(mesh, driver_name, points_by_party, config,
                        value_bound, ledger, index, labels, point_index,
-                       cluster_id):
+                       cluster_id, caches):
                 cluster_id = next_cluster_id(cluster_id)
     return labels
 
@@ -107,13 +137,14 @@ def _expand(mesh: PartyMesh, driver_name: str,
             points_by_party: dict[str, list], config: ProtocolConfig,
             value_bound: int, ledger: LeakageLedger,
             index: BruteForceIndex, labels: ClusterLabels,
-            point_index: int, cluster_id: int) -> bool:
+            point_index: int, cluster_id: int,
+            caches: dict[str, PeerCipherCache] | None) -> bool:
     """Algorithm 4 with the density test summed over every peer."""
     eps_squared = config.eps_squared
     seeds = index.region_query(index.points[point_index], eps_squared)
     peer_total = _all_peer_counts(mesh, driver_name, points_by_party,
                                   index.points[point_index], config,
-                                  value_bound, ledger)
+                                  value_bound, ledger, caches)
     if len(seeds) + peer_total < config.min_pts:
         labels.change_cluster_id(point_index, NOISE)
         return False
@@ -125,7 +156,7 @@ def _expand(mesh: PartyMesh, driver_name: str,
         result = index.region_query(index.points[current], eps_squared)
         peer_total = _all_peer_counts(mesh, driver_name, points_by_party,
                                       index.points[current], config,
-                                      value_bound, ledger)
+                                      value_bound, ledger, caches)
         if len(result) + peer_total >= config.min_pts:
             for neighbor in result:
                 if labels[neighbor] in (UNCLASSIFIED, NOISE):
@@ -138,7 +169,8 @@ def _expand(mesh: PartyMesh, driver_name: str,
 def _all_peer_counts(mesh: PartyMesh, driver_name: str,
                      points_by_party: dict[str, list],
                      query_point: tuple[int, ...], config: ProtocolConfig,
-                     value_bound: int, ledger: LeakageLedger) -> int:
+                     value_bound: int, ledger: LeakageLedger,
+                     caches: dict[str, PeerCipherCache] | None) -> int:
     """One secure neighbour count per peer, summed."""
     total = 0
     for peer_name in mesh.peers_of(driver_name):
@@ -148,18 +180,57 @@ def _all_peer_counts(mesh: PartyMesh, driver_name: str,
         session = mesh.session_between(driver_name, peer_name)
         driver = mesh.party_in_pair(driver_name, peer_name)
         peer = mesh.party_in_pair(peer_name, driver_name)
-        view = PermutedView.fresh(len(peer_points), peer.rng)
-        count = 0
-        for position in range(len(view)):
-            point = peer_points[view.true_index(position)]
-            if hdp_within_eps(session, driver, query_point, peer, point,
-                              config.eps_squared, value_bound,
-                              ledger=ledger,
-                              blind_cross_sum=config.blind_cross_sum,
-                              label=f"multiparty/{driver_name}-{peer_name}"):
-                count += 1
+        count = _peer_count(session, driver, peer, query_point, peer_points,
+                            config, value_bound, ledger,
+                            caches[peer_name] if caches is not None else None,
+                            label=f"multiparty/{driver_name}-{peer_name}")
         ledger.record(f"multiparty/{driver_name}", driver_name,
                       Disclosure.NEIGHBOR_COUNT,
                       detail=f"peer {peer_name}: {count}")
         total += count
     return total
+
+
+def _peer_count(session, driver, peer, query_point: tuple[int, ...],
+                peer_points: list, config: ProtocolConfig, value_bound: int,
+                ledger: LeakageLedger, cache: PeerCipherCache | None, *,
+                label: str) -> int:
+    """One peer's secure neighbour count, batched or seed-era per-point.
+
+    The batched paths reuse the two-party region-query machinery
+    verbatim, so their bits, comparison sub-protocols, and ledger
+    records are identical to the per-point loops (property-tested).
+    """
+    eps_squared = config.eps_squared
+    if config.batched_region_queries:
+        if cache is not None:
+            bits = hdp_region_query_cached(
+                session, driver, query_point, peer, list(peer_points),
+                list(range(len(peer_points))), cache, eps_squared,
+                value_bound, ledger=ledger,
+                blind_cross_sum=config.blind_cross_sum,
+                label=f"{label}/cached")
+        else:
+            bits = hdp_region_query(
+                session, driver, query_point, peer, list(peer_points),
+                eps_squared, value_bound, ledger=ledger,
+                blind_cross_sum=config.blind_cross_sum, label=label)
+        return sum(bits)
+    if cache is not None:
+        return sum(
+            hdp_within_eps_cached(
+                session, driver, query_point, peer, peer_point, point_id,
+                cache, eps_squared, value_bound, ledger=ledger,
+                blind_cross_sum=config.blind_cross_sum,
+                label=f"{label}/cached")
+            for point_id, peer_point in enumerate(peer_points))
+    view = PermutedView.fresh(len(peer_points), peer.rng)
+    count = 0
+    for position in range(len(view)):
+        point = peer_points[view.true_index(position)]
+        if hdp_within_eps(session, driver, query_point, peer, point,
+                          eps_squared, value_bound, ledger=ledger,
+                          blind_cross_sum=config.blind_cross_sum,
+                          label=label):
+            count += 1
+    return count

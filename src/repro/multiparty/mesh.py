@@ -103,6 +103,27 @@ class PartyMesh:
             raise MeshError(f"unknown party {name!r}")
         return [other for other in self.names if other != name]
 
+    def precompute_pools(self, factors: "int | dict") -> None:
+        """Offline phase across the whole mesh.
+
+        ``factors`` is either one count applied to every (actor, key)
+        pair of every pairwise session, or a
+        ``{(left, right): session_plan}`` mapping keyed like
+        :meth:`pool_report` -- e.g. the consumption a probe run
+        reported.  Refills run through each session's engine.
+        """
+        if isinstance(factors, int):
+            for session in self._sessions.values():
+                session.precompute_pools(factors)
+            return
+        for pair, plan in factors.items():
+            self._sessions[self._pair_key(*pair)].precompute_pools(plan)
+
+    def pool_report(self) -> dict:
+        """Per-pair pool accounting: ``{(left, right): session_report}``."""
+        return {pair: session.pool_report()
+                for pair, session in sorted(self._sessions.items())}
+
     def merged_stats(self) -> CommunicationStats:
         total = CommunicationStats()
         for channel in self._channels.values():

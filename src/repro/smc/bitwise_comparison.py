@@ -27,6 +27,7 @@ Protocol:
 
 from __future__ import annotations
 
+from repro.crypto.engine import ModexpEngine, default_engine
 from repro.crypto.paillier import PaillierCiphertext, PaillierKeyPair
 from repro.crypto.precompute import RandomnessPool
 from repro.net.party import Party
@@ -45,7 +46,8 @@ def dgk_greater_than(key_holder: Party, x: int, other: Party, y: int,
                      bits: int, keypair: PaillierKeyPair, *,
                      label: str = "dgk",
                      key_holder_pool: RandomnessPool | None = None,
-                     other_pool: RandomnessPool | None = None) -> bool:
+                     other_pool: RandomnessPool | None = None,
+                     engine: ModexpEngine | None = None) -> bool:
     """Decide ``x > y``; only ``key_holder`` (who owns ``keypair``) learns it.
 
     Args:
@@ -61,6 +63,10 @@ def dgk_greater_than(key_holder: Party, x: int, other: Party, y: int,
             for each party's encryptions under the key holder's key --
             the bit-encryption and blinding loops are the protocols'
             hottest powmod sites, and pools turn each into a mulmod.
+        engine: optional :class:`~repro.crypto.engine.ModexpEngine`
+            executing the bit-encryption batch and the witness
+            decryption as sharded modexp jobs (bit-identical results;
+            serial when omitted).
     """
     if bits < 1:
         raise BitwiseComparisonError(f"bits must be >= 1, got {bits}")
@@ -70,10 +76,11 @@ def dgk_greater_than(key_holder: Party, x: int, other: Party, y: int,
         raise BitwiseComparisonError(f"y={y} outside [0, 2^{bits})")
 
     public = keypair.public_key
+    engine = engine or default_engine()
 
     # --- Step 1 (key holder): encrypt bits of x, MSB first. ---------------
     x_bits = [(x >> (bits - 1 - t)) & 1 for t in range(bits)]
-    encrypted_bits = public.encrypt_batch(x_bits, key_holder.rng,
+    encrypted_bits = engine.encrypt_batch(public, x_bits, key_holder.rng,
                                           key_holder_pool)
     key_holder.send(f"{label}/x_bits", [c.value for c in encrypted_bits])
 
@@ -103,5 +110,5 @@ def dgk_greater_than(key_holder: Party, x: int, other: Party, y: int,
 
     # --- Step 4 (key holder): decrypt, look for a zero. --------------------
     witnesses = key_holder.receive(f"{label}/witnesses")
-    private = keypair.private_key
-    return any(private.decrypt_raw(value) == 0 for value in witnesses)
+    plaintexts = engine.decrypt_raw_batch(keypair.private_key, witnesses)
+    return any(value == 0 for value in plaintexts)

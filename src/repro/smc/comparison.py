@@ -27,6 +27,7 @@ import random
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
+from repro.crypto.engine import ModexpEngine
 from repro.crypto.paillier import PaillierKeyPair
 from repro.crypto.rsa import RsaKeyPair
 from repro.net.party import Party
@@ -106,53 +107,81 @@ class YaoMillionairesComparison(SecureComparison):
     Input mapping: values are shifted to ``[1, n0]`` with
     ``n0 = domain + 2`` (one slot of headroom for the ``b + 1`` strict-to-
     loose trick).  The party that must learn the result plays the
-    j-holder role (Algorithm 1's Bob); the peer owns the RSA keypair.
+    j-holder role (Algorithm 1's Bob); the peer runs Algorithm 1's Alice
+    under **its own** RSA keypair, looked up by party identity -- never
+    by which argument slot the caller happened to pass the party in.
     """
 
     name = "ympp"
 
-    def __init__(self, a_party_keys: RsaKeyPair, b_party_keys: RsaKeyPair):
+    def __init__(self, keys_by_party: dict[str, RsaKeyPair],
+                 engine: ModexpEngine | None = None):
         super().__init__()
-        self._keys = {"a": a_party_keys, "b": b_party_keys}
+        self._keys = dict(keys_by_party)
+        self._engine = engine
+
+    def _keys_of(self, party: Party) -> RsaKeyPair:
+        try:
+            return self._keys[party.name]
+        except KeyError:
+            raise ComparisonError(
+                f"no RSA key material registered for party {party.name!r}")
 
     def _leq(self, a_party: Party, a: int, b_party: Party, b: int, *,
              domain: int, reveal_to: str, label: str) -> bool:
         n0 = domain + 2
         if reveal_to in ("a", "both"):
-            # a-holder learns: run with i = b, j = a (keypair: b-holder),
-            # so the j-holder (a-holder) learns b < a, and
-            # a <= b  <=>  not (b < a).
+            # a-holder learns: run with i = b, j = a (the i-holder --
+            # b_party -- owns the keypair), so the j-holder (a-holder)
+            # learns b < a, and a <= b  <=>  not (b < a).
             strictly_greater = ympp_less_than(
                 b_party, b + 1, a_party, a + 1, n0,
-                self._keys["b"], announce=(reveal_to == "both"),
-                label=f"{label}/b_lt_a")
+                self._keys_of(b_party), announce=(reveal_to == "both"),
+                label=f"{label}/b_lt_a", engine=self._engine)
             return not strictly_greater
         # b-holder learns: i = a, j = b + 1 -> j-holder learns
         # a < b + 1 <=> a <= b.
         return ympp_less_than(
             a_party, a + 1, b_party, b + 2, n0,
-            self._keys["a"], announce=False, label=f"{label}/a_le_b")
+            self._keys_of(a_party), announce=False, label=f"{label}/a_le_b",
+            engine=self._engine)
 
 
 class BitwiseComparison(SecureComparison):
     """DGK-style backend; the key holder is the learning party.
 
-    ``pool_lookup(actor_name, role)`` optionally resolves a
+    Key material is looked up by *party identity*: whichever party plays
+    the DGK key holder runs under its own Paillier keypair, regardless
+    of which argument slot it arrived in (the seed-era code bound keys
+    to the ``a``/``b`` roles, so passing ``a_party=bob`` ran DGK under
+    alice's keypair -- functionally correct in-process, wrong key
+    ownership for any real network deployment).
+
+    ``pool_lookup(actor_name, owner_name)`` optionally resolves a
     :class:`~repro.crypto.precompute.RandomnessPool` for the named party
-    encrypting under the keypair configured for ``role`` (``"a"`` or
-    ``"b"``); the session wires its per-(actor, key) pools through here
-    so DGK's bit-encryption and blinding loops run on pregenerated
-    randomness.
+    encrypting under the named key owner's key; the session wires its
+    per-(actor, key) pools through here so DGK's bit-encryption and
+    blinding loops run on pregenerated randomness.  ``engine`` routes
+    the bit-encryption batch and witness decryption through a
+    :class:`~repro.crypto.engine.ModexpEngine`.
     """
 
     name = "bitwise"
 
-    def __init__(self, a_party_keys: PaillierKeyPair,
-                 b_party_keys: PaillierKeyPair,
-                 pool_lookup=None):
+    def __init__(self, keys_by_party: dict[str, PaillierKeyPair],
+                 pool_lookup=None, engine: ModexpEngine | None = None):
         super().__init__()
-        self._keys = {"a": a_party_keys, "b": b_party_keys}
-        self._pools = pool_lookup or (lambda actor_name, role: None)
+        self._keys = dict(keys_by_party)
+        self._pools = pool_lookup or (lambda actor_name, owner_name: None)
+        self._engine = engine
+
+    def _keys_of(self, party: Party) -> PaillierKeyPair:
+        try:
+            return self._keys[party.name]
+        except KeyError:
+            raise ComparisonError(
+                f"no Paillier key material registered for party "
+                f"{party.name!r}")
 
     def _leq(self, a_party: Party, a: int, b_party: Party, b: int, *,
              domain: int, reveal_to: str, label: str) -> bool:
@@ -161,9 +190,11 @@ class BitwiseComparison(SecureComparison):
         if reveal_to in ("a", "both"):
             # a-holder keyed, learns a > b; a <= b is the negation.
             greater = dgk_greater_than(
-                a_party, a, b_party, b, bits, self._keys["a"], label=label,
-                key_holder_pool=self._pools(a_party.name, "a"),
-                other_pool=self._pools(b_party.name, "a"))
+                a_party, a, b_party, b, bits, self._keys_of(a_party),
+                label=label,
+                key_holder_pool=self._pools(a_party.name, a_party.name),
+                other_pool=self._pools(b_party.name, a_party.name),
+                engine=self._engine)
             result = not greater
             if reveal_to == "both":
                 a_party.send(f"{label}/conclusion", result)
@@ -171,9 +202,11 @@ class BitwiseComparison(SecureComparison):
             return result
         # b-holder keyed, learns b + 1 > a  <=>  a <= b.
         return dgk_greater_than(
-            b_party, b + 1, a_party, a, bits, self._keys["b"], label=label,
-            key_holder_pool=self._pools(b_party.name, "b"),
-            other_pool=self._pools(a_party.name, "b"))
+            b_party, b + 1, a_party, a, bits, self._keys_of(b_party),
+            label=label,
+            key_holder_pool=self._pools(b_party.name, b_party.name),
+            other_pool=self._pools(a_party.name, b_party.name),
+            engine=self._engine)
 
 
 class OracleComparison(SecureComparison):
@@ -191,29 +224,33 @@ class OracleComparison(SecureComparison):
         return a <= b
 
 
-def make_comparison_backend(kind: str, *, alice_rsa: RsaKeyPair | None = None,
-                            bob_rsa: RsaKeyPair | None = None,
-                            alice_paillier: PaillierKeyPair | None = None,
-                            bob_paillier: PaillierKeyPair | None = None,
+def make_comparison_backend(kind: str, *,
+                            rsa_keys: dict[str, RsaKeyPair] | None = None,
+                            paillier_keys: dict[str, PaillierKeyPair] | None
+                            = None,
                             pool_lookup=None,
+                            engine: ModexpEngine | None = None,
                             ) -> SecureComparison:
     """Factory used by :class:`repro.smc.session.SmcSession`.
 
     ``kind`` is one of ``"ympp"``, ``"bitwise"``, ``"oracle"``; the
-    relevant key material must be supplied for the crypto backends.
-    ``pool_lookup`` routes pregenerated Paillier randomness into the
-    bitwise backend (see :class:`BitwiseComparison`).
+    relevant key material must be supplied for the crypto backends as a
+    ``{party_name: keypair}`` mapping -- keys follow party identity, not
+    argument roles.  ``pool_lookup`` routes pregenerated Paillier
+    randomness into the bitwise backend and ``engine`` routes its batch
+    modexp work (see :class:`BitwiseComparison`).
     """
     if kind == "ympp":
-        if alice_rsa is None or bob_rsa is None:
-            raise ComparisonError("ympp backend requires both RSA keypairs")
-        return YaoMillionairesComparison(alice_rsa, bob_rsa)
-    if kind == "bitwise":
-        if alice_paillier is None or bob_paillier is None:
+        if not rsa_keys or len(rsa_keys) < 2:
             raise ComparisonError(
-                "bitwise backend requires both Paillier keypairs")
-        return BitwiseComparison(alice_paillier, bob_paillier,
-                                 pool_lookup=pool_lookup)
+                "ympp backend requires an RSA keypair per party")
+        return YaoMillionairesComparison(rsa_keys, engine=engine)
+    if kind == "bitwise":
+        if not paillier_keys or len(paillier_keys) < 2:
+            raise ComparisonError(
+                "bitwise backend requires a Paillier keypair per party")
+        return BitwiseComparison(paillier_keys, pool_lookup=pool_lookup,
+                                 engine=engine)
     if kind == "oracle":
         return OracleComparison()
     raise ComparisonError(f"unknown comparison backend {kind!r}")

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import random
 
+from repro.crypto.engine import ModexpEngine, default_engine
 from repro.crypto.primes import random_prime_in_range
 from repro.crypto.rsa import RsaKeyPair, RsaPublicKey
 from repro.net.party import Party
@@ -53,7 +54,8 @@ def ympp_bit_parameter(n0: int) -> int:
 
 def ympp_less_than(i_party: Party, i: int, j_party: Party, j: int,
                    n0: int, keypair: RsaKeyPair, *, announce: bool = True,
-                   label: str = "ympp") -> bool:
+                   label: str = "ympp",
+                   engine: ModexpEngine | None = None) -> bool:
     """Run Algorithm 1: decide ``i < j`` for ``i, j`` in ``[1, n0]``.
 
     Args:
@@ -67,6 +69,9 @@ def ympp_less_than(i_party: Party, i: int, j_party: Party, j: int,
             known to j_party already (the session sends it once).
         announce: when True, run step 7 so both parties hold the result.
         label: transcript label prefix.
+        engine: optional :class:`~repro.crypto.engine.ModexpEngine`; the
+            step-3 decryption sweep (``n0`` RSA powmods) runs as one
+            sharded job batch through it.
 
     Returns:
         ``i < j``.  Semantically the value is known to j_party, and to
@@ -93,8 +98,9 @@ def ympp_less_than(i_party: Party, i: int, j_party: Party, j: int,
 
     # --- Step 3 (i_party): y_u = Da(k - j + u), u = 1..n0. ---------------
     shifted = i_party.receive(f"{label}/step2_shifted_cipher")
-    y_values = [keypair.private_key.decrypt((shifted + u - 1) % modulus)
-                for u in range(1, n0 + 1)]
+    y_values = (engine or default_engine()).modexp_batch(
+        [((shifted + u - 1) % modulus, keypair.private_key.d, modulus)
+         for u in range(1, n0 + 1)])
 
     # --- Step 4 (i_party): prime search with the mod-p separation check. -
     prime, residues = _search_separated_prime(

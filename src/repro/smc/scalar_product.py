@@ -30,6 +30,7 @@ powmods of encryption and rerandomization into an offline phase.
 from __future__ import annotations
 
 from repro.crypto.encoding import SignedEncoder
+from repro.crypto.engine import ModexpEngine, default_engine
 from repro.crypto.paillier import PaillierCiphertext, PaillierKeyPair
 from repro.crypto.precompute import RandomnessPool
 from repro.net.party import Party
@@ -45,6 +46,7 @@ def secure_masked_dot_terms(receiver: Party, x_vector: list[int],
                             label: str = "dot",
                             receiver_pool: RandomnessPool | None = None,
                             masker_pool: RandomnessPool | None = None,
+                            engine: ModexpEngine | None = None,
                             ) -> list[int]:
     """Per-coordinate Multiplication Protocol batch (HDP inner loop).
 
@@ -58,9 +60,11 @@ def secure_masked_dot_terms(receiver: Party, x_vector: list[int],
         )
     public = keypair.public_key
     encoder = SignedEncoder(public.n)
+    engine = engine or default_engine()
 
-    encrypted = [cipher.value for cipher in public.encrypt_batch(
-        [encoder.encode(x) for x in x_vector], receiver.rng, receiver_pool)]
+    encrypted = [cipher.value for cipher in engine.encrypt_batch(
+        public, [encoder.encode(x) for x in x_vector], receiver.rng,
+        receiver_pool)]
     receiver.send(f"{label}/encrypted_vector", encrypted)
 
     received = masker.receive(f"{label}/encrypted_vector")
@@ -73,9 +77,9 @@ def secure_masked_dot_terms(receiver: Party, x_vector: list[int],
     masker.send(f"{label}/masked_terms", replies)
 
     results = receiver.receive(f"{label}/masked_terms")
-    private = keypair.private_key
     return [encoder.decode(value)
-            for value in private.decrypt_raw_batch(results)]
+            for value in engine.decrypt_raw_batch(keypair.private_key,
+                                                  results)]
 
 
 def secure_masked_dot_terms_batch(holder: Party, alpha: list[int],
@@ -86,6 +90,7 @@ def secure_masked_dot_terms_batch(holder: Party, alpha: list[int],
                                   label: str = "dotbatch",
                                   holder_pool: RandomnessPool | None = None,
                                   receiver_pool: RandomnessPool | None = None,
+                                  engine: ModexpEngine | None = None,
                                   ) -> list[int]:
     """Batched region-query cross terms: receiver learns
     ``<alpha, beta_i> + offsets[i]`` for every ``beta_i``.
@@ -121,9 +126,11 @@ def secure_masked_dot_terms_batch(holder: Party, alpha: list[int],
             f"blind_bound must be >= 1, got {blind_bound}")
     public = keypair.public_key
     encoder = SignedEncoder(public.n)
+    engine = engine or default_engine()
 
-    encrypted_alpha = [cipher.value for cipher in public.encrypt_batch(
-        [encoder.encode(a) for a in alpha], holder.rng, holder_pool)]
+    encrypted_alpha = [cipher.value for cipher in engine.encrypt_batch(
+        public, [encoder.encode(a) for a in alpha], holder.rng,
+        holder_pool)]
     holder.send(f"{label}/encrypted_alpha", encrypted_alpha)
 
     received = [PaillierCiphertext(public, value)
@@ -142,9 +149,10 @@ def secure_masked_dot_terms_batch(holder: Party, alpha: list[int],
                                                receiver_pool).value)
     receiver.send(f"{label}/blinded_sums", replies)
 
-    private = keypair.private_key
     blinded = [encoder.decode(value) for value in
-               private.decrypt_raw_batch(holder.receive(f"{label}/blinded_sums"))]
+               engine.decrypt_raw_batch(
+                   keypair.private_key,
+                   holder.receive(f"{label}/blinded_sums"))]
     holder.send(f"{label}/cross_sums",
                 [value + offset for value, offset in zip(blinded, offsets)])
 
@@ -158,6 +166,7 @@ def secure_scalar_products(receiver: Party, alpha: list[int],
                            label: str = "sprod",
                            receiver_pool: RandomnessPool | None = None,
                            masker_pool: RandomnessPool | None = None,
+                           engine: ModexpEngine | None = None,
                            ) -> list[int]:
     """Section 5 batched sharing: receiver learns ``<alpha, beta_i> + v_i``.
 
@@ -171,6 +180,8 @@ def secure_scalar_products(receiver: Party, alpha: list[int],
         keypair: receiver's Paillier keys.
         receiver_pool / masker_pool: optional randomness pools for each
             party's encryptions under the receiver's key.
+        engine: optional :class:`~repro.crypto.engine.ModexpEngine`
+            executing the batch encryptions/decryptions as sharded jobs.
     """
     if len(betas) != len(masks):
         raise ScalarProductError(
@@ -183,9 +194,11 @@ def secure_scalar_products(receiver: Party, alpha: list[int],
             )
     public = keypair.public_key
     encoder = SignedEncoder(public.n)
+    engine = engine or default_engine()
 
-    encrypted_alpha = [cipher.value for cipher in public.encrypt_batch(
-        [encoder.encode(a) for a in alpha], receiver.rng, receiver_pool)]
+    encrypted_alpha = [cipher.value for cipher in engine.encrypt_batch(
+        public, [encoder.encode(a) for a in alpha], receiver.rng,
+        receiver_pool)]
     receiver.send(f"{label}/encrypted_alpha", encrypted_alpha)
 
     received = [PaillierCiphertext(public, v)
@@ -201,6 +214,6 @@ def secure_scalar_products(receiver: Party, alpha: list[int],
     masker.send(f"{label}/masked_products", replies)
 
     results = receiver.receive(f"{label}/masked_products")
-    private = keypair.private_key
     return [encoder.decode(value)
-            for value in private.decrypt_raw_batch(results)]
+            for value in engine.decrypt_raw_batch(keypair.private_key,
+                                                  results)]

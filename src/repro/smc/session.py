@@ -16,6 +16,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.crypto.engine import ModexpEngine, default_engine
 from repro.crypto.keycache import cached_paillier_keypair, cached_rsa_keypair
 from repro.crypto.paillier import PaillierKeyPair, generate_paillier_keypair
 from repro.crypto.precompute import RandomnessPool
@@ -64,6 +65,12 @@ class SmcConfig:
             Call :meth:`SmcSession.precompute_pools` to move that work
             into an offline phase.  Off = seed-era behaviour, useful for
             ablations.
+        engine: a :class:`~repro.crypto.engine.ModexpEngine` executing
+            the crypto layer's bulk modexp work (pool refills, batch
+            encrypt/decrypt, DGK bit batches).  ``None`` uses the shared
+            serial engine -- identical results, one process.  Supply
+            ``ModexpEngine(workers=k)`` to shard those jobs across
+            ``k`` worker processes.
     """
 
     paillier_bits: int = 256
@@ -73,6 +80,7 @@ class SmcConfig:
     faithful_shared_r: bool = False
     key_seed: int | None = None
     precompute: bool = True
+    engine: ModexpEngine | None = None
 
     def mask_bound(self, value_bound: int) -> int:
         """Mask interval size for hiding values bounded by ``value_bound``."""
@@ -113,13 +121,20 @@ class SmcSession:
         }
         self._exchange_public_keys()
         self._pools: dict[tuple[str, str], RandomnessPool] = {}
+        self.engine: ModexpEngine = self.config.engine or default_engine()
         alice_ctx = self._contexts[self.alice.name]
         bob_ctx = self._contexts[self.bob.name]
+        rsa_keys = ({self.alice.name: alice_ctx.rsa,
+                     self.bob.name: bob_ctx.rsa}
+                    if alice_ctx.rsa is not None and bob_ctx.rsa is not None
+                    else None)
         self.comparison_backend: SecureComparison = make_comparison_backend(
             self.config.comparison,
-            alice_rsa=alice_ctx.rsa, bob_rsa=bob_ctx.rsa,
-            alice_paillier=alice_ctx.paillier, bob_paillier=bob_ctx.paillier,
-            pool_lookup=self._role_pool,
+            rsa_keys=rsa_keys,
+            paillier_keys={self.alice.name: alice_ctx.paillier,
+                           self.bob.name: bob_ctx.paillier},
+            pool_lookup=self.pool,
+            engine=self.engine,
         )
 
     # -- key management ----------------------------------------------------
@@ -187,17 +202,14 @@ class SmcSession:
                 self.party(key[0]).rng)
         return self._pools[key]
 
-    def _role_pool(self, actor_name: str, role: str) -> RandomnessPool | None:
-        """Comparison-backend hook: pool for the role-``a``/``b`` keypair."""
-        owner = self.alice.name if role == "a" else self.bob.name
-        return self.pool(actor_name, owner)
-
     def precompute_pools(self, factors: "int | dict") -> None:
         """Offline phase: pregenerate encryption/rerandomization factors.
 
         ``factors`` is either one count applied to every (actor, key)
         combination or a ``{(actor, key_owner): count}`` plan -- e.g. the
-        consumption a probe run reported via :meth:`pool_report`.
+        consumption a probe run reported via :meth:`pool_report`.  The
+        refills run through the session's engine, so a multi-worker
+        engine shards this offline phase across processes.
         """
         if not self.config.precompute:
             raise SessionError(
@@ -210,7 +222,7 @@ class SmcSession:
             plan = factors
         for (actor, owner), count in plan.items():
             if count > 0:
-                self.pool(actor, owner).refill(count)
+                self.engine.fill_pool(self.pool(actor, owner), count)
 
     def pool_report(self) -> dict[tuple[str, str], dict[str, int]]:
         """Per-pool accounting: pregenerated/consumed/misses/available."""
@@ -246,7 +258,8 @@ class SmcSession:
             receiver, x_vector, masker, y_vector, masks,
             self.paillier_keys(receiver.name), label=label,
             receiver_pool=self.pool(receiver, receiver),
-            masker_pool=self.pool(masker, receiver))
+            masker_pool=self.pool(masker, receiver),
+            engine=self.engine)
 
     def masked_dot_terms_batch(self, holder: Party, alpha: list[int],
                                receiver: Party, betas: list[list[int]],
@@ -260,7 +273,8 @@ class SmcSession:
             self.paillier_keys(holder.name), blind_bound=blind_bound,
             label=label,
             holder_pool=self.pool(holder, holder),
-            receiver_pool=self.pool(receiver, holder))
+            receiver_pool=self.pool(receiver, holder),
+            engine=self.engine)
 
     def scalar_products(self, receiver: Party, alpha: list[int],
                         masker: Party, betas: list[list[int]],
@@ -271,7 +285,8 @@ class SmcSession:
             receiver, alpha, masker, betas, masks,
             self.paillier_keys(receiver.name), label=label,
             receiver_pool=self.pool(receiver, receiver),
-            masker_pool=self.pool(masker, receiver))
+            masker_pool=self.pool(masker, receiver),
+            engine=self.engine)
 
     def kth_smallest(self, u_party: Party, v_party: Party,
                      shares: SharedValues, k: int, *,

@@ -1,0 +1,215 @@
+"""Engine-vs-serial equivalence tests for the parallel modexp engine.
+
+The binding property (the PR-2 tentpole contract): a
+:class:`~repro.crypto.engine.ModexpEngine` never changes *what* is
+computed -- pool fills, batch encryptions, batch decryptions, and DGK
+bit batches must be bit-identical to the seed-era serial loops under the
+same RNG state, for every worker count and for the serial fallback.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.crypto.engine import EngineError, ModexpEngine, default_engine
+from repro.crypto.keycache import cached_paillier_keypair
+from repro.crypto.paillier import PaillierError
+from repro.crypto.precompute import RandomnessPool
+from repro.net.channel import Channel
+from repro.net.party import make_party_pair
+from repro.smc.bitwise_comparison import dgk_greater_than
+
+KEYS = cached_paillier_keypair(256, 920)
+PUB = KEYS.public_key
+PRIV = KEYS.private_key
+
+
+def _parallel_engine(workers=2):
+    """An engine that shards even tiny batches (exercises the pool path)."""
+    return ModexpEngine(workers=workers, min_parallel_jobs=1)
+
+
+class TestModexpBatch:
+    def test_matches_builtin_pow_serial_and_parallel(self):
+        rng = random.Random(0)
+        jobs = [(rng.randrange(2, 1 << 64), rng.randrange(1, 1 << 32),
+                 rng.randrange(2, 1 << 64)) for _ in range(40)]
+        expected = [pow(b, e, m) for b, e, m in jobs]
+        assert ModexpEngine(workers=1).modexp_batch(jobs) == expected
+        with _parallel_engine() as engine:
+            assert engine.modexp_batch(jobs) == expected
+            assert engine.report()["parallel_batches"] == 1
+            assert engine.report()["parallel_modexps"] == 40
+
+    def test_empty_batch(self):
+        assert ModexpEngine(workers=1).modexp_batch([]) == []
+
+    def test_small_batches_stay_serial(self):
+        engine = ModexpEngine(workers=2, min_parallel_jobs=64)
+        engine.modexp_batch([(2, 10, 1000)] * 8)
+        report = engine.report()
+        assert report["parallel_batches"] == 0
+        assert report["batches"] == 1 and report["jobs"] == 8
+
+    def test_closed_engine_degrades_to_serial(self):
+        engine = _parallel_engine()
+        engine.close()
+        assert engine.modexp_batch([(3, 5, 100)] * 4) == [pow(3, 5, 100)] * 4
+        assert engine.report()["fallbacks"] == 1
+
+    def test_validation(self):
+        with pytest.raises(EngineError, match="workers"):
+            ModexpEngine(workers=-1)
+        with pytest.raises(EngineError, match="min_parallel_jobs"):
+            ModexpEngine(min_parallel_jobs=0)
+        with pytest.raises(EngineError, match="shards_per_worker"):
+            ModexpEngine(shards_per_worker=0)
+
+    def test_default_engine_is_serial_singleton(self):
+        engine = default_engine()
+        assert engine is default_engine()
+        assert engine.workers == 1
+
+
+class TestPoolFillEquivalence:
+    def _pools(self, seed):
+        return (RandomnessPool(PUB, random.Random(seed)),
+                RandomnessPool(PUB, random.Random(seed)))
+
+    @pytest.mark.parametrize("count", [0, 1, 7, 40])
+    def test_engine_fill_matches_serial_refill(self, count):
+        serial_pool, engine_pool = self._pools(3)
+        serial_pool.refill(count)
+        with _parallel_engine() as engine:
+            engine.fill_pool(engine_pool, count)
+        assert [serial_pool.encryption_factor() for _ in range(count)] \
+            == [engine_pool.encryption_factor() for _ in range(count)]
+        assert serial_pool.pregenerated == engine_pool.pregenerated == count
+        assert engine_pool.misses == 0
+
+    def test_serial_engine_fill_matches_refill(self):
+        serial_pool, engine_pool = self._pools(4)
+        serial_pool.refill(12)
+        ModexpEngine(workers=1).fill_pool(engine_pool, 12)
+        assert list(serial_pool._factors) == list(engine_pool._factors)
+
+    def test_session_precompute_uses_engine(self):
+        from repro.smc.session import SmcConfig, SmcSession
+        with _parallel_engine() as engine:
+            session = SmcSession(
+                *make_party_pair(Channel(), 1, 2),
+                SmcConfig(key_seed=77, engine=engine))
+            session.precompute_pools(6)
+            report = session.pool_report()
+        assert all(entry["pregenerated"] == 6 for entry in report.values())
+        assert engine.report()["jobs"] >= 24  # 4 pools x 6 factors
+
+
+class TestEncryptBatchEquivalence:
+    MESSAGES = [0, 1, 17, PUB.n - 1, 123456789]
+
+    def test_no_pool(self):
+        serial = PUB.encrypt_batch(self.MESSAGES, random.Random(5))
+        with _parallel_engine() as engine:
+            pooled = engine.encrypt_batch(PUB, self.MESSAGES,
+                                          random.Random(5))
+        assert [c.value for c in serial] == [c.value for c in pooled]
+
+    @pytest.mark.parametrize("prefilled", [0, 2, 5])
+    def test_pool_with_misses(self, prefilled):
+        """Engine consumption must mirror the serial pop/miss order."""
+        serial_pool = RandomnessPool(PUB, random.Random(6))
+        engine_pool = RandomnessPool(PUB, random.Random(6))
+        serial_pool.refill(prefilled)
+        engine_pool.refill(prefilled)
+        serial = PUB.encrypt_batch(self.MESSAGES, serial_pool.rng,
+                                   serial_pool)
+        with _parallel_engine() as engine:
+            parallel = engine.encrypt_batch(PUB, self.MESSAGES,
+                                            engine_pool.rng, engine_pool)
+        assert [c.value for c in serial] == [c.value for c in parallel]
+        assert serial_pool.report() == engine_pool.report()
+
+    def test_decrypts_back(self):
+        with _parallel_engine() as engine:
+            ciphers = engine.encrypt_batch(PUB, self.MESSAGES,
+                                           random.Random(7))
+        assert [PRIV.decrypt(c) for c in ciphers] == self.MESSAGES
+
+    def test_pool_key_mismatch_raises(self):
+        other = cached_paillier_keypair(256, 921)
+        pool = RandomnessPool(other.public_key, random.Random(0))
+        with pytest.raises(PaillierError, match="different key"):
+            _parallel_engine().encrypt_batch(PUB, [1], random.Random(0),
+                                             pool)
+
+
+class TestDecryptBatchEquivalence:
+    def _ciphertexts(self, count=9):
+        rng = random.Random(8)
+        return [PUB.encrypt(rng.randrange(PUB.n), rng).value
+                for _ in range(count)]
+
+    def test_crt_split_matches_serial(self):
+        values = self._ciphertexts()
+        with _parallel_engine() as engine:
+            assert engine.decrypt_raw_batch(PRIV, values) \
+                == PRIV.decrypt_raw_batch(values)
+
+    def test_standard_key_matches_serial(self):
+        """Keys without CRT constants take the full-modulus job shape."""
+        plain_key = dataclasses.replace(PRIV, hp=None, hq=None)
+        values = self._ciphertexts()
+        with _parallel_engine() as engine:
+            assert engine.decrypt_raw_batch(plain_key, values) \
+                == plain_key.decrypt_raw_batch(values) \
+                == PRIV.decrypt_raw_batch(values)
+
+    def test_out_of_range_ciphertext_rejected(self):
+        with pytest.raises(PaillierError, match="Z_"):
+            _parallel_engine().decrypt_raw_batch(PRIV, [PUB.n_squared])
+        with pytest.raises(PaillierError, match="Z_"):
+            ModexpEngine(workers=1).decrypt_raw_batch(PRIV, [-1])
+
+
+class TestDgkThroughEngine:
+    def _transcript(self, engine, seed=9):
+        channel = Channel()
+        holder, other = make_party_pair(channel, seed, seed + 1)
+        result = dgk_greater_than(holder, 13, other, 9, 5, KEYS,
+                                  engine=engine)
+        return result, [(e.label, e.value) for e in
+                        channel.transcript.entries]
+
+    def test_bit_identical_transcripts(self):
+        """Same seeds, same messages on the wire -- engine or not."""
+        serial_result, serial_transcript = self._transcript(None)
+        with _parallel_engine() as engine:
+            engine_result, engine_transcript = self._transcript(engine)
+        assert serial_result is True and engine_result is True
+        assert serial_transcript == engine_transcript
+
+    @pytest.mark.parametrize("x,y", [(0, 0), (0, 7), (7, 0), (5, 5),
+                                     (6, 5), (5, 6)])
+    def test_comparison_results(self, x, y):
+        channel = Channel()
+        holder, other = make_party_pair(channel, 11, 12)
+        with _parallel_engine() as engine:
+            assert dgk_greater_than(holder, x, other, y, 3, KEYS,
+                                    engine=engine) == (x > y)
+
+
+@pytest.mark.slow
+class TestWorkerScaling:
+    """Heavier fills across worker counts -- excluded from tier-1."""
+
+    def test_fill_identical_across_worker_counts(self):
+        reference = RandomnessPool(PUB, random.Random(14))
+        reference.refill(120)
+        expected = list(reference._factors)
+        for workers in (1, 2, 4):
+            pool = RandomnessPool(PUB, random.Random(14))
+            with ModexpEngine(workers=workers) as engine:
+                engine.fill_pool(pool, 120)
+            assert list(pool._factors) == expected, workers

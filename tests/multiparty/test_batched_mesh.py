@@ -1,0 +1,145 @@
+"""Equivalence tests for the batched k-party mesh (the PR-2 port).
+
+The binding property: with ``batched_region_queries=True`` the k-party
+protocol must be *indistinguishable in outcome* from the seed-era
+per-point mesh -- bit-identical labels for every party and identical
+leakage-ledger disclosure sequences, across random workloads, party
+counts >= 3, and both ``blind_cross_sum`` modes.  Only wall-clock,
+message counts, and encryption counts may differ.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import ProtocolConfig
+from repro.core.leakage import Disclosure
+from repro.multiparty.horizontal import run_multiparty_horizontal_dbscan
+from repro.multiparty.mesh import MeshError, PartyMesh
+from repro.smc.session import SmcConfig
+
+points_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=30),
+              st.integers(min_value=0, max_value=30)),
+    min_size=1, max_size=5)
+
+
+def _config(backend="oracle", *, batched, blind=False, cached=False,
+            min_pts=3, key_seed=230):
+    return ProtocolConfig(
+        eps=1.5, min_pts=min_pts, scale=1,
+        smc=SmcConfig(comparison=backend, key_seed=key_seed, mask_sigma=8),
+        batched_region_queries=batched,
+        blind_cross_sum=blind,
+        cache_peer_ciphertexts=cached)
+
+
+def _run(points, *, batched, seeds, **kwargs):
+    return run_multiparty_horizontal_dbscan(
+        points, _config(batched=batched, **kwargs), seeds=seeds)
+
+
+class TestBatchedMeshAgainstSeedPath:
+    @settings(max_examples=12, deadline=None)
+    @given(points_strategy, points_strategy, points_strategy,
+           st.integers(min_value=1, max_value=5), st.booleans())
+    def test_three_parties_labels_and_ledger_bit_identical(
+            self, p0, p1, p2, min_pts, blind):
+        points = {"p0": p0, "p1": p1, "p2": p2}
+        batched = _run(points, batched=True, seeds=[1, 2, 3],
+                       min_pts=min_pts, blind=blind)
+        legacy = _run(points, batched=False, seeds=[4, 5, 6],
+                      min_pts=min_pts, blind=blind)
+        # Bit-identical labels (not merely canonically equal) and the
+        # whole disclosure sequence: same events, same order, same
+        # labels, same details.
+        assert batched.labels_by_party == legacy.labels_by_party
+        assert batched.ledger.events == legacy.ledger.events
+
+    @pytest.mark.parametrize("blind", [False, True])
+    def test_four_parties(self, blind):
+        points = {
+            "h0": [(0, 0), (1, 0)],
+            "h1": [(0, 1)],
+            "h2": [(1, 1), (20, 20)],
+            "h3": [(21, 20), (0, 2)],
+        }
+        batched = _run(points, batched=True, seeds=[1, 2, 3, 4],
+                       min_pts=4, blind=blind)
+        legacy = _run(points, batched=False, seeds=[1, 2, 3, 4],
+                      min_pts=4, blind=blind)
+        assert batched.labels_by_party == legacy.labels_by_party
+        assert batched.ledger.events == legacy.ledger.events
+
+    @pytest.mark.parametrize("blind", [False, True])
+    def test_real_crypto_three_parties(self, blind):
+        points = {
+            "p0": [(0, 0), (30, 30)],
+            "p1": [(1, 0)],
+            "p2": [(0, 1), (31, 30)],
+        }
+        batched = _run(points, backend="bitwise", batched=True,
+                       seeds=[1, 2, 3], blind=blind)
+        legacy = _run(points, backend="bitwise", batched=False,
+                      seeds=[1, 2, 3], blind=blind)
+        assert batched.labels_by_party == legacy.labels_by_party
+        assert batched.ledger.events == legacy.ledger.events
+
+    def test_empty_party_skipped_in_both_paths(self):
+        points = {"p0": [(0, 0), (1, 0), (0, 1)], "p1": [], "p2": [(1, 1)]}
+        batched = _run(points, batched=True, seeds=[1, 2, 3])
+        legacy = _run(points, batched=False, seeds=[1, 2, 3])
+        assert batched.labels_by_party == legacy.labels_by_party
+        assert batched.ledger.events == legacy.ledger.events
+
+
+class TestCachedMesh:
+    def test_cached_mesh_matches_uncached_labels(self):
+        points = {"p0": [(0, 0), (2, 0)], "p1": [(1, 0)], "p2": [(0, 1)]}
+        cached = _run(points, batched=True, cached=True, seeds=[1, 2, 3])
+        plain = _run(points, batched=True, seeds=[1, 2, 3])
+        assert cached.labels_by_party == plain.labels_by_party
+        # The cached path discloses linkable ids on hits; the plain
+        # batched path never does.
+        assert cached.ledger.count(Disclosure.LINKED_NEIGHBOR_ID) > 0
+        assert plain.ledger.count(Disclosure.LINKED_NEIGHBOR_ID) == 0
+
+    def test_cached_per_point_path_matches_cached_batched(self):
+        points = {"p0": [(0, 0), (2, 0)], "p1": [(1, 0)], "p2": [(0, 1)]}
+        batched = _run(points, batched=True, cached=True, seeds=[1, 2, 3])
+        per_point = _run(points, batched=False, cached=True,
+                         seeds=[1, 2, 3])
+        assert batched.labels_by_party == per_point.labels_by_party
+        assert batched.ledger.events == per_point.ledger.events
+
+
+class TestMeshOfflinePhase:
+    def test_prefilled_mesh_is_miss_free_and_label_identical(self):
+        """The mesh offline/online contract: prefill by a probe run's
+        consumption, then the online run never misses a pool."""
+        points = {"p0": [(0, 0), (1, 1)], "p1": [(1, 0)], "p2": [(0, 1)]}
+        config = _config(backend="bitwise", batched=True)
+
+        probe_mesh = PartyMesh(list(points), config.smc, seeds=[1, 2, 3])
+        probe = run_multiparty_horizontal_dbscan(points, config,
+                                                 mesh=probe_mesh)
+        plan = {pair: {key: entry["consumed"]
+                       for key, entry in report.items()}
+                for pair, report in probe_mesh.pool_report().items()}
+        assert sum(sum(p.values()) for p in plan.values()) > 0
+
+        online_mesh = PartyMesh(list(points), config.smc, seeds=[1, 2, 3])
+        online_mesh.precompute_pools(plan)
+        online = run_multiparty_horizontal_dbscan(points, config,
+                                                  mesh=online_mesh)
+        # Prefilling reorders RNG draws, so permutations differ; labels
+        # cannot (the predicate bits are exact).
+        assert online.labels_by_party == probe.labels_by_party
+        for report in online_mesh.pool_report().values():
+            assert all(entry["misses"] == 0 for entry in report.values())
+
+    def test_mesh_party_mismatch_rejected(self):
+        points = {"p0": [(0, 0)], "p1": [(1, 0)]}
+        mesh = PartyMesh(["a", "b"], _config(batched=True).smc)
+        with pytest.raises(MeshError, match="do not match"):
+            run_multiparty_horizontal_dbscan(points, _config(batched=True),
+                                             mesh=mesh)

@@ -66,6 +66,65 @@ class TestAllBackendsAgree:
         assert out.result == (a <= b)
 
 
+class TestKeyOwnership:
+    """Key material must follow party identity, not argument roles.
+
+    The seed-era backends bound keys to the ``a``/``b`` slots, so
+    passing ``a_party=bob`` ran the protocol under alice's keypair.
+    """
+
+    def test_bitwise_key_holder_uses_own_keypair(self, monkeypatch):
+        import repro.smc.comparison as comparison
+        captured = {}
+        real = comparison.dgk_greater_than
+
+        def spy(key_holder, x, other, y, bits, keypair, **kwargs):
+            captured[key_holder.name] = keypair
+            return real(key_holder, x, other, y, bits, keypair, **kwargs)
+
+        monkeypatch.setattr(comparison, "dgk_greater_than", spy)
+        session = _session("bitwise", seed=6)
+        # a_party=bob, reveal "a": bob is the DGK key holder and must
+        # run under *bob's* keypair.
+        out = session.compare_leq(session.bob, 3, session.alice, 5,
+                                  lo=0, hi=10, reveal_to="a")
+        assert out.result is True
+        assert captured["bob"] is session.paillier_keys("bob")
+        # Symmetric check: reveal "b" makes alice the key holder.
+        captured.clear()
+        session.compare_leq(session.bob, 3, session.alice, 5,
+                            lo=0, hi=10, reveal_to="b")
+        assert captured["alice"] is session.paillier_keys("alice")
+
+    def test_ympp_i_holder_uses_own_keypair(self, monkeypatch):
+        import repro.smc.comparison as comparison
+        captured = {}
+        real = comparison.ympp_less_than
+
+        def spy(i_party, i, j_party, j, n0, keypair, **kwargs):
+            captured[i_party.name] = keypair
+            return real(i_party, i, j_party, j, n0, keypair, **kwargs)
+
+        monkeypatch.setattr(comparison, "ympp_less_than", spy)
+        session = _session("ympp", seed=7)
+        # a_party=bob, reveal "a": bob plays Algorithm 1's j-holder (he
+        # learns), alice is the i-holder and must own the RSA keys --
+        # the seed-era code would have used bob's here.
+        session.compare_leq(session.bob, 2, session.alice, 4,
+                            lo=0, hi=8, reveal_to="a")
+        assert captured["alice"] is session._contexts["alice"].rsa
+
+    def test_unknown_party_rejected(self):
+        from repro.crypto.keycache import cached_paillier_keypair
+        from repro.smc.comparison import BitwiseComparison
+        backend = BitwiseComparison(
+            {"carol": cached_paillier_keypair(256, 60)})
+        session = _session("oracle", seed=8)
+        with pytest.raises(ComparisonError, match="no Paillier key"):
+            backend.leq(session.alice, 1, session.bob, 2, lo=0, hi=4,
+                        reveal_to="a")
+
+
 class TestValidation:
     def test_unknown_backend(self):
         with pytest.raises(ComparisonError, match="unknown"):
