@@ -1,9 +1,9 @@
 """Quick fixed-workload perf snapshot -- the PR-over-PR trajectory file.
 
 Runs one small, deterministic workload per protocol and writes
-``benchmarks/results/BENCH_PR2.json`` with wall-clock, bytes, messages,
+``benchmarks/results/BENCH_PR3.json`` with wall-clock, bytes, messages,
 and secure-comparison counts, so future PRs have a stable baseline to
-compare against.  Three ablations ride along:
+compare against.  Four ablations ride along:
 
 - **horizontal** (PR 1): seed-era pipeline (per-point HDP, no pools)
   vs. batched region queries + pools prefilled offline.
@@ -17,6 +17,12 @@ compare against.  Three ablations ride along:
   parallelism, so it tracks the host's usable cores --
   ``host_cpus`` is recorded next to the numbers; on a single-core
   host the worker configurations can only show IPC overhead.
+- **dgk_batch** (PR 3): region queries with per-point DGK comparisons
+  (one bit-encryption of the querier threshold per peer point) vs. the
+  amortized batch (one bit-encryption and one comparison round-trip
+  per query).  Both arms run pools-off so the ``r^n`` powmods the
+  amortization removes are actually paid online, not absorbed by the
+  offline phase; measured two-party and over the 3-party mesh.
 
 The script verifies that each optimized pipeline produces bit-identical
 cluster labels and identical leakage-ledger disclosure sequences before
@@ -55,10 +61,11 @@ from repro.net.party import make_party_pair
 from repro.smc.session import SmcConfig, SmcSession
 
 RESULTS_PATH = (pathlib.Path(__file__).parent / "results"
-                / "BENCH_PR2.json")
+                / "BENCH_PR3.json")
 
 MIN_EXPECTED_SPEEDUP = 3.0
 MIN_EXPECTED_MESH_SPEEDUP = 2.0
+MIN_EXPECTED_DGK_SPEEDUP = 1.1
 OFFLINE_SCALING_FACTORS = 600
 OFFLINE_SCALING_WORKERS = (1, 2, 4)
 
@@ -68,10 +75,12 @@ def _smc(precompute: bool) -> SmcConfig:
                      mask_sigma=8, precompute=precompute)
 
 
-def _config(*, batched: bool, precompute: bool) -> ProtocolConfig:
+def _config(*, batched: bool, precompute: bool,
+            batched_comparisons: bool = True) -> ProtocolConfig:
     return ProtocolConfig(
         eps=1.0, min_pts=3, scale=10, smc=_smc(precompute),
-        alice_seed=41, bob_seed=42, batched_region_queries=batched)
+        alice_seed=41, bob_seed=42, batched_region_queries=batched,
+        batched_comparisons=batched_comparisons)
 
 
 def _horizontal_workload() -> HorizontalPartition:
@@ -204,6 +213,87 @@ def _multiparty_ablation() -> dict:
     }
 
 
+def _dgk_batch_ablation() -> dict:
+    """Per-point vs amortized DGK comparison batches (PR 3).
+
+    Pools stay off in both arms so the querier's per-comparison
+    bit-encryption powmods -- the cost the amortization removes -- are
+    paid online where the timer can see them; everything else
+    (cross-term batching, witness decryption) is identical between arms.
+    """
+    from repro.core.distance import hdp_region_query
+    from repro.core.leakage import LeakageLedger
+    from repro.data.quantize import squared_distance_bound
+
+    query_points = list(clustered_points(4))
+    peer_points = list(clustered_points(8, origin=(1, 1)))
+    all_points = query_points + peer_points
+    value_bound = squared_distance_bound(all_points, all_points)
+    eps_squared = 200
+
+    def run_two_party(batched_comparisons: bool):
+        session = SmcSession(
+            *make_party_pair(Channel(), 71, 72), _smc(precompute=False))
+        ledger = LeakageLedger()
+        started = time.perf_counter()
+        bits = [hdp_region_query(
+            session, session.alice, point, session.bob, peer_points,
+            eps_squared, value_bound, ledger=ledger,
+            batched_comparisons=batched_comparisons, label="q")
+            for point in query_points]
+        seconds = time.perf_counter() - started
+        return {
+            "bits": bits,
+            "events": ledger.events,
+            "comparisons": session.comparison_backend.invocations,
+            "seconds": seconds,
+        }
+
+    per_point = run_two_party(False)
+    amortized = run_two_party(True)
+    two_party_speedup = (per_point["seconds"] / amortized["seconds"]
+                         if amortized["seconds"] else float("inf"))
+    two_party = {
+        "workload": {"queries": len(query_points),
+                     "peer_points": len(peer_points), "dimensions": 2},
+        "per_point_dgk_s": round(per_point["seconds"], 4),
+        "batched_dgk_s": round(amortized["seconds"], 4),
+        "comparisons": amortized["comparisons"],
+        "speedup_batched_vs_per_point": round(two_party_speedup, 2),
+        "bits_bit_identical": per_point["bits"] == amortized["bits"],
+        "ledger_identical": per_point["events"] == amortized["events"],
+        "comparisons_identical":
+            per_point["comparisons"] == amortized["comparisons"],
+    }
+
+    points = _multiparty_workload()
+    seeds = [61, 62, 63]
+
+    def run_mesh(batched_comparisons: bool):
+        started = time.perf_counter()
+        result = run_multiparty_horizontal_dbscan(
+            points, _config(batched=True, precompute=False,
+                            batched_comparisons=batched_comparisons),
+            seeds=seeds)
+        return result, time.perf_counter() - started
+
+    mesh_per_point, mesh_per_point_seconds = run_mesh(False)
+    mesh_amortized, mesh_amortized_seconds = run_mesh(True)
+    mesh_speedup = (mesh_per_point_seconds / mesh_amortized_seconds
+                    if mesh_amortized_seconds else float("inf"))
+    mesh = {
+        "workload": {"parties": 3, "points_per_party": 4, "dimensions": 2},
+        "per_point_dgk": _summarize(mesh_per_point, mesh_per_point_seconds),
+        "batched_dgk": _summarize(mesh_amortized, mesh_amortized_seconds),
+        "speedup_batched_vs_per_point": round(mesh_speedup, 2),
+        "labels_bit_identical": (mesh_per_point.labels_by_party
+                                 == mesh_amortized.labels_by_party),
+        "ledger_identical": (mesh_per_point.ledger.events
+                             == mesh_amortized.ledger.events),
+    }
+    return {"two_party": two_party, "mesh": mesh}
+
+
 def _offline_scaling_ablation() -> dict:
     """Pool-fill wall-clock: serial refill vs engine workers 1/2/4.
 
@@ -274,13 +364,15 @@ def main() -> int:
     horizontal = _horizontal_ablation()
     multiparty = _multiparty_ablation()
     offline = _offline_scaling_ablation()
+    dgk_batch = _dgk_batch_ablation()
     payload = {
-        "pr": 2,
-        "description": "quick fixed-workload perf snapshot (parallel "
-                       "modexp engine + batched multiparty mesh)",
+        "pr": 3,
+        "description": "quick fixed-workload perf snapshot (amortized DGK "
+                       "comparison batches for region queries)",
         "horizontal": horizontal,
         "multiparty": multiparty,
         "offline_scaling": offline,
+        "dgk_batch": dgk_batch,
         "enhanced": _enhanced_quick(),
         "vertical": _vertical_quick(),
     }
@@ -304,8 +396,28 @@ def main() -> int:
         print("FAIL: a worker configuration changed the pool factors",
               file=sys.stderr)
         failed = True
+    two_party = dgk_batch["two_party"]
+    for key in ("bits_bit_identical", "ledger_identical",
+                "comparisons_identical"):
+        if not two_party[key]:
+            print(f"FAIL: batched DGK two-party arm broke {key}",
+                  file=sys.stderr)
+            failed = True
+    if not dgk_batch["mesh"]["labels_bit_identical"]:
+        print("FAIL: batched DGK mesh changed cluster labels",
+              file=sys.stderr)
+        failed = True
+    if not dgk_batch["mesh"]["ledger_identical"]:
+        print("FAIL: batched DGK mesh changed the disclosure sequence",
+              file=sys.stderr)
+        failed = True
     if failed:
         return 1
+    dgk_speedup = two_party["speedup_batched_vs_per_point"]
+    if dgk_speedup < MIN_EXPECTED_DGK_SPEEDUP:
+        print(f"WARNING: batched-DGK two-party speedup {dgk_speedup:.2f}x "
+              f"below the {MIN_EXPECTED_DGK_SPEEDUP:.1f}x target",
+              file=sys.stderr)
     if horizontal["speedup_online_vs_seed"] < MIN_EXPECTED_SPEEDUP:
         print(f"WARNING: horizontal online speedup "
               f"{horizontal['speedup_online_vs_seed']:.2f}x below the "

@@ -118,8 +118,8 @@ def _print_crypto_summary(engine: ModexpEngine, pool_reports) -> None:
               "misses={misses}  available={available}".format(**totals))
     stats = engine.report()
     print("engine: workers={workers}  batches={batches}  jobs={jobs}  "
-          "parallel_modexps={parallel_modexps}  fallbacks={fallbacks}".format(
-              **stats))
+          "parallel_modexps={parallel_modexps}  fallbacks={fallbacks}  "
+          "warmups={warmups}".format(**stats))
 
 
 def _demo_points(args) -> list[tuple[int, ...]]:
@@ -139,6 +139,9 @@ def _run_demo(args) -> int:
 def _run_demo_with_engine(args, points, engine: ModexpEngine) -> int:
     config = _demo_config(args, engine)
     prefill = 0 if args.no_precompute else args.prefill
+    # Precompute phase: spawn the worker pool before anything is run (or
+    # timed), so the first online batch never absorbs pool startup.
+    engine.warm_up()
     if args.scenario == "multiparty":
         thirds = max(1, len(points) // 3)
         by_party = {"party0": points[:thirds],

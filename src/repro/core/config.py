@@ -44,6 +44,17 @@ class ProtocolConfig:
             (property-tested); only wall-clock and message counts
             change.  Off reproduces the seed-era per-point loops for
             ablations.
+        batched_comparisons: when True (default), the threshold
+            comparisons inside each batched region query run as one
+            amortized batch through the comparison backend -- the
+            bitwise backend then encrypts the querier's DGK threshold
+            bits once per query instead of once per peer point, and all
+            witness batches travel in one round-trip.  Predicate bits,
+            comparison counts, and ledger disclosures are identical
+            (property-tested).  Off reproduces the per-point comparison
+            loop for ablations; it only has an effect when
+            ``batched_region_queries`` is on (per-point region queries
+            already compare point by point).
         use_grid_index: accelerate the *local plaintext* region queries
             of the driving party with a uniform grid index (identical
             hit lists to the brute-force scan, property-tested; no
@@ -59,6 +70,7 @@ class ProtocolConfig:
     blind_cross_sum: bool = False
     cache_peer_ciphertexts: bool = False
     batched_region_queries: bool = True
+    batched_comparisons: bool = True
     use_grid_index: bool = True
     alice_seed: int | None = None
     bob_seed: int | None = None

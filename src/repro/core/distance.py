@@ -117,6 +117,7 @@ def hdp_region_query(session: SmcSession, querier: Party,
                      value_bound: int, *,
                      ledger: LeakageLedger | None = None,
                      blind_cross_sum: bool = False,
+                     batched_comparisons: bool = True,
                      label: str = "hdp") -> list[bool]:
     """Batched HDP: one region query against all of the peer's points.
 
@@ -126,7 +127,14 @@ def hdp_region_query(session: SmcSession, querier: Party,
     comparison interval -- but the querier's coordinates are encrypted
     **once** for the whole query (``O(d)`` querier encryptions,
     independent of the peer point count) and the cross terms for every
-    peer point travel in one message round-trip.
+    peer point travel in one message round-trip.  With
+    ``batched_comparisons`` (the default) the per-point threshold
+    comparisons also run as one amortized batch -- under the bitwise
+    backend the querier's threshold bits are encrypted once per query
+    instead of once per peer point (the threshold is constant when
+    ``blind_cross_sum`` is off); ``False`` reproduces the per-point
+    comparison loop for ablations.  Bits and disclosures are identical
+    either way.
 
     The peer presents its points in a fresh random order
     (Algorithm 4's ``SetOfPointsOfBobPermutation``), so the returned
@@ -158,7 +166,8 @@ def hdp_region_query(session: SmcSession, querier: Party,
     return _batched_threshold_comparisons(
         session, querier, querier_point, peer, presented, cross_sums,
         offsets, eps_squared, value_bound, mask_bound, ledger=ledger,
-        blind_cross_sum=blind_cross_sum, point_ids=None, label=label)
+        blind_cross_sum=blind_cross_sum, point_ids=None,
+        batched_comparisons=batched_comparisons, label=label)
 
 
 def _batched_threshold_comparisons(session: SmcSession, querier: Party,
@@ -171,27 +180,58 @@ def _batched_threshold_comparisons(session: SmcSession, querier: Party,
                                    ledger: LeakageLedger | None,
                                    blind_cross_sum: bool,
                                    point_ids: list[int] | None,
+                                   batched_comparisons: bool = True,
                                    label: str) -> list[bool]:
     """Per-point threshold comparisons shared by the batched variants.
 
     Reproduces the per-point HDP tail exactly: identical comparison
     sides, interval, reveal direction, and ledger record sequence.
+
+    With ``batched_comparisons`` (the default) all thresholds of the
+    query go through :meth:`SmcSession.compare_leq_batch` in one call --
+    the querier's threshold ``eps^2 - querier_side - 2*offset`` is
+    constant across the query when ``blind_cross_sum`` is off, so the
+    bitwise backend shares a single DGK bit-encryption for the whole
+    query.  The predicate bits, invocation counts, and ledger record
+    sequence are identical to the per-point loop (property-tested); off
+    reproduces the per-point comparisons for ablations.
     """
     querier_side = sum(c * c for c in querier_point)
     lo, hi = _comparison_interval(value_bound, eps_squared,
                                   mask_spread=2 * (mask_bound + 1))
+    if batched_comparisons:
+        peer_sides = [sum(c * c for c in peer_point) - 2 * cross_sum
+                      for peer_point, cross_sum in zip(presented, cross_sums)]
+        thresholds = [eps_squared - querier_side - 2 * offset
+                      for offset in offsets]
+        # Without blinding the offsets are all zero, so the querier's
+        # threshold is constant across the query *by protocol structure*
+        # (public knowledge) and the comparison may amortize one
+        # bit-encryption across the batch.  With blinding the thresholds
+        # are per-point secrets; amortization is never declared, so the
+        # message pattern cannot leak offset collisions.
+        outcomes = session.compare_leq_batch(
+            peer, peer_sides, querier, thresholds,
+            lo=lo, hi=hi, reveal_to="b", amortize=not blind_cross_sum,
+            label=f"{label}/threshold")
+    else:
+        outcomes = []
+        for peer_point, cross_sum, offset in zip(presented, cross_sums,
+                                                 offsets):
+            peer_side = sum(c * c for c in peer_point) - 2 * cross_sum
+            threshold = eps_squared - querier_side - 2 * offset
+            outcomes.append(session.compare_leq(
+                peer, peer_side, querier, threshold,
+                lo=lo, hi=hi, reveal_to="b", label=f"{label}/threshold"))
+    # Ledger records replay in per-point order -- DOT_PRODUCT before each
+    # point's NEIGHBOR_BIT -- so the disclosure sequence is identical to
+    # one hdp_within_eps per peer point.
     results = []
-    for position, (peer_point, cross_sum, offset) in enumerate(
-            zip(presented, cross_sums, offsets)):
+    for position, outcome in enumerate(outcomes):
         if ledger is not None and not blind_cross_sum:
             ledger.record(label, peer.name, Disclosure.DOT_PRODUCT,
                           detail="zero-sum masks expose the exact cross "
                                  "dot product")
-        peer_side = sum(c * c for c in peer_point) - 2 * cross_sum
-        threshold = eps_squared - querier_side - 2 * offset
-        outcome = session.compare_leq(
-            peer, peer_side, querier, threshold,
-            lo=lo, hi=hi, reveal_to="b", label=f"{label}/threshold")
         if ledger is not None:
             ledger.record(label, querier.name, Disclosure.NEIGHBOR_BIT)
             if point_ids is not None and outcome.result:
@@ -322,6 +362,7 @@ def hdp_region_query_cached(session: SmcSession, querier: Party,
                             eps_squared: int, value_bound: int, *,
                             ledger: LeakageLedger | None = None,
                             blind_cross_sum: bool = False,
+                            batched_comparisons: bool = True,
                             label: str = "hdp_cached") -> list[bool]:
     """Batched cached HDP: one region query over the peer's cached ciphers.
 
@@ -402,7 +443,8 @@ def hdp_region_query_cached(session: SmcSession, querier: Party,
         session, querier, querier_point, peer, list(peer_points),
         cross_sums, offsets, eps_squared, value_bound, mask_bound,
         ledger=ledger, blind_cross_sum=blind_cross_sum,
-        point_ids=list(point_ids), label=label)
+        point_ids=list(point_ids),
+        batched_comparisons=batched_comparisons, label=label)
 
 
 def vdp_within_eps(session: SmcSession, alice: Party, alice_partial: int,

@@ -202,12 +202,14 @@ def _secure_peer_neighbor_count(session: SmcSession, driver: Party,
                 list(range(len(peer_points))), cache, eps_squared,
                 value_bound, ledger=ledger,
                 blind_cross_sum=config.blind_cross_sum,
+                batched_comparisons=config.batched_comparisons,
                 label=f"{label}/hdp_cached")
         else:
             bits = hdp_region_query(
                 session, driver, query_point, peer, peer_points,
                 eps_squared, value_bound, ledger=ledger,
                 blind_cross_sum=config.blind_cross_sum,
+                batched_comparisons=config.batched_comparisons,
                 label=f"{label}/hdp")
         count = sum(bits)
     elif cache is not None:

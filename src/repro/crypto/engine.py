@@ -93,6 +93,7 @@ class ModexpEngine:
         self.parallel_batches = 0
         self.parallel_modexps = 0
         self.fallbacks = 0
+        self.warmups = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -108,6 +109,39 @@ class ModexpEngine:
             self._pool_broken = True
             return None
         return self._executor
+
+    def warm_up(self) -> bool:
+        """Spawn the worker pool now, outside any timed online phase.
+
+        The first parallel batch otherwise pays process-pool startup
+        (fork/spawn plus interpreter boot per worker) inside whatever
+        the caller is measuring.  Submitting the warm-up chunks forces
+        the executor to create every worker process (one is spawned per
+        pending item up to ``workers``), and several small chunks per
+        worker are used so the work spreads across workers as they come
+        up rather than being drained by the first one to boot.  A
+        still-booting worker on a spawn-start platform finishes its
+        startup concurrently with (not inside) the caller's next timed
+        region.  Serial engines (``workers <= 1``) and hosts that cannot
+        spawn a pool return ``False`` and stay serial; the warm-up never
+        changes what any later batch computes.
+        """
+        if self.workers <= 1:
+            return False
+        executor = self._ensure_executor()
+        if executor is None:
+            return False
+        try:
+            chunk = [(3, 65537, 2**61 - 1)] * 8  # cheap, not instant
+            for _ in executor.map(_modexp_chunk,
+                                  [chunk] * (4 * self.workers)):
+                pass
+        except Exception:  # pool died during spawn: degrade to serial
+            self._pool_broken = True
+            self._executor = None
+            return False
+        self.warmups += 1
+        return True
 
     def close(self) -> None:
         """Shut the worker pool down; the engine then runs serially."""
@@ -138,6 +172,7 @@ class ModexpEngine:
             "parallel_batches": self.parallel_batches,
             "parallel_modexps": self.parallel_modexps,
             "fallbacks": self.fallbacks,
+            "warmups": self.warmups,
         }
 
     # -- core executor -----------------------------------------------------

@@ -209,12 +209,15 @@ def _peer_count(session, driver, peer, query_point: tuple[int, ...],
                 list(range(len(peer_points))), cache, eps_squared,
                 value_bound, ledger=ledger,
                 blind_cross_sum=config.blind_cross_sum,
+                batched_comparisons=config.batched_comparisons,
                 label=f"{label}/cached")
         else:
             bits = hdp_region_query(
                 session, driver, query_point, peer, list(peer_points),
                 eps_squared, value_bound, ledger=ledger,
-                blind_cross_sum=config.blind_cross_sum, label=label)
+                blind_cross_sum=config.blind_cross_sum,
+                batched_comparisons=config.batched_comparisons,
+                label=label)
         return sum(bits)
     if cache is not None:
         return sum(

@@ -41,6 +41,9 @@ class PartyMesh:
         if seeds is not None and len(seeds) != len(names):
             raise MeshError("seeds must parallel names")
         self.names = list(names)
+        # name -> position, so the hot pair-ordering path is two dict
+        # hits instead of two O(k) list scans per routed lookup.
+        self._slots = {name: slot for slot, name in enumerate(self.names)}
         self.config = config
         self._rngs = {
             name: random.Random(seeds[index] if seeds else None)
@@ -87,9 +90,9 @@ class PartyMesh:
         if a == b:
             raise MeshError(f"{a!r} cannot pair with itself")
         for name in (a, b):
-            if name not in self.names:
+            if name not in self._slots:
                 raise MeshError(f"unknown party {name!r}")
-        return (a, b) if self.names.index(a) < self.names.index(b) else (b, a)
+        return (a, b) if self._slots[a] < self._slots[b] else (b, a)
 
     def session_between(self, a: str, b: str) -> SmcSession:
         return self._sessions[self._pair_key(a, b)]
@@ -110,8 +113,13 @@ class PartyMesh:
         pair of every pairwise session, or a
         ``{(left, right): session_plan}`` mapping keyed like
         :meth:`pool_report` -- e.g. the consumption a probe run
-        reported.  Refills run through each session's engine.
+        reported.  Refills run through each session's engine; every
+        distinct engine is warmed up first so the pool-spawn latency is
+        paid here, in the offline phase, not by the first online batch.
         """
+        for engine in {id(session.engine): session.engine
+                       for session in self._sessions.values()}.values():
+            engine.warm_up()
         if isinstance(factors, int):
             for session in self._sessions.values():
                 session.precompute_pools(factors)

@@ -23,6 +23,18 @@ Protocol:
 3. The other party blinds each ``E(c_t)`` with a random multiplier,
    rerandomizes, shuffles, and returns the batch.
 4. The key holder decrypts: some plaintext is 0  <=>  ``x > y``.
+
+Amortized batches: :func:`dgk_greater_than_batch` compares one
+key-holder value ``x`` against many other-party values ``y_1..y_k`` in a
+single round-trip.  Step 1 runs **once** -- the key holder's bit
+ciphertexts are shared by every comparison of the batch, which is sound
+because they are semantically secure and carry no per-``y`` state --
+while steps 2-3 run per ``y_i`` exactly as in the per-point protocol
+(independent blinding multipliers, independent rerandomization, an
+independent shuffle per point), and step 4 decrypts all witness batches
+in one engine sweep.  The predicate bits are bit-identical to ``k``
+per-point runs; only the key holder's encryption count (``bits`` instead
+of ``k * bits``) and the message count (2 instead of ``2k``) change.
 """
 
 from __future__ import annotations
@@ -40,6 +52,39 @@ _BLIND_BITS = 40
 
 class BitwiseComparisonError(ValueError):
     """Raised on out-of-domain inputs."""
+
+
+def _check_domain(name: str, value: int, bits: int) -> None:
+    if not 0 <= value < (1 << bits):
+        raise BitwiseComparisonError(f"{name}={value} outside [0, 2^{bits})")
+
+
+def _blinded_witnesses(public, received, y_bits, rng, pool) -> list[int]:
+    """Steps 2-3 for one ``y``: blinded, shuffled witness ciphertexts.
+
+    ``received`` are the key holder's bit ciphertexts (MSB first).  Runs
+    the other party's RNG in exactly the per-point order (one multiplier
+    and one rerandomization per bit, then one shuffle), so batched and
+    per-point executions draw identical randomness for this half.
+    """
+    one = public.raw_encrypt_constant(1)
+    blinded: list[int] = []
+    # running_w accumulates E(sum of XORs of strictly-higher bit positions).
+    running_w = PaillierCiphertext(public, public.raw_encrypt_constant(0))
+    for enc_x_bit, y_bit in zip(received, y_bits):
+        # c_t = x_t - y_t - 1 + 3 * w_t, all under encryption.
+        c = enc_x_bit + (-y_bit - 1) + running_w * 3
+        multiplier = rng.randrange(1, 1 << _BLIND_BITS)
+        masked = (c * multiplier).rerandomize(rng, pool)
+        blinded.append(masked.value)
+        # XOR under encryption: x ^ y = x when y=0, 1 - x when y=1.
+        if y_bit == 0:
+            xor_term = enc_x_bit
+        else:
+            xor_term = PaillierCiphertext(public, one) - enc_x_bit
+        running_w = running_w + xor_term
+    rng.shuffle(blinded)
+    return blinded
 
 
 def dgk_greater_than(key_holder: Party, x: int, other: Party, y: int,
@@ -70,10 +115,8 @@ def dgk_greater_than(key_holder: Party, x: int, other: Party, y: int,
     """
     if bits < 1:
         raise BitwiseComparisonError(f"bits must be >= 1, got {bits}")
-    if not 0 <= x < (1 << bits):
-        raise BitwiseComparisonError(f"x={x} outside [0, 2^{bits})")
-    if not 0 <= y < (1 << bits):
-        raise BitwiseComparisonError(f"y={y} outside [0, 2^{bits})")
+    _check_domain("x", x, bits)
+    _check_domain("y", y, bits)
 
     public = keypair.public_key
     engine = engine or default_engine()
@@ -88,27 +131,65 @@ def dgk_greater_than(key_holder: Party, x: int, other: Party, y: int,
     received_values = other.receive(f"{label}/x_bits")
     received = [PaillierCiphertext(public, v) for v in received_values]
     y_bits = [(y >> (bits - 1 - t)) & 1 for t in range(bits)]
-
-    one = public.raw_encrypt_constant(1)
-    blinded: list[int] = []
-    # running_w accumulates E(sum of XORs of strictly-higher bit positions).
-    running_w = PaillierCiphertext(public, public.raw_encrypt_constant(0))
-    for enc_x_bit, y_bit in zip(received, y_bits):
-        # c_t = x_t - y_t - 1 + 3 * w_t, all under encryption.
-        c = enc_x_bit + (-y_bit - 1) + running_w * 3
-        multiplier = other.rng.randrange(1, 1 << _BLIND_BITS)
-        masked = (c * multiplier).rerandomize(other.rng, other_pool)
-        blinded.append(masked.value)
-        # XOR under encryption: x ^ y = x when y=0, 1 - x when y=1.
-        if y_bit == 0:
-            xor_term = enc_x_bit
-        else:
-            xor_term = PaillierCiphertext(public, one) - enc_x_bit
-        running_w = running_w + xor_term
-    other.rng.shuffle(blinded)
+    blinded = _blinded_witnesses(public, received, y_bits, other.rng,
+                                 other_pool)
     other.send(f"{label}/witnesses", blinded)
 
     # --- Step 4 (key holder): decrypt, look for a zero. --------------------
     witnesses = key_holder.receive(f"{label}/witnesses")
     plaintexts = engine.decrypt_raw_batch(keypair.private_key, witnesses)
     return any(value == 0 for value in plaintexts)
+
+
+def dgk_greater_than_batch(key_holder: Party, x: int, other: Party,
+                           ys: list[int], bits: int,
+                           keypair: PaillierKeyPair, *,
+                           label: str = "dgk",
+                           key_holder_pool: RandomnessPool | None = None,
+                           other_pool: RandomnessPool | None = None,
+                           engine: ModexpEngine | None = None) -> list[bool]:
+    """Decide ``x > y_i`` for every ``y_i``; only ``key_holder`` learns them.
+
+    The amortized form of :func:`dgk_greater_than`: the key holder's bit
+    ciphertexts are produced once and shared by every comparison, the
+    other party evaluates one independently blinded and shuffled witness
+    batch per ``y_i`` against them, and all witness batches travel (and
+    decrypt) together.  One message in each direction regardless of
+    ``len(ys)``; predicate bits identical to ``len(ys)`` per-point runs.
+    """
+    if bits < 1:
+        raise BitwiseComparisonError(f"bits must be >= 1, got {bits}")
+    _check_domain("x", x, bits)
+    for y in ys:
+        _check_domain("y", y, bits)
+    if not ys:
+        return []
+
+    public = keypair.public_key
+    engine = engine or default_engine()
+
+    # --- Step 1 (key holder), once for the whole batch. --------------------
+    x_bits = [(x >> (bits - 1 - t)) & 1 for t in range(bits)]
+    encrypted_bits = engine.encrypt_batch(public, x_bits, key_holder.rng,
+                                          key_holder_pool)
+    key_holder.send(f"{label}/x_bits", [c.value for c in encrypted_bits])
+
+    # --- Steps 2-3 (other party), per y, against the shared bits. ----------
+    received_values = other.receive(f"{label}/x_bits")
+    received = [PaillierCiphertext(public, v) for v in received_values]
+    batches = []
+    for y in ys:
+        y_bits = [(y >> (bits - 1 - t)) & 1 for t in range(bits)]
+        batches.append(_blinded_witnesses(public, received, y_bits,
+                                          other.rng, other_pool))
+    other.send(f"{label}/witnesses", batches)
+
+    # --- Step 4 (key holder): one decryption sweep over every batch. -------
+    witness_batches = key_holder.receive(f"{label}/witnesses")
+    flat = [value for batch in witness_batches for value in batch]
+    plaintexts = engine.decrypt_raw_batch(keypair.private_key, flat)
+    results = []
+    for index in range(len(witness_batches)):
+        group = plaintexts[index * bits:(index + 1) * bits]
+        results.append(any(value == 0 for value in group))
+    return results

@@ -31,7 +31,10 @@ from repro.crypto.engine import ModexpEngine
 from repro.crypto.paillier import PaillierKeyPair
 from repro.crypto.rsa import RsaKeyPair
 from repro.net.party import Party
-from repro.smc.bitwise_comparison import dgk_greater_than
+from repro.smc.bitwise_comparison import (
+    dgk_greater_than,
+    dgk_greater_than_batch,
+)
 from repro.smc.millionaires import ympp_less_than
 
 
@@ -40,6 +43,25 @@ class ComparisonError(ValueError):
 
 
 _REVEAL_TARGETS = ("a", "b", "both")
+
+
+def _check_reveal_and_interval(reveal_to: str, lo: int, hi: int) -> None:
+    if reveal_to not in _REVEAL_TARGETS:
+        raise ComparisonError(f"reveal_to must be one of {_REVEAL_TARGETS}")
+    if hi < lo:
+        raise ComparisonError(f"empty interval [{lo}, {hi}]")
+
+
+def _check_in_interval(name: str, value: int, lo: int, hi: int) -> None:
+    if not lo <= value <= hi:
+        raise ComparisonError(f"{name}={value} outside [{lo}, {hi}]")
+
+
+def _revealed(reveal_to: str, a_party: Party,
+              b_party: Party) -> tuple[str, ...]:
+    if reveal_to == "both":
+        return (a_party.name, b_party.name)
+    return (a_party.name if reveal_to == "a" else b_party.name,)
 
 
 @dataclass
@@ -77,28 +99,84 @@ class SecureComparison(ABC):
                 sends one conclusion bit to the peer (counted).
             label: transcript label prefix.
         """
-        if reveal_to not in _REVEAL_TARGETS:
-            raise ComparisonError(f"reveal_to must be one of {_REVEAL_TARGETS}")
-        if hi < lo:
-            raise ComparisonError(f"empty interval [{lo}, {hi}]")
-        if not lo <= a <= hi:
-            raise ComparisonError(f"a={a} outside [{lo}, {hi}]")
-        if not lo <= b <= hi:
-            raise ComparisonError(f"b={b} outside [{lo}, {hi}]")
+        _check_reveal_and_interval(reveal_to, lo, hi)
+        _check_in_interval("a", a, lo, hi)
+        _check_in_interval("b", b, lo, hi)
         self.invocations += 1
         result = self._leq(a_party, a - lo, b_party, b - lo,
                            domain=hi - lo, reveal_to=reveal_to,
                            label=f"{label}/{self.name}")
-        if reveal_to == "both":
-            revealed: tuple[str, ...] = (a_party.name, b_party.name)
-        else:
-            revealed = (a_party.name if reveal_to == "a" else b_party.name,)
-        return ComparisonOutcome(result=result, revealed_to=revealed)
+        return ComparisonOutcome(result=result,
+                                 revealed_to=_revealed(reveal_to, a_party,
+                                                       b_party))
+
+    def leq_batch(self, a_party: Party, a_values: list[int], b_party: Party,
+                  b_values: list[int], *, lo: int, hi: int,
+                  reveal_to: str = "both", amortize: bool = False,
+                  label: str = "cmp") -> list[ComparisonOutcome]:
+        """Decide ``a_i <= b_i`` for every pair; semantics of one
+        :meth:`leq` per pair.
+
+        Every item is interval-checked exactly as :meth:`leq` checks its
+        scalar inputs, each pair counts as one invocation (the E8
+        secure-comparison count is the number of predicates evaluated,
+        not the number of message round-trips), and the reveal target
+        applies to every item.
+
+        ``amortize`` is the caller's declaration that the *learning
+        party's* value -- the DGK key-holder side, i.e. the ``a`` values
+        when ``reveal_to`` is ``"a"``/``"both"``, the ``b`` values when
+        ``"b"`` -- is constant across the batch **as a matter of public
+        protocol structure** (e.g. a region query compares every peer
+        point against one threshold).  Backends with a native batch
+        protocol then share a single bit-encryption and round-trip for
+        the whole batch; the declaration is validated and a mismatch
+        raises before anything crosses the wire.  Without the
+        declaration every backend runs one :meth:`_leq` per pair --
+        identical messages to a caller-side loop.  The amortization
+        decision is deliberately *never inferred* by comparing the
+        private values themselves: message shapes would then depend on
+        secret-value collisions, an equality side channel the
+        per-point protocol does not have.
+        """
+        _check_reveal_and_interval(reveal_to, lo, hi)
+        if len(a_values) != len(b_values):
+            raise ComparisonError(
+                f"{len(a_values)} a-values but {len(b_values)} b-values")
+        for a in a_values:
+            _check_in_interval("a", a, lo, hi)
+        for b in b_values:
+            _check_in_interval("b", b, lo, hi)
+        if not a_values:
+            return []
+        if amortize:
+            key_side = a_values if reveal_to in ("a", "both") else b_values
+            if any(value != key_side[0] for value in key_side):
+                raise ComparisonError(
+                    "amortize=True declares a constant key-holder side, "
+                    "but the values differ")
+        self.invocations += len(a_values)
+        results = self._leq_batch(
+            a_party, [a - lo for a in a_values],
+            b_party, [b - lo for b in b_values],
+            domain=hi - lo, reveal_to=reveal_to, amortize=amortize,
+            label=f"{label}/{self.name}")
+        revealed = _revealed(reveal_to, a_party, b_party)
+        return [ComparisonOutcome(result=result, revealed_to=revealed)
+                for result in results]
 
     @abstractmethod
     def _leq(self, a_party: Party, a: int, b_party: Party, b: int, *,
              domain: int, reveal_to: str, label: str) -> bool:
         """Decide ``a <= b`` for shifted inputs in ``[0, domain]``."""
+
+    def _leq_batch(self, a_party: Party, a_values: list[int], b_party: Party,
+                   b_values: list[int], *, domain: int, reveal_to: str,
+                   amortize: bool, label: str) -> list[bool]:
+        """Serial fallback: one :meth:`_leq` per pair (YMPP, oracle)."""
+        return [self._leq(a_party, a, b_party, b, domain=domain,
+                          reveal_to=reveal_to, label=label)
+                for a, b in zip(a_values, b_values)]
 
 
 class YaoMillionairesComparison(SecureComparison):
@@ -207,6 +285,52 @@ class BitwiseComparison(SecureComparison):
             key_holder_pool=self._pools(b_party.name, b_party.name),
             other_pool=self._pools(a_party.name, b_party.name),
             engine=self._engine)
+
+    def _leq_batch(self, a_party: Party, a_values: list[int], b_party: Party,
+                   b_values: list[int], *, domain: int, reveal_to: str,
+                   amortize: bool, label: str) -> list[bool]:
+        """Amortized DGK: one bit-encryption for a declared-constant side.
+
+        Only when the caller *declared* (``amortize=True``, validated in
+        :meth:`SecureComparison.leq_batch`) that the key holder's value
+        (``a`` when the a-holder learns, ``b + 1`` when the b-holder
+        learns) is constant across the batch does the whole batch run as
+        a single
+        :func:`~repro.smc.bitwise_comparison.dgk_greater_than_batch`:
+        one bit-encryption, one round-trip.  Undeclared batches fall
+        back to the per-pair loop, so the message pattern is a pure
+        function of the declaration -- never of private-value equality,
+        which would leak key-holder-side collisions (e.g. equal
+        ``blind_cross_sum`` offsets) to the evaluating party.
+        Predicate bits are identical to the per-pair loop either way.
+        """
+        if not amortize:
+            return super()._leq_batch(
+                a_party, a_values, b_party, b_values, domain=domain,
+                reveal_to=reveal_to, amortize=amortize, label=label)
+        # Width covers domain + 1 so the b + 1 trick cannot overflow.
+        bits = max(1, (domain + 1).bit_length())
+        if reveal_to in ("a", "both"):
+            key_party, other_party = a_party, b_party
+            holder_value, other_values = a_values[0], b_values
+        else:
+            key_party, other_party = b_party, a_party
+            holder_value, other_values = b_values[0] + 1, a_values
+        greater = dgk_greater_than_batch(
+            key_party, holder_value, other_party, other_values, bits,
+            self._keys_of(key_party), label=f"{label}/batch",
+            key_holder_pool=self._pools(key_party.name, key_party.name),
+            other_pool=self._pools(other_party.name, key_party.name),
+            engine=self._engine)
+        if reveal_to == "b":
+            # b-holder keyed, learns b + 1 > a  <=>  a <= b.
+            return greater
+        # a-holder keyed, learns a > b; a <= b is the negation.
+        results = [not g for g in greater]
+        if reveal_to == "both":
+            a_party.send(f"{label}/batch/conclusion", results)
+            results = b_party.receive(f"{label}/batch/conclusion")
+        return results
 
 
 class OracleComparison(SecureComparison):

@@ -239,6 +239,20 @@ class SmcSession:
             a_party, a, b_party, b, lo=lo, hi=hi, reveal_to=reveal_to,
             label=label)
 
+    def compare_leq_batch(self, a_party: Party, a_values: list[int],
+                          b_party: Party, b_values: list[int], *,
+                          lo: int, hi: int, reveal_to: str = "both",
+                          amortize: bool = False,
+                          label: str = "cmp") -> list[ComparisonOutcome]:
+        """Batched ``a_i <= b_i``: one invocation per pair.  With
+        ``amortize`` the caller declares the learning party's side
+        constant (public protocol structure), letting the backend share
+        one bit-encryption and round-trip across the whole batch -- see
+        :meth:`SecureComparison.leq_batch`."""
+        return self.comparison_backend.leq_batch(
+            a_party, a_values, b_party, b_values, lo=lo, hi=hi,
+            reveal_to=reveal_to, amortize=amortize, label=label)
+
     def multiplication(self, receiver: Party, x: int, masker: Party, y: int,
                        mask: int, *, label: str = "mult") -> int:
         """Algorithm 2: receiver learns ``x*y + mask``."""

@@ -37,9 +37,11 @@ points_list = st.lists(point2d, min_size=1, max_size=6)
 def _session(seed=0, backend="bitwise", precompute=True):
     channel = Channel()
     alice, bob = make_party_pair(channel, seed, seed + 1)
+    # 128-bit keys: the equivalence properties under test do not depend
+    # on key size, and tier-1 wall-clock does (benchmarks keep 256).
     session = SmcSession(alice, bob, SmcConfig(
         comparison=backend, key_seed=95, mask_sigma=8,
-        precompute=precompute))
+        paillier_bits=128, precompute=precompute))
     return channel, session
 
 
@@ -153,6 +155,72 @@ class TestRegionQueryAgainstPerPoint:
                              [(1, 2, 3)], 25, VALUE_BOUND)
 
 
+class TestBatchedComparisons:
+    """PR-3 tentpole: the amortized DGK batch inside a region query must
+    be indistinguishable in bits and disclosures from the per-point
+    comparison loop, under real crypto."""
+
+    @settings(max_examples=6, deadline=None)
+    @given(point2d, points_list, st.integers(min_value=0, max_value=20000),
+           st.booleans(), st.integers(min_value=0, max_value=1000))
+    def test_bits_and_ledger_match_per_point_comparisons(
+            self, querier_point, peer_points, eps_squared, blind, seed):
+        __, batched_session = _session(seed)
+        batched_ledger = LeakageLedger()
+        bits = hdp_region_query(
+            batched_session, batched_session.alice, querier_point,
+            batched_session.bob, peer_points, eps_squared, VALUE_BOUND,
+            ledger=batched_ledger, blind_cross_sum=blind,
+            batched_comparisons=True, label="q")
+
+        __, loop_session = _session(seed)
+        loop_ledger = LeakageLedger()
+        loop_bits = hdp_region_query(
+            loop_session, loop_session.alice, querier_point,
+            loop_session.bob, peer_points, eps_squared, VALUE_BOUND,
+            ledger=loop_ledger, blind_cross_sum=blind,
+            batched_comparisons=False, label="q")
+
+        # Same seeds -> same presentation permutation, so the bits
+        # compare positionally, not just as a multiset.
+        assert bits == loop_bits
+        assert sum(bits) == sum(_truth(querier_point, peer_points,
+                                       eps_squared))
+        assert batched_ledger.events == loop_ledger.events
+        assert batched_session.comparison_backend.invocations \
+            == loop_session.comparison_backend.invocations == len(peer_points)
+
+    def test_cached_query_matches_per_point_comparisons(self):
+        for blind in (False, True):
+            results = []
+            for batched in (True, False):
+                __, session = _session(21)
+                ledger = LeakageLedger()
+                bits = hdp_region_query_cached(
+                    session, session.alice, (1, 2), session.bob,
+                    [(4, 6), (1, 2), (30, 40), (2, 3)], [0, 1, 2, 3],
+                    PeerCipherCache(), 25, VALUE_BOUND, ledger=ledger,
+                    blind_cross_sum=blind, batched_comparisons=batched,
+                    label="q")
+                results.append((bits, ledger.events))
+            assert results[0] == results[1], blind
+
+    def test_constant_threshold_shares_one_bit_encryption(self):
+        """blind_cross_sum=False keeps the threshold constant across the
+        query, so the whole query produces exactly one x_bits message;
+        the per-point loop produces one per peer point."""
+        def count_x_bits(batched_comparisons):
+            channel, session = _session(22)
+            hdp_region_query(
+                session, session.alice, (0, 0), session.bob,
+                [(0, 3), (4, 0), (50, 50), (1, 1)], 25, VALUE_BOUND,
+                batched_comparisons=batched_comparisons, label="q")
+            return sum(1 for e in channel.transcript.entries
+                       if e.label.endswith("/x_bits"))
+        assert count_x_bits(True) == 1
+        assert count_x_bits(False) == 4
+
+
 class TestQuerierEncryptionCount:
     """Acceptance criterion: querier-side encryptions per region query are
     O(d) -- independent of the peer point count."""
@@ -198,7 +266,7 @@ class TestFullRunEquivalence:
     def _config(self, batched, cached=False, blind=False, grid=True):
         return ProtocolConfig(
             eps=1.0, min_pts=3, scale=10,
-            smc=SmcConfig(key_seed=97, mask_sigma=8),
+            smc=SmcConfig(key_seed=97, mask_sigma=8, paillier_bits=128),
             alice_seed=11, bob_seed=12,
             batched_region_queries=batched,
             cache_peer_ciphertexts=cached,

@@ -22,7 +22,8 @@ def _session(seed=0):
     channel = Channel()
     alice, bob = make_party_pair(channel, seed, seed + 1)
     return channel, SmcSession(alice, bob, SmcConfig(key_seed=220,
-                                                     mask_sigma=8))
+                                                     mask_sigma=8,
+                                                     paillier_bits=128))
 
 
 class TestCachedDistanceProtocol:
@@ -87,7 +88,7 @@ class TestCachedFullProtocol:
     def _config(self, cached: bool) -> ProtocolConfig:
         return ProtocolConfig(
             eps=1.0, min_pts=3, scale=10,
-            smc=SmcConfig(key_seed=221, mask_sigma=8),
+            smc=SmcConfig(key_seed=221, mask_sigma=8, paillier_bits=128),
             alice_seed=5, bob_seed=6, cache_peer_ciphertexts=cached)
 
     def test_same_labels_as_base(self):

@@ -19,7 +19,7 @@ from repro.smc.session import SmcConfig
 def _config(backend="oracle", **kwargs) -> ProtocolConfig:
     defaults = dict(eps=1.0, min_pts=3, scale=10,
                     smc=SmcConfig(comparison=backend, key_seed=130,
-                                  mask_sigma=8),
+                                  mask_sigma=8, paillier_bits=128),
                     alice_seed=7, bob_seed=8)
     defaults.update(kwargs)
     return ProtocolConfig(**defaults)

@@ -21,7 +21,7 @@ from repro.smc.session import SmcConfig
 def _config(backend="oracle", **kwargs) -> ProtocolConfig:
     defaults = dict(eps=1.0, min_pts=3, scale=10,
                     smc=SmcConfig(comparison=backend, key_seed=100,
-                                  mask_sigma=8),
+                                  mask_sigma=8, paillier_bits=128),
                     alice_seed=1, bob_seed=2)
     defaults.update(kwargs)
     return ProtocolConfig(**defaults)

@@ -72,6 +72,43 @@ class TestModexpBatch:
         assert engine.workers == 1
 
 
+class TestWarmUp:
+    def test_serial_engine_never_warms(self):
+        engine = ModexpEngine(workers=1)
+        assert engine.warm_up() is False
+        assert engine.report()["warmups"] == 0
+
+    def test_closed_engine_never_warms(self):
+        engine = _parallel_engine()
+        engine.close()
+        assert engine.warm_up() is False
+
+    def test_warm_up_spawns_pool_without_changing_results(self):
+        jobs = [(3, 5, 100)] * 4
+        with _parallel_engine() as engine:
+            warmed = engine.warm_up()
+            report = engine.report()
+            # Warm-up is pure lifecycle: no batches or jobs counted.
+            assert report["batches"] == 0 and report["jobs"] == 0
+            assert report["warmups"] == (1 if warmed else 0)
+            assert engine.modexp_batch(jobs) == [pow(3, 5, 100)] * 4
+        # On hosts that cannot spawn a pool, warm_up reports False and
+        # the engine keeps running serially -- never an exception.
+        assert isinstance(warmed, bool)
+
+    def test_mesh_precompute_warms_each_engine_once(self):
+        from repro.multiparty.mesh import PartyMesh
+        from repro.smc.session import SmcConfig
+        with _parallel_engine() as engine:
+            mesh = PartyMesh(["a", "b", "c"],
+                             SmcConfig(key_seed=81, engine=engine),
+                             seeds=[1, 2, 3])
+            mesh.precompute_pools(2)
+            # Three pairwise sessions share one engine object; the mesh
+            # offline phase warms it exactly once per precompute call.
+            assert engine.report()["warmups"] <= 1
+
+
 class TestPoolFillEquivalence:
     def _pools(self, seed):
         return (RandomnessPool(PUB, random.Random(seed)),

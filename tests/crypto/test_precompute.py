@@ -108,6 +108,32 @@ class TestBatchEntryPoints:
         PUB.encrypt_batch([1, 2, 3], pool.rng, pool)
         assert pool.consumed == 3 and len(pool) == 3
 
+    @pytest.mark.parametrize("workers,min_parallel", [(1, 32), (2, 2)])
+    def test_empty_pool_misses_counted_through_engine_batch(
+            self, workers, min_parallel):
+        """The batch API's miss accounting: an engine encrypt_batch over
+        an empty pool must count one consumed + one miss per plaintext
+        (and still decrypt correctly), on both the serial path and the
+        sharded path that collects misses into one modexp batch."""
+        from repro.crypto.engine import ModexpEngine
+        pool = _pool(12)
+        messages = [3, 1, 4, 1, 5, 9]
+        with ModexpEngine(workers=workers,
+                          min_parallel_jobs=min_parallel) as engine:
+            ciphers = engine.encrypt_batch(PUB, messages, pool.rng, pool)
+        assert [PRIV.decrypt(c) for c in ciphers] == messages
+        assert pool.report() == {"pregenerated": 0, "consumed": 6,
+                                 "misses": 6, "available": 0}
+
+    def test_partially_filled_pool_misses_only_the_shortfall(self):
+        from repro.crypto.engine import ModexpEngine
+        pool = _pool(13)
+        pool.refill(2)
+        with ModexpEngine(workers=2, min_parallel_jobs=2) as engine:
+            engine.encrypt_batch(PUB, [7, 7, 7, 7, 7], pool.rng, pool)
+        assert pool.report() == {"pregenerated": 2, "consumed": 5,
+                                 "misses": 3, "available": 0}
+
 
 class TestFixedBaseExp:
     @settings(max_examples=25, deadline=None)

@@ -31,8 +31,55 @@ def _config(backend: str, **kwargs) -> ProtocolConfig:
 # Tiny coordinates keep the YMPP comparison domain tractable.
 POINTS = [(0, 0), (1, 0), (0, 1), (5, 5), (6, 5)]
 
+# Tier-1 workload: an even smaller coordinate box (the YMPP transfer is
+# O(interval size), and the interval tracks the max squared distance) and
+# mask_sigma=1 keep a full three-backend run in fractions of a second
+# while exercising the identical backend code paths as the slow matrix.
+QUICK_POINTS = [(0, 0), (1, 0), (0, 1), (2, 2)]
 
+
+def _quick_config(backend: str, **kwargs) -> ProtocolConfig:
+    return _config(backend,
+                   smc=SmcConfig(comparison=backend, key_seed=251,
+                                 mask_sigma=1, paillier_bits=128,
+                                 rsa_bits=256), **kwargs)
+
+
+class TestBackendsAgreeQuick:
+    """Tier-1 cross-backend agreement on a minimal workload."""
+
+    def test_horizontal_all_backends(self):
+        partition = HorizontalPartition(alice_points=tuple(QUICK_POINTS[:2]),
+                                        bob_points=tuple(QUICK_POINTS[2:]))
+        results = {}
+        for backend in ("oracle", "bitwise", "ympp"):
+            run = cluster_partitioned(partition, _quick_config(backend))
+            results[backend] = (canonicalize(run.alice_labels),
+                                canonicalize(run.bob_labels))
+        assert results["oracle"] == results["bitwise"] == results["ympp"]
+
+    def test_vertical_all_backends(self):
+        partition = partition_vertical(Dataset.from_points(QUICK_POINTS), 1)
+        results = {}
+        byte_counts = {}
+        for backend in ("oracle", "bitwise", "ympp"):
+            run = cluster_partitioned(partition, _quick_config(backend))
+            results[backend] = canonicalize(run.alice_labels)
+            byte_counts[backend] = run.stats["total_bytes"]
+        assert results["oracle"] == results["bitwise"] == results["ympp"]
+        assert byte_counts["oracle"] < byte_counts["bitwise"]
+        assert byte_counts["oracle"] < byte_counts["ympp"]
+
+    def test_round_counts_reported(self):
+        partition = partition_vertical(Dataset.from_points(QUICK_POINTS), 1)
+        run = cluster_partitioned(partition, _quick_config("bitwise"))
+        assert run.stats["rounds"] > 0
+
+
+@pytest.mark.slow
 class TestBackendsAgree:
+    """The full matrix at realistic key sizes -- run with ``-m slow``."""
+
     @pytest.mark.parametrize("enhanced", [False, True])
     def test_horizontal_all_backends(self, enhanced):
         partition = HorizontalPartition(alice_points=tuple(POINTS[:3]),
@@ -61,8 +108,3 @@ class TestBackendsAgree:
             byte_counts[backend] = run.stats["total_bytes"]
         assert byte_counts["oracle"] < byte_counts["bitwise"]
         assert byte_counts["oracle"] < byte_counts["ympp"]
-
-    def test_round_counts_reported(self):
-        partition = partition_vertical(Dataset.from_points(POINTS), 1)
-        run = cluster_partitioned(partition, _config("bitwise"))
-        assert run.stats["rounds"] > 0

@@ -52,7 +52,8 @@ def _workloads():
 def _config(eps, min_pts, backend="oracle", **kwargs):
     return ProtocolConfig(
         eps=eps, min_pts=min_pts, scale=100,
-        smc=SmcConfig(comparison=backend, key_seed=160, mask_sigma=8),
+        smc=SmcConfig(comparison=backend, key_seed=160, mask_sigma=8,
+                      paillier_bits=128, rsa_bits=256),
         alice_seed=11, bob_seed=12, **kwargs)
 
 
@@ -161,7 +162,8 @@ class TestRealCryptoEndToEnd:
                                         bob_points=tuple(points[3:]))
         config = ProtocolConfig(
             eps=2.0, min_pts=3, scale=10,
-            smc=SmcConfig(comparison="bitwise", key_seed=162, mask_sigma=8),
+            smc=SmcConfig(comparison="bitwise", key_seed=162, mask_sigma=8,
+                          paillier_bits=128),
             alice_seed=13, bob_seed=14)
         run = cluster_partitioned(partition, config)
         ref = union_density_dbscan(points[:3], points[3:],
@@ -176,7 +178,8 @@ class TestRealCryptoEndToEnd:
                                         bob_points=tuple(points[3:]))
         config = ProtocolConfig(
             eps=2.0, min_pts=4, scale=10,
-            smc=SmcConfig(comparison="bitwise", key_seed=162, mask_sigma=8),
+            smc=SmcConfig(comparison="bitwise", key_seed=162, mask_sigma=8,
+                          paillier_bits=128),
             alice_seed=13, bob_seed=14)
         run = cluster_partitioned(partition, config, enhanced=True)
         base = cluster_partitioned(partition, config)
@@ -188,7 +191,8 @@ class TestRealCryptoEndToEnd:
         partition = partition_vertical(Dataset.from_points(points), 1)
         config = ProtocolConfig(
             eps=2.0, min_pts=3, scale=10,
-            smc=SmcConfig(comparison="bitwise", key_seed=162, mask_sigma=8),
+            smc=SmcConfig(comparison="bitwise", key_seed=162, mask_sigma=8,
+                          paillier_bits=128),
             alice_seed=13, bob_seed=14)
         run = cluster_partitioned(partition, config)
         ref = dbscan(points, config.eps_squared, 3)
@@ -202,7 +206,8 @@ class TestRealCryptoEndToEnd:
         partition = partition_vertical(Dataset.from_points(points), 1)
         config = ProtocolConfig(
             eps=1.5, min_pts=2, scale=1,
-            smc=SmcConfig(comparison="ympp", key_seed=163, mask_sigma=2),
+            smc=SmcConfig(comparison="ympp", key_seed=163, mask_sigma=2,
+                          paillier_bits=128, rsa_bits=256),
             alice_seed=15, bob_seed=16)
         run = cluster_partitioned(partition, config)
         ref = dbscan(points, config.eps_squared, 2)

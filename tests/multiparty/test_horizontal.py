@@ -19,7 +19,7 @@ from repro.smc.session import SmcConfig
 def _config(backend="oracle", **kwargs) -> ProtocolConfig:
     defaults = dict(eps=1.5, min_pts=3, scale=1,
                     smc=SmcConfig(comparison=backend, key_seed=210,
-                                  mask_sigma=8))
+                                  mask_sigma=8, paillier_bits=128))
     defaults.update(kwargs)
     return ProtocolConfig(**defaults)
 

@@ -39,6 +39,21 @@ class TestMeshConstruction:
         assert party.name == "a"
         assert party.peer_name == "b"
 
+    def test_pair_key_slot_cache_orders_like_names_index(self):
+        """The routed-lookup hot path resolves slots from a dict; the
+        ordering must equal the original names.index comparison for
+        every pair, either argument order."""
+        names = ["p3", "p0", "zz", "aa"]  # deliberately unsorted
+        mesh = PartyMesh(names, CONFIG, seeds=[1, 2, 3, 4])
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                expected = ((a, b) if names.index(a) < names.index(b)
+                            else (b, a))
+                assert mesh._pair_key(a, b) == expected
+                assert mesh._pair_key(b, a) == expected
+        with pytest.raises(MeshError, match="unknown"):
+            mesh._pair_key("p3", "nope")
+
     def test_validation(self):
         with pytest.raises(MeshError, match="two parties"):
             PartyMesh(["solo"], CONFIG)

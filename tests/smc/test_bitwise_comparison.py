@@ -9,6 +9,7 @@ from repro.net.party import make_party_pair
 from repro.smc.bitwise_comparison import (
     BitwiseComparisonError,
     dgk_greater_than,
+    dgk_greater_than_batch,
 )
 
 KEYS = cached_paillier_keypair(256, 810)
@@ -80,6 +81,68 @@ class TestCommunicationShape:
         dgk_greater_than(alice, 2**19, bob, 2**19 - 1, 20, KEYS)
         n_squared_bytes = (KEYS.public_key.n_squared.bit_length() + 7) // 8
         assert channel.stats.total_bytes < 3 * 20 * (n_squared_bytes + 8)
+
+
+class TestBatch:
+    """Amortized batches: one bit-encryption, per-point predicate bits."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**16 - 1),
+           st.lists(st.integers(min_value=0, max_value=2**16 - 1),
+                    min_size=0, max_size=8),
+           st.integers(min_value=0, max_value=100))
+    def test_matches_per_point_predicates(self, x, ys, seed):
+        alice, bob = _fresh_parties(seed)
+        assert dgk_greater_than_batch(alice, x, bob, ys, 16, KEYS) \
+            == [x > y for y in ys]
+
+    def test_empty_batch_sends_nothing(self):
+        channel = Channel()
+        alice, bob = make_party_pair(channel, 1, 2)
+        assert dgk_greater_than_batch(alice, 3, bob, [], 4, KEYS) == []
+        assert channel.transcript.entries == []
+
+    def test_one_round_trip_regardless_of_batch_size(self):
+        channel = Channel()
+        alice, bob = make_party_pair(channel, 1, 2)
+        dgk_greater_than_batch(alice, 9, bob, [5, 11, 9, 0], 8, KEYS,
+                               label="t")
+        labels = [e.label for e in channel.transcript.entries]
+        assert labels == ["t/x_bits", "t/witnesses"]
+
+    def test_witness_batches_per_point_shape(self):
+        channel = Channel()
+        alice, bob = make_party_pair(channel, 1, 2)
+        bits = 12
+        dgk_greater_than_batch(alice, 9, bob, [5, 3000, 9], bits, KEYS,
+                               label="t")
+        x_bits = channel.transcript.with_label("t/x_bits")[0].value
+        assert len(x_bits) == bits  # encrypted once, not per point
+        batches = channel.transcript.with_label("t/witnesses")[0].value
+        assert len(batches) == 3
+        assert all(len(batch) == bits for batch in batches)
+
+    def test_each_batch_obliviously_witnesses_its_predicate(self):
+        # Per point: exactly one zero when x > y_i, none otherwise --
+        # the shared bit-encryption must not cross-contaminate batches.
+        channel = Channel()
+        alice, bob = make_party_pair(channel, 3, 4)
+        ys = [13, 700, 699, 701]
+        dgk_greater_than_batch(alice, 700, bob, ys, 10, KEYS, label="t")
+        batches = channel.transcript.with_label("t/witnesses")[0].value
+        for y, batch in zip(ys, batches):
+            zeros = sum(1 for value in batch
+                        if KEYS.private_key.decrypt_raw(value) == 0)
+            assert zeros == (1 if 700 > y else 0), y
+
+    def test_validation_covers_every_item(self):
+        alice, bob = _fresh_parties()
+        with pytest.raises(BitwiseComparisonError, match="y=8"):
+            dgk_greater_than_batch(alice, 1, bob, [0, 8], 3, KEYS)
+        with pytest.raises(BitwiseComparisonError, match="x=8"):
+            dgk_greater_than_batch(alice, 8, bob, [0], 3, KEYS)
+        with pytest.raises(BitwiseComparisonError, match="bits"):
+            dgk_greater_than_batch(alice, 0, bob, [0], 0, KEYS)
 
 
 class TestObliviousness:

@@ -21,7 +21,8 @@ def _setup(values, *, backend="oracle", seed=0, mask_sigma=12):
     alice, bob = make_party_pair(Channel(), seed, seed + 1)
     session = SmcSession(alice, bob,
                          SmcConfig(comparison=backend, key_seed=60,
-                                   mask_sigma=mask_sigma))
+                                   mask_sigma=mask_sigma,
+                                   paillier_bits=128, rsa_bits=256))
     value_bound = max(values) + 1
     mask_bound = session.config.mask_bound(value_bound)
     rng = random.Random(seed + 999)
