@@ -1,9 +1,9 @@
 """Quick fixed-workload perf snapshot -- the PR-over-PR trajectory file.
 
 Runs one small, deterministic workload per protocol and writes
-``benchmarks/results/BENCH_PR3.json`` with wall-clock, bytes, messages,
+``benchmarks/results/BENCH_PR4.json`` with wall-clock, bytes, messages,
 and secure-comparison counts, so future PRs have a stable baseline to
-compare against.  Four ablations ride along:
+compare against.  Five ablations ride along:
 
 - **horizontal** (PR 1): seed-era pipeline (per-point HDP, no pools)
   vs. batched region queries + pools prefilled offline.
@@ -23,6 +23,16 @@ compare against.  Four ablations ride along:
   per query).  Both arms run pools-off so the ``r^n`` powmods the
   amortization removes are actually paid online, not absorbed by the
   offline phase; measured two-party and over the 3-party mesh.
+- **latency_sweep** (PR 4): the k-party mesh over a
+  :class:`~repro.net.transport.SimulatedNetworkTransport` at several
+  one-way link latencies, sequential vs concurrent driver passes
+  (``ProtocolConfig(concurrent_peers=True)``).  The concurrent pass
+  overlaps the independent per-peer round-trips, so its simulated
+  wall-clock approaches the slowest single link while the sequential
+  pass pays the sum -- the gap widens with the party count.  Labels,
+  ledger sequences, per-pair transcripts, and comparison counts are
+  verified bit-identical to the in-process sequential reference before
+  any speedup is reported.
 
 The script verifies that each optimized pipeline produces bit-identical
 cluster labels and identical leakage-ledger disclosure sequences before
@@ -58,16 +68,20 @@ from repro.multiparty.horizontal import run_multiparty_horizontal_dbscan
 from repro.multiparty.mesh import PartyMesh
 from repro.net.channel import Channel
 from repro.net.party import make_party_pair
+from repro.net.transport import TransportSpec
 from repro.smc.session import SmcConfig, SmcSession
 
 RESULTS_PATH = (pathlib.Path(__file__).parent / "results"
-                / "BENCH_PR3.json")
+                / "BENCH_PR4.json")
 
 MIN_EXPECTED_SPEEDUP = 3.0
 MIN_EXPECTED_MESH_SPEEDUP = 2.0
 MIN_EXPECTED_DGK_SPEEDUP = 1.1
+MIN_EXPECTED_LATENCY_SPEEDUP = 1.3
 OFFLINE_SCALING_FACTORS = 600
 OFFLINE_SCALING_WORKERS = (1, 2, 4)
+LATENCY_SWEEP_MS = (5.0, 20.0, 50.0)
+LATENCY_SWEEP_PARTIES = (3, 4)
 
 
 def _smc(precompute: bool) -> SmcConfig:
@@ -294,6 +308,84 @@ def _dgk_batch_ablation() -> dict:
     return {"two_party": two_party, "mesh": mesh}
 
 
+def _latency_workload(parties: int) -> dict[str, list]:
+    origins = ((0, 0), (2, 2), (40, 40), (42, 40))
+    return {f"party{index}": list(clustered_points(3,
+                                                   origin=origins[index]))
+            for index in range(parties)}
+
+
+def _latency_sweep_ablation() -> dict:
+    """Sequential vs concurrent mesh passes under simulated latency.
+
+    For each party count and one-way link latency, the same workload
+    runs three ways: the in-process sequential reference, the simulated
+    network sequentially scheduled, and the simulated network with
+    ``concurrent_peers=True``.  Every protocol observable -- labels,
+    ledger sequence, per-pair transcripts, comparison counts -- must be
+    bit-identical across all three; only the simulated wall-clock may
+    (and should) drop when the per-peer round-trips overlap.
+    """
+    def config(transport: TransportSpec | None, concurrent: bool):
+        return ProtocolConfig(
+            eps=1.0, min_pts=3, scale=10,
+            smc=SmcConfig(paillier_bits=256, comparison="bitwise",
+                          key_seed=992, mask_sigma=8,
+                          transport=transport),
+            concurrent_peers=concurrent)
+
+    def run(points, seeds, transport, concurrent):
+        cfg = config(transport, concurrent)
+        mesh = PartyMesh(list(points), cfg.smc, seeds=seeds)
+        result = run_multiparty_horizontal_dbscan(
+            points, cfg, seeds=seeds, mesh=mesh)
+        transcripts = {
+            f"{pair[0]}-{pair[1]}": [(e.sender, e.label, e.value)
+                                     for e in transcript.entries]
+            for pair, transcript in mesh.pair_transcripts().items()}
+        return result, transcripts
+
+    sweep = {"latencies_ms": list(LATENCY_SWEEP_MS), "parties": {}}
+    for party_count in LATENCY_SWEEP_PARTIES:
+        points = _latency_workload(party_count)
+        seeds = list(range(71, 71 + party_count))
+        reference, reference_transcripts = run(points, seeds, None, False)
+
+        rows = []
+        identical = True
+        for latency_ms in LATENCY_SWEEP_MS:
+            spec = TransportSpec(kind="simulated",
+                                 latency_s=latency_ms / 1000.0)
+            sequential, seq_transcripts = run(points, seeds, spec, False)
+            concurrent, conc_transcripts = run(points, seeds, spec, True)
+            for arm, transcripts in ((sequential, seq_transcripts),
+                                     (concurrent, conc_transcripts)):
+                identical &= (
+                    arm.labels_by_party == reference.labels_by_party
+                    and arm.ledger.events == reference.ledger.events
+                    and arm.comparisons == reference.comparisons
+                    and transcripts == reference_transcripts)
+            speedup = (sequential.simulated_seconds
+                       / concurrent.simulated_seconds
+                       if concurrent.simulated_seconds else float("inf"))
+            rows.append({
+                "latency_ms": latency_ms,
+                "sequential_simulated_s":
+                    round(sequential.simulated_seconds, 4),
+                "concurrent_simulated_s":
+                    round(concurrent.simulated_seconds, 4),
+                "speedup_concurrent_vs_sequential": round(speedup, 2),
+                "rounds": sequential.stats["rounds"],
+            })
+        sweep["parties"][str(party_count)] = {
+            "workload": {"parties": party_count, "points_per_party": 3,
+                         "dimensions": 2},
+            "rows": rows,
+            "observables_bit_identical": identical,
+        }
+    return sweep
+
+
 def _offline_scaling_ablation() -> dict:
     """Pool-fill wall-clock: serial refill vs engine workers 1/2/4.
 
@@ -365,14 +457,16 @@ def main() -> int:
     multiparty = _multiparty_ablation()
     offline = _offline_scaling_ablation()
     dgk_batch = _dgk_batch_ablation()
+    latency_sweep = _latency_sweep_ablation()
     payload = {
-        "pr": 3,
-        "description": "quick fixed-workload perf snapshot (amortized DGK "
-                       "comparison batches for region queries)",
+        "pr": 4,
+        "description": "quick fixed-workload perf snapshot (pluggable "
+                       "transport layer + concurrent mesh passes)",
         "horizontal": horizontal,
         "multiparty": multiparty,
         "offline_scaling": offline,
         "dgk_batch": dgk_batch,
+        "latency_sweep": latency_sweep,
         "enhanced": _enhanced_quick(),
         "vertical": _vertical_quick(),
     }
@@ -411,6 +505,19 @@ def main() -> int:
         print("FAIL: batched DGK mesh changed the disclosure sequence",
               file=sys.stderr)
         failed = True
+    for party_count, section in latency_sweep["parties"].items():
+        if not section["observables_bit_identical"]:
+            print(f"FAIL: latency sweep ({party_count} parties) changed "
+                  f"labels/ledger/transcripts/comparisons",
+                  file=sys.stderr)
+            failed = True
+        for row in section["rows"]:
+            if row["concurrent_simulated_s"] \
+                    >= row["sequential_simulated_s"]:
+                print(f"FAIL: concurrent pass did not beat sequential at "
+                      f"{row['latency_ms']}ms with {party_count} parties",
+                      file=sys.stderr)
+                failed = True
     if failed:
         return 1
     dgk_speedup = two_party["speedup_batched_vs_per_point"]
@@ -426,6 +533,15 @@ def main() -> int:
         print(f"WARNING: multiparty online speedup "
               f"{multiparty['speedup_online_vs_per_point']:.2f}x below the "
               f"{MIN_EXPECTED_MESH_SPEEDUP:.0f}x target", file=sys.stderr)
+    for party_count, section in latency_sweep["parties"].items():
+        for row in section["rows"]:
+            if row["speedup_concurrent_vs_sequential"] \
+                    < MIN_EXPECTED_LATENCY_SPEEDUP:
+                print(f"WARNING: latency-hiding speedup "
+                      f"{row['speedup_concurrent_vs_sequential']:.2f}x at "
+                      f"{row['latency_ms']}ms / {party_count} parties is "
+                      f"below the {MIN_EXPECTED_LATENCY_SPEEDUP:.1f}x "
+                      f"target", file=sys.stderr)
     top_workers = max(OFFLINE_SCALING_WORKERS)
     top_speedup = offline[f"speedup_workers_{top_workers}"]
     if (offline["host_usable_cpus"] or 1) >= 2 and top_speedup < 2.0:

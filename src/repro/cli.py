@@ -43,9 +43,9 @@ from repro.crypto.engine import ModexpEngine
 from repro.crypto.precompute import combine_pool_reports
 from repro.multiparty.horizontal import run_multiparty_horizontal_dbscan
 from repro.multiparty.mesh import PartyMesh
-from repro.net.channel import Channel
 from repro.net.party import make_party_pair
-from repro.smc.session import SmcConfig, SmcSession
+from repro.net.transport import TransportSpec
+from repro.smc.session import SmcConfig, SmcSession, channel_for_config
 
 _SCENARIOS = ("horizontal", "enhanced", "vertical", "arbitrary",
               "multiparty")
@@ -76,6 +76,18 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--prefill", type=int, default=0,
                       help="factors to pregenerate per randomness pool "
                            "before the run (offline phase)")
+    demo.add_argument("--transport",
+                      choices=("in-process", "threaded", "simulated"),
+                      default="in-process",
+                      help="message fabric under every channel: seed-era "
+                           "deques, thread-safe blocking queues, or the "
+                           "simulated-latency network model")
+    demo.add_argument("--net-latency-ms", type=float, default=5.0,
+                      help="one-way link latency for --transport simulated")
+    demo.add_argument("--peer-concurrency", action="store_true",
+                      help="multiparty scenario: issue the per-peer region "
+                           "queries of each driver step concurrently "
+                           "(identical labels/ledger; overlapped latency)")
 
     attack = commands.add_parser("attack",
                                  help="quantify the Figure 1 attack")
@@ -101,11 +113,18 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def _demo_config(args, engine: ModexpEngine) -> ProtocolConfig:
+    transport = None
+    if args.transport != "in-process":
+        transport = TransportSpec(
+            kind=args.transport.replace("-", "_"),
+            latency_s=args.net_latency_ms / 1000.0)
     return ProtocolConfig(
         eps=args.eps, min_pts=args.min_pts, scale=100,
         smc=SmcConfig(paillier_bits=args.key_bits, comparison=args.backend,
                       key_seed=args.seed, engine=engine,
-                      precompute=not args.no_precompute),
+                      precompute=not args.no_precompute,
+                      transport=transport),
+        concurrent_peers=args.peer_concurrency,
         alice_seed=args.seed, bob_seed=args.seed + 1)
 
 
@@ -157,6 +176,12 @@ def _run_demo_with_engine(args, points, engine: ModexpEngine) -> int:
             print(f"{name}: {labels}")
         print(f"bytes: {result.stats['total_bytes']:,}  "
               f"comparisons: {result.comparisons}")
+        if args.transport == "simulated":
+            print(f"simulated network: "
+                  f"{result.simulated_seconds * 1000:.1f}ms "
+                  f"{'concurrent' if args.peer_concurrency else 'sequential'}"
+                  f" passes  (per-link sum "
+                  f"{result.stats['simulated_seconds'] * 1000:.1f}ms)")
         print(f"disclosures: {result.ledger.profile()}")
         _print_crypto_summary(
             engine, (entry for report in mesh.pool_report().values()
@@ -173,7 +198,8 @@ def _run_demo_with_engine(args, points, engine: ModexpEngine) -> int:
             # Plain horizontal runs over an injected session so the pool
             # accounting (and any --prefill offline phase) is visible.
             session = SmcSession(
-                *make_party_pair(Channel(), config.alice_seed,
+                *make_party_pair(channel_for_config(config.smc),
+                                 config.alice_seed,
                                  config.bob_seed), config.smc)
             if prefill:
                 session.precompute_pools(prefill)
@@ -194,6 +220,11 @@ def _run_demo_with_engine(args, points, engine: ModexpEngine) -> int:
     print(f"bytes: {run.stats['total_bytes']:,}  "
           f"comparisons: {run.comparisons}  "
           f"time: {run.elapsed_seconds:.2f}s")
+    if args.transport == "simulated":
+        print(f"simulated network: "
+              f"{run.stats['simulated_seconds'] * 1000:.1f}ms "
+              f"({args.net_latency_ms:g}ms one-way latency, "
+              f"{run.stats['rounds']} rounds)")
     print(f"disclosures: {run.ledger.profile()}")
     _print_crypto_summary(
         engine, session.pool_report().values() if session else ())

@@ -31,7 +31,7 @@ from repro.data.partitioning import ArbitraryPartition
 from repro.data.quantize import squared_distance_bound
 from repro.net.channel import Channel
 from repro.net.party import make_party_pair
-from repro.smc.session import SmcSession
+from repro.smc.session import SmcSession, channel_for_config
 
 
 @dataclass(frozen=True)
@@ -49,7 +49,8 @@ def run_arbitrary_dbscan(partition: ArbitraryPartition,
                          *, channel: Channel | None = None,
                          ) -> ArbitraryRunResult:
     """Run the Section 4.4 protocol over an arbitrary partition."""
-    channel = channel if channel is not None else Channel()
+    channel = (channel if channel is not None
+                   else channel_for_config(config.smc))
     alice, bob = make_party_pair(channel, config.alice_seed, config.bob_seed)
     session = SmcSession(alice, bob, config.smc)
     ledger = LeakageLedger()

@@ -29,6 +29,19 @@ class ProtocolConfig:
             comparison) instead of the paper's zero -- hides the exact
             dot product from the non-querying party.  Default False =
             paper-faithful.  See DESIGN.md and experiment E7.
+        query_constant_blinding: only meaningful with
+            ``blind_cross_sum``: draw **one** random offset per region
+            query instead of one per peer point.  The comparison
+            thresholds of the query are then constant again, so the
+            amortized DGK batch (``batched_comparisons``) keeps its
+            one-bit-encryption-per-query shape instead of degrading to
+            per-point runs.  The price is a *relative* disclosure: the
+            non-querying party now learns the differences between the
+            query's cross dot products (each shifted by the same
+            unknown offset), recorded as ``DOT_DIFFERENCE`` in the
+            ledger.  Off by default = PR-3 semantics (per-point offsets,
+            no relative leakage, no amortization in blind mode).  See
+            DESIGN.md, "Query-constant blinding".
         cache_peer_ciphertexts: when True, the horizontal protocols
             (two-party and k-party) reuse each peer point's encrypted
             coordinates across queries -- cheaper, but the stable point
@@ -59,6 +72,17 @@ class ProtocolConfig:
             of the driving party with a uniform grid index (identical
             hit lists to the brute-force scan, property-tested; no
             change to anything that crosses the wire).  On by default.
+        concurrent_peers: schedule the independent per-peer region
+            queries of each k-party driver step on a thread pool (one
+            pairwise session per worker) instead of visiting peers
+            sequentially.  Labels, per-pair transcripts, the leakage
+            ledger, and comparison counts are bit-identical to the
+            sequential pass (deterministic merge order,
+            property-tested); only wall-clock changes -- with a
+            simulated-network transport the round-trips to different
+            peers overlap.  Off by default.
+        peer_workers: thread-pool width for ``concurrent_peers``;
+            ``None`` sizes the pool to the peer count of each pass.
         alice_seed / bob_seed: per-party RNG seeds; None = nondeterministic.
     """
 
@@ -68,10 +92,13 @@ class ProtocolConfig:
     smc: SmcConfig = field(default_factory=SmcConfig)
     selection: str = "scan"
     blind_cross_sum: bool = False
+    query_constant_blinding: bool = False
     cache_peer_ciphertexts: bool = False
     batched_region_queries: bool = True
     batched_comparisons: bool = True
     use_grid_index: bool = True
+    concurrent_peers: bool = False
+    peer_workers: int | None = None
     alice_seed: int | None = None
     bob_seed: int | None = None
 
@@ -82,6 +109,13 @@ class ProtocolConfig:
             raise ConfigError(f"min_pts must be >= 1, got {self.min_pts}")
         if self.selection not in ("scan", "quickselect"):
             raise ConfigError(f"unknown selection method {self.selection!r}")
+        if self.peer_workers is not None and self.peer_workers < 1:
+            raise ConfigError(
+                f"peer_workers must be >= 1, got {self.peer_workers}")
+        if self.query_constant_blinding and not self.blind_cross_sum:
+            raise ConfigError(
+                "query_constant_blinding refines blind_cross_sum; "
+                "enable blind_cross_sum too")
 
     @property
     def eps_squared(self) -> int:

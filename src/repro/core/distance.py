@@ -111,12 +111,32 @@ def hdp_within_eps(session: SmcSession, querier: Party,
     return outcome.result
 
 
+def _query_offsets(querier: Party, count: int, mask_bound: int, *,
+                   blind_cross_sum: bool,
+                   query_constant_blinding: bool) -> list[int]:
+    """The querier-side blinding offsets for one region query.
+
+    Paper-faithful mode: all zero (the zero-sum masks).  Blind mode:
+    one fresh offset per peer point, or -- with
+    ``query_constant_blinding`` -- a single offset shared by the whole
+    query, which keeps the comparison thresholds constant so the DGK
+    batch can amortize (the relative disclosure this buys is recorded
+    by the caller).
+    """
+    if not blind_cross_sum:
+        return [0] * count
+    if query_constant_blinding:
+        return [querier.rng.randrange(mask_bound + 1)] * count
+    return [querier.rng.randrange(mask_bound + 1) for _ in range(count)]
+
+
 def hdp_region_query(session: SmcSession, querier: Party,
                      querier_point: tuple[int, ...], peer: Party,
                      peer_points: list[tuple[int, ...]], eps_squared: int,
                      value_bound: int, *,
                      ledger: LeakageLedger | None = None,
                      blind_cross_sum: bool = False,
+                     query_constant_blinding: bool = False,
                      batched_comparisons: bool = True,
                      label: str = "hdp") -> list[bool]:
     """Batched HDP: one region query against all of the peer's points.
@@ -134,7 +154,11 @@ def hdp_region_query(session: SmcSession, querier: Party,
     instead of once per peer point (the threshold is constant when
     ``blind_cross_sum`` is off); ``False`` reproduces the per-point
     comparison loop for ablations.  Bits and disclosures are identical
-    either way.
+    either way.  With ``blind_cross_sum`` the amortization normally
+    degrades to per-point runs (per-point secret offsets);
+    ``query_constant_blinding`` restores it by sharing one offset per
+    query, trading the ``DOT_DIFFERENCE`` relative disclosure recorded
+    in the ledger.
 
     The peer presents its points in a fresh random order
     (Algorithm 4's ``SetOfPointsOfBobPermutation``), so the returned
@@ -153,8 +177,10 @@ def hdp_region_query(session: SmcSession, querier: Party,
     view = PermutedView.fresh(len(peer_points), peer.rng)
     presented = [peer_points[view.true_index(position)]
                  for position in range(len(view))]
-    offsets = [querier.rng.randrange(mask_bound + 1) if blind_cross_sum
-               else 0 for _ in presented]
+    offsets = _query_offsets(
+        querier, len(presented), mask_bound,
+        blind_cross_sum=blind_cross_sum,
+        query_constant_blinding=query_constant_blinding)
 
     # Batched cross terms: the peer ends with <d_x, d_y_i> + offset_i for
     # every presented point -- exactly the per-point HDP cross sum.
@@ -166,7 +192,8 @@ def hdp_region_query(session: SmcSession, querier: Party,
     return _batched_threshold_comparisons(
         session, querier, querier_point, peer, presented, cross_sums,
         offsets, eps_squared, value_bound, mask_bound, ledger=ledger,
-        blind_cross_sum=blind_cross_sum, point_ids=None,
+        blind_cross_sum=blind_cross_sum,
+        query_constant_blinding=query_constant_blinding, point_ids=None,
         batched_comparisons=batched_comparisons, label=label)
 
 
@@ -179,6 +206,7 @@ def _batched_threshold_comparisons(session: SmcSession, querier: Party,
                                    value_bound: int, mask_bound: int, *,
                                    ledger: LeakageLedger | None,
                                    blind_cross_sum: bool,
+                                   query_constant_blinding: bool = False,
                                    point_ids: list[int] | None,
                                    batched_comparisons: bool = True,
                                    label: str) -> list[bool]:
@@ -207,12 +235,17 @@ def _batched_threshold_comparisons(session: SmcSession, querier: Party,
         # Without blinding the offsets are all zero, so the querier's
         # threshold is constant across the query *by protocol structure*
         # (public knowledge) and the comparison may amortize one
-        # bit-encryption across the batch.  With blinding the thresholds
-        # are per-point secrets; amortization is never declared, so the
-        # message pattern cannot leak offset collisions.
+        # bit-encryption across the batch.  The same structural argument
+        # holds under query-constant blinding: the offset is secret but
+        # declared shared across the query, so the constant-side batch
+        # is public shape, not a value leak.  With per-point blinding
+        # the thresholds are per-point secrets; amortization is never
+        # declared, so the message pattern cannot leak offset
+        # collisions.
+        amortize = not blind_cross_sum or query_constant_blinding
         outcomes = session.compare_leq_batch(
             peer, peer_sides, querier, thresholds,
-            lo=lo, hi=hi, reveal_to="b", amortize=not blind_cross_sum,
+            lo=lo, hi=hi, reveal_to="b", amortize=amortize,
             label=f"{label}/threshold")
     else:
         outcomes = []
@@ -225,7 +258,14 @@ def _batched_threshold_comparisons(session: SmcSession, querier: Party,
                 lo=lo, hi=hi, reveal_to="b", label=f"{label}/threshold"))
     # Ledger records replay in per-point order -- DOT_PRODUCT before each
     # point's NEIGHBOR_BIT -- so the disclosure sequence is identical to
-    # one hdp_within_eps per peer point.
+    # one hdp_within_eps per peer point.  Query-constant blinding adds
+    # its own record up front: the shared offset hands the peer the
+    # exact differences between this query's cross dot products.
+    if (ledger is not None and blind_cross_sum and query_constant_blinding
+            and len(presented) > 1):
+        ledger.record(label, peer.name, Disclosure.DOT_DIFFERENCE,
+                      detail=f"query-constant blind offset over "
+                             f"{len(presented)} cross sums")
     results = []
     for position, outcome in enumerate(outcomes):
         if ledger is not None and not blind_cross_sum:
@@ -362,6 +402,7 @@ def hdp_region_query_cached(session: SmcSession, querier: Party,
                             eps_squared: int, value_bound: int, *,
                             ledger: LeakageLedger | None = None,
                             blind_cross_sum: bool = False,
+                            query_constant_blinding: bool = False,
                             batched_comparisons: bool = True,
                             label: str = "hdp_cached") -> list[bool]:
     """Batched cached HDP: one region query over the peer's cached ciphers.
@@ -415,8 +456,10 @@ def hdp_region_query_cached(session: SmcSession, querier: Party,
         for point_id, ciphers in querier.receive(f"{label}/coords"):
             cache.store(point_id, ciphers)
 
-    offsets = [querier.rng.randrange(mask_bound + 1) if blind_cross_sum
-               else 0 for _ in peer_points]
+    offsets = _query_offsets(
+        querier, len(peer_points), mask_bound,
+        blind_cross_sum=blind_cross_sum,
+        query_constant_blinding=query_constant_blinding)
 
     # Querier accumulates E(<d_x, d_y_i> + offset_i) per cached point.
     querier_pool = session.pool(querier, peer)
@@ -443,6 +486,7 @@ def hdp_region_query_cached(session: SmcSession, querier: Party,
         session, querier, querier_point, peer, list(peer_points),
         cross_sums, offsets, eps_squared, value_bound, mask_bound,
         ledger=ledger, blind_cross_sum=blind_cross_sum,
+        query_constant_blinding=query_constant_blinding,
         point_ids=list(point_ids),
         batched_comparisons=batched_comparisons, label=label)
 

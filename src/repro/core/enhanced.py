@@ -47,7 +47,7 @@ from repro.net.channel import Channel
 from repro.net.party import Party, make_party_pair
 from repro.smc.permutation import PermutedView
 from repro.smc.secret_sharing import SharedValues
-from repro.smc.session import SmcSession
+from repro.smc.session import SmcSession, channel_for_config
 
 
 @dataclass(frozen=True)
@@ -73,7 +73,8 @@ def run_enhanced_horizontal_dbscan(partition: HorizontalPartition,
     are timing; otherwise channel, parties, and session are created here.
     """
     if session is None:
-        channel = channel if channel is not None else Channel()
+        channel = (channel if channel is not None
+                   else channel_for_config(config.smc))
         alice, bob = make_party_pair(channel, config.alice_seed,
                                      config.bob_seed)
         session = SmcSession(alice, bob, config.smc)

@@ -42,7 +42,7 @@ from repro.data.quantize import squared_distance_bound
 from repro.net.channel import Channel
 from repro.net.party import Party, make_party_pair
 from repro.smc.permutation import PermutedView
-from repro.smc.session import SmcSession
+from repro.smc.session import SmcSession, channel_for_config
 
 
 @dataclass(frozen=True)
@@ -76,7 +76,8 @@ def run_horizontal_dbscan(partition: HorizontalPartition,
     are timing; otherwise channel, parties, and session are created here.
     """
     if session is None:
-        channel = channel if channel is not None else Channel()
+        channel = (channel if channel is not None
+                   else channel_for_config(config.smc))
         alice, bob = make_party_pair(channel, config.alice_seed,
                                      config.bob_seed)
         session = SmcSession(alice, bob, config.smc)
@@ -202,6 +203,7 @@ def _secure_peer_neighbor_count(session: SmcSession, driver: Party,
                 list(range(len(peer_points))), cache, eps_squared,
                 value_bound, ledger=ledger,
                 blind_cross_sum=config.blind_cross_sum,
+                query_constant_blinding=config.query_constant_blinding,
                 batched_comparisons=config.batched_comparisons,
                 label=f"{label}/hdp_cached")
         else:
@@ -209,6 +211,7 @@ def _secure_peer_neighbor_count(session: SmcSession, driver: Party,
                 session, driver, query_point, peer, peer_points,
                 eps_squared, value_bound, ledger=ledger,
                 blind_cross_sum=config.blind_cross_sum,
+                query_constant_blinding=config.query_constant_blinding,
                 batched_comparisons=config.batched_comparisons,
                 label=f"{label}/hdp")
         count = sum(bits)

@@ -34,6 +34,15 @@ class Disclosure(Enum):
     """The exact cross dot product the zero-sum HDP masks hand the
     non-querying party (a write-up gap the ledger makes visible)."""
 
+    DOT_DIFFERENCE = "dot_difference"
+    """The differences between one region query's cross dot products,
+    handed to the non-querying party when blinding uses a
+    query-constant offset (``query_constant_blinding``): every cross
+    sum of the query is shifted by the same unknown value, so their
+    pairwise differences are exact.  Strictly less than DOT_PRODUCT
+    (the common shift stays hidden), strictly more than per-point
+    blinding (which reveals nothing relative)."""
+
     ORDER_BIT = "order_bit"
     """One masked-distance order bit from the Section 5 selection."""
 

@@ -31,6 +31,7 @@ Design rules (see DESIGN.md, "Parallel modexp engine"):
 from __future__ import annotations
 
 import os
+import threading
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (paillier types)
@@ -88,6 +89,10 @@ class ModexpEngine:
         self.shards_per_worker = shards_per_worker
         self._executor = None
         self._pool_broken = False
+        # One engine is shared by every pairwise session of a mesh, and
+        # concurrent passes call it from several threads: the lock keeps
+        # the accounting counters exact and executor creation single.
+        self._lock = threading.Lock()
         self.batches = 0
         self.jobs = 0
         self.parallel_batches = 0
@@ -98,17 +103,19 @@ class ModexpEngine:
     # -- lifecycle ---------------------------------------------------------
 
     def _ensure_executor(self):
-        if self._executor is not None:
+        with self._lock:
+            if self._executor is not None:
+                return self._executor
+            if self._pool_broken:
+                return None
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.workers)
+            except Exception:  # sandboxed host: no semaphores/fork allowed
+                self._pool_broken = True
+                return None
             return self._executor
-        if self._pool_broken:
-            return None
-        try:
-            from concurrent.futures import ProcessPoolExecutor
-            self._executor = ProcessPoolExecutor(max_workers=self.workers)
-        except Exception:  # sandboxed host: no semaphores/fork allowed
-            self._pool_broken = True
-            return None
-        return self._executor
 
     def warm_up(self) -> bool:
         """Spawn the worker pool now, outside any timed online phase.
@@ -188,8 +195,9 @@ class ModexpEngine:
         fully-pooled encrypt batches that end up executing zero modexps
         -- so ``report()`` means the same thing on every code path.
         """
-        self.batches += 1
-        self.jobs += max(job_count, 0)
+        with self._lock:
+            self.batches += 1
+            self.jobs += max(job_count, 0)
 
     def modexp_batch(self, jobs: Iterable[ModexpJob]) -> list[int]:
         """``[pow(b, e, m) for (b, e, m) in jobs]``, possibly sharded."""
@@ -203,7 +211,8 @@ class ModexpEngine:
             return _modexp_chunk(jobs)
         executor = self._ensure_executor()
         if executor is None:
-            self.fallbacks += 1
+            with self._lock:
+                self.fallbacks += 1
             return _modexp_chunk(jobs)
         shard_count = min(len(jobs), self.workers * self.shards_per_worker)
         step = (len(jobs) + shard_count - 1) // shard_count
@@ -214,12 +223,14 @@ class ModexpEngine:
             for chunk in executor.map(_modexp_chunk, shards):
                 results.extend(chunk)
         except Exception:  # a worker died mid-batch: degrade, stay correct
-            self._pool_broken = True
-            self._executor = None
-            self.fallbacks += 1
+            with self._lock:
+                self._pool_broken = True
+                self._executor = None
+                self.fallbacks += 1
             return _modexp_chunk(jobs)
-        self.parallel_batches += 1
-        self.parallel_modexps += len(jobs)
+        with self._lock:
+            self.parallel_batches += 1
+            self.parallel_modexps += len(jobs)
         return results
 
     # -- high-level operations --------------------------------------------
@@ -262,9 +273,27 @@ class ModexpEngine:
         if not self._parallel_eligible(len(plaintexts)):
             # Serial: run the seed-era per-item path verbatim.
             return public.encrypt_batch(plaintexts, rng, pool)
+        factors = self._gather_factors(public, len(plaintexts), rng, pool)
+        return [PaillierCiphertext(public,
+                                   public.raw_encrypt_with_factor(m, factor))
+                for m, factor in zip(plaintexts, factors)]
+
+    def _gather_factors(self, public: "PaillierPublicKey", count: int,
+                        rng: "random.Random",
+                        pool: "RandomnessPool | None") -> list[int]:
+        """``count`` randomness factors in the serial pop/miss draw order.
+
+        The one copy of the subtle part shared by :meth:`encrypt_batch`
+        and :meth:`encryption_factors` (no accounting -- callers count):
+        each slot pops the pool first (counting consumption and misses
+        exactly as ``pool.encryption_factor`` does), misses draw their
+        randomness unit in slot order from the pool's RNG (or ``rng``
+        when unpooled), and the miss powmods run as one sharded batch
+        before being backfilled by position.
+        """
         factors: list[int | None] = []
         pending: list[tuple[int, int]] = []  # (position, randomness unit)
-        for position, _ in enumerate(plaintexts):
+        for position in range(count):
             if pool is not None:
                 factor = pool.try_factor()
                 if factor is not None:
@@ -279,9 +308,29 @@ class ModexpEngine:
                 [(r, public.n, public.n_squared) for _, r in pending])
             for (position, _), factor in zip(pending, computed):
                 factors[position] = factor
-        return [PaillierCiphertext(public,
-                                   public.raw_encrypt_with_factor(m, factor))
-                for m, factor in zip(plaintexts, factors)]
+        return factors
+
+    def encryption_factors(self, public: "PaillierPublicKey", count: int,
+                           rng: "random.Random",
+                           pool: "RandomnessPool | None" = None,
+                           ) -> list[int]:
+        """``count`` encryption/rerandomization factors, serial draw order.
+
+        For masker-side loops that alternate encrypt and rerandomize
+        per item (Section 5 share generation): every slot pops the pool
+        first -- counting consumption and misses exactly as the
+        per-item ``encrypt``/``rerandomize`` path does -- and the
+        ``r^n mod n^2`` powmods of the misses run as one sharded batch.
+        RNG draws happen in slot order, so the returned factors are
+        bit-identical to the serial interleaved sequence under the same
+        RNG state (property-tested in ``tests/crypto/test_engine.py``).
+        """
+        from repro.crypto.paillier import PaillierError
+
+        if pool is not None and pool.public_key != public:
+            raise PaillierError("randomness pool bound to a different key")
+        self._count(count)
+        return self._gather_factors(public, count, rng, pool)
 
     def decrypt_raw_batch(self, private: "PaillierPrivateKey",
                           ciphertext_values: Sequence[int]) -> list[int]:

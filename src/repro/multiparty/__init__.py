@@ -14,14 +14,27 @@ per peer (base protocol semantics, Theorem 9 applied pairwise); peers
 learn nothing about each other's contributions.
 """
 
-from repro.multiparty.mesh import PartyMesh
+from repro.multiparty.mesh import PartyMesh, derive_pair_rng
 from repro.multiparty.horizontal import (
     MultipartyRunResult,
     run_multiparty_horizontal_dbscan,
 )
+from repro.multiparty.scheduler import (
+    ConcurrentPassExecutor,
+    PassExecutor,
+    PeerQuery,
+    SequentialPassExecutor,
+    make_pass_executor,
+)
 
 __all__ = [
     "PartyMesh",
+    "derive_pair_rng",
     "MultipartyRunResult",
     "run_multiparty_horizontal_dbscan",
+    "PassExecutor",
+    "SequentialPassExecutor",
+    "ConcurrentPassExecutor",
+    "PeerQuery",
+    "make_pass_executor",
 ]

@@ -17,6 +17,17 @@ leakage-ledger sequences, property-tested in ``tests/multiparty``.  With
 point's encrypted coordinates cross the wire once per pass (the linkable
 trade recorded by the ledger, exactly as in the two-party protocol).
 
+Scheduling: the per-peer queries of one driver step are independent
+pairwise protocols (own channel, session, and RNG substream per pair),
+so they go through a :mod:`~repro.multiparty.scheduler` pass executor.
+``ProtocolConfig(concurrent_peers=True)`` issues them on a thread pool;
+disclosure records are merged in deterministic peer order either way,
+so labels, per-pair transcripts, the ledger sequence, and comparison
+counts are bit-identical to the sequential pass while the simulated
+round-trips to different peers overlap (the
+:class:`~repro.net.transport.SimulatedNetworkTransport` sweep in
+``benchmarks/run_quick.py`` quantifies the hidden latency).
+
 Reference semantics: each party's labels equal
 ``union_density_dbscan(own_points, concatenation_of_all_peer_points)``
 -- property-tested in ``tests/multiparty``.
@@ -45,6 +56,11 @@ from repro.core.distance import (
 from repro.core.leakage import Disclosure, LeakageLedger
 from repro.data.quantize import squared_distance_bound
 from repro.multiparty.mesh import MeshError, PartyMesh
+from repro.multiparty.scheduler import (
+    PassExecutor,
+    PeerQuery,
+    make_pass_executor,
+)
 from repro.smc.permutation import PermutedView
 
 
@@ -55,14 +71,21 @@ class MultipartyRunResult:
     Attributes:
         labels_by_party: each party's cluster numbering over its points.
         ledger: disclosure accounting across all pairwise protocols.
-        stats: merged communication snapshot over all pairwise channels.
+        stats: merged communication snapshot over all pairwise channels
+            (its ``simulated_seconds`` is the per-link sum -- the
+            conservative sequential figure).
         comparisons: secure-comparison invocations, summed over sessions.
+        simulated_seconds: scheduler-accounted virtual network time --
+            per-pass sum of link time when sequential, per-pass maximum
+            when ``concurrent_peers`` overlapped the peer queries.  Zero
+            on real (non-simulated) transports.
     """
 
     labels_by_party: dict[str, tuple[int, ...]]
     ledger: LeakageLedger
     stats: dict
     comparisons: int
+    simulated_seconds: float = 0.0
 
 
 def run_multiparty_horizontal_dbscan(points_by_party: dict[str, list],
@@ -75,7 +98,8 @@ def run_multiparty_horizontal_dbscan(points_by_party: dict[str, list],
     Args:
         points_by_party: party name -> that party's integer-grid points.
         config: protocol parameters; ``config.smc`` configures every
-            pairwise session.
+            pairwise session (including its transport fabric) and
+            ``config.concurrent_peers`` selects the pass scheduler.
         seeds: optional per-party RNG seeds (ordered as the dict).
         mesh: a pre-built :class:`PartyMesh` over the same party names,
             so callers can run the offline phase
@@ -95,14 +119,20 @@ def run_multiparty_horizontal_dbscan(points_by_party: dict[str, list],
     all_points = [p for points in points_by_party.values() for p in points]
     value_bound = squared_distance_bound(all_points, all_points)
 
-    labels_by_party = {}
-    for driver_name in names:
-        caches = ({peer: PeerCipherCache() for peer in
-                   mesh.peers_of(driver_name)}
-                  if config.cache_peer_ciphertexts else None)
-        labels = _driver_pass(mesh, driver_name, points_by_party, config,
-                              value_bound, ledger, caches)
-        labels_by_party[driver_name] = labels.as_tuple()
+    executor = make_pass_executor(config.concurrent_peers,
+                                  config.peer_workers)
+    try:
+        labels_by_party = {}
+        for driver_name in names:
+            caches = ({peer: PeerCipherCache() for peer in
+                       mesh.peers_of(driver_name)}
+                      if config.cache_peer_ciphertexts else None)
+            labels = _driver_pass(mesh, driver_name, points_by_party,
+                                  config, value_bound, ledger, caches,
+                                  executor)
+            labels_by_party[driver_name] = labels.as_tuple()
+    finally:
+        executor.close()
 
     comparisons = sum(
         mesh.session_between(a, b).comparison_backend.invocations
@@ -112,13 +142,15 @@ def run_multiparty_horizontal_dbscan(points_by_party: dict[str, list],
         ledger=ledger,
         stats=mesh.merged_stats().snapshot(),
         comparisons=comparisons,
+        simulated_seconds=executor.simulated_seconds,
     )
 
 
 def _driver_pass(mesh: PartyMesh, driver_name: str,
                  points_by_party: dict[str, list], config: ProtocolConfig,
                  value_bound: int, ledger: LeakageLedger,
-                 caches: dict[str, PeerCipherCache] | None) -> ClusterLabels:
+                 caches: dict[str, PeerCipherCache] | None,
+                 executor: PassExecutor) -> ClusterLabels:
     """Algorithm 3 for one driving party against all peers."""
     own_points = list(points_by_party[driver_name])
     labels = ClusterLabels(len(own_points))
@@ -128,7 +160,7 @@ def _driver_pass(mesh: PartyMesh, driver_name: str,
         if labels.is_unclassified(point_index):
             if _expand(mesh, driver_name, points_by_party, config,
                        value_bound, ledger, index, labels, point_index,
-                       cluster_id, caches):
+                       cluster_id, caches, executor):
                 cluster_id = next_cluster_id(cluster_id)
     return labels
 
@@ -138,13 +170,14 @@ def _expand(mesh: PartyMesh, driver_name: str,
             value_bound: int, ledger: LeakageLedger,
             index: BruteForceIndex, labels: ClusterLabels,
             point_index: int, cluster_id: int,
-            caches: dict[str, PeerCipherCache] | None) -> bool:
+            caches: dict[str, PeerCipherCache] | None,
+            executor: PassExecutor) -> bool:
     """Algorithm 4 with the density test summed over every peer."""
     eps_squared = config.eps_squared
     seeds = index.region_query(index.points[point_index], eps_squared)
     peer_total = _all_peer_counts(mesh, driver_name, points_by_party,
                                   index.points[point_index], config,
-                                  value_bound, ledger, caches)
+                                  value_bound, ledger, caches, executor)
     if len(seeds) + peer_total < config.min_pts:
         labels.change_cluster_id(point_index, NOISE)
         return False
@@ -156,7 +189,7 @@ def _expand(mesh: PartyMesh, driver_name: str,
         result = index.region_query(index.points[current], eps_squared)
         peer_total = _all_peer_counts(mesh, driver_name, points_by_party,
                                       index.points[current], config,
-                                      value_bound, ledger, caches)
+                                      value_bound, ledger, caches, executor)
         if len(result) + peer_total >= config.min_pts:
             for neighbor in result:
                 if labels[neighbor] in (UNCLASSIFIED, NOISE):
@@ -170,25 +203,59 @@ def _all_peer_counts(mesh: PartyMesh, driver_name: str,
                      points_by_party: dict[str, list],
                      query_point: tuple[int, ...], config: ProtocolConfig,
                      value_bound: int, ledger: LeakageLedger,
-                     caches: dict[str, PeerCipherCache] | None) -> int:
-    """One secure neighbour count per peer, summed."""
-    total = 0
+                     caches: dict[str, PeerCipherCache] | None,
+                     executor: PassExecutor) -> int:
+    """One secure neighbour count per peer, summed.
+
+    The per-peer queries run through the pass executor (sequentially or
+    on a thread pool); each records into a private sub-ledger that is
+    merged here in deterministic peer order, so the disclosure sequence
+    is identical however the queries were scheduled.
+    """
+    tasks = []
     for peer_name in mesh.peers_of(driver_name):
         peer_points = points_by_party[peer_name]
         if not peer_points:
             continue
-        session = mesh.session_between(driver_name, peer_name)
-        driver = mesh.party_in_pair(driver_name, peer_name)
-        peer = mesh.party_in_pair(peer_name, driver_name)
-        count = _peer_count(session, driver, peer, query_point, peer_points,
-                            config, value_bound, ledger,
-                            caches[peer_name] if caches is not None else None,
-                            label=f"multiparty/{driver_name}-{peer_name}")
-        ledger.record(f"multiparty/{driver_name}", driver_name,
-                      Disclosure.NEIGHBOR_COUNT,
-                      detail=f"peer {peer_name}: {count}")
-        total += count
+        tasks.append(PeerQuery(
+            peer=peer_name,
+            run=_make_peer_task(mesh, driver_name, peer_name, query_point,
+                                list(peer_points), config, value_bound,
+                                caches),
+            simulated_clock=_simulated_clock(mesh, driver_name, peer_name),
+        ))
+    total = 0
+    for outcome in executor.run_pass(tasks):
+        ledger.extend(outcome.ledger)
+        total += outcome.count
     return total
+
+
+def _make_peer_task(mesh: PartyMesh, driver_name: str, peer_name: str,
+                    query_point: tuple[int, ...], peer_points: list,
+                    config: ProtocolConfig, value_bound: int,
+                    caches: dict[str, PeerCipherCache] | None):
+    """Bind one peer's query into a scheduler task closure."""
+    session = mesh.session_between(driver_name, peer_name)
+    driver = mesh.party_in_pair(driver_name, peer_name)
+    peer = mesh.party_in_pair(peer_name, driver_name)
+    cache = caches[peer_name] if caches is not None else None
+
+    def run(sub_ledger: LeakageLedger) -> int:
+        count = _peer_count(session, driver, peer, query_point, peer_points,
+                            config, value_bound, sub_ledger, cache,
+                            label=f"multiparty/{driver_name}-{peer_name}")
+        sub_ledger.record(f"multiparty/{driver_name}", driver_name,
+                          Disclosure.NEIGHBOR_COUNT,
+                          detail=f"peer {peer_name}: {count}")
+        return count
+
+    return run
+
+
+def _simulated_clock(mesh: PartyMesh, driver_name: str, peer_name: str):
+    channel = mesh.pair_channel(driver_name, peer_name)
+    return lambda: channel.simulated_seconds
 
 
 def _peer_count(session, driver, peer, query_point: tuple[int, ...],
@@ -209,6 +276,7 @@ def _peer_count(session, driver, peer, query_point: tuple[int, ...],
                 list(range(len(peer_points))), cache, eps_squared,
                 value_bound, ledger=ledger,
                 blind_cross_sum=config.blind_cross_sum,
+                query_constant_blinding=config.query_constant_blinding,
                 batched_comparisons=config.batched_comparisons,
                 label=f"{label}/cached")
         else:
@@ -216,6 +284,7 @@ def _peer_count(session, driver, peer, query_point: tuple[int, ...],
                 session, driver, query_point, peer, list(peer_points),
                 eps_squared, value_bound, ledger=ledger,
                 blind_cross_sum=config.blind_cross_sum,
+                query_constant_blinding=config.query_constant_blinding,
                 batched_comparisons=config.batched_comparisons,
                 label=label)
         return sum(bits)

@@ -1,22 +1,59 @@
 """Pairwise session mesh for k-party protocols.
 
-Each physical party has one RNG and one set of key material, reused
-across all of its pairwise channels; each unordered pair of parties gets
-its own channel (with its own transcript) and an :class:`SmcSession`
-over it.  Global statistics are the merge of the pairwise channels.
+Each physical party has one set of key material, reused across all of
+its pairwise channels; each unordered pair of parties gets its own
+channel (with its own transcript, over the fabric
+``SmcConfig.transport`` selects) and an :class:`SmcSession` over it.
+Global statistics are the merge of the pairwise channels.
+
+Per-pair randomness: a party's coin tosses on the link to peer ``P``
+come from a dedicated substream derived deterministically from the
+party's seed and the canonical pair key (SHA-256 of
+``seed | party | pair``).  The seed-era mesh handed *one*
+``random.Random`` per party to all of its pairwise channels, which made
+the draw sequence depend on the order the pairwise protocols happened
+to interleave -- harmless while driver passes visited peers strictly
+sequentially, but a data race the moment two pairwise sessions run
+concurrently (``ProtocolConfig(concurrent_peers=True)``).  With
+substreams, concurrent and sequential executions draw bit-identical
+randomness per pair, so labels, per-pair transcripts, and ledgers match
+exactly (property-tested in ``tests/multiparty/test_scheduler.py``).
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
 
-from repro.net.channel import Channel
 from repro.net.party import Party
 from repro.net.stats import CommunicationStats
-from repro.smc.session import CryptoContext, SmcConfig, SmcSession
+from repro.smc.session import (
+    CryptoContext,
+    SmcConfig,
+    SmcSession,
+    channel_for_config,
+)
 from repro.crypto.keycache import cached_paillier_keypair, cached_rsa_keypair
 from repro.crypto.paillier import generate_paillier_keypair
 from repro.crypto.rsa import generate_rsa_keypair
+
+
+def derive_pair_rng(seed: int | None, party: str, left: str,
+                    right: str) -> random.Random:
+    """A party's private RNG substream for one pairwise link.
+
+    Derived by hashing the party seed with the party's own name and the
+    canonical (ordered) pair key, so the stream is (a) deterministic
+    under a seed, (b) distinct per (party, pair), and (c) independent of
+    *when* the pair's protocol runs relative to the party's other pairs.
+    SHA-256 rather than ``hash()`` keeps the derivation stable across
+    processes (``PYTHONHASHSEED``).  ``None`` stays nondeterministic.
+    """
+    if seed is None:
+        return random.Random()
+    material = f"{seed}|{party}|{left}|{right}".encode()
+    return random.Random(
+        int.from_bytes(hashlib.sha256(material).digest(), "big"))
 
 
 class MeshError(ValueError):
@@ -45,9 +82,12 @@ class PartyMesh:
         # hits instead of two O(k) list scans per routed lookup.
         self._slots = {name: slot for slot, name in enumerate(self.names)}
         self.config = config
+        self._seeds = {name: (seeds[index] if seeds else None)
+                       for index, name in enumerate(names)}
+        # Party-level stream: key generation only (pairwise channels use
+        # derive_pair_rng substreams -- see module docstring).
         self._rngs = {
-            name: random.Random(seeds[index] if seeds else None)
-            for index, name in enumerate(names)
+            name: random.Random(seed) for name, seed in self._seeds.items()
         }
         self._contexts = {
             name: self._make_context(name, slot)
@@ -76,9 +116,13 @@ class PartyMesh:
         return CryptoContext(paillier=paillier, rsa=rsa)
 
     def _build_pair(self, left: str, right: str) -> None:
-        channel = Channel(left_name=left, right_name=right)
-        left_party = Party(channel.left, self._rngs[left])
-        right_party = Party(channel.right, self._rngs[right])
+        channel = channel_for_config(self.config, left, right)
+        left_party = Party(
+            channel.left, derive_pair_rng(self._seeds[left], left,
+                                          left, right))
+        right_party = Party(
+            channel.right, derive_pair_rng(self._seeds[right], right,
+                                           left, right))
         session = SmcSession(left_party, right_party, self.config,
                              preset_contexts=self._contexts)
         key = (left, right)
@@ -140,6 +184,16 @@ class PartyMesh:
 
     def pair_stats(self, a: str, b: str) -> CommunicationStats:
         return self._channels[self._pair_key(a, b)].stats
+
+    def pair_channel(self, a: str, b: str):
+        """The channel of one unordered pair (scheduler timing probes,
+        per-pair transcript comparisons in the equivalence tests)."""
+        return self._channels[self._pair_key(a, b)]
+
+    def pair_transcripts(self) -> dict:
+        """``{(left, right): transcript}`` over every pair, sorted."""
+        return {pair: channel.transcript
+                for pair, channel in sorted(self._channels.items())}
 
     @property
     def size(self) -> int:

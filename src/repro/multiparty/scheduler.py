@@ -1,0 +1,185 @@
+"""Pass executors: sequential or concurrent per-peer queries of a pass.
+
+Within one driver pass of the k-party protocol, the per-peer secure
+region queries are *independent*: each runs over its own pairwise
+channel, its own :class:`~repro.smc.session.SmcSession` (own keys-view,
+own pools, own comparison backend), and -- since the mesh derives
+per-pair RNG substreams -- its own randomness stream.  The executor
+abstraction makes that independence schedulable: the driver hands every
+pass a list of :class:`PeerQuery` tasks, and the executor runs them
+either in order (seed-era choreography) or on a thread pool
+(``ProtocolConfig(concurrent_peers=True)``).
+
+Determinism contract: both executors return outcomes **in task order**
+and record each task's disclosures into a private sub-ledger that the
+caller merges in task order -- so labels, per-pair transcripts, the
+leakage-ledger event sequence, and comparison counts are bit-identical
+between sequential and concurrent execution (property-tested in
+``tests/multiparty/test_scheduler.py``).  Concurrency changes only
+wall-clock: with a
+:class:`~repro.net.transport.SimulatedNetworkTransport` on the links,
+the executor charges a pass the *sum* of its per-link virtual time when
+sequential but only the *maximum* when concurrent -- the round-trips to
+different peers overlap, which is exactly the latency-hiding a real
+network deployment would see.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.leakage import LeakageLedger
+
+
+class SchedulerError(ValueError):
+    """Raised on invalid executor parameters."""
+
+
+@dataclass(frozen=True)
+class PeerQuery:
+    """One peer's secure region query within a driver pass.
+
+    Attributes:
+        peer: the queried peer's name (merge order follows task order).
+        run: executes the pairwise protocol, recording every disclosure
+            into the supplied sub-ledger; returns the neighbour count.
+        simulated_clock: zero-argument probe returning the pair link's
+            simulated seconds (0.0 on real fabrics); sampled before and
+            after the query so the executor can charge virtual time.
+    """
+
+    peer: str
+    run: Callable[[LeakageLedger], int]
+    simulated_clock: Callable[[], float] = lambda: 0.0
+
+
+@dataclass(frozen=True)
+class PeerQueryOutcome:
+    """One task's result: the count plus its private disclosure record."""
+
+    peer: str
+    count: int
+    ledger: LeakageLedger
+    simulated_delta: float
+
+
+class PassExecutor:
+    """Base: runs the tasks of one pass, accumulates virtual wall-clock.
+
+    ``simulated_seconds`` is the executor's running total of virtual
+    network time across every pass it ran -- the figure the latency
+    sweep in ``benchmarks/run_quick.py`` compares between sequential
+    and concurrent scheduling.
+    """
+
+    concurrent = False
+
+    def __init__(self):
+        self.simulated_seconds = 0.0
+        self.passes = 0
+
+    def run_pass(self, tasks: list[PeerQuery]) -> list[PeerQueryOutcome]:
+        """Execute one pass; outcomes are returned in task order."""
+        self.passes += 1
+        if not tasks:
+            return []
+        outcomes = self._execute(tasks)
+        self.simulated_seconds += self._charge(
+            [outcome.simulated_delta for outcome in outcomes])
+        return outcomes
+
+    @staticmethod
+    def _run_one(task: PeerQuery) -> PeerQueryOutcome:
+        ledger = LeakageLedger()
+        before = task.simulated_clock()
+        count = task.run(ledger)
+        return PeerQueryOutcome(
+            peer=task.peer, count=count, ledger=ledger,
+            simulated_delta=task.simulated_clock() - before)
+
+    def _execute(self, tasks: list[PeerQuery]) -> list[PeerQueryOutcome]:
+        return [self._run_one(task) for task in tasks]
+
+    def _charge(self, deltas: list[float]) -> float:
+        """Sequential: the peer queries of a pass happen back to back."""
+        return sum(deltas)
+
+    def close(self) -> None:
+        """Release executor resources (thread pool)."""
+
+
+class SequentialPassExecutor(PassExecutor):
+    """Seed-era scheduling: one peer after another, in mesh order."""
+
+
+class ConcurrentPassExecutor(PassExecutor):
+    """Thread pool over the independent pairwise sessions of a pass.
+
+    Each worker thread drives one complete pairwise choreography -- both
+    parties' local steps plus their private link -- so no two threads
+    ever share a channel, session, pool, or RNG substream.  The shared
+    pieces that remain (the engine's counters, each channel's stats and
+    transcript) are internally locked.
+    """
+
+    concurrent = True
+
+    def __init__(self, max_workers: int | None = None):
+        super().__init__()
+        if max_workers is not None and max_workers < 1:
+            raise SchedulerError(
+                f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_workers = 0
+
+    def _ensure_pool(self, task_count: int) -> ThreadPoolExecutor:
+        workers = self.max_workers or task_count
+        if self._pool is None or workers > self._pool_workers:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+            self._pool = ThreadPoolExecutor(max_workers=workers)
+            self._pool_workers = workers
+        return self._pool
+
+    def _execute(self, tasks: list[PeerQuery]) -> list[PeerQueryOutcome]:
+        if len(tasks) == 1:
+            return [self._run_one(tasks[0])]
+        pool = self._ensure_pool(len(tasks))
+        # map() preserves task order regardless of completion order --
+        # the merge-determinism half of the equivalence guarantee.
+        return list(pool.map(self._run_one, tasks))
+
+    def _charge(self, deltas: list[float]) -> float:
+        """Concurrent: round-trips overlap, bounded by the pool width.
+
+        With at least as many workers as peers this is the slowest
+        single link; a width-capped pool can only overlap ``workers``
+        queries at a time, so the charge is the makespan of a greedy
+        least-loaded assignment (longest first) -- ``sum`` at width 1,
+        ``max`` at full width, honest in between.  Deterministic, so
+        repeated runs report identical simulated time regardless of how
+        the OS actually interleaved the threads.
+        """
+        workers = min(self.max_workers or len(deltas), len(deltas))
+        if workers >= len(deltas):
+            return max(deltas)
+        loads = [0.0] * workers
+        for delta in sorted(deltas, reverse=True):
+            loads[loads.index(min(loads))] += delta
+        return max(loads)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def make_pass_executor(concurrent: bool,
+                       max_workers: int | None = None) -> PassExecutor:
+    """Executor factory driven by ``ProtocolConfig(concurrent_peers=...)``."""
+    if concurrent:
+        return ConcurrentPassExecutor(max_workers=max_workers)
+    return SequentialPassExecutor()

@@ -3,9 +3,15 @@
 The paper's complexity claims (Sections 4.2.2, 4.3.2, 5.1) are about
 communication bits, and its privacy proofs (Definition 5) are about the
 *view* -- the sequence of messages a party receives.  This package
-provides both: an in-process duplex channel whose endpoints serialize
-every message, count the exact bytes, and append to a transcript that the
-privacy simulators replay.
+provides both: a duplex channel whose endpoints serialize every message,
+count the exact bytes, and append to a transcript that the privacy
+simulators replay.
+
+Delivery underneath the channel is pluggable (``repro.net.transport``):
+in-process deques for single-threaded choreographies, blocking
+thread-safe queues so party programs can run on separate threads, and a
+simulated-network fabric that charges virtual round-trip latency to the
+stats ledger.
 """
 
 from repro.net.serialization import serialize_message, deserialize_message
@@ -13,6 +19,17 @@ from repro.net.channel import Channel, ChannelEndpoint, ChannelClosedError
 from repro.net.transcript import Transcript, TranscriptEntry
 from repro.net.stats import CommunicationStats
 from repro.net.party import Party
+from repro.net.transport import (
+    InProcessTransport,
+    ProtocolDesyncError,
+    SimulatedNetworkTransport,
+    ThreadedTransport,
+    Transport,
+    TransportClosedError,
+    TransportError,
+    TransportSpec,
+    TransportTimeoutError,
+)
 
 __all__ = [
     "serialize_message",
@@ -24,4 +41,13 @@ __all__ = [
     "TranscriptEntry",
     "CommunicationStats",
     "Party",
+    "Transport",
+    "TransportSpec",
+    "TransportError",
+    "TransportClosedError",
+    "TransportTimeoutError",
+    "ProtocolDesyncError",
+    "InProcessTransport",
+    "ThreadedTransport",
+    "SimulatedNetworkTransport",
 ]

@@ -1,35 +1,40 @@
-"""In-process duplex channel between two semi-honest parties.
+"""Duplex channel between two semi-honest parties, over a Transport.
 
 The protocols in this library are written in "choreography" style: a
 single thread alternates between the two parties' local steps, and every
-cross-party value moves through a :class:`Channel`.  Each endpoint has a
-FIFO inbox; sending serializes the value (charging exact wire bytes to
-the shared :class:`CommunicationStats`) and appends to the
-:class:`Transcript`.  Receiving deserializes from the wire bytes, so a
-value that cannot round-trip the wire format can never silently leak
-through the accounting.
+cross-party value moves through a :class:`Channel`.  Sending serializes
+the value (charging exact wire bytes to the shared
+:class:`CommunicationStats`) and appends to the :class:`Transcript`;
+receiving deserializes from the wire bytes, so a value that cannot
+round-trip the wire format can never silently leak through the
+accounting.
+
+Delivery itself is delegated to a pluggable
+:class:`~repro.net.transport.Transport`: the default
+:class:`~repro.net.transport.InProcessTransport` reproduces the seed-era
+FIFO-deque semantics exactly (empty inbox = :class:`ProtocolDesyncError`),
+:class:`~repro.net.transport.ThreadedTransport` lets the two party
+programs run on separate threads, and
+:class:`~repro.net.transport.SimulatedNetworkTransport` charges virtual
+round-trip latency to the stats ledger.  The channel's accounting is
+identical across fabrics -- property-tested in ``tests/net``.
 """
 
 from __future__ import annotations
 
-from collections import deque
-
 from repro.net.serialization import deserialize_message, serialize_message
 from repro.net.stats import CommunicationStats
 from repro.net.transcript import Transcript
+from repro.net.transport import (  # noqa: F401  (re-exported: seed-era API)
+    InProcessTransport,
+    ProtocolDesyncError,
+    Transport,
+    TransportTimeoutError,
+)
 
 
 class ChannelClosedError(RuntimeError):
     """Raised when sending or receiving on a closed channel."""
-
-
-class ProtocolDesyncError(RuntimeError):
-    """Raised when a receive finds an empty inbox or a label mismatch.
-
-    In a single-threaded choreography an empty inbox means the two party
-    programs disagree about the message sequence -- always a bug, never a
-    timing issue, so it fails loudly.
-    """
 
 
 class Channel:
@@ -37,14 +42,17 @@ class Channel:
 
     def __init__(self, left_name: str = "alice", right_name: str = "bob",
                  transcript: Transcript | None = None,
-                 stats: CommunicationStats | None = None):
+                 stats: CommunicationStats | None = None,
+                 transport: Transport | None = None):
         if left_name == right_name:
             raise ValueError("parties must have distinct names")
         self.transcript = transcript if transcript is not None else Transcript()
         self.stats = stats if stats is not None else CommunicationStats()
+        if transport is None:
+            transport = InProcessTransport(left_name, right_name)
+        self.transport = transport
+        self.transport.attach_stats(self.stats)
         self._closed = False
-        self._inboxes: dict[str, deque] = {left_name: deque(),
-                                           right_name: deque()}
         self.left = ChannelEndpoint(self, left_name, right_name)
         self.right = ChannelEndpoint(self, right_name, left_name)
 
@@ -52,8 +60,14 @@ class Channel:
     def endpoints(self) -> tuple["ChannelEndpoint", "ChannelEndpoint"]:
         return self.left, self.right
 
+    @property
+    def simulated_seconds(self) -> float:
+        """Virtual link time consumed (0.0 unless the fabric simulates)."""
+        return self.transport.simulated_seconds
+
     def close(self) -> None:
         self._closed = True
+        self.transport.close()
 
     def _send(self, sender: str, receiver: str, label: str, value) -> None:
         if self._closed:
@@ -62,18 +76,12 @@ class Channel:
         self.stats.record(sender, receiver, label, len(wire))
         self.transcript.record(sender, receiver, label,
                                deserialize_message(wire), len(wire))
-        self._inboxes[receiver].append((label, wire))
+        self.transport.deliver(sender, receiver, label, wire)
 
     def _receive(self, receiver: str, expected_label: str | None):
         if self._closed:
             raise ChannelClosedError("channel is closed")
-        inbox = self._inboxes[receiver]
-        if not inbox:
-            raise ProtocolDesyncError(
-                f"{receiver} tried to receive "
-                f"{expected_label or 'a message'} but the inbox is empty"
-            )
-        label, wire = inbox.popleft()
+        label, wire = self.transport.collect(receiver, expected_label)
         if expected_label is not None and label != expected_label:
             raise ProtocolDesyncError(
                 f"{receiver} expected message {expected_label!r} "

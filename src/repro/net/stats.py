@@ -4,10 +4,19 @@ Tracks bytes and message counts per direction and per protocol-phase
 label.  This is the measurement side of the paper's cost claims: the E2,
 E3, E4, E9 and E10 benchmarks read these counters and fit them against
 the closed-form predictions in ``repro.analysis.communication``.
+
+Thread safety: one accumulator is shared by both endpoints of a channel,
+and with a :class:`~repro.net.transport.ThreadedTransport` those
+endpoints live on different threads -- so :meth:`record`,
+:meth:`record_simulated_wait`, :meth:`merge`, and :meth:`snapshot` all
+take an internal lock.  Single-threaded choreographies pay one
+uncontended lock acquire per message, which is noise next to
+serialization.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -19,6 +28,12 @@ class CommunicationStats:
     ``rounds`` counts direction switches: consecutive messages from the
     same sender batch into one round (the latency-relevant cost measure
     for interactive protocols).
+
+    ``simulated_seconds`` is the latency ledger: virtual wall-clock a
+    :class:`~repro.net.transport.SimulatedNetworkTransport` charged to
+    this link (the time an endpoint spent waiting for arrivals), broken
+    down per waiting endpoint in ``simulated_waits``.  Real fabrics
+    leave both at zero.
     """
 
     bytes_by_direction: dict[str, int] = field(
@@ -30,18 +45,30 @@ class CommunicationStats:
     messages_by_label: dict[str, int] = field(
         default_factory=lambda: defaultdict(int))
     rounds: int = 0
+    simulated_seconds: float = 0.0
+    simulated_waits: dict[str, float] = field(
+        default_factory=lambda: defaultdict(float))
     _last_sender: str | None = field(default=None, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def record(self, sender: str, receiver: str, label: str,
                size_bytes: int) -> None:
-        direction = f"{sender}->{receiver}"
-        self.bytes_by_direction[direction] += size_bytes
-        self.messages_by_direction[direction] += 1
-        self.bytes_by_label[label] += size_bytes
-        self.messages_by_label[label] += 1
-        if sender != self._last_sender:
-            self.rounds += 1
-            self._last_sender = sender
+        with self._lock:
+            direction = f"{sender}->{receiver}"
+            self.bytes_by_direction[direction] += size_bytes
+            self.messages_by_direction[direction] += 1
+            self.bytes_by_label[label] += size_bytes
+            self.messages_by_label[label] += 1
+            if sender != self._last_sender:
+                self.rounds += 1
+                self._last_sender = sender
+
+    def record_simulated_wait(self, receiver: str, seconds: float) -> None:
+        """Charge virtual network wait time to the latency ledger."""
+        with self._lock:
+            self.simulated_seconds += seconds
+            self.simulated_waits[receiver] += seconds
 
     @property
     def total_bytes(self) -> int:
@@ -67,28 +94,42 @@ class CommunicationStats:
     def merge(self, other: "CommunicationStats") -> None:
         """Fold another accumulator into this one (multi-channel runs).
 
-        Rounds add up: pairwise channels are independent links, so a
-        lower bound on the merged round count is the per-channel sum
-        (channels could in principle overlap in time; we report the
-        conservative sequential figure).
+        Rounds and simulated seconds add up: pairwise channels are
+        independent links, so the merged figure is the conservative
+        sequential sum (a concurrent scheduler reports its overlapped
+        wall-clock separately -- see ``multiparty.scheduler``).
         """
-        for key, value in other.bytes_by_direction.items():
-            self.bytes_by_direction[key] += value
-        for key, value in other.messages_by_direction.items():
-            self.messages_by_direction[key] += value
-        for key, value in other.bytes_by_label.items():
-            self.bytes_by_label[key] += value
-        for key, value in other.messages_by_label.items():
-            self.messages_by_label[key] += value
-        self.rounds += other.rounds
+        with other._lock:
+            other_bytes_dir = dict(other.bytes_by_direction)
+            other_msgs_dir = dict(other.messages_by_direction)
+            other_bytes_label = dict(other.bytes_by_label)
+            other_msgs_label = dict(other.messages_by_label)
+            other_rounds = other.rounds
+            other_sim = other.simulated_seconds
+            other_waits = dict(other.simulated_waits)
+        with self._lock:
+            for key, value in other_bytes_dir.items():
+                self.bytes_by_direction[key] += value
+            for key, value in other_msgs_dir.items():
+                self.messages_by_direction[key] += value
+            for key, value in other_bytes_label.items():
+                self.bytes_by_label[key] += value
+            for key, value in other_msgs_label.items():
+                self.messages_by_label[key] += value
+            self.rounds += other_rounds
+            self.simulated_seconds += other_sim
+            for key, value in other_waits.items():
+                self.simulated_waits[key] += value
 
     def snapshot(self) -> dict:
         """Plain-dict copy for reports and benchmark JSON output."""
-        return {
-            "total_bytes": self.total_bytes,
-            "total_messages": self.total_messages,
-            "rounds": self.rounds,
-            "bytes_by_direction": dict(self.bytes_by_direction),
-            "messages_by_direction": dict(self.messages_by_direction),
-            "bytes_by_label": dict(self.bytes_by_label),
-        }
+        with self._lock:
+            return {
+                "total_bytes": sum(self.bytes_by_direction.values()),
+                "total_messages": sum(self.messages_by_direction.values()),
+                "rounds": self.rounds,
+                "simulated_seconds": self.simulated_seconds,
+                "bytes_by_direction": dict(self.bytes_by_direction),
+                "messages_by_direction": dict(self.messages_by_direction),
+                "bytes_by_label": dict(self.bytes_by_label),
+            }

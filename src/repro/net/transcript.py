@@ -9,6 +9,7 @@ the leakage ledger cites transcript labels as evidence.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -26,21 +27,30 @@ class TranscriptEntry:
 
 @dataclass
 class Transcript:
-    """Ordered record of all messages in a protocol execution."""
+    """Ordered record of all messages in a protocol execution.
+
+    ``record`` is locked so a channel whose two party programs run on
+    separate threads (:class:`~repro.net.transport.ThreadedTransport`)
+    cannot assign duplicate indices; entry *order* under true
+    concurrency is whatever the interleaving produced.
+    """
 
     entries: list[TranscriptEntry] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def record(self, sender: str, receiver: str, label: str, value,
                size_bytes: int) -> TranscriptEntry:
-        entry = TranscriptEntry(
-            index=len(self.entries),
-            sender=sender,
-            receiver=receiver,
-            label=label,
-            value=value,
-            size_bytes=size_bytes,
-        )
-        self.entries.append(entry)
+        with self._lock:
+            entry = TranscriptEntry(
+                index=len(self.entries),
+                sender=sender,
+                receiver=receiver,
+                label=label,
+                value=value,
+                size_bytes=size_bytes,
+            )
+            self.entries.append(entry)
         return entry
 
     def received_by(self, party_name: str) -> list[TranscriptEntry]:

@@ -1,0 +1,332 @@
+"""Pluggable message-delivery fabrics for a two-party link.
+
+A :class:`~repro.net.channel.Channel` owns *accounting* (wire
+serialization, byte/round statistics, the transcript); the
+:class:`Transport` underneath it owns *delivery*: how a framed message
+travels from one endpoint's outbox to the other endpoint's inbox, and
+what "the inbox is empty" means.  Three fabrics implement the interface:
+
+- :class:`InProcessTransport` -- the seed-era semantics: plain FIFO
+  deques, zero cost, and an empty inbox is a protocol bug
+  (:class:`ProtocolDesyncError`), never a timing condition.  This is
+  what single-threaded choreographies run on.
+- :class:`ThreadedTransport` -- thread-safe queues with blocking
+  receive and a timeout, so the two party programs of one link can run
+  on separate threads; an empty inbox blocks until the peer's send
+  lands, and only a timeout (deadlock, crashed peer) raises
+  (:class:`TransportTimeoutError`).
+- :class:`SimulatedNetworkTransport` -- in-process delivery plus a
+  per-link latency/bandwidth model: every endpoint carries a virtual
+  clock, each message arrives ``latency + wire_bits/bandwidth`` after
+  its sender's clock, and a receive that has to "wait" for an arrival
+  advances the receiver's clock and charges the wait to the link's
+  :class:`~repro.net.stats.CommunicationStats` latency ledger.  This is
+  how benchmarks make round-trip latency -- the dominant online cost of
+  interactive protocols on real networks -- visible without sleeping.
+
+Transports never look inside ``wire`` bytes and never see plaintext
+values; the trust boundary stays in the channel layer.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from abc import ABC, abstractmethod
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (stats type)
+    from repro.net.stats import CommunicationStats
+
+
+class TransportError(RuntimeError):
+    """Raised on delivery to unknown endpoints or misconfiguration."""
+
+
+class ProtocolDesyncError(RuntimeError):
+    """Raised when a receive finds an empty inbox or a label mismatch.
+
+    In a single-threaded choreography an empty inbox means the two party
+    programs disagree about the message sequence -- always a bug, never a
+    timing issue, so it fails loudly.
+    """
+
+
+class TransportTimeoutError(ProtocolDesyncError):
+    """A blocking receive outlived its timeout (deadlock or dead peer).
+
+    Subclasses :class:`ProtocolDesyncError`: by the time the timeout has
+    expired the two party programs demonstrably disagree about the
+    message sequence, so callers that handle desyncs handle this too.
+    """
+
+
+class TransportClosedError(TransportError):
+    """The link was closed while (or before) a receive was waiting."""
+
+
+class Transport(ABC):
+    """Delivery fabric between the two named endpoints of one link."""
+
+    def __init__(self, left_name: str, right_name: str):
+        if left_name == right_name:
+            raise TransportError("endpoints must have distinct names")
+        self.left_name = left_name
+        self.right_name = right_name
+
+    def _check_endpoint(self, name: str) -> None:
+        if name not in (self.left_name, self.right_name):
+            raise TransportError(
+                f"{name!r} is not an endpoint of this link "
+                f"({self.left_name!r} <-> {self.right_name!r})")
+
+    def attach_stats(self, stats: "CommunicationStats") -> None:
+        """Give the transport a stats ledger to charge timing costs to.
+
+        Called by the channel at construction; the base fabrics have
+        nothing to charge and ignore it.
+        """
+
+    @abstractmethod
+    def deliver(self, sender: str, receiver: str, label: str,
+                wire: bytes) -> None:
+        """Append one framed message to ``receiver``'s inbox."""
+
+    @abstractmethod
+    def collect(self, receiver: str,
+                expected_label: str | None) -> tuple[str, bytes]:
+        """Pop the next inbound ``(label, wire)`` for ``receiver``.
+
+        ``expected_label`` is advisory -- it only improves error
+        messages; label *verification* happens in the channel so every
+        fabric enforces identical framing rules.
+        """
+
+    def close(self) -> None:
+        """Release fabric resources; delivery after close is undefined."""
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Simulated link time consumed so far (0.0 for real fabrics)."""
+        return 0.0
+
+
+class InProcessTransport(Transport):
+    """Seed-era FIFO deques: free delivery, loud desync on empty inbox."""
+
+    def __init__(self, left_name: str = "alice", right_name: str = "bob"):
+        super().__init__(left_name, right_name)
+        self._inboxes: dict[str, deque] = {left_name: deque(),
+                                           right_name: deque()}
+
+    def deliver(self, sender: str, receiver: str, label: str,
+                wire: bytes) -> None:
+        self._check_endpoint(receiver)
+        self._inboxes[receiver].append((label, wire))
+
+    def collect(self, receiver: str,
+                expected_label: str | None) -> tuple[str, bytes]:
+        self._check_endpoint(receiver)
+        inbox = self._inboxes[receiver]
+        if not inbox:
+            raise ProtocolDesyncError(
+                f"{receiver} tried to receive "
+                f"{expected_label or 'a message'} but the inbox is empty")
+        return inbox.popleft()
+
+
+class ThreadedTransport(Transport):
+    """Blocking thread-safe queues: one party program per thread.
+
+    The choreography style (one thread playing both parties) still works
+    -- a send is always enqueued before the matching receive runs, so
+    the blocking get returns immediately.  Two-thread executions block
+    on empty inboxes until the peer catches up; ``timeout_s`` bounds the
+    wait so a desynchronized pair of programs fails with a
+    :class:`TransportTimeoutError` instead of deadlocking the suite.
+
+    :meth:`close` poisons both inboxes with a sentinel (queued *behind*
+    any undelivered messages, which stay readable), so a receiver that
+    is parked in the blocking get when the peer tears the link down
+    fails immediately with :class:`TransportClosedError` instead of
+    stalling out its full timeout.
+    """
+
+    _CLOSED = object()  # inbox poison; never crosses serialization
+
+    def __init__(self, left_name: str = "alice", right_name: str = "bob",
+                 timeout_s: float = 5.0):
+        super().__init__(left_name, right_name)
+        if timeout_s <= 0:
+            raise TransportError(f"timeout_s must be > 0, got {timeout_s}")
+        self.timeout_s = timeout_s
+        self._inboxes: dict[str, queue.Queue] = {left_name: queue.Queue(),
+                                                 right_name: queue.Queue()}
+
+    def deliver(self, sender: str, receiver: str, label: str,
+                wire: bytes) -> None:
+        self._check_endpoint(receiver)
+        self._inboxes[receiver].put((label, wire))
+
+    def collect(self, receiver: str,
+                expected_label: str | None) -> tuple[str, bytes]:
+        self._check_endpoint(receiver)
+        try:
+            item = self._inboxes[receiver].get(timeout=self.timeout_s)
+        except queue.Empty:
+            raise TransportTimeoutError(
+                f"{receiver} waited {self.timeout_s}s for "
+                f"{expected_label or 'a message'}; the peer never sent it"
+            ) from None
+        if item is self._CLOSED:
+            # Re-poison so every later receive fails fast too.
+            self._inboxes[receiver].put(self._CLOSED)
+            raise TransportClosedError(
+                f"link closed while {receiver} waited for "
+                f"{expected_label or 'a message'}")
+        return item
+
+    def close(self) -> None:
+        for inbox in self._inboxes.values():
+            inbox.put(self._CLOSED)
+
+
+class SimulatedNetworkTransport(Transport):
+    """In-process delivery under a virtual latency/bandwidth clock.
+
+    Each endpoint carries a virtual clock (seconds).  A message sent at
+    sender-time ``t`` arrives at ``t + latency_s + wire_bits/bandwidth``;
+    collecting it advances the receiver's clock to the arrival time (the
+    receiver "waited" for the network) and charges the wait to the stats
+    latency ledger.  Consecutive messages from one sender pipeline: each
+    pays its own transfer time but the link's latency is paid once per
+    direction switch along the conversation, exactly the round structure
+    :class:`~repro.net.stats.CommunicationStats` counts.
+
+    ``elapsed`` -- the maximum endpoint clock -- is the simulated
+    wall-clock a single-threaded choreography over this link would have
+    consumed on a real network with these link parameters.
+    """
+
+    def __init__(self, left_name: str = "alice", right_name: str = "bob",
+                 latency_s: float = 0.005,
+                 bandwidth_bps: float | None = None):
+        super().__init__(left_name, right_name)
+        if latency_s < 0:
+            raise TransportError(f"latency_s must be >= 0, got {latency_s}")
+        if bandwidth_bps is not None and bandwidth_bps <= 0:
+            raise TransportError(
+                f"bandwidth_bps must be > 0, got {bandwidth_bps}")
+        self.latency_s = latency_s
+        self.bandwidth_bps = bandwidth_bps
+        self._inboxes: dict[str, deque] = {left_name: deque(),
+                                           right_name: deque()}
+        self._clocks: dict[str, float] = {left_name: 0.0, right_name: 0.0}
+        self._stats: "CommunicationStats | None" = None
+
+    def attach_stats(self, stats: "CommunicationStats") -> None:
+        self._stats = stats
+
+    def _transfer_seconds(self, wire: bytes) -> float:
+        if self.bandwidth_bps is None:
+            return 0.0
+        return (8 * len(wire)) / self.bandwidth_bps
+
+    def _charge(self, endpoint: str, elapsed_before: float) -> None:
+        """Charge the link's critical-path advance to the stats ledger.
+
+        Charging ``max(clocks) - previous max(clocks)`` (instead of each
+        endpoint's raw idle time, which overlaps across endpoints in an
+        alternating conversation) telescopes: the per-link ledger total
+        always equals :attr:`elapsed`, the link's simulated wall-clock.
+        """
+        advance = max(self._clocks.values()) - elapsed_before
+        if advance > 0 and self._stats is not None:
+            self._stats.record_simulated_wait(endpoint, advance)
+
+    def deliver(self, sender: str, receiver: str, label: str,
+                wire: bytes) -> None:
+        self._check_endpoint(sender)
+        self._check_endpoint(receiver)
+        # Serialization on the sender's NIC: back-to-back sends queue
+        # behind each other, so the sender's clock advances by the
+        # transfer time while the propagation latency overlaps.
+        elapsed_before = max(self._clocks.values())
+        self._clocks[sender] += self._transfer_seconds(wire)
+        arrival = self._clocks[sender] + self.latency_s
+        self._inboxes[receiver].append((label, wire, arrival))
+        self._charge(sender, elapsed_before)
+
+    def collect(self, receiver: str,
+                expected_label: str | None) -> tuple[str, bytes]:
+        self._check_endpoint(receiver)
+        inbox = self._inboxes[receiver]
+        if not inbox:
+            raise ProtocolDesyncError(
+                f"{receiver} tried to receive "
+                f"{expected_label or 'a message'} but the inbox is empty")
+        label, wire, arrival = inbox.popleft()
+        if arrival > self._clocks[receiver]:
+            elapsed_before = max(self._clocks.values())
+            self._clocks[receiver] = arrival
+            self._charge(receiver, elapsed_before)
+        return label, wire
+
+    def clock_of(self, name: str) -> float:
+        """The named endpoint's virtual clock, in seconds."""
+        self._check_endpoint(name)
+        return self._clocks[name]
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated wall-clock of the link: the later endpoint clock."""
+        return max(self._clocks.values())
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.elapsed
+
+
+_TRANSPORT_KINDS = ("in_process", "threaded", "simulated")
+
+
+@dataclass(frozen=True)
+class TransportSpec:
+    """Declarative transport choice, carried by ``SmcConfig``.
+
+    Configs are frozen value objects shared across pairwise links, so
+    they carry a *spec* rather than a transport instance; every link
+    calls :meth:`create` for its own private fabric.
+
+    Attributes:
+        kind: ``"in_process"`` (default), ``"threaded"``, or
+            ``"simulated"``.
+        latency_s: one-way link latency for the simulated fabric.
+        bandwidth_bps: link bandwidth in bits/second for the simulated
+            fabric; ``None`` models infinite bandwidth (latency only).
+        timeout_s: blocking-receive timeout for the threaded fabric.
+    """
+
+    kind: str = "in_process"
+    latency_s: float = 0.005
+    bandwidth_bps: float | None = None
+    timeout_s: float = 5.0
+
+    def __post_init__(self):
+        if self.kind not in _TRANSPORT_KINDS:
+            raise TransportError(
+                f"unknown transport kind {self.kind!r}; "
+                f"expected one of {_TRANSPORT_KINDS}")
+
+    def create(self, left_name: str, right_name: str) -> Transport:
+        """Build a fresh fabric for one link."""
+        if self.kind == "threaded":
+            return ThreadedTransport(left_name, right_name,
+                                     timeout_s=self.timeout_s)
+        if self.kind == "simulated":
+            return SimulatedNetworkTransport(
+                left_name, right_name, latency_s=self.latency_s,
+                bandwidth_bps=self.bandwidth_bps)
+        return InProcessTransport(left_name, right_name)

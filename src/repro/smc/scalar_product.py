@@ -203,14 +203,24 @@ def secure_scalar_products(receiver: Party, alpha: list[int],
 
     received = [PaillierCiphertext(public, v)
                 for v in masker.receive(f"{label}/encrypted_alpha")]
+    # Masker-side powmods (mask encryption + rerandomization per beta,
+    # the ``r^n`` halves) run as one sharded engine batch; the factors
+    # come back in the serial interleaved draw order, so the produced
+    # ciphertexts are bit-identical to the per-item loop.
+    factors = engine.encryption_factors(public, 2 * len(betas), masker.rng,
+                                        masker_pool)
+    n_squared = public.n_squared
     replies = []
-    for beta, mask in zip(betas, masks):
-        accumulator = public.encrypt(encoder.encode(mask), masker.rng,
-                                     masker_pool)
+    for index, (beta, mask) in enumerate(zip(betas, masks)):
+        accumulator = PaillierCiphertext(
+            public, public.raw_encrypt_with_factor(encoder.encode(mask),
+                                                   factors[2 * index]))
         for cipher, coefficient in zip(received, beta):
             if coefficient:
                 accumulator = accumulator + cipher * encoder.encode(coefficient)
-        replies.append(accumulator.rerandomize(masker.rng, masker_pool).value)
+        # Rerandomize with the pre-drawn factor (a fresh zero encryption).
+        replies.append((accumulator.value * factors[2 * index + 1])
+                       % n_squared)
     masker.send(f"{label}/masked_products", replies)
 
     results = receiver.receive(f"{label}/masked_products")

@@ -21,7 +21,9 @@ from repro.crypto.keycache import cached_paillier_keypair, cached_rsa_keypair
 from repro.crypto.paillier import PaillierKeyPair, generate_paillier_keypair
 from repro.crypto.precompute import RandomnessPool
 from repro.crypto.rsa import RsaKeyPair, generate_rsa_keypair
+from repro.net.channel import Channel
 from repro.net.party import Party
+from repro.net.transport import TransportSpec
 from repro.smc.comparison import (
     ComparisonOutcome,
     SecureComparison,
@@ -71,6 +73,14 @@ class SmcConfig:
             serial engine -- identical results, one process.  Supply
             ``ModexpEngine(workers=k)`` to shard those jobs across
             ``k`` worker processes.
+        transport: a :class:`~repro.net.transport.TransportSpec`
+            choosing the delivery fabric for every channel built for
+            this config (``None`` = seed-era in-process deques).  Each
+            link gets its own fabric instance via
+            :func:`channel_for_config`; the fabric changes *where*
+            messages queue and what wall-clock they are charged, never
+            the message sequence itself (property-tested in
+            ``tests/net`` and ``tests/multiparty``).
     """
 
     paillier_bits: int = 256
@@ -81,10 +91,26 @@ class SmcConfig:
     key_seed: int | None = None
     precompute: bool = True
     engine: ModexpEngine | None = None
+    transport: TransportSpec | None = None
 
     def mask_bound(self, value_bound: int) -> int:
         """Mask interval size for hiding values bounded by ``value_bound``."""
         return max(2, value_bound) << self.mask_sigma
+
+
+def channel_for_config(config: SmcConfig, left_name: str = "alice",
+                       right_name: str = "bob") -> Channel:
+    """Build one link's channel on the fabric the config selects.
+
+    Every caller that used to write ``Channel()`` goes through here so a
+    single ``SmcConfig(transport=...)`` switches the whole run -- the
+    two-party protocols and each pairwise link of the k-party mesh --
+    onto threaded queues or the simulated network.
+    """
+    transport = (config.transport.create(left_name, right_name)
+                 if config.transport is not None else None)
+    return Channel(left_name=left_name, right_name=right_name,
+                   transport=transport)
 
 
 @dataclass

@@ -182,6 +182,73 @@ class TestEncryptBatchEquivalence:
                                              pool)
 
 
+class TestEncryptionFactorsEquivalence:
+    """The PR-4 satellite: masker-side encrypt/rerandomize factor
+    batches (Section 5 share generation) drawn through the engine must
+    be bit-identical to the serial interleaved sequence."""
+
+    def _serial_factors(self, count, rng, pool):
+        """The seed-era draw order: one factor per encrypt/rerandomize."""
+        factors = []
+        for _ in range(count):
+            if pool is not None:
+                factors.append(pool.encryption_factor())
+            else:
+                factors.append(pow(PUB.random_unit(rng), PUB.n,
+                                   PUB.n_squared))
+        return factors
+
+    def test_no_pool(self):
+        serial = self._serial_factors(10, random.Random(8), None)
+        with _parallel_engine() as engine:
+            batched = engine.encryption_factors(PUB, 10, random.Random(8))
+        assert serial == batched
+
+    @pytest.mark.parametrize("prefilled", [0, 3, 10])
+    def test_pool_with_misses(self, prefilled):
+        serial_pool = RandomnessPool(PUB, random.Random(9))
+        engine_pool = RandomnessPool(PUB, random.Random(9))
+        serial_pool.refill(prefilled)
+        engine_pool.refill(prefilled)
+        serial = self._serial_factors(6, serial_pool.rng, serial_pool)
+        with _parallel_engine() as engine:
+            batched = engine.encryption_factors(PUB, 6, engine_pool.rng,
+                                                engine_pool)
+        assert serial == batched
+        assert serial_pool.report() == engine_pool.report()
+
+    def test_pool_key_mismatch_raises(self):
+        other = cached_paillier_keypair(256, 921)
+        pool = RandomnessPool(other.public_key, random.Random(0))
+        with pytest.raises(PaillierError, match="different key"):
+            _parallel_engine().encryption_factors(PUB, 1, random.Random(0),
+                                                  pool)
+
+    def test_scalar_products_transcript_engine_vs_serial(self):
+        """Section 5 sharing routed through the engine is bit-identical
+        on the wire (same masker ciphertexts, same results)."""
+        from repro.smc.session import SmcConfig, SmcSession
+
+        def run(engine):
+            channel = Channel()
+            session = SmcSession(
+                *make_party_pair(channel, 31, 32),
+                SmcConfig(paillier_bits=128, key_seed=922, engine=engine))
+            values = session.scalar_products(
+                session.alice, [3, -1, 4], session.bob,
+                [[1, 5, 9], [2, 6, 5], [0, 0, 1]], [7, 8, 9])
+            wire = [(e.sender, e.label, e.value)
+                    for e in channel.transcript.entries]
+            return values, wire
+
+        serial_values, serial_wire = run(None)
+        with _parallel_engine() as engine:
+            engine_values, engine_wire = run(engine)
+        assert serial_values == engine_values
+        assert serial_wire == engine_wire
+        assert serial_values == [3 - 5 + 36 + 7, 6 - 6 + 20 + 8, 4 + 9]
+
+
 class TestDecryptBatchEquivalence:
     def _ciphertexts(self, count=9):
         rng = random.Random(8)

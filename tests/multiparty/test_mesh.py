@@ -65,13 +65,26 @@ class TestMeshConstruction:
         with pytest.raises(MeshError, match="itself"):
             mesh.session_between("a", "a")
 
-    def test_shared_rng_across_endpoints(self):
-        """A party's coin tosses come from ONE stream regardless of
-        which peer it is talking to."""
+    def test_per_pair_rng_substreams(self):
+        """A party's coin tosses on each link come from a DEDICATED
+        substream (seed + canonical pair key), so two pairwise sessions
+        never race on one generator and the draw sequence of a pair is
+        independent of when the party's other pairs run."""
         mesh = PartyMesh(["a", "b", "c"], CONFIG, seeds=[7, 8, 9])
         a_to_b = mesh.party_in_pair("a", "b")
         a_to_c = mesh.party_in_pair("a", "c")
-        assert a_to_b.rng is a_to_c.rng
+        assert a_to_b.rng is not a_to_c.rng
+        # Deterministic: a rebuilt mesh with the same seeds replays the
+        # same per-pair streams, and draws on one pair do not perturb
+        # another pair's stream.
+        first_draws = (a_to_b.rng.random(), a_to_c.rng.random())
+        rebuilt = PartyMesh(["a", "b", "c"], CONFIG, seeds=[7, 8, 9])
+        rebuilt.party_in_pair("a", "c").rng.random()  # other pair first
+        assert rebuilt.party_in_pair("a", "b").rng.random() \
+            == first_draws[0]
+        # Distinct parties on the same pair get distinct streams.
+        b_to_a = mesh.party_in_pair("b", "a")
+        assert b_to_a.rng.random() != first_draws[0]
 
     def test_merged_stats(self):
         mesh = PartyMesh(["a", "b", "c"], CONFIG, seeds=[1, 2, 3])

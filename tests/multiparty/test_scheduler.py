@@ -1,0 +1,283 @@
+"""Equivalence of sequential vs concurrent mesh passes, across fabrics.
+
+The PR-4 binding property: scheduling the per-peer region queries of a
+driver pass on a thread pool (``concurrent_peers=True``) and/or moving
+the links onto a different transport fabric must change **nothing**
+observable about the protocol -- bit-identical labels for every party,
+identical leakage-ledger event sequences, identical per-pair
+transcripts, identical comparison counts.  Only wall-clock may differ:
+on a simulated-network fabric the concurrent pass completes in
+measurably less virtual time because the round-trips to different peers
+overlap.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import ProtocolConfig
+from repro.core.leakage import Disclosure
+from repro.multiparty.horizontal import run_multiparty_horizontal_dbscan
+from repro.multiparty.mesh import PartyMesh, derive_pair_rng
+from repro.multiparty.scheduler import (
+    ConcurrentPassExecutor,
+    PeerQuery,
+    SchedulerError,
+    SequentialPassExecutor,
+    make_pass_executor,
+)
+from repro.net.transport import TransportSpec
+from repro.smc.session import SmcConfig
+
+points_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=30),
+              st.integers(min_value=0, max_value=30)),
+    min_size=1, max_size=5)
+
+
+def _config(backend="oracle", *, concurrent, transport=None, blind=False,
+            min_pts=3, key_seed=240, peer_workers=None):
+    return ProtocolConfig(
+        eps=1.5, min_pts=min_pts, scale=1,
+        smc=SmcConfig(comparison=backend, key_seed=key_seed, mask_sigma=8,
+                      paillier_bits=128, transport=transport),
+        blind_cross_sum=blind,
+        concurrent_peers=concurrent,
+        peer_workers=peer_workers)
+
+
+def _run(points, seeds, **kwargs):
+    config = _config(**kwargs)
+    mesh = PartyMesh(list(points), config.smc, seeds=seeds)
+    result = run_multiparty_horizontal_dbscan(points, config, mesh=mesh)
+    return result, mesh
+
+
+def _pair_transcript_values(mesh):
+    return {pair: [(e.sender, e.receiver, e.label, e.value)
+                   for e in transcript.entries]
+            for pair, transcript in mesh.pair_transcripts().items()}
+
+
+def _assert_equivalent(left, left_mesh, right, right_mesh):
+    assert left.labels_by_party == right.labels_by_party
+    assert left.ledger.events == right.ledger.events
+    assert left.comparisons == right.comparisons
+    assert _pair_transcript_values(left_mesh) \
+        == _pair_transcript_values(right_mesh)
+
+
+class TestConcurrentEqualsSequential:
+    @settings(max_examples=10, deadline=None)
+    @given(points_strategy, points_strategy, points_strategy,
+           st.integers(min_value=1, max_value=5), st.booleans())
+    def test_three_parties_property(self, p0, p1, p2, min_pts, blind):
+        points = {"p0": p0, "p1": p1, "p2": p2}
+        sequential = _run(points, [1, 2, 3], concurrent=False,
+                          min_pts=min_pts, blind=blind)
+        concurrent = _run(points, [1, 2, 3], concurrent=True,
+                          min_pts=min_pts, blind=blind)
+        _assert_equivalent(*sequential, *concurrent)
+
+    @pytest.mark.parametrize("blind", [False, True])
+    def test_real_crypto_three_parties(self, blind):
+        points = {
+            "p0": [(0, 0), (30, 30)],
+            "p1": [(1, 0)],
+            "p2": [(0, 1), (31, 30)],
+        }
+        sequential = _run(points, [1, 2, 3], backend="bitwise",
+                          concurrent=False, blind=blind)
+        concurrent = _run(points, [1, 2, 3], backend="bitwise",
+                          concurrent=True, blind=blind)
+        _assert_equivalent(*sequential, *concurrent)
+
+    @pytest.mark.parametrize("blind", [False, True])
+    def test_four_parties(self, blind):
+        points = {
+            "h0": [(0, 0), (1, 0)],
+            "h1": [(0, 1)],
+            "h2": [(1, 1), (20, 20)],
+            "h3": [(21, 20), (0, 2)],
+        }
+        sequential = _run(points, [1, 2, 3, 4], concurrent=False,
+                          min_pts=4, blind=blind)
+        concurrent = _run(points, [1, 2, 3, 4], concurrent=True,
+                          min_pts=4, blind=blind)
+        _assert_equivalent(*sequential, *concurrent)
+
+    def test_two_parties(self):
+        """k=2: one task per pass; the executor must still behave."""
+        points = {"a": [(0, 0), (1, 0)], "b": [(0, 1)]}
+        sequential = _run(points, [1, 2], concurrent=False)
+        concurrent = _run(points, [1, 2], concurrent=True)
+        _assert_equivalent(*sequential, *concurrent)
+
+    def test_bounded_worker_pool(self):
+        points = {"p0": [(0, 0)], "p1": [(1, 0)], "p2": [(0, 1)],
+                  "p3": [(1, 1)]}
+        sequential = _run(points, [1, 2, 3, 4], concurrent=False)
+        bounded = _run(points, [1, 2, 3, 4], concurrent=True,
+                       peer_workers=2)
+        _assert_equivalent(*sequential, *bounded)
+
+
+class TestTransportEquivalence:
+    """Bit-identical runs across in-process / threaded / simulated."""
+
+    @settings(max_examples=6, deadline=None)
+    @given(points_strategy, points_strategy, points_strategy,
+           st.booleans())
+    def test_threaded_fabric_property(self, p0, p1, p2, blind):
+        points = {"p0": p0, "p1": p1, "p2": p2}
+        in_process = _run(points, [1, 2, 3], concurrent=False, blind=blind)
+        threaded = _run(points, [1, 2, 3], concurrent=False, blind=blind,
+                        transport=TransportSpec(kind="threaded"))
+        _assert_equivalent(*in_process, *threaded)
+
+    @pytest.mark.parametrize("blind", [False, True])
+    def test_all_fabrics_real_crypto_concurrent(self, blind):
+        points = {
+            "p0": [(0, 0), (30, 30)],
+            "p1": [(1, 0)],
+            "p2": [(0, 1)],
+        }
+        reference = _run(points, [1, 2, 3], backend="bitwise",
+                         concurrent=False, blind=blind)
+        for spec, concurrent in (
+                (TransportSpec(kind="threaded"), True),
+                (TransportSpec(kind="simulated", latency_s=0.005), True),
+                (TransportSpec(kind="simulated", latency_s=0.005), False)):
+            other = _run(points, [1, 2, 3], backend="bitwise",
+                         concurrent=concurrent, transport=spec, blind=blind)
+            _assert_equivalent(*reference, *other)
+
+
+class TestLatencyHiding:
+    def test_concurrent_pass_overlaps_simulated_round_trips(self):
+        points = {"p0": [(0, 0), (2, 0)], "p1": [(1, 0)], "p2": [(0, 1)],
+                  "p3": [(1, 1)]}
+        spec = TransportSpec(kind="simulated", latency_s=0.005)
+        sequential, _ = _run(points, [1, 2, 3, 4], concurrent=False,
+                             transport=spec)
+        concurrent, _ = _run(points, [1, 2, 3, 4], concurrent=True,
+                             transport=spec)
+        assert sequential.simulated_seconds > 0
+        # Three peers per pass: overlapping should hide a substantial
+        # share of the round trips (bounded by the slowest peer).
+        assert concurrent.simulated_seconds < 0.7 * \
+            sequential.simulated_seconds
+        # The merged per-link ledger is schedule-independent.
+        assert sequential.stats["simulated_seconds"] \
+            == pytest.approx(concurrent.stats["simulated_seconds"])
+
+    def test_real_fabric_reports_zero_simulated_time(self):
+        points = {"p0": [(0, 0)], "p1": [(1, 0)]}
+        result, _ = _run(points, [1, 2], concurrent=True)
+        assert result.simulated_seconds == 0.0
+        assert result.stats["simulated_seconds"] == 0.0
+
+
+class TestExecutorUnit:
+    def test_tasks_truly_run_concurrently(self):
+        """Not just formula-level overlap: a two-party barrier only
+        releases if both tasks are in flight at the same moment, so a
+        regression to serial execution deadlocks the barrier and fails
+        (BrokenBarrierError) instead of silently reporting overlap."""
+        import threading
+
+        barrier = threading.Barrier(2, timeout=10)
+
+        def rendezvous(ledger):
+            barrier.wait()
+            return 1
+
+        executor = ConcurrentPassExecutor()
+        outcomes = executor.run_pass(
+            [PeerQuery(peer="p0", run=rendezvous),
+             PeerQuery(peer="p1", run=rendezvous)])
+        executor.close()
+        assert [outcome.count for outcome in outcomes] == [1, 1]
+
+    def test_outcomes_in_task_order_even_with_reversed_finish(self):
+        import time
+
+        def make_task(name, delay):
+            def run(ledger):
+                time.sleep(delay)
+                ledger.record("t", name, Disclosure.NEIGHBOR_BIT)
+                return ord(name[-1])
+            return PeerQuery(peer=name, run=run)
+
+        executor = ConcurrentPassExecutor()
+        outcomes = executor.run_pass(
+            [make_task("p0", 0.05), make_task("p1", 0.0)])
+        executor.close()
+        assert [outcome.peer for outcome in outcomes] == ["p0", "p1"]
+        assert [outcome.ledger.events[0].learner
+                for outcome in outcomes] == ["p0", "p1"]
+
+    def test_sequential_charges_sum_concurrent_charges_max(self):
+        clocks = {"a": iter([0.0, 3.0]), "b": iter([0.0, 5.0])}
+
+        def task(name):
+            return PeerQuery(peer=name, run=lambda ledger: 0,
+                             simulated_clock=lambda: next(clocks[name]))
+
+        sequential = SequentialPassExecutor()
+        sequential.run_pass([task("a"), task("b")])
+        assert sequential.simulated_seconds == pytest.approx(8.0)
+
+        clocks = {"a": iter([0.0, 3.0]), "b": iter([0.0, 5.0])}
+        concurrent = ConcurrentPassExecutor()
+        concurrent.run_pass([task("a"), task("b")])
+        concurrent.close()
+        assert concurrent.simulated_seconds == pytest.approx(5.0)
+
+    def test_width_capped_pool_charges_honest_makespan(self):
+        """A pool narrower than the pass cannot overlap everything:
+        the charge is the greedy makespan, not the naive max."""
+        def tasks(values):
+            return [PeerQuery(peer=str(index), run=lambda ledger: 0,
+                              simulated_clock=iter([0.0, value]).__next__)
+                    for index, value in enumerate(values)]
+
+        one_wide = ConcurrentPassExecutor(max_workers=1)
+        one_wide.run_pass(tasks([3.0, 5.0, 2.0]))
+        one_wide.close()
+        assert one_wide.simulated_seconds == pytest.approx(10.0)
+
+        two_wide = ConcurrentPassExecutor(max_workers=2)
+        two_wide.run_pass(tasks([3.0, 5.0, 2.0]))
+        two_wide.close()
+        # Greedy longest-first: {5} and {3, 2} -> makespan 5.
+        assert two_wide.simulated_seconds == pytest.approx(5.0)
+
+    def test_empty_pass(self):
+        executor = SequentialPassExecutor()
+        assert executor.run_pass([]) == []
+        assert executor.simulated_seconds == 0.0
+
+    def test_factory_and_validation(self):
+        assert isinstance(make_pass_executor(False),
+                          SequentialPassExecutor)
+        assert isinstance(make_pass_executor(True, 2),
+                          ConcurrentPassExecutor)
+        with pytest.raises(SchedulerError, match="max_workers"):
+            ConcurrentPassExecutor(max_workers=0)
+
+
+class TestPairRngDerivation:
+    def test_deterministic_and_distinct(self):
+        one = derive_pair_rng(7, "a", "a", "b")
+        again = derive_pair_rng(7, "a", "a", "b")
+        assert one.random() == again.random()
+        assert derive_pair_rng(7, "a", "a", "c").random() \
+            != derive_pair_rng(7, "a", "a", "b").random()
+        assert derive_pair_rng(7, "b", "a", "b").random() \
+            != derive_pair_rng(7, "a", "a", "b").random()
+        assert derive_pair_rng(8, "a", "a", "b").random() \
+            != derive_pair_rng(7, "a", "a", "b").random()
+
+    def test_unseeded_stays_nondeterministic(self):
+        assert derive_pair_rng(None, "a", "a", "b").random() \
+            != derive_pair_rng(None, "a", "a", "b").random()

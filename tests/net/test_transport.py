@@ -1,0 +1,254 @@
+"""Transport fabrics: delivery semantics, timing model, thread safety."""
+
+import threading
+
+import pytest
+
+from repro.net.channel import Channel, ProtocolDesyncError
+from repro.net.party import make_party_pair
+from repro.net.stats import CommunicationStats
+from repro.net.transport import (
+    InProcessTransport,
+    SimulatedNetworkTransport,
+    ThreadedTransport,
+    TransportClosedError,
+    TransportError,
+    TransportSpec,
+    TransportTimeoutError,
+)
+from repro.smc.session import SmcConfig, SmcSession, channel_for_config
+
+
+class TestInProcessTransport:
+    def test_fifo_and_desync(self):
+        transport = InProcessTransport("a", "b")
+        transport.deliver("a", "b", "x", b"1")
+        transport.deliver("a", "b", "y", b"2")
+        assert transport.collect("b", None) == ("x", b"1")
+        assert transport.collect("b", None) == ("y", b"2")
+        with pytest.raises(ProtocolDesyncError, match="inbox is empty"):
+            transport.collect("b", "z")
+
+    def test_unknown_endpoint(self):
+        transport = InProcessTransport("a", "b")
+        with pytest.raises(TransportError, match="not an endpoint"):
+            transport.deliver("a", "c", "x", b"1")
+
+    def test_no_simulated_time(self):
+        assert InProcessTransport("a", "b").simulated_seconds == 0.0
+
+
+class TestThreadedTransport:
+    def test_single_thread_choreography_works(self):
+        """Send-then-receive in one thread never blocks."""
+        channel = Channel(transport=ThreadedTransport("alice", "bob"))
+        channel.left.send("m", [1, 2])
+        assert channel.right.receive("m") == [1, 2]
+
+    def test_two_thread_party_programs(self):
+        """Each party program on its own thread; blocking receive
+        synchronizes a ping-pong without explicit coordination."""
+        channel = Channel(transport=ThreadedTransport("alice", "bob",
+                                                      timeout_s=10.0))
+        alice, bob = channel.left, channel.right
+        results = {}
+
+        def alice_program():
+            alice.send("ping", 1)
+            results["alice"] = alice.receive("pong")
+
+        def bob_program():
+            value = bob.receive("ping")
+            bob.send("pong", value + 1)
+            results["bob"] = value
+
+        threads = [threading.Thread(target=alice_program),
+                   threading.Thread(target=bob_program)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=15)
+        assert results == {"alice": 2, "bob": 1}
+        assert channel.stats.total_messages == 2
+
+    def test_timeout_raises_desync_subclass(self):
+        transport = ThreadedTransport("a", "b", timeout_s=0.05)
+        with pytest.raises(TransportTimeoutError, match="never sent"):
+            transport.collect("a", "hello")
+        assert issubclass(TransportTimeoutError, ProtocolDesyncError)
+
+    def test_invalid_timeout(self):
+        with pytest.raises(TransportError, match="timeout"):
+            ThreadedTransport("a", "b", timeout_s=0)
+
+    def test_close_unblocks_parked_receiver_immediately(self):
+        """Tearing the link down must not stall blocked receivers for
+        their full timeout: close() poisons the inboxes and the parked
+        get fails fast with TransportClosedError."""
+        import time
+
+        transport = ThreadedTransport("a", "b", timeout_s=30.0)
+        outcome = {}
+
+        def receiver():
+            started = time.perf_counter()
+            with pytest.raises(TransportClosedError, match="link closed"):
+                transport.collect("a", "reply")
+            outcome["waited"] = time.perf_counter() - started
+
+        thread = threading.Thread(target=receiver)
+        thread.start()
+        time.sleep(0.05)  # let the receiver park in the blocking get
+        transport.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert outcome["waited"] < 5.0  # not the 30s timeout
+        # Later receives fail fast too (the poison is re-queued).
+        with pytest.raises(TransportClosedError):
+            transport.collect("a", "anything")
+
+    def test_close_keeps_pending_messages_readable(self):
+        transport = ThreadedTransport("a", "b")
+        transport.deliver("b", "a", "last", b"payload")
+        transport.close()
+        assert transport.collect("a", "last") == ("last", b"payload")
+        with pytest.raises(TransportClosedError):
+            transport.collect("a", "next")
+
+    def test_full_protocol_bit_identical_to_in_process(self):
+        """The fabric changes delivery, never the message sequence."""
+        def run(transport):
+            channel = Channel(transport=transport)
+            session = SmcSession(*make_party_pair(channel, 11, 12),
+                                 SmcConfig(key_seed=321, paillier_bits=128))
+            outcome = session.compare_leq(session.alice, 3, session.bob, 7,
+                                          lo=0, hi=100)
+            entries = [(e.sender, e.receiver, e.label, e.value)
+                       for e in channel.transcript.entries]
+            return outcome.result, entries
+
+        in_process = run(InProcessTransport())
+        threaded = run(ThreadedTransport())
+        assert in_process == threaded
+
+
+class TestSimulatedNetworkTransport:
+    def test_latency_charged_per_round_trip(self):
+        transport = SimulatedNetworkTransport("a", "b", latency_s=0.01)
+        stats = CommunicationStats()
+        transport.attach_stats(stats)
+        transport.deliver("a", "b", "m1", b"x")
+        transport.collect("b", "m1")        # b waits one latency
+        transport.deliver("b", "a", "m2", b"y")
+        transport.collect("a", "m2")        # a waits for the reply
+        assert transport.clock_of("b") == pytest.approx(0.01)
+        assert transport.clock_of("a") == pytest.approx(0.02)
+        assert transport.elapsed == pytest.approx(0.02)
+        assert stats.simulated_seconds == pytest.approx(0.02)
+        assert stats.simulated_waits["a"] == pytest.approx(0.01)
+
+    def test_consecutive_sends_pipeline(self):
+        """Same-direction messages share the latency (one round)."""
+        transport = SimulatedNetworkTransport("a", "b", latency_s=0.01)
+        for index in range(5):
+            transport.deliver("a", "b", f"m{index}", b"x")
+        for index in range(5):
+            transport.collect("b", f"m{index}")
+        assert transport.elapsed == pytest.approx(0.01)
+
+    def test_bandwidth_charges_transfer_time(self):
+        transport = SimulatedNetworkTransport(
+            "a", "b", latency_s=0.0, bandwidth_bps=8000)  # 1000 bytes/s
+        transport.deliver("a", "b", "m", b"x" * 500)      # 0.5s transfer
+        transport.collect("b", "m")
+        assert transport.elapsed == pytest.approx(0.5)
+
+    def test_validation(self):
+        with pytest.raises(TransportError, match="latency"):
+            SimulatedNetworkTransport("a", "b", latency_s=-1)
+        with pytest.raises(TransportError, match="bandwidth"):
+            SimulatedNetworkTransport("a", "b", bandwidth_bps=0)
+
+    def test_protocol_equivalence_and_latency_visibility(self):
+        """Same messages as in-process; rounds * latency shows up."""
+        def run(transport):
+            channel = Channel(transport=transport)
+            session = SmcSession(*make_party_pair(channel, 11, 12),
+                                 SmcConfig(key_seed=321, paillier_bits=128))
+            session.compare_leq(session.alice, 3, session.bob, 7,
+                                lo=0, hi=100)
+            return channel
+
+        plain = run(InProcessTransport())
+        simulated = run(SimulatedNetworkTransport(latency_s=0.005))
+        assert [e.value for e in plain.transcript.entries] \
+            == [e.value for e in simulated.transcript.entries]
+        assert plain.stats.rounds == simulated.stats.rounds
+        # Every direction switch pays one latency on the critical path.
+        assert simulated.simulated_seconds \
+            == pytest.approx(0.005 * simulated.stats.rounds)
+        assert plain.simulated_seconds == 0.0
+
+
+class TestTransportSpec:
+    def test_kinds(self):
+        assert isinstance(TransportSpec().create("a", "b"),
+                          InProcessTransport)
+        assert isinstance(TransportSpec(kind="threaded").create("a", "b"),
+                          ThreadedTransport)
+        simulated = TransportSpec(kind="simulated", latency_s=0.02,
+                                  bandwidth_bps=1e6).create("a", "b")
+        assert isinstance(simulated, SimulatedNetworkTransport)
+        assert simulated.latency_s == 0.02
+        assert simulated.bandwidth_bps == 1e6
+
+    def test_unknown_kind(self):
+        with pytest.raises(TransportError, match="unknown transport"):
+            TransportSpec(kind="carrier-pigeon")
+
+    def test_channel_for_config(self):
+        config = SmcConfig(transport=TransportSpec(kind="simulated",
+                                                   latency_s=0.003))
+        channel = channel_for_config(config, "x", "y")
+        assert isinstance(channel.transport, SimulatedNetworkTransport)
+        assert channel.transport.left_name == "x"
+        default = channel_for_config(SmcConfig())
+        assert isinstance(default.transport, InProcessTransport)
+
+
+class TestStatsThreadSafety:
+    def test_concurrent_records_never_lose_counts(self):
+        stats = CommunicationStats()
+        per_thread = 2000
+
+        def hammer(sender):
+            for _ in range(per_thread):
+                stats.record(sender, "peer", f"{sender}/label", 3)
+
+        threads = [threading.Thread(target=hammer, args=(name,))
+                   for name in ("t0", "t1", "t2", "t3")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert stats.total_messages == 4 * per_thread
+        assert stats.total_bytes == 12 * per_thread
+        for name in ("t0", "t1", "t2", "t3"):
+            assert stats.messages_by_direction[f"{name}->peer"] == per_thread
+
+    def test_concurrent_transcript_indices_unique(self):
+        from repro.net.transcript import Transcript
+        transcript = Transcript()
+
+        def hammer(sender):
+            for _ in range(500):
+                transcript.record(sender, "peer", "l", 1, 1)
+
+        threads = [threading.Thread(target=hammer, args=(str(i),))
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        indices = [entry.index for entry in transcript.entries]
+        assert indices == list(range(2000))

@@ -45,6 +45,43 @@ class TestDemoCommand:
         assert exit_code == 0
         assert "bytes" in capsys.readouterr().out
 
+    def test_simulated_transport_with_peer_concurrency(self, capsys):
+        exit_code = main(["demo", "--scenario", "multiparty",
+                          "--points", "9", "--backend", "oracle",
+                          "--min-pts", "2", "--transport", "simulated",
+                          "--net-latency-ms", "10", "--peer-concurrency"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "simulated network" in output
+        assert "concurrent" in output
+
+    def test_threaded_transport_two_party(self, capsys):
+        exit_code = main(["demo", "--points", "6", "--min-pts", "2",
+                          "--backend", "oracle",
+                          "--transport", "threaded"])
+        assert exit_code == 0
+        assert "labels" in capsys.readouterr().out
+
+    def test_simulated_transport_two_party_prints_latency(self, capsys):
+        exit_code = main(["demo", "--points", "6", "--min-pts", "2",
+                          "--backend", "oracle",
+                          "--transport", "simulated",
+                          "--net-latency-ms", "10"])
+        assert exit_code == 0
+        assert "simulated network" in capsys.readouterr().out
+
+    def test_simulated_vs_in_process_same_labels(self, capsys):
+        main(["demo", "--scenario", "multiparty", "--points", "9",
+              "--backend", "oracle", "--min-pts", "2"])
+        plain = capsys.readouterr().out
+        main(["demo", "--scenario", "multiparty", "--points", "9",
+              "--backend", "oracle", "--min-pts", "2",
+              "--transport", "simulated", "--peer-concurrency"])
+        simulated = capsys.readouterr().out
+        for line in plain.splitlines():
+            if line.startswith("party"):
+                assert line in simulated
+
 
 class TestAttackCommand:
     def test_attack_table(self, capsys):
