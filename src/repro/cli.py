@@ -1,4 +1,4 @@
-"""Command-line interface: run demos, the attack, and figure renderings.
+"""Command-line interface: demos, the attack, figures, and the runtime.
 
 Usage::
 
@@ -6,6 +6,14 @@ Usage::
     python -m repro demo --scenario enhanced --min-pts 4
     python -m repro attack --observers 8
     python -m repro figures
+    python -m repro orchestrate --parties 3 --points 12 --verify
+    python -m repro party --run-dir /tmp/run --party party0
+
+``orchestrate`` runs the k-party mesh as *real OS processes* over
+loopback TCP (spawning one ``repro party`` subprocess per data holder);
+``party`` is that subprocess's entry point -- it can equally be launched
+by hand in separate terminals against a shared run directory (see
+``examples/distributed_mesh.py``).
 
 The CLI exists for downstream users who want to see the protocols run
 before writing code; everything it does is a thin wrapper over the
@@ -98,6 +106,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     commands.add_parser("figures",
                         help="render the Figure 2/3/4 partition diagrams")
+
+    orchestrate = commands.add_parser(
+        "orchestrate",
+        help="run the k-party mesh as real OS processes over loopback TCP")
+    orchestrate.add_argument("--parties", type=int, default=3)
+    orchestrate.add_argument("--points", type=int, default=12,
+                             help="total points across parties")
+    orchestrate.add_argument("--eps", type=float, default=1.2)
+    orchestrate.add_argument("--min-pts", type=int, default=4)
+    orchestrate.add_argument("--seed", type=int, default=7)
+    orchestrate.add_argument("--key-bits", type=int, default=256)
+    orchestrate.add_argument("--run-dir", default=None,
+                             help="materialize manifest/partitions/reports "
+                                  "here (kept); default: a temp dir, "
+                                  "removed after the run")
+    orchestrate.add_argument("--deadline-s", type=float, default=180.0)
+    orchestrate.add_argument("--prepare-only", action="store_true",
+                             help="write the manifest and partition files "
+                                  "to --run-dir and print one 'repro "
+                                  "party' command per party (run them in "
+                                  "separate terminals) instead of "
+                                  "spawning the fleet")
+    orchestrate.add_argument("--verify", action="store_true",
+                             help="also run the in-process mesh on the "
+                                  "same workload and assert bit-identical "
+                                  "labels, ledger, and per-pair "
+                                  "transcripts")
+
+    party = commands.add_parser(
+        "party",
+        help="one data holder of an orchestrated run (loads only its own "
+             "partition file from --run-dir)")
+    party.add_argument("--run-dir", required=True)
+    party.add_argument("--party", required=True, dest="party_name")
+    party.add_argument("--fail-after-queries", type=int, default=None,
+                       help="failure-injection hook: die hard after N "
+                            "queries (orchestrator failure-path tests)")
     return parser
 
 
@@ -109,6 +154,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_attack(args)
     if args.command == "figures":
         return _run_figures()
+    if args.command == "orchestrate":
+        return _run_orchestrate(args)
+    if args.command == "party":
+        return _run_party(args)
     return 2  # unreachable: argparse enforces the choices
 
 
@@ -228,6 +277,80 @@ def _run_demo_with_engine(args, points, engine: ModexpEngine) -> int:
     print(f"disclosures: {run.ledger.profile()}")
     _print_crypto_summary(
         engine, session.pool_report().values() if session else ())
+    return 0
+
+
+def _orchestrate_workload(args) -> tuple[dict[str, list], list[int]]:
+    points = _demo_points(args)
+    if args.parties < 2:
+        raise SystemExit("--parties must be >= 2")
+    share = max(1, len(points) // args.parties)
+    by_party = {}
+    for index in range(args.parties):
+        lo = index * share
+        hi = len(points) if index == args.parties - 1 else lo + share
+        by_party[f"party{index}"] = points[lo:hi]
+    seeds = [args.seed + index for index in range(args.parties)]
+    return by_party, seeds
+
+
+def _run_orchestrate(args) -> int:
+    from repro.runtime.orchestrator import (
+        orchestrate_run,
+        verify_against_in_process,
+    )
+
+    by_party, seeds = _orchestrate_workload(args)
+    config = ProtocolConfig(
+        eps=args.eps, min_pts=args.min_pts, scale=100,
+        smc=SmcConfig(paillier_bits=args.key_bits, comparison="bitwise",
+                      key_seed=args.seed))
+    if args.prepare_only:
+        return _prepare_run_dir(args, by_party, config, seeds)
+    run = orchestrate_run(by_party, config, seeds=seeds,
+                          run_dir=args.run_dir,
+                          deadline_s=args.deadline_s)
+    for name, labels in run.result.labels_by_party.items():
+        print(f"{name}: {labels}")
+    print(f"bytes: {run.result.stats['total_bytes']:,}  "
+          f"comparisons: {run.result.comparisons}  "
+          f"wall-clock: {run.elapsed_seconds:.2f}s  "
+          f"(parties as OS processes over loopback TCP)")
+    print(f"disclosures: {run.result.ledger.profile()}")
+    if not args.verify:
+        return 0
+
+    checks = verify_against_in_process(run, by_party, config, seeds)
+    for check, passed in checks.items():
+        print(f"verify {check}: {'bit-identical' if passed else 'MISMATCH'}")
+    return 0 if all(checks.values()) else 1
+
+
+def _prepare_run_dir(args, by_party, config, seeds) -> int:
+    import pathlib
+
+    from repro.runtime.orchestrator import build_manifest, write_run_dir
+
+    if not args.run_dir:
+        raise SystemExit("--prepare-only requires --run-dir")
+    manifest = build_manifest(by_party, config, seeds)
+    run_dir = pathlib.Path(args.run_dir)
+    write_run_dir(run_dir, manifest, by_party)
+    print(f"run directory prepared: {run_dir}")
+    print("launch each party in its own terminal:")
+    for name in manifest.names:
+        print(f"  python -m repro party --run-dir {run_dir} --party {name}")
+    print("each party writes report_<name>.json when its passes finish")
+    return 0
+
+
+def _run_party(args) -> int:
+    from repro.runtime.party import run_party
+
+    report = run_party(args.run_dir, args.party_name,
+                       fail_after_queries=args.fail_after_queries)
+    print(f"{report.party}: labels={report.labels} "
+          f"elapsed={report.elapsed_seconds:.2f}s")
     return 0
 
 

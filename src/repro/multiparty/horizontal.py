@@ -242,6 +242,7 @@ def _make_peer_task(mesh: PartyMesh, driver_name: str, peer_name: str,
     cache = caches[peer_name] if caches is not None else None
 
     def run(sub_ledger: LeakageLedger) -> int:
+        mesh.begin_peer_query(driver_name, peer_name)
         count = _peer_count(session, driver, peer, query_point, peer_points,
                             config, value_bound, sub_ledger, cache,
                             label=f"multiparty/{driver_name}-{peer_name}")

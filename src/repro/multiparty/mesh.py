@@ -22,10 +22,10 @@ exactly (property-tested in ``tests/multiparty/test_scheduler.py``).
 
 from __future__ import annotations
 
-import hashlib
 import random
 
 from repro.net.party import Party
+from repro.net.transport import derive_seeded_stream
 from repro.net.stats import CommunicationStats
 from repro.smc.session import (
     CryptoContext,
@@ -42,18 +42,16 @@ def derive_pair_rng(seed: int | None, party: str, left: str,
                     right: str) -> random.Random:
     """A party's private RNG substream for one pairwise link.
 
-    Derived by hashing the party seed with the party's own name and the
-    canonical (ordered) pair key, so the stream is (a) deterministic
-    under a seed, (b) distinct per (party, pair), and (c) independent of
-    *when* the pair's protocol runs relative to the party's other pairs.
-    SHA-256 rather than ``hash()`` keeps the derivation stable across
-    processes (``PYTHONHASHSEED``).  ``None`` stays nondeterministic.
+    Derived (via :func:`~repro.net.transport.derive_seeded_stream`) by
+    hashing the party seed with the party's own name and the canonical
+    (ordered) pair key, so the stream is (a) deterministic under a
+    seed, (b) distinct per (party, pair), and (c) independent of *when*
+    the pair's protocol runs relative to the party's other pairs --
+    which is also what lets the PR-5 socket runtime re-derive the exact
+    same coins in every party process.  ``None`` stays
+    nondeterministic.
     """
-    if seed is None:
-        return random.Random()
-    material = f"{seed}|{party}|{left}|{right}".encode()
-    return random.Random(
-        int.from_bytes(hashlib.sha256(material).digest(), "big"))
+    return derive_seeded_stream(seed, party, left, right)
 
 
 class MeshError(ValueError):
@@ -170,6 +168,19 @@ class PartyMesh:
             return
         for pair, plan in factors.items():
             self._sessions[self._pair_key(*pair)].precompute_pools(plan)
+
+    def begin_peer_query(self, driver_name: str, peer_name: str) -> None:
+        """Runtime hook: one per-peer secure query is about to start.
+
+        The in-process mesh needs no announcement -- both parties live
+        here -- so this is a no-op.  The socket runtime's mesh view
+        overrides it to emit the control frame that tells the peer
+        process to enter the query choreography (the driver's pass
+        structure is data-dependent, so the peer cannot infer it).
+        Called from inside the scheduler task, on the task's thread, so
+        the announcement and the query's protocol frames stay ordered
+        per link even under ``concurrent_peers``.
+        """
 
     def pool_report(self) -> dict:
         """Per-pair pool accounting: ``{(left, right): session_report}``."""

@@ -65,9 +65,16 @@ class Channel:
         """Virtual link time consumed (0.0 unless the fabric simulates)."""
         return self.transport.simulated_seconds
 
-    def close(self) -> None:
+    def close(self, reason: str | None = None) -> None:
+        """Close the link; ``reason`` reaches any peer parked in a
+        blocking receive (see :meth:`Transport.close`) so an orchestrated
+        party that dies mid-protocol leaves a diagnosable error, not a
+        hang.  The channel is marked closed *after* the transport is
+        poisoned: a racing party program either completes its call or
+        fails fast with the transport's diagnosis -- never with a bare
+        "channel is closed" that hides which peer died."""
+        self.transport.close(reason)
         self._closed = True
-        self.transport.close()
 
     def _send(self, sender: str, receiver: str, label: str, value) -> None:
         if self._closed:

@@ -1,0 +1,223 @@
+"""Length-prefixed frames over a byte stream (the TCP wire format).
+
+Everything the socket runtime puts on a TCP connection travels as one
+*frame*::
+
+    4-byte big-endian frame length | 1 kind byte | payload
+
+The length counts the kind byte plus the payload, so an empty payload
+frames as ``00 00 00 01 <kind>``.  Four kinds exist:
+
+- ``H`` (hello) -- the versioned handshake record exchanged before any
+  protocol traffic (see :mod:`repro.runtime.handshake`).
+- ``M`` (message) -- one protocol message: a label (what the channel
+  layer calls the protocol-phase label) followed by the *exact*
+  :mod:`repro.net.serialization` wire bytes the in-process fabrics
+  carry.  The framing adds routing, never re-encodes the payload, so a
+  TCP run and an in-process run serialize every value identically.
+- ``C`` (control) -- runtime session-control records (begin-query /
+  end-of-pass), encoded with :func:`serialize_message`.  Control frames
+  belong to the orchestration layer and are **not** protocol messages:
+  they never enter a channel's stats or transcript.
+- ``X`` (goodbye) -- clean close announcement with a reason string, so
+  the peer can distinguish an orderly teardown from a crash.
+
+:class:`FramedConnection` wraps a connected socket with these frames,
+a receive timeout, a maximum frame size (malformed length prefixes must
+not trigger gigabyte allocations), and close-versus-timeout error
+mapping.  It is transport-agnostic plumbing: the delivery semantics
+(what an empty inbox means, who may read) live in
+:class:`repro.net.transport.TcpTransport`.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+FRAME_HELLO = b"H"
+FRAME_MESSAGE = b"M"
+FRAME_CONTROL = b"C"
+FRAME_GOODBYE = b"X"
+
+_FRAME_KINDS = (FRAME_HELLO, FRAME_MESSAGE, FRAME_CONTROL, FRAME_GOODBYE)
+
+# Generous ceiling: the largest legitimate frames are ciphertext batches
+# (a few MB at realistic key sizes and batch widths).  A corrupt length
+# prefix above this fails loudly instead of allocating.
+DEFAULT_MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class FramingError(RuntimeError):
+    """Malformed frame: bad kind, oversized length, or a short read."""
+
+
+class ConnectionClosedError(FramingError):
+    """The stream ended (EOF or reset) where a frame was expected."""
+
+
+class ReceiveTimeout(FramingError):
+    """No frame arrived within the configured timeout."""
+
+
+def encode_message_payload(label: str, wire: bytes) -> bytes:
+    """Payload of an ``M`` frame: 2-byte label length, label, wire bytes."""
+    encoded = label.encode("utf-8")
+    if len(encoded) > 0xFFFF:
+        raise FramingError(f"label too long ({len(encoded)} bytes)")
+    return struct.pack(">H", len(encoded)) + encoded + wire
+
+
+def decode_message_payload(payload: bytes) -> tuple[str, bytes]:
+    """Inverse of :func:`encode_message_payload`."""
+    if len(payload) < 2:
+        raise FramingError("message frame too short for a label length")
+    (label_length,) = struct.unpack_from(">H", payload, 0)
+    if len(payload) < 2 + label_length:
+        raise FramingError(
+            f"message frame truncated: label needs {label_length} bytes, "
+            f"have {len(payload) - 2}")
+    try:
+        label = payload[2:2 + label_length].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise FramingError(f"frame label is not valid UTF-8: {exc}") from exc
+    return label, payload[2 + label_length:]
+
+
+class FramedConnection:
+    """Typed length-prefixed frames over one connected socket.
+
+    Writes are locked (the runtime may interleave control-plane writes
+    with protocol writes from a pass-executor thread); reads are
+    single-consumer by design -- exactly one logical reader per link at
+    any time -- and locked anyway so a misuse corrupts nothing.
+    """
+
+    def __init__(self, sock: socket.socket, *,
+                 timeout_s: float = 30.0,
+                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+                 name: str = "link"):
+        if timeout_s <= 0:
+            raise FramingError(f"timeout_s must be > 0, got {timeout_s}")
+        if max_frame_bytes < 1:
+            raise FramingError(
+                f"max_frame_bytes must be >= 1, got {max_frame_bytes}")
+        self._sock = sock
+        self.timeout_s = timeout_s
+        self.max_frame_bytes = max_frame_bytes
+        self.name = name
+        self._send_lock = threading.Lock()
+        self._recv_lock = threading.Lock()
+        # Partial-read buffer: bytes consumed from the socket stay here
+        # until a whole frame is available, so a ReceiveTimeout never
+        # loses data and read_frame is safely retryable mid-frame.
+        self._pending = b""
+        self._closed = False
+        sock.settimeout(timeout_s)
+
+    # -- writing -----------------------------------------------------------
+
+    def write_frame(self, kind: bytes, payload: bytes = b"") -> None:
+        if kind not in _FRAME_KINDS:
+            raise FramingError(f"unknown frame kind {kind!r}")
+        if 1 + len(payload) > self.max_frame_bytes:
+            # Mirror of the read-side ceiling: fail at the producing call
+            # site with the real cause, not at the receiver as a
+            # malformed-frame desync.
+            raise FramingError(
+                f"{self.name}: frame of {1 + len(payload)} bytes exceeds "
+                f"the {self.max_frame_bytes}-byte ceiling; raise "
+                f"max_frame_bytes on both ends for batches this large")
+        frame = _LENGTH.pack(1 + len(payload)) + kind + payload
+        with self._send_lock:
+            if self._closed:
+                raise ConnectionClosedError(
+                    f"{self.name}: write on closed connection")
+            try:
+                self._sock.sendall(frame)
+            except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+                raise ConnectionClosedError(
+                    f"{self.name}: peer gone while writing "
+                    f"{kind!r} frame ({exc})") from exc
+
+    def write_message(self, label: str, wire: bytes) -> None:
+        self.write_frame(FRAME_MESSAGE, encode_message_payload(label, wire))
+
+    def write_goodbye(self, reason: str = "done") -> None:
+        self.write_frame(FRAME_GOODBYE, reason.encode("utf-8"))
+
+    # -- reading -----------------------------------------------------------
+
+    def _fill(self, count: int, context: str) -> None:
+        """Grow the pending buffer to ``count`` bytes without consuming.
+
+        A timeout raises :class:`ReceiveTimeout` but *keeps* whatever
+        arrived -- the next call resumes where this one stopped, so a
+        frame that straddles a timeout window (slow peer, split TCP
+        segments) is never corrupted by a retry.  EOF with bytes already
+        buffered means the peer died with a frame in flight -- a
+        connection loss, not a protocol bug.
+        """
+        while len(self._pending) < count:
+            try:
+                chunk = self._sock.recv(count - len(self._pending))
+            except socket.timeout:
+                raise ReceiveTimeout(
+                    f"{self.name}: no data for {self.timeout_s}s while "
+                    f"reading {context}") from None
+            except (ConnectionResetError, OSError) as exc:
+                raise ConnectionClosedError(
+                    f"{self.name}: connection lost while reading "
+                    f"{context} ({exc})") from exc
+            if not chunk:
+                if self._pending:
+                    raise ConnectionClosedError(
+                        f"{self.name}: stream ended mid-frame while "
+                        f"reading {context} (peer died with a frame in "
+                        f"flight)")
+                raise ConnectionClosedError(
+                    f"{self.name}: peer closed the connection")
+            self._pending += chunk
+
+    def read_frame(self) -> tuple[bytes, bytes]:
+        """Read one ``(kind, payload)`` frame, blocking up to the timeout.
+
+        Retryable after :class:`ReceiveTimeout`: partially received
+        bytes stay buffered and the next call resumes the same frame.
+        """
+        with self._recv_lock:
+            self._fill(_LENGTH.size, "a frame length")
+            (length,) = _LENGTH.unpack_from(self._pending)
+            if length < 1:
+                raise FramingError(
+                    f"{self.name}: frame length {length} < 1")
+            if length > self.max_frame_bytes:
+                raise FramingError(
+                    f"{self.name}: frame length {length} exceeds the "
+                    f"{self.max_frame_bytes}-byte ceiling")
+            self._fill(_LENGTH.size + length, "a frame body")
+            body = self._pending[_LENGTH.size:_LENGTH.size + length]
+            self._pending = self._pending[_LENGTH.size + length:]
+            kind, payload = body[:1], body[1:]
+            if kind not in _FRAME_KINDS:
+                raise FramingError(
+                    f"{self.name}: unknown frame kind {kind!r}")
+            return kind, payload
+
+    def close(self) -> None:
+        with self._send_lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

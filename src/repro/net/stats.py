@@ -133,3 +133,36 @@ class CommunicationStats:
                 "messages_by_direction": dict(self.messages_by_direction),
                 "bytes_by_label": dict(self.bytes_by_label),
             }
+
+
+#: The scalar/mapping split of :meth:`CommunicationStats.snapshot` --
+#: the single authoritative field list :func:`merge_snapshots` folds.
+#: Extend these alongside ``snapshot()`` and cross-process merges stay
+#: in lockstep automatically.
+_SNAPSHOT_SCALARS = ("total_bytes", "total_messages", "rounds",
+                     "simulated_seconds")
+_SNAPSHOT_MAPPINGS = ("bytes_by_direction", "messages_by_direction",
+                      "bytes_by_label")
+
+
+def merge_snapshots(snapshots) -> dict:
+    """Fold :meth:`CommunicationStats.snapshot` dicts into one.
+
+    Semantically :meth:`CommunicationStats.merge` over independent links
+    followed by :meth:`~CommunicationStats.snapshot` -- scalars add (the
+    conservative sequential figure, as ``merge`` documents), mappings
+    add per key.  Lives here, next to the snapshot field list, so the
+    socket runtime's cross-process merge cannot drift from the
+    in-process accounting when a field is added.
+    """
+    merged: dict = {name: 0 for name in _SNAPSHOT_SCALARS}
+    merged["simulated_seconds"] = 0.0
+    for name in _SNAPSHOT_MAPPINGS:
+        merged[name] = {}
+    for snapshot in snapshots:
+        for name in _SNAPSHOT_SCALARS:
+            merged[name] += snapshot[name]
+        for name in _SNAPSHOT_MAPPINGS:
+            for key, value in snapshot[name].items():
+                merged[name][key] = merged[name].get(key, 0) + value
+    return merged

@@ -9,6 +9,7 @@ the leakage ledger cites transcript labels as evidence.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 from dataclasses import dataclass, field
 
@@ -76,3 +77,23 @@ class Transcript:
 
     def clear(self) -> None:
         self.entries.clear()
+
+
+def transcript_digest(transcript: Transcript) -> str:
+    """SHA-256 over the transcript's canonical wire rendering.
+
+    Each entry contributes ``serialize_message([sender, receiver, label,
+    value])`` -- the canonical encoding the fuzz suite guarantees is
+    injective -- so two transcripts share a digest iff their message
+    sequences are bit-identical.  The socket runtime compares digests
+    instead of shipping full transcripts between processes: both ends of
+    every TCP pair must agree, and an orchestrated run must match the
+    in-process fabric entry for entry.
+    """
+    from repro.net.serialization import serialize_message
+
+    digest = hashlib.sha256()
+    for entry in transcript.entries:
+        digest.update(serialize_message(
+            [entry.sender, entry.receiver, entry.label, entry.value]))
+    return digest.hexdigest()

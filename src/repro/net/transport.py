@@ -4,7 +4,7 @@ A :class:`~repro.net.channel.Channel` owns *accounting* (wire
 serialization, byte/round statistics, the transcript); the
 :class:`Transport` underneath it owns *delivery*: how a framed message
 travels from one endpoint's outbox to the other endpoint's inbox, and
-what "the inbox is empty" means.  Three fabrics implement the interface:
+what "the inbox is empty" means.  Four fabrics implement the interface:
 
 - :class:`InProcessTransport` -- the seed-era semantics: plain FIFO
   deques, zero cost, and an empty inbox is a protocol bug
@@ -18,11 +18,25 @@ what "the inbox is empty" means.  Three fabrics implement the interface:
 - :class:`SimulatedNetworkTransport` -- in-process delivery plus a
   per-link latency/bandwidth model: every endpoint carries a virtual
   clock, each message arrives ``latency + wire_bits/bandwidth`` after
-  its sender's clock, and a receive that has to "wait" for an arrival
-  advances the receiver's clock and charges the wait to the link's
+  its sender's clock (plus an optional seeded jitter draw), and a
+  receive that has to "wait" for an arrival advances the receiver's
+  clock and charges the wait to the link's
   :class:`~repro.net.stats.CommunicationStats` latency ledger.  This is
   how benchmarks make round-trip latency -- the dominant online cost of
   interactive protocols on real networks -- visible without sleeping.
+- :class:`TcpTransport` -- a real socket: the link's two endpoints live
+  in *different OS processes*, connected by a
+  :class:`~repro.net.framing.FramedConnection`.  Each process serves
+  only its local endpoint -- ``deliver`` writes one length-prefixed
+  frame carrying the label and the exact
+  :mod:`repro.net.serialization` wire bytes, ``collect`` blocks on the
+  socket -- so the message sequence on the wire is byte-identical to
+  what the in-process fabrics queue.  Timeouts map to
+  :class:`TransportTimeoutError`, peer teardown (goodbye frame or EOF)
+  to :class:`TransportClosedError`, and both error messages name the
+  pair, the local party, and the last frame seen, so an orchestrated
+  party that dies mid-protocol is diagnosable from the survivor's
+  exception alone.
 
 Transports never look inside ``wire`` bytes and never see plaintext
 values; the trust boundary stays in the channel layer.
@@ -30,12 +44,26 @@ values; the trust boundary stays in the channel layer.
 
 from __future__ import annotations
 
+import hashlib
 import queue
+import random
 import threading
 from abc import ABC, abstractmethod
 from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
+
+from repro.net.framing import (
+    FRAME_CONTROL,
+    FRAME_GOODBYE,
+    FRAME_HELLO,
+    FRAME_MESSAGE,
+    ConnectionClosedError,
+    FramedConnection,
+    FramingError,
+    ReceiveTimeout,
+    decode_message_payload,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (stats type)
     from repro.net.stats import CommunicationStats
@@ -65,6 +93,19 @@ class TransportTimeoutError(ProtocolDesyncError):
 
 class TransportClosedError(TransportError):
     """The link was closed while (or before) a receive was waiting."""
+
+
+def link_context(left_name: str, right_name: str,
+                 last_frame: tuple[str, str, str] | None,
+                 local_name: str | None = None) -> str:
+    """The shared diagnosis suffix of transport errors: which pair,
+    (optionally) which local party, and the last ``sender->receiver
+    label`` frame that made it across -- how far the protocol got."""
+    trail = (f"last frame {last_frame[0]}->{last_frame[1]} "
+             f"{last_frame[2]!r}" if last_frame
+             else "no frames were delivered")
+    local = f", local {local_name!r}" if local_name is not None else ""
+    return f"pair {left_name!r}<->{right_name!r}{local}; {trail}"
 
 
 class Transport(ABC):
@@ -104,8 +145,14 @@ class Transport(ABC):
         fabric enforces identical framing rules.
         """
 
-    def close(self) -> None:
-        """Release fabric resources; delivery after close is undefined."""
+    def close(self, reason: str | None = None) -> None:
+        """Release fabric resources; delivery after close is undefined.
+
+        ``reason`` is a human-readable diagnosis (e.g. *"party bob died:
+        ZeroDivisionError"*) that fabrics with blocking receivers thread
+        into the error their parked peers see.  Fabrics with nothing to
+        unblock ignore it.
+        """
 
     @property
     def simulated_seconds(self) -> float:
@@ -151,7 +198,12 @@ class ThreadedTransport(Transport):
     any undelivered messages, which stay readable), so a receiver that
     is parked in the blocking get when the peer tears the link down
     fails immediately with :class:`TransportClosedError` instead of
-    stalling out its full timeout.
+    stalling out its full timeout.  ``close(reason=...)`` threads a
+    diagnosis -- typically *which* party program died and why -- into
+    that error, and both the timeout and the closed error name the pair
+    and the last frame that made it across, so a supervisor tearing
+    down a crashed party leaves the surviving program with an exception
+    that says who failed, on which link, and how far the protocol got.
     """
 
     _CLOSED = object()  # inbox poison; never crosses serialization
@@ -164,10 +216,17 @@ class ThreadedTransport(Transport):
         self.timeout_s = timeout_s
         self._inboxes: dict[str, queue.Queue] = {left_name: queue.Queue(),
                                                  right_name: queue.Queue()}
+        self._last_frame: tuple[str, str, str] | None = None
+        self._close_reason: str | None = None
+
+    def _pair_context(self) -> str:
+        return link_context(self.left_name, self.right_name,
+                            self._last_frame)
 
     def deliver(self, sender: str, receiver: str, label: str,
                 wire: bytes) -> None:
         self._check_endpoint(receiver)
+        self._last_frame = (sender, receiver, label)
         self._inboxes[receiver].put((label, wire))
 
     def collect(self, receiver: str,
@@ -178,17 +237,22 @@ class ThreadedTransport(Transport):
         except queue.Empty:
             raise TransportTimeoutError(
                 f"{receiver} waited {self.timeout_s}s for "
-                f"{expected_label or 'a message'}; the peer never sent it"
+                f"{expected_label or 'a message'}; the peer never sent it "
+                f"({self._pair_context()})"
             ) from None
         if item is self._CLOSED:
             # Re-poison so every later receive fails fast too.
             self._inboxes[receiver].put(self._CLOSED)
+            reason = f": {self._close_reason}" if self._close_reason else ""
             raise TransportClosedError(
                 f"link closed while {receiver} waited for "
-                f"{expected_label or 'a message'}")
+                f"{expected_label or 'a message'}{reason} "
+                f"({self._pair_context()})")
         return item
 
-    def close(self) -> None:
+    def close(self, reason: str | None = None) -> None:
+        if reason is not None and self._close_reason is None:
+            self._close_reason = reason
         for inbox in self._inboxes.values():
             inbox.put(self._CLOSED)
 
@@ -208,19 +272,35 @@ class SimulatedNetworkTransport(Transport):
     ``elapsed`` -- the maximum endpoint clock -- is the simulated
     wall-clock a single-threaded choreography over this link would have
     consumed on a real network with these link parameters.
+
+    Jitter: with ``jitter_s > 0`` every message pays an extra uniform
+    draw from ``[0, jitter_s)`` on top of the base latency, from
+    ``jitter_rng`` -- seed it (see :meth:`TransportSpec.create`, which
+    derives a per-link stream from ``jitter_seed``) and the perturbed
+    timing is exactly reproducible.  Jitter models per-packet delay
+    variance only; it never reorders messages (FIFO per link, as TCP
+    guarantees) and never changes the message sequence, so protocol
+    observables stay bit-identical to the jitter-free run.
     """
 
     def __init__(self, left_name: str = "alice", right_name: str = "bob",
                  latency_s: float = 0.005,
-                 bandwidth_bps: float | None = None):
+                 bandwidth_bps: float | None = None,
+                 jitter_s: float = 0.0,
+                 jitter_rng: random.Random | None = None):
         super().__init__(left_name, right_name)
         if latency_s < 0:
             raise TransportError(f"latency_s must be >= 0, got {latency_s}")
         if bandwidth_bps is not None and bandwidth_bps <= 0:
             raise TransportError(
                 f"bandwidth_bps must be > 0, got {bandwidth_bps}")
+        if jitter_s < 0:
+            raise TransportError(f"jitter_s must be >= 0, got {jitter_s}")
         self.latency_s = latency_s
         self.bandwidth_bps = bandwidth_bps
+        self.jitter_s = jitter_s
+        self._jitter_rng = (jitter_rng if jitter_rng is not None
+                            else random.Random())
         self._inboxes: dict[str, deque] = {left_name: deque(),
                                            right_name: deque()}
         self._clocks: dict[str, float] = {left_name: 0.0, right_name: 0.0}
@@ -256,7 +336,16 @@ class SimulatedNetworkTransport(Transport):
         elapsed_before = max(self._clocks.values())
         self._clocks[sender] += self._transfer_seconds(wire)
         arrival = self._clocks[sender] + self.latency_s
-        self._inboxes[receiver].append((label, wire, arrival))
+        if self.jitter_s > 0:
+            arrival += self._jitter_rng.uniform(0.0, self.jitter_s)
+        inbox = self._inboxes[receiver]
+        if inbox:
+            # In-order delivery (TCP semantics): a lucky jitter draw
+            # cannot overtake a message already in flight to the same
+            # receiver -- head-of-line, arrivals are monotone per link
+            # direction.
+            arrival = max(arrival, inbox[-1][2])
+        inbox.append((label, wire, arrival))
         self._charge(sender, elapsed_before)
 
     def collect(self, receiver: str,
@@ -289,7 +378,154 @@ class SimulatedNetworkTransport(Transport):
         return self.elapsed
 
 
+class TcpTransport(Transport):
+    """Real socket fabric: each endpoint lives in its own OS process.
+
+    One process constructs this transport around the connected,
+    handshaken :class:`~repro.net.framing.FramedConnection` of a link
+    and names which endpoint is *local*.  ``deliver`` is only valid for
+    the local sender (a process cannot fabricate its peer's traffic) and
+    writes one message frame -- the label plus the exact serialization
+    wire bytes.  ``collect`` is only valid for the local receiver and
+    blocks on the socket.
+
+    Error mapping, all carrying pair / party / last-frame context:
+
+    - receive timeout -> :class:`TransportTimeoutError` (a desync or a
+      hung peer);
+    - goodbye frame or EOF/reset -> :class:`TransportClosedError`
+      (orderly teardown vs. peer death, the reason string tells which);
+    - control/hello frames inside the protocol stream, or malformed
+      frames -> :class:`ProtocolDesyncError`.
+    """
+
+    def __init__(self, left_name: str, right_name: str,
+                 connection: FramedConnection, local_name: str):
+        super().__init__(left_name, right_name)
+        self._check_endpoint(local_name)
+        self.connection = connection
+        self.local_name = local_name
+        self.peer_name = (right_name if local_name == left_name
+                          else left_name)
+        self._last_frame: tuple[str, str, str] | None = None
+
+    def _context(self) -> str:
+        return link_context(self.left_name, self.right_name,
+                            self._last_frame, local_name=self.local_name)
+
+    def deliver(self, sender: str, receiver: str, label: str,
+                wire: bytes) -> None:
+        self._check_endpoint(sender)
+        self._check_endpoint(receiver)
+        if sender != self.local_name:
+            raise TransportError(
+                f"{sender!r} is not the local endpoint of this process; "
+                f"a socket fabric only transmits its own party's messages "
+                f"({self._context()})")
+        try:
+            self.connection.write_message(label, wire)
+        except ConnectionClosedError as exc:
+            raise TransportClosedError(
+                f"{sender} could not send {label!r}: {exc} "
+                f"({self._context()})") from exc
+        self._last_frame = (sender, receiver, label)
+
+    def collect(self, receiver: str,
+                expected_label: str | None) -> tuple[str, bytes]:
+        self._check_endpoint(receiver)
+        if receiver != self.local_name:
+            raise TransportError(
+                f"{receiver!r} is not the local endpoint of this process "
+                f"({self._context()})")
+        want = expected_label or "a message"
+        try:
+            kind, payload = self.connection.read_frame()
+        except ReceiveTimeout as exc:
+            raise TransportTimeoutError(
+                f"{receiver} waited {self.connection.timeout_s}s for "
+                f"{want}; the peer never sent it ({self._context()})"
+            ) from exc
+        except ConnectionClosedError as exc:
+            raise TransportClosedError(
+                f"link closed while {receiver} waited for {want}: {exc} "
+                f"({self._context()})") from exc
+        except FramingError as exc:
+            raise ProtocolDesyncError(
+                f"malformed frame while {receiver} waited for {want}: "
+                f"{exc} ({self._context()})") from exc
+        if kind == FRAME_GOODBYE:
+            raise TransportClosedError(
+                f"peer {self.peer_name!r} closed the link "
+                f"({payload.decode('utf-8', 'replace')!r}) while "
+                f"{receiver} waited for {want} ({self._context()})")
+        if kind in (FRAME_CONTROL, FRAME_HELLO):
+            raise ProtocolDesyncError(
+                f"{'control' if kind == FRAME_CONTROL else 'hello'} frame "
+                f"inside the protocol stream while {receiver} waited for "
+                f"{want} ({self._context()})")
+        assert kind == FRAME_MESSAGE
+        try:
+            label, wire = decode_message_payload(payload)
+        except FramingError as exc:
+            raise ProtocolDesyncError(
+                f"unreadable message frame while {receiver} waited for "
+                f"{want}: {exc} ({self._context()})") from exc
+        self._last_frame = (self.peer_name, receiver, label)
+        return label, wire
+
+    def close(self, reason: str | None = None) -> None:
+        if not self.connection.closed:
+            try:
+                self.connection.write_goodbye(reason or "done")
+            except ConnectionClosedError:
+                pass  # peer already gone; nothing to announce
+            self.connection.close()
+
+
+def derive_seeded_stream(seed: int | None, *parts) -> random.Random:
+    """A deterministic ``random.Random`` for one named purpose.
+
+    SHA-256 over ``seed | part | part | ...`` keeps the stream stable
+    across processes (``PYTHONHASHSEED``-proof) and independent of
+    creation order; ``None`` stays nondeterministic.  The derivation
+    primitive behind ``repro.multiparty.mesh.derive_pair_rng`` (per-pair
+    protocol coins) and :func:`derive_jitter_rng` (per-link timing
+    noise) -- one implementation, distinct part-tagged streams.
+    """
+    if seed is None:
+        return random.Random()
+    material = "|".join(str(part) for part in (seed, *parts)).encode()
+    return random.Random(
+        int.from_bytes(hashlib.sha256(material).digest(), "big"))
+
+
+def derive_jitter_rng(seed: int | None, left: str,
+                      right: str) -> random.Random:
+    """Deterministic per-link jitter stream (see
+    :func:`derive_seeded_stream`; the ``"jitter"`` tag keeps it disjoint
+    from every protocol coin stream)."""
+    return derive_seeded_stream(seed, "jitter", left, right)
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Per-link overrides for the simulated fabric (heterogeneous WANs).
+
+    ``None`` fields inherit the :class:`TransportSpec` defaults, so a
+    profile can override just the latency of one slow pair while the
+    rest of the mesh keeps the spec-wide numbers.
+    """
+
+    latency_s: float | None = None
+    bandwidth_bps: float | None = None
+    jitter_s: float | None = None
+
+
 _TRANSPORT_KINDS = ("in_process", "threaded", "simulated")
+
+
+def canonical_pair(left: str, right: str) -> tuple[str, str]:
+    return (left, right) if left <= right else (right, left)
 
 
 @dataclass(frozen=True)
@@ -298,7 +534,9 @@ class TransportSpec:
 
     Configs are frozen value objects shared across pairwise links, so
     they carry a *spec* rather than a transport instance; every link
-    calls :meth:`create` for its own private fabric.
+    calls :meth:`create` for its own private fabric.  (The TCP fabric is
+    *not* spec-creatable: a real socket needs a connected, handshaken
+    link that only the :mod:`repro.runtime` session layer can provide.)
 
     Attributes:
         kind: ``"in_process"`` (default), ``"threaded"``, or
@@ -307,18 +545,61 @@ class TransportSpec:
         bandwidth_bps: link bandwidth in bits/second for the simulated
             fabric; ``None`` models infinite bandwidth (latency only).
         timeout_s: blocking-receive timeout for the threaded fabric.
+        jitter_s: per-message uniform delay spread for the simulated
+            fabric (0 = the deterministic fixed-latency model).
+        jitter_seed: when set, each link draws its jitter from a
+            deterministic per-link stream (stable across processes and
+            link creation order); ``None`` = nondeterministic jitter.
+        per_link: heterogeneous link parameters -- a mapping from an
+            unordered name pair to a :class:`LinkProfile`; accepted as a
+            dict at construction and normalized to a sorted tuple so the
+            spec stays hashable.  Links without a profile use the
+            spec-wide defaults.
     """
 
     kind: str = "in_process"
     latency_s: float = 0.005
     bandwidth_bps: float | None = None
     timeout_s: float = 5.0
+    jitter_s: float = 0.0
+    jitter_seed: int | None = None
+    per_link: object = ()
 
     def __post_init__(self):
         if self.kind not in _TRANSPORT_KINDS:
             raise TransportError(
                 f"unknown transport kind {self.kind!r}; "
                 f"expected one of {_TRANSPORT_KINDS}")
+        if self.jitter_s < 0:
+            raise TransportError(
+                f"jitter_s must be >= 0, got {self.jitter_s}")
+        items = (self.per_link.items() if isinstance(self.per_link, dict)
+                 else self.per_link)
+        normalized = []
+        for pair, profile in items:
+            left, right = pair
+            if left == right:
+                raise TransportError(
+                    f"per_link pair {pair!r} names one endpoint twice")
+            if not isinstance(profile, LinkProfile):
+                raise TransportError(
+                    f"per_link value for {pair!r} must be a LinkProfile, "
+                    f"got {type(profile).__name__}")
+            normalized.append((canonical_pair(left, right), profile))
+        normalized.sort(key=lambda item: item[0])
+        keys = [pair for pair, _ in normalized]
+        if len(set(keys)) != len(keys):
+            raise TransportError(
+                f"duplicate per_link pair in {keys}")
+        object.__setattr__(self, "per_link", tuple(normalized))
+
+    def link_profile(self, left_name: str,
+                     right_name: str) -> LinkProfile | None:
+        key = canonical_pair(left_name, right_name)
+        for pair, profile in self.per_link:
+            if pair == key:
+                return profile
+        return None
 
     def create(self, left_name: str, right_name: str) -> Transport:
         """Build a fresh fabric for one link."""
@@ -326,7 +607,18 @@ class TransportSpec:
             return ThreadedTransport(left_name, right_name,
                                      timeout_s=self.timeout_s)
         if self.kind == "simulated":
+            profile = self.link_profile(left_name, right_name) \
+                or LinkProfile()
+            latency = (profile.latency_s if profile.latency_s is not None
+                       else self.latency_s)
+            bandwidth = (profile.bandwidth_bps
+                         if profile.bandwidth_bps is not None
+                         else self.bandwidth_bps)
+            jitter = (profile.jitter_s if profile.jitter_s is not None
+                      else self.jitter_s)
             return SimulatedNetworkTransport(
-                left_name, right_name, latency_s=self.latency_s,
-                bandwidth_bps=self.bandwidth_bps)
+                left_name, right_name, latency_s=latency,
+                bandwidth_bps=bandwidth, jitter_s=jitter,
+                jitter_rng=derive_jitter_rng(self.jitter_seed, left_name,
+                                             right_name))
         return InProcessTransport(left_name, right_name)

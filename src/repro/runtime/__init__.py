@@ -1,0 +1,53 @@
+"""Socket runtime: party processes over TCP and a session orchestrator.
+
+The in-process fabrics of :mod:`repro.net.transport` simulate a network
+inside one interpreter; this package runs the same protocols across
+*real OS processes* over loopback (or LAN) TCP:
+
+- :mod:`repro.runtime.handshake` -- the versioned link handshake that
+  binds (session id, party id, pair id, config digest) before any
+  protocol byte flows, so mismatched deployments fail fast instead of
+  desyncing mid-protocol.
+- :mod:`repro.runtime.manifest` -- the public run description every
+  party process loads: party names, seeds, point counts, the protocol
+  configuration, and the port plan.
+- :mod:`repro.runtime.mirror` -- the mirrored-choreography channel that
+  lets the existing two-sided protocol implementations run unchanged
+  across a process boundary (see the module docstring for the execution
+  model and its equivalence guarantee).
+- :mod:`repro.runtime.party` -- the party program: loads one data
+  partition, dials/accepts its mesh links, runs its driver pass and
+  serves its peers' passes, and reports labels / ledger / stats /
+  transcript digests.
+- :mod:`repro.runtime.orchestrator` -- spawns the party programs as
+  subprocesses, allocates ports, collects the per-party reports, and
+  merges them into the same result shape the in-process mesh returns.
+- :mod:`repro.runtime.supervisor` -- thread-level party-program
+  supervision used by tests and the threaded fabric: a dying program
+  closes its channel with a diagnosis instead of leaving peers hung.
+"""
+
+from repro.runtime.handshake import HandshakeError, perform_handshake
+from repro.runtime.manifest import (
+    RunManifest,
+    UnsupportedConfigError,
+    manifest_digest,
+)
+from repro.runtime.orchestrator import (
+    OrchestratedRun,
+    OrchestrationError,
+    orchestrate_run,
+)
+from repro.runtime.party import run_party
+
+__all__ = [
+    "HandshakeError",
+    "OrchestratedRun",
+    "OrchestrationError",
+    "RunManifest",
+    "UnsupportedConfigError",
+    "manifest_digest",
+    "orchestrate_run",
+    "perform_handshake",
+    "run_party",
+]

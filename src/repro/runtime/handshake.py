@@ -1,0 +1,129 @@
+"""Versioned link handshake for the socket runtime.
+
+Before any protocol byte flows on a TCP link, both ends exchange one
+hello frame binding everything that must agree for the link to make
+sense:
+
+- the runtime **protocol version** (wire format + handshake layout);
+- the **session id** (one orchestrated run = one session; a stray party
+  from yesterday's run cannot join today's);
+- the **pair id** (which unordered mesh pair this socket carries);
+- the **party id** (which endpoint of the pair the peer claims to be);
+- the **config digest** (SHA-256 over the canonical run manifest: party
+  names, seeds, counts, every protocol parameter).
+
+A mismatch on any field raises :class:`HandshakeError` naming the field
+and both values, and the connection closes cleanly -- the failure mode
+is an immediate, diagnosable refusal, never a mid-protocol desync where
+two differently-configured parties exchange ciphertexts that decrypt to
+garbage three rounds later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.framing import (
+    FRAME_GOODBYE,
+    FRAME_HELLO,
+    ConnectionClosedError,
+    FramedConnection,
+    FramingError,
+)
+from repro.net.serialization import (
+    SerializationError,
+    deserialize_message,
+    serialize_message,
+)
+
+#: Bumped whenever the frame layout, the hello record, or the control
+#: plane changes incompatibly.
+PROTOCOL_VERSION = 1
+
+
+class HandshakeError(RuntimeError):
+    """The peer's hello disagrees with ours; the link was refused."""
+
+
+@dataclass(frozen=True)
+class Hello:
+    """One endpoint's handshake record."""
+
+    version: int
+    session_id: str
+    pair_left: str
+    pair_right: str
+    party_id: str
+    config_digest: str
+
+    def to_wire(self) -> bytes:
+        return serialize_message([
+            self.version, self.session_id, self.pair_left, self.pair_right,
+            self.party_id, self.config_digest,
+        ])
+
+    @classmethod
+    def from_wire(cls, payload: bytes) -> "Hello":
+        try:
+            fields = deserialize_message(payload)
+        except (SerializationError, UnicodeDecodeError) as exc:
+            raise HandshakeError(f"unreadable hello frame: {exc}") from exc
+        if (not isinstance(fields, list) or len(fields) != 6
+                or not isinstance(fields[0], int)
+                or not all(isinstance(f, str) for f in fields[1:])):
+            raise HandshakeError(
+                f"malformed hello record: {fields!r}")
+        return cls(version=fields[0], session_id=fields[1],
+                   pair_left=fields[2], pair_right=fields[3],
+                   party_id=fields[4], config_digest=fields[5])
+
+
+def perform_handshake(connection: FramedConnection, mine: Hello,
+                      expected_peer: str) -> Hello:
+    """Exchange hellos on a fresh link; validate or refuse.
+
+    Both sides send first and read second (the frames cross in flight,
+    so neither order can deadlock).  On any mismatch a goodbye frame
+    with the refusal reason is sent best-effort before raising, so the
+    peer's own handshake fails with the same diagnosis instead of a
+    bare EOF.
+    """
+    try:
+        connection.write_frame(FRAME_HELLO, mine.to_wire())
+        kind, payload = connection.read_frame()
+    except (ConnectionClosedError, FramingError) as exc:
+        raise HandshakeError(
+            f"{connection.name}: peer vanished during the handshake "
+            f"({exc})") from exc
+    if kind == FRAME_GOODBYE:
+        raise HandshakeError(
+            f"{connection.name}: peer refused the link: "
+            f"{payload.decode('utf-8', 'replace')}")
+    if kind != FRAME_HELLO:
+        _refuse(connection,
+                f"expected a hello frame, got kind {kind!r}")
+    theirs = Hello.from_wire(payload)
+    for field_name, ours_value, theirs_value in (
+            ("protocol version", mine.version, theirs.version),
+            ("session id", mine.session_id, theirs.session_id),
+            ("pair", (mine.pair_left, mine.pair_right),
+             (theirs.pair_left, theirs.pair_right)),
+            ("config digest", mine.config_digest, theirs.config_digest)):
+        if ours_value != theirs_value:
+            _refuse(connection,
+                    f"{field_name} mismatch: ours {ours_value!r}, "
+                    f"peer {theirs_value!r}")
+    if theirs.party_id != expected_peer:
+        _refuse(connection,
+                f"party mismatch: expected {expected_peer!r} on the far "
+                f"end, peer claims {theirs.party_id!r}")
+    return theirs
+
+
+def _refuse(connection: FramedConnection, reason: str) -> None:
+    try:
+        connection.write_goodbye(f"handshake refused: {reason}")
+    except ConnectionClosedError:
+        pass
+    connection.close()
+    raise HandshakeError(f"{connection.name}: {reason}")

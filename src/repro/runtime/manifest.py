@@ -1,0 +1,257 @@
+"""The public run description shared by every party process.
+
+A :class:`RunManifest` is everything about an orchestrated run that is
+*public by protocol design* -- party names and order, per-party RNG
+seeds, per-party point counts, the dimensionality, the comparison-domain
+bound, the full protocol configuration, and the port plan.  Private data
+(the coordinates themselves) never enters the manifest; each party loads
+its own partition file and nothing else.
+
+The manifest is also the unit the handshake digests: two processes whose
+manifests differ in *any* field produce different digests and refuse
+each other's links before a single protocol byte flows.
+
+Supported configuration surface
+-------------------------------
+
+The socket runtime executes the existing choreography implementations on
+both ends of every link (see :mod:`repro.runtime.mirror`), which
+requires every party's coin streams and key material to be *derivable
+from public seeds*: ``SmcConfig.key_seed`` and per-party seeds are
+mandatory, and the comparison backend must be ``"bitwise"`` (the
+``oracle`` backend compares both plaintexts locally without touching the
+wire -- there is nothing to transport -- and ``ympp`` support is future
+work).  Unsupported configurations raise
+:class:`UnsupportedConfigError` at orchestration time, never mid-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.core.config import ProtocolConfig
+from repro.smc.session import SmcConfig
+
+#: Hostname party processes bind and dial.  Loopback by design: the
+#: runtime's job is real process isolation and real sockets; multi-host
+#: deployment needs authenticated channels first (see DESIGN.md).
+DEFAULT_HOST = "127.0.0.1"
+
+
+class UnsupportedConfigError(ValueError):
+    """The configuration cannot run on the socket runtime (yet)."""
+
+
+class ManifestError(ValueError):
+    """Malformed or inconsistent manifest data."""
+
+
+_SMC_FIELDS = ("paillier_bits", "rsa_bits", "comparison", "mask_sigma",
+               "faithful_shared_r", "key_seed", "precompute")
+_PROTOCOL_FIELDS = ("eps", "min_pts", "scale", "selection",
+                    "blind_cross_sum", "query_constant_blinding",
+                    "cache_peer_ciphertexts", "batched_region_queries",
+                    "batched_comparisons", "use_grid_index",
+                    "concurrent_peers", "peer_workers")
+
+
+def validate_runtime_config(config: ProtocolConfig) -> None:
+    """Refuse configurations the socket runtime cannot execute."""
+    if config.smc.comparison != "bitwise":
+        raise UnsupportedConfigError(
+            f"the socket runtime supports the 'bitwise' comparison "
+            f"backend only, got {config.smc.comparison!r} (the oracle "
+            f"backend compares plaintexts locally -- nothing crosses a "
+            f"wire -- and ympp is future work)")
+    if config.smc.key_seed is None:
+        raise UnsupportedConfigError(
+            "the socket runtime requires SmcConfig(key_seed=...): every "
+            "party process derives the mesh's key material "
+            "deterministically (see DESIGN.md, 'Mirrored choreography')")
+    if config.smc.engine is not None:
+        raise UnsupportedConfigError(
+            "SmcConfig.engine cannot cross a process boundary; party "
+            "processes build their own engines (leave engine=None)")
+    if config.smc.transport is not None:
+        raise UnsupportedConfigError(
+            "SmcConfig.transport is ignored by the socket runtime (every "
+            "link is TCP); leave transport=None rather than configuring "
+            "a fabric that would silently not apply")
+
+
+def config_to_dict(config: ProtocolConfig) -> dict:
+    """Serialize the runtime-relevant configuration, validating support."""
+    validate_runtime_config(config)
+    payload = {name: getattr(config, name) for name in _PROTOCOL_FIELDS}
+    payload["smc"] = {name: getattr(config.smc, name)
+                      for name in _SMC_FIELDS}
+    return payload
+
+
+def config_from_dict(payload: dict) -> ProtocolConfig:
+    smc = SmcConfig(**{name: payload["smc"][name] for name in _SMC_FIELDS})
+    kwargs = {name: payload[name] for name in _PROTOCOL_FIELDS}
+    return ProtocolConfig(smc=smc, **kwargs)
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Public description of one orchestrated run.
+
+    Attributes:
+        session_id: unique id of this run; the handshake refuses links
+            across sessions.
+        names: party names in mesh slot order (the order drives pass
+            sequencing, key-slot derivation, and pair orientation).
+        seeds: per-party RNG seeds, parallel to ``names``.  Public by
+            construction: the runtime's determinism -- and the privacy
+            analysis of the reproduction as a whole -- treats coin
+            streams as reproducible test fixtures, not secrets.
+        counts: per-party point counts (public: the paper's protocols
+            reveal dataset sizes).
+        dimensions: coordinate dimensionality, shared by all parties.
+        value_bound: the public comparison-domain bound
+            (``squared_distance_bound`` over the union of all parties'
+            points; every process must use the same bound or mask sizes
+            and DGK widths diverge).
+        ports: ``{pair_key: port}`` -- one TCP port per unordered pair;
+            the lower-slot party listens, the higher-slot party dials.
+        config: the protocol configuration dict
+            (:func:`config_to_dict` shape).
+        host: bind/dial host for every link.
+        timeout_s: socket receive timeout for protocol frames.
+    """
+
+    session_id: str
+    names: tuple[str, ...]
+    seeds: tuple[int, ...]
+    counts: dict[str, int]
+    dimensions: int
+    value_bound: int
+    ports: dict[str, int]
+    config: dict
+    host: str = DEFAULT_HOST
+    timeout_s: float = 30.0
+    version: int = field(default=1)
+
+    def __post_init__(self):
+        if len(self.names) < 2:
+            raise ManifestError("a run needs at least two parties")
+        if len(set(self.names)) != len(self.names):
+            raise ManifestError(f"duplicate party names in {self.names}")
+        if len(self.seeds) != len(self.names):
+            raise ManifestError("seeds must parallel names")
+        if set(self.counts) != set(self.names):
+            raise ManifestError("counts must cover exactly the party names")
+        if self.dimensions < 1:
+            raise ManifestError(
+                f"dimensions must be >= 1, got {self.dimensions}")
+        if self.value_bound < 1:
+            raise ManifestError(
+                f"value_bound must be >= 1, got {self.value_bound}")
+        expected_pairs = {pair_key(a, b) for a, b in self.pairs()}
+        if set(self.ports) != expected_pairs:
+            raise ManifestError(
+                f"ports must cover exactly the mesh pairs "
+                f"{sorted(expected_pairs)}, got {sorted(self.ports)}")
+
+    # -- mesh geometry -----------------------------------------------------
+
+    def pairs(self) -> list[tuple[str, str]]:
+        """Unordered pairs in slot order (matches ``PartyMesh``)."""
+        return [(left, right)
+                for index, left in enumerate(self.names)
+                for right in self.names[index + 1:]]
+
+    def pairs_of(self, name: str) -> list[tuple[str, str]]:
+        return [pair for pair in self.pairs() if name in pair]
+
+    def slot_of(self, name: str) -> int:
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise ManifestError(f"unknown party {name!r}") from None
+
+    def seed_of(self, name: str) -> int:
+        return self.seeds[self.slot_of(name)]
+
+    def peers_of(self, name: str) -> list[str]:
+        self.slot_of(name)
+        return [other for other in self.names if other != name]
+
+    def placeholder_points(self, name: str) -> list[tuple[int, ...]]:
+        """A remote party's partition as this process may know it: the
+        public *count* of points, each an all-zeros coordinate tuple.
+        The mirrored choreography computes on these placeholders only in
+        code paths whose outputs are discarded and replaced by authentic
+        wire frames (see :mod:`repro.runtime.mirror`)."""
+        zero = tuple([0] * self.dimensions)
+        return [zero] * self.counts[name]
+
+    def protocol_config(self) -> ProtocolConfig:
+        return config_from_dict(self.config)
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "session_id": self.session_id,
+            "names": list(self.names),
+            "seeds": list(self.seeds),
+            "counts": dict(self.counts),
+            "dimensions": self.dimensions,
+            "value_bound": self.value_bound,
+            "ports": dict(self.ports),
+            "config": self.config,
+            "host": self.host,
+            "timeout_s": self.timeout_s,
+            "version": self.version,
+        }
+        return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, payload: str) -> "RunManifest":
+        try:
+            data = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ManifestError(f"unreadable manifest: {exc}") from exc
+        try:
+            return cls(
+                session_id=data["session_id"],
+                names=tuple(data["names"]),
+                seeds=tuple(data["seeds"]),
+                counts=dict(data["counts"]),
+                dimensions=data["dimensions"],
+                value_bound=data["value_bound"],
+                ports=dict(data["ports"]),
+                config=data["config"],
+                host=data.get("host", DEFAULT_HOST),
+                timeout_s=data.get("timeout_s", 30.0),
+                version=data.get("version", 1),
+            )
+        except KeyError as exc:
+            raise ManifestError(f"manifest missing field {exc}") from exc
+
+
+def pair_key(a: str, b: str) -> str:
+    """Canonical string key of an unordered pair (JSON-dict friendly).
+
+    Shares its ordering with the transport layer's pair
+    canonicalization, so link profiles, ports, and reports all key the
+    same way.
+    """
+    from repro.net.transport import canonical_pair
+
+    return "|".join(canonical_pair(a, b))
+
+
+def manifest_digest(manifest: RunManifest) -> str:
+    """SHA-256 over the canonical manifest JSON -- the handshake binding.
+
+    Any divergence between two processes' manifests (a different seed, a
+    different point count, a flipped protocol flag) changes the digest,
+    so mismatched deployments are refused at link setup.
+    """
+    return hashlib.sha256(manifest.to_json().encode()).hexdigest()

@@ -1,0 +1,185 @@
+"""Mirrored-choreography execution across a process boundary.
+
+Execution model
+---------------
+
+Every protocol in this library is written as a *choreography*: one
+function executes both parties' local steps in their global order, and
+every cross-party value moves through a channel.  That style cannot be
+"split" mechanically -- each party's code is interleaved with its
+peer's -- but it has a property the runtime exploits: **a party's
+outbound messages depend only on its own inputs, its own coin stream,
+and the messages it received**.  That is precisely the semi-honest view
+(Definition 5) the privacy analysis is built on, and the codebase
+enforces it structurally (no protocol reads the peer's state except
+through ``send``/``receive``).
+
+So each party process runs the *same* choreography, with the remote
+party's private inputs replaced by public-shape placeholders (all-zero
+points with the true, public, counts), and this channel performs the
+substitution that makes the execution real:
+
+- a **local** party's send executes normally: the value is serialized,
+  recorded, written to the socket as one frame -- and also echoed into a
+  local inbox, because the choreography's next step may be the remote
+  party's receive of that very message;
+- a **remote** party's send is where the mirror acts: the
+  locally-computed value is *discarded* (it was derived from
+  placeholders) and the authentic frame is read from the socket
+  instead -- the real peer process, holding the real data, computed and
+  sent it at the same point of its own choreography.  Stats and the
+  transcript record the authentic bytes, so the accounting is identical
+  to an in-process run;
+- receives pop from the corresponding inbox; they never touch the
+  socket (the matching send line already did).
+
+Why this terminates: both processes execute the same deterministic
+sequence of sends and receives (control flow depends only on public
+shapes, wire values, and seed-derived coins -- property-tested).  A
+process blocks only at a remote-send substitution, i.e. waiting for a
+frame its peer produces at the same choreography point; since the order
+is shared, there is no circular wait.
+
+Why this is equivalent: every frame on the wire is computed by the
+party that owns the data, from authentic inputs and its seed-derived
+coin stream -- the same stream the in-process mesh derives via
+``derive_pair_rng``.  Hence byte-identical messages, transcripts,
+stats, predicate bits, labels, and ledger events (asserted by the
+integration suite).
+
+What the placeholders may influence: local garbage that feeds only into
+discarded remote sends, and the *local* copies of remote-side
+decisions, which callers on this side must treat as garbage (the party
+program only consumes results owned by its local party).  Key material
+is derived from the shared ``key_seed`` in every process -- the
+reproduction's standing determinism convention; see DESIGN.md for the
+sealed-key deployment discussion.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.net.channel import ChannelEndpoint
+from repro.net.serialization import deserialize_message, serialize_message
+from repro.net.stats import CommunicationStats
+from repro.net.transcript import Transcript
+from repro.net.transport import ProtocolDesyncError, TcpTransport
+
+
+class MirrorChannelError(RuntimeError):
+    """Misuse of the mirror channel (unknown party, closed link)."""
+
+
+class MirrorChannel:
+    """Channel-compatible duplex link whose far party lives elsewhere.
+
+    Drop-in for :class:`repro.net.channel.Channel` wherever a session or
+    protocol holds a channel: same endpoints, stats, transcript, and
+    close semantics; delivery is the mirrored substitution described in
+    the module docstring, over a :class:`~repro.net.transport.TcpTransport`.
+    """
+
+    def __init__(self, left_name: str, right_name: str, local_name: str,
+                 transport: TcpTransport):
+        if left_name == right_name:
+            raise MirrorChannelError("parties must have distinct names")
+        if local_name not in (left_name, right_name):
+            raise MirrorChannelError(
+                f"{local_name!r} is not an endpoint of "
+                f"({left_name!r}, {right_name!r})")
+        self.transcript = Transcript()
+        self.stats = CommunicationStats()
+        self.transport = transport
+        self.local_name = local_name
+        self.remote_name = (right_name if local_name == left_name
+                            else left_name)
+        self._closed = False
+        # Frames the local party sent, awaiting the choreographed remote
+        # receive; frames substituted off the wire, awaiting the local
+        # receive.
+        self._local_echo: deque[tuple[str, bytes]] = deque()
+        self._remote_inbox: deque[tuple[str, bytes]] = deque()
+        self.left = ChannelEndpoint(self, left_name, right_name)
+        self.right = ChannelEndpoint(self, right_name, left_name)
+
+    @property
+    def endpoints(self) -> tuple[ChannelEndpoint, ChannelEndpoint]:
+        return self.left, self.right
+
+    @property
+    def simulated_seconds(self) -> float:
+        """Real sockets have real time; nothing simulated to report."""
+        return 0.0
+
+    def close(self, reason: str | None = None) -> None:
+        if not self._closed:
+            self._closed = True
+            self.transport.close(reason)
+
+    def assert_drained(self) -> None:
+        """Post-run invariant: every sent frame met its receive.
+
+        A leftover means the two processes' choreographies diverged --
+        raise with enough context to see where.
+        """
+        leftovers = []
+        if self._local_echo:
+            leftovers.append(
+                f"{len(self._local_echo)} unconsumed local sends "
+                f"(first label {self._local_echo[0][0]!r})")
+        if self._remote_inbox:
+            leftovers.append(
+                f"{len(self._remote_inbox)} unconsumed substituted frames "
+                f"(first label {self._remote_inbox[0][0]!r})")
+        if leftovers:
+            raise ProtocolDesyncError(
+                f"mirror channel {self.local_name!r}<->{self.remote_name!r} "
+                f"not drained: " + "; ".join(leftovers))
+
+    # -- Channel protocol --------------------------------------------------
+
+    def _send(self, sender: str, receiver: str, label: str, value) -> None:
+        if self._closed:
+            raise MirrorChannelError("channel is closed")
+        if sender == self.local_name:
+            wire = serialize_message(value)
+            self.stats.record(sender, receiver, label, len(wire))
+            self.transcript.record(sender, receiver, label,
+                                   deserialize_message(wire), len(wire))
+            self.transport.deliver(sender, receiver, label, wire)
+            self._local_echo.append((label, wire))
+            return
+        # The remote party's send: substitute the authentic frame.  The
+        # locally-passed value was computed from placeholders and is
+        # dropped unserialized.
+        authentic_label, wire = self.transport.collect(self.local_name,
+                                                       label)
+        if authentic_label != label:
+            raise ProtocolDesyncError(
+                f"cross-process desync on "
+                f"{self.local_name!r}<->{self.remote_name!r}: this "
+                f"choreography reached {sender}'s send of {label!r} but "
+                f"the peer process sent {authentic_label!r}")
+        self.stats.record(sender, receiver, label, len(wire))
+        self.transcript.record(sender, receiver, label,
+                               deserialize_message(wire), len(wire))
+        self._remote_inbox.append((label, wire))
+
+    def _receive(self, receiver: str, expected_label: str | None):
+        if self._closed:
+            raise MirrorChannelError("channel is closed")
+        inbox = (self._remote_inbox if receiver == self.local_name
+                 else self._local_echo)
+        if not inbox:
+            raise ProtocolDesyncError(
+                f"{receiver} tried to receive "
+                f"{expected_label or 'a message'} but no matching send "
+                f"has executed (mirror channel "
+                f"{self.local_name!r}<->{self.remote_name!r})")
+        label, wire = inbox.popleft()
+        if expected_label is not None and label != expected_label:
+            raise ProtocolDesyncError(
+                f"{receiver} expected message {expected_label!r} "
+                f"but got {label!r}")
+        return deserialize_message(wire)

@@ -1,0 +1,381 @@
+"""Session orchestrator: spawn party processes, collect, merge.
+
+:func:`orchestrate_run` turns a ``{party: points}`` workload and a
+:class:`~repro.core.config.ProtocolConfig` into a real distributed run:
+
+1. build the :class:`~repro.runtime.manifest.RunManifest` (names, seeds,
+   counts, the public ``value_bound``, a fresh session id, one TCP port
+   per mesh pair) and write it -- plus one partition file per party --
+   into a run directory;
+2. spawn ``python -m repro party --run-dir ... --party NAME`` once per
+   party: each subprocess loads *only its own* partition file, links up
+   over loopback TCP, and runs its passes (no shared memory, no shared
+   interpreter state -- key caches, engines, pools all rebuilt per
+   process);
+3. supervise: a party exiting nonzero aborts the run and surfaces *which*
+   party died, its exit code, and its stderr tail; a deadline overrun
+   kills the fleet and reports who was still running;
+4. merge the per-party reports into the exact
+   :class:`~repro.multiparty.horizontal.MultipartyRunResult` shape the
+   in-process mesh returns -- labels per party, the global disclosure
+   ledger in pass order, the merged communication snapshot, and the
+   comparison count -- and cross-check that both ends of every pair
+   report the same transcript digest (a divergence is a runtime bug,
+   never tolerated silently).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import shutil
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import uuid
+from dataclasses import dataclass
+
+from repro.core.config import ProtocolConfig
+from repro.core.leakage import LeakageLedger
+from repro.data.quantize import squared_distance_bound
+from repro.multiparty.horizontal import MultipartyRunResult
+from repro.net.stats import merge_snapshots
+from repro.runtime.manifest import (
+    DEFAULT_HOST,
+    RunManifest,
+    config_to_dict,
+    pair_key,
+)
+from repro.runtime.party import PartyReport
+
+
+class OrchestrationError(RuntimeError):
+    """A party process failed, hung, or reported divergent observables."""
+
+
+@dataclass(frozen=True)
+class OrchestratedRun:
+    """A distributed run's merged result plus runtime evidence.
+
+    Attributes:
+        result: the merged protocol result, shaped exactly like the
+            in-process mesh's return value.
+        reports: per-party :class:`~repro.runtime.party.PartyReport`.
+        transcript_digests: per-pair SHA-256 of the message sequence,
+            agreed by both ends of the pair -- compare against
+            :func:`repro.net.transcript.transcript_digest` of an
+            in-process run to assert wire-level equivalence.
+        manifest: the manifest the parties ran under.
+        elapsed_seconds: orchestrator-observed wall clock, spawn to
+            last report.
+    """
+
+    result: MultipartyRunResult
+    reports: dict[str, PartyReport]
+    transcript_digests: dict[str, str]
+    manifest: RunManifest
+    elapsed_seconds: float
+
+
+def allocate_ports(count: int, host: str = DEFAULT_HOST) -> list[int]:
+    """Grab ``count`` distinct ephemeral ports.
+
+    All sockets are bound before any is closed so the kernel cannot hand
+    the same port twice.  The classic race (another process claiming a
+    port between release and the party's bind) is accepted for loopback
+    orchestration; the party's bind retries and the orchestrator's
+    failure diagnosis make a collision loud, not mysterious.
+    """
+    sockets, ports = [], []
+    try:
+        for _ in range(count):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, 0))
+            sockets.append(sock)
+            ports.append(sock.getsockname()[1])
+    finally:
+        for sock in sockets:
+            sock.close()
+    return ports
+
+
+def build_manifest(points_by_party: dict[str, list],
+                   config: ProtocolConfig, seeds: list[int], *,
+                   host: str = DEFAULT_HOST,
+                   timeout_s: float = 30.0,
+                   session_id: str | None = None,
+                   ports: dict[str, int] | None = None) -> RunManifest:
+    """Derive the public run description from a workload.
+
+    ``value_bound`` is computed over the union of all parties' points
+    with the same function the in-process runner uses, so the secure
+    comparison domains -- and therefore every message -- match the
+    in-process execution exactly.
+    """
+    names = list(points_by_party)
+    if seeds is None or len(seeds) != len(names):
+        raise OrchestrationError(
+            "orchestrate_run requires one RNG seed per party (the party "
+            "processes derive their pairwise coin streams from them)")
+    all_points = [tuple(p) for pts in points_by_party.values() for p in pts]
+    if not all_points:
+        raise OrchestrationError("no party holds any points")
+    dimensions = len(all_points[0])
+    value_bound = squared_distance_bound(all_points, all_points)
+    pair_keys = [pair_key(a, b)
+                 for index, a in enumerate(names)
+                 for b in names[index + 1:]]
+    if ports is None:
+        ports = dict(zip(pair_keys, allocate_ports(len(pair_keys), host)))
+    return RunManifest(
+        session_id=session_id or uuid.uuid4().hex,
+        names=tuple(names),
+        seeds=tuple(seeds),
+        counts={name: len(points) for name, points in
+                points_by_party.items()},
+        dimensions=dimensions,
+        value_bound=value_bound,
+        ports=ports,
+        config=config_to_dict(config),
+        host=host,
+        timeout_s=timeout_s,
+    )
+
+
+def write_run_dir(run_dir: pathlib.Path, manifest: RunManifest,
+                  points_by_party: dict[str, list]) -> None:
+    """Materialize the manifest and one partition file per party.
+
+    The per-party file is the process-level privacy boundary: each
+    spawned party reads ``partition_<its own name>.json`` and nothing
+    else (the party program takes ``--party`` and derives the single
+    filename; it has no code path that opens a peer's partition).
+    """
+    run_dir.mkdir(parents=True, exist_ok=True)
+    (run_dir / "manifest.json").write_text(manifest.to_json())
+    for name, points in points_by_party.items():
+        payload = {"party": name,
+                   "points": [list(point) for point in points]}
+        (run_dir / f"partition_{name}.json").write_text(
+            json.dumps(payload) + "\n")
+
+
+def _spawn_party(run_dir: pathlib.Path, name: str, *,
+                 fail_after_queries: int | None) -> subprocess.Popen:
+    command = [sys.executable, "-m", "repro", "party",
+               "--run-dir", str(run_dir), "--party", name]
+    if fail_after_queries is not None:
+        command += ["--fail-after-queries", str(fail_after_queries)]
+    src_root = pathlib.Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src_root)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH")
+                           else []))
+    with open(run_dir / f"party_{name}.out", "w") as out, \
+            open(run_dir / f"party_{name}.err", "w") as err:
+        # Popen dups the descriptors at spawn; closing ours immediately
+        # keeps the orchestrator's fd footprint flat across many runs.
+        return subprocess.Popen(command, stdout=out, stderr=err, env=env)
+
+
+def _stderr_tail(run_dir: pathlib.Path, name: str,
+                 lines: int = 12) -> str:
+    path = run_dir / f"party_{name}.err"
+    if not path.exists():
+        return "(no stderr captured)"
+    tail = path.read_text().strip().splitlines()[-lines:]
+    return "\n".join(tail) if tail else "(stderr empty)"
+
+
+def _supervise(processes: dict[str, subprocess.Popen],
+               run_dir: pathlib.Path, deadline_s: float) -> None:
+    deadline = time.monotonic() + deadline_s
+    pending = dict(processes)
+    while pending:
+        for name, process in list(pending.items()):
+            code = process.poll()
+            if code is None:
+                continue
+            del pending[name]
+            if code != 0:
+                for other in pending.values():
+                    other.kill()
+                for other in pending.values():
+                    other.wait()
+                raise OrchestrationError(
+                    f"party {name!r} exited with code {code}; the fleet "
+                    f"was torn down.  stderr tail:\n"
+                    f"{_stderr_tail(run_dir, name)}")
+        if pending and time.monotonic() >= deadline:
+            states = {name: "running" for name in pending}
+            for name, process in pending.items():
+                process.kill()
+            for process in pending.values():
+                process.wait()
+            raise OrchestrationError(
+                f"run exceeded the {deadline_s}s deadline; killed "
+                f"{sorted(states)} (a party hung in link-up or a "
+                f"protocol receive -- see party_<name>.err in "
+                f"{run_dir})")
+        if pending:
+            time.sleep(0.02)
+
+
+def merge_reports(manifest: RunManifest,
+                  reports: dict[str, PartyReport]) -> tuple[
+                      MultipartyRunResult, dict[str, str]]:
+    """Merge per-party reports into the in-process result shape.
+
+    Both ends of every pair independently recorded the pair's full
+    message sequence; their digests must agree (the mirror makes them
+    byte-identical by construction, so a mismatch means a runtime bug
+    and raises).  Per-pair figures are then taken from the lower-slot
+    party, never double-counted.
+    """
+    digests: dict[str, str] = {}
+    snapshots: list[dict] = []
+    comparisons = 0
+    for left, right in manifest.pairs():
+        key = pair_key(left, right)
+        left_pair = reports[left].pair_reports[key]
+        right_pair = reports[right].pair_reports[key]
+        if left_pair["transcript_sha256"] != right_pair["transcript_sha256"]:
+            raise OrchestrationError(
+                f"transcript divergence on pair {key}: {left!r} digests "
+                f"{left_pair['transcript_sha256'][:12]}..., {right!r} "
+                f"digests {right_pair['transcript_sha256'][:12]}...")
+        if left_pair["comparisons"] != right_pair["comparisons"]:
+            raise OrchestrationError(
+                f"comparison-count divergence on pair {key}: "
+                f"{left_pair['comparisons']} vs {right_pair['comparisons']}")
+        digests[key] = left_pair["transcript_sha256"]
+        snapshots.append(left_pair["stats"])
+        comparisons += left_pair["comparisons"]
+
+    # The global disclosure sequence: drivers take turns in manifest
+    # order, and each party's report holds exactly its own pass's
+    # events, so concatenation in names order reproduces the in-process
+    # ledger.
+    ledger = LeakageLedger()
+    for name in manifest.names:
+        ledger.extend(reports[name].ledger())
+
+    result = MultipartyRunResult(
+        labels_by_party={name: reports[name].labels
+                         for name in manifest.names},
+        ledger=ledger,
+        stats=merge_snapshots(snapshots),
+        comparisons=comparisons,
+        simulated_seconds=0.0,
+    )
+    return result, digests
+
+
+def verify_against_in_process(run: OrchestratedRun,
+                              points_by_party: dict[str, list],
+                              config: ProtocolConfig,
+                              seeds: list[int], *,
+                              reference=None,
+                              mesh=None) -> dict[str, bool]:
+    """The equivalence bar, as data: run the workload on the in-process
+    fabric and compare every protocol observable.
+
+    Returns ``{check: passed}`` for labels, the disclosure ledger, the
+    comparison count, the per-pair transcript digests, and the merged
+    stats snapshot.  The CLI's ``--verify``, the distributed example,
+    and the benchmark's ``socket_runtime`` arm all call this one helper,
+    so the bar cannot drift between surfaces.  Callers that already ran
+    the in-process arm (benchmarks, timing both sides) pass their
+    ``reference`` result and ``mesh`` to skip the duplicate execution.
+    """
+    from repro.multiparty.horizontal import run_multiparty_horizontal_dbscan
+    from repro.multiparty.mesh import PartyMesh
+    from repro.net.transcript import transcript_digest
+
+    if (reference is None) != (mesh is None):
+        raise OrchestrationError(
+            "pass reference and mesh together (the digests come from the "
+            "mesh that produced the reference result)")
+    if mesh is None:
+        mesh = PartyMesh(list(points_by_party), config.smc, seeds=seeds)
+        reference = run_multiparty_horizontal_dbscan(
+            points_by_party, config, seeds=seeds, mesh=mesh)
+    reference_digests = {
+        pair_key(*pair): transcript_digest(transcript)
+        for pair, transcript in mesh.pair_transcripts().items()}
+    return {
+        "labels": run.result.labels_by_party == reference.labels_by_party,
+        "ledger": run.result.ledger.events == reference.ledger.events,
+        "comparisons": run.result.comparisons == reference.comparisons,
+        "transcripts": run.transcript_digests == reference_digests,
+        "stats": run.result.stats == reference.stats,
+    }
+
+
+def orchestrate_run(points_by_party: dict[str, list],
+                    config: ProtocolConfig, *,
+                    seeds: list[int],
+                    run_dir: str | pathlib.Path | None = None,
+                    deadline_s: float = 180.0,
+                    timeout_s: float = 30.0,
+                    keep_run_dir: bool = False,
+                    fault_injection: dict[str, int] | None = None,
+                    ) -> OrchestratedRun:
+    """Run the k-party horizontal protocol as real processes over TCP.
+
+    Args:
+        points_by_party: party name -> integer-grid points (the
+            orchestrator writes each party's partition file; only that
+            party's process reads it).
+        config: protocol parameters; must be socket-runtime supported
+            (bitwise backend, ``key_seed`` set -- validated up front).
+        seeds: per-party RNG seeds, ordered as the dict; mandatory,
+            because the party processes derive their pairwise coin
+            streams from them.
+        run_dir: where to materialize manifest/partitions/reports; a
+            temporary directory (removed unless ``keep_run_dir``) when
+            omitted.
+        deadline_s: fleet-wide wall-clock bound; overruns kill all
+            parties and raise with a per-party status.
+        timeout_s: per-receive socket timeout inside the parties.
+        fault_injection: ``{party: N}`` -- that party's process dies
+            hard (``os._exit``) after its N-th query, for testing the
+            failure paths.
+    """
+    manifest = build_manifest(points_by_party, config, seeds,
+                              timeout_s=timeout_s)
+    owns_dir = run_dir is None
+    run_path = (pathlib.Path(tempfile.mkdtemp(prefix="repro-run-"))
+                if owns_dir else pathlib.Path(run_dir))
+    started = time.perf_counter()
+    try:
+        write_run_dir(run_path, manifest, points_by_party)
+        fault_injection = fault_injection or {}
+        processes = {
+            name: _spawn_party(
+                run_path, name,
+                fail_after_queries=fault_injection.get(name))
+            for name in manifest.names
+        }
+        _supervise(processes, run_path, deadline_s)
+        reports = {}
+        for name in manifest.names:
+            report_path = run_path / f"report_{name}.json"
+            if not report_path.exists():
+                raise OrchestrationError(
+                    f"party {name!r} exited cleanly but wrote no report "
+                    f"(stderr tail:\n{_stderr_tail(run_path, name)})")
+            reports[name] = PartyReport.from_json(report_path.read_text())
+        result, digests = merge_reports(manifest, reports)
+        elapsed = time.perf_counter() - started
+        return OrchestratedRun(result=result, reports=reports,
+                               transcript_digests=digests,
+                               manifest=manifest,
+                               elapsed_seconds=elapsed)
+    finally:
+        if owns_dir and not keep_run_dir:
+            shutil.rmtree(run_path, ignore_errors=True)

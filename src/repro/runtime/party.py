@@ -1,0 +1,526 @@
+"""The party program: one data holder as one networked OS process.
+
+A party process owns exactly one partition of the data (loaded from its
+own partition file; no shared memory with anyone), the public
+:class:`~repro.runtime.manifest.RunManifest`, and one TCP link per mesh
+pair it belongs to.  Its life cycle:
+
+1. **Link-up** -- create listening sockets for the pairs where it holds
+   the lower mesh slot, dial (with retry) the pairs where it holds the
+   higher slot, and run the versioned handshake on every link; any
+   mismatch aborts before protocol traffic.
+2. **Sessions** -- build one :class:`~repro.runtime.mirror.MirrorChannel`
+   + :class:`~repro.smc.session.SmcSession` per link, in global pair
+   order (the order makes the cross-process key exchanges deadlock-free;
+   see the link-up notes below).
+3. **Passes** -- the drivers take turns in manifest order, exactly like
+   the in-process mesh.  When this party drives, it runs the real
+   :func:`repro.multiparty.horizontal._driver_pass` over its real
+   points, announcing each per-peer query with a control frame; when a
+   peer drives, this party serves its link by running the same query
+   choreography with a placeholder query point (the mirror substitutes
+   every driver-side message with the authentic frames).
+4. **Report** -- labels, the pass's disclosure ledger, per-pair stats
+   snapshots, transcript digests, and comparison counts are written as
+   JSON for the orchestrator to merge.
+
+Determinism contract: with the manifest's seeds, every observable -- the
+wire bytes of every frame, both ends' transcripts, the ledger sequence,
+the labels -- is bit-identical to
+:func:`repro.multiparty.horizontal.run_multiparty_horizontal_dbscan`
+over the same data on an in-process fabric (property-tested in
+``tests/runtime``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import socket
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.core.distance import PeerCipherCache
+from repro.core.leakage import Disclosure, LeakageEvent, LeakageLedger
+from repro.multiparty.horizontal import _driver_pass, _peer_count
+from repro.multiparty.mesh import derive_pair_rng
+from repro.multiparty.scheduler import make_pass_executor
+from repro.net.framing import (
+    FRAME_CONTROL,
+    FRAME_GOODBYE,
+    ConnectionClosedError,
+    FramedConnection,
+    FramingError,
+    ReceiveTimeout,
+)
+from repro.net.party import Party
+from repro.net.serialization import SerializationError, deserialize_message, \
+    serialize_message
+from repro.net.transcript import transcript_digest
+from repro.net.transport import TcpTransport
+from repro.runtime.handshake import PROTOCOL_VERSION, Hello, perform_handshake
+from repro.runtime.manifest import RunManifest, manifest_digest, pair_key
+from repro.runtime.mirror import MirrorChannel
+from repro.crypto.keycache import cached_paillier_keypair
+from repro.smc.session import CryptoContext, SmcSession
+
+
+class PartyRuntimeError(RuntimeError):
+    """Link-up or pass-sequencing failure in a party process."""
+
+
+CONTROL_QUERY = "query"
+CONTROL_END_PASS = "end_pass"
+
+_DIAL_DEADLINE_S = 15.0
+_BIND_ATTEMPTS = 10
+
+
+@dataclass
+class _PairRuntime:
+    """One link: connection, mirrored channel, session, both handles.
+
+    ``session``/``parties`` are filled by :meth:`PartyProcess.build_sessions`
+    once every link of the mesh is up (the key exchange is itself
+    protocol traffic and must run in the shared global pair order).
+    """
+
+    left: str
+    right: str
+    peer: str
+    connection: FramedConnection
+    channel: MirrorChannel
+    session: SmcSession | None
+    parties: dict[str, Party]
+
+
+@dataclass(frozen=True)
+class PartyReport:
+    """What one party process hands back to the orchestrator.
+
+    ``elapsed_seconds`` covers the whole run (link-up, key derivation
+    and exchange, passes); ``passes_seconds`` covers only the protocol
+    passes, so benchmarks can separate socket/round-trip cost from
+    one-time setup.
+    """
+
+    party: str
+    labels: tuple[int, ...]
+    ledger_events: tuple[tuple[str, str, str, str], ...]
+    pair_reports: dict
+    elapsed_seconds: float
+    passes_seconds: float
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "party": self.party,
+            "labels": list(self.labels),
+            "ledger_events": [list(event) for event in self.ledger_events],
+            "pair_reports": self.pair_reports,
+            "elapsed_seconds": self.elapsed_seconds,
+            "passes_seconds": self.passes_seconds,
+        }, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, payload: str) -> "PartyReport":
+        data = json.loads(payload)
+        return cls(
+            party=data["party"],
+            labels=tuple(data["labels"]),
+            ledger_events=tuple(tuple(event)
+                                for event in data["ledger_events"]),
+            pair_reports=data["pair_reports"],
+            elapsed_seconds=data["elapsed_seconds"],
+            passes_seconds=data["passes_seconds"],
+        )
+
+    def ledger(self) -> LeakageLedger:
+        ledger = LeakageLedger()
+        for protocol, learner, disclosure, detail in self.ledger_events:
+            ledger.events.append(LeakageEvent(
+                protocol=protocol, learner=learner,
+                disclosure=Disclosure(disclosure), detail=detail))
+        return ledger
+
+
+class _LocalMeshView:
+    """The ``PartyMesh`` surface of one party's k-1 mirrored links.
+
+    Implements exactly the methods the driver-pass machinery touches
+    (``peers_of`` / ``session_between`` / ``party_in_pair`` /
+    ``pair_channel`` / ``begin_peer_query``), with ``begin_peer_query``
+    emitting the control frame the remote responder is waiting on.
+    """
+
+    def __init__(self, process: "PartyProcess"):
+        self._process = process
+
+    def peers_of(self, name: str) -> list[str]:
+        return self._process.manifest.peers_of(name)
+
+    def _pair(self, a: str, b: str) -> _PairRuntime:
+        local = self._process.name
+        peer = b if a == local else a
+        try:
+            return self._process.pairs[peer]
+        except KeyError:
+            raise PartyRuntimeError(
+                f"no link between {a!r} and {b!r} in process "
+                f"{local!r}") from None
+
+    def session_between(self, a: str, b: str) -> SmcSession:
+        return self._pair(a, b).session
+
+    def party_in_pair(self, name: str, peer: str) -> Party:
+        return self._pair(name, peer).parties[name]
+
+    def pair_channel(self, a: str, b: str) -> MirrorChannel:
+        return self._pair(a, b).channel
+
+    def begin_peer_query(self, driver_name: str, peer_name: str) -> None:
+        self._process.announce_query(peer_name)
+
+
+class PartyProcess:
+    """One party's full runtime over real sockets."""
+
+    def __init__(self, manifest: RunManifest, name: str,
+                 points: list[tuple[int, ...]], *,
+                 fail_after_queries: int | None = None):
+        manifest.slot_of(name)
+        if len(points) != manifest.counts[name]:
+            raise PartyRuntimeError(
+                f"partition for {name!r} has {len(points)} points but the "
+                f"manifest declares {manifest.counts[name]}")
+        for point in points:
+            if len(point) != manifest.dimensions:
+                raise PartyRuntimeError(
+                    f"point {point!r} has {len(point)} dimensions, "
+                    f"manifest declares {manifest.dimensions}")
+        self.manifest = manifest
+        self.name = name
+        self.points = [tuple(point) for point in points]
+        self.pairs: dict[str, _PairRuntime] = {}
+        self._digest = manifest_digest(manifest)
+        # begin_peer_query fires from scheduler worker threads under
+        # concurrent_peers, so the fault-injection counter is locked.
+        self._query_lock = threading.Lock()
+        self._queries_seen = 0
+        self._fail_after_queries = fail_after_queries
+
+    # -- link-up -----------------------------------------------------------
+
+    def _hello(self, left: str, right: str) -> Hello:
+        return Hello(version=PROTOCOL_VERSION,
+                     session_id=self.manifest.session_id,
+                     pair_left=left, pair_right=right,
+                     party_id=self.name, config_digest=self._digest)
+
+    def _listen(self, port: int, pair: str) -> socket.socket:
+        last_error: OSError | None = None
+        for attempt in range(_BIND_ATTEMPTS):
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            try:
+                listener.bind((self.manifest.host, port))
+                listener.listen(1)
+                return listener
+            except OSError as exc:
+                listener.close()
+                last_error = exc
+                time.sleep(0.05 * (attempt + 1))
+        raise PartyRuntimeError(
+            f"{self.name!r} could not bind port {port} for pair {pair} "
+            f"after {_BIND_ATTEMPTS} attempts: {last_error}")
+
+    def _dial(self, port: int, pair: str) -> socket.socket:
+        deadline = time.monotonic() + _DIAL_DEADLINE_S
+        attempt = 0
+        while True:
+            try:
+                sock = socket.create_connection(
+                    (self.manifest.host, port), timeout=2.0)
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                return sock
+            except OSError as exc:
+                attempt += 1
+                if time.monotonic() >= deadline:
+                    raise PartyRuntimeError(
+                        f"{self.name!r} could not dial port {port} for "
+                        f"pair {pair} within {_DIAL_DEADLINE_S}s "
+                        f"({attempt} attempts): {exc}") from exc
+                time.sleep(min(0.25, 0.02 * attempt))
+
+    def establish_links(self) -> None:
+        """Listen (lower slot) / dial (higher slot) + handshake per pair.
+
+        All listeners are created before any dial, so dial-with-retry
+        converges as soon as every process has started; every handshake
+        is send-then-read, so the hello frames cross in flight and no
+        ordering of the k processes can deadlock the link-up.
+        """
+        manifest = self.manifest
+        listeners: dict[str, tuple[socket.socket, str]] = {}
+        for left, right in manifest.pairs_of(self.name):
+            key = pair_key(left, right)
+            if self.name == left:
+                listeners[key] = (self._listen(manifest.ports[key], key),
+                                  right)
+        try:
+            for left, right in manifest.pairs_of(self.name):
+                key = pair_key(left, right)
+                if self.name != right:
+                    continue
+                sock = self._dial(manifest.ports[key], key)
+                self._handshake_and_register(sock, left, right,
+                                             expected_peer=left)
+            for left, right in manifest.pairs_of(self.name):
+                key = pair_key(left, right)
+                if self.name != left:
+                    continue
+                listener, expected = listeners[key]
+                listener.settimeout(_DIAL_DEADLINE_S)
+                try:
+                    sock, _ = listener.accept()
+                except socket.timeout:
+                    raise PartyRuntimeError(
+                        f"{self.name!r} waited {_DIAL_DEADLINE_S}s on port "
+                        f"{manifest.ports[key]} for {expected!r} to dial "
+                        f"pair {key}; it never connected") from None
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                self._handshake_and_register(sock, left, right,
+                                             expected_peer=expected)
+        finally:
+            for listener, _ in listeners.values():
+                listener.close()
+
+    def _handshake_and_register(self, sock: socket.socket, left: str,
+                                right: str, expected_peer: str) -> None:
+        key = pair_key(left, right)
+        connection = FramedConnection(
+            sock, timeout_s=self.manifest.timeout_s,
+            name=f"{self.name}@{key}")
+        perform_handshake(connection, self._hello(left, right),
+                          expected_peer)
+        transport = TcpTransport(left, right, connection,
+                                 local_name=self.name)
+        channel = MirrorChannel(left, right, self.name, transport)
+        self.pairs[expected_peer] = _PairRuntime(
+            left=left, right=right, peer=expected_peer,
+            connection=connection, channel=channel, session=None,
+            parties={})
+
+    def build_sessions(self) -> None:
+        """Sessions in *global* pair order: deadlock-free key exchange.
+
+        Each link's key exchange blocks only on the peer's opening frame
+        for that link, and every process visits its links in the shared
+        global order -- so the smallest not-yet-built pair always has
+        both owners working on it, and link-up progresses.  Key material
+        is derived per party slot from the shared ``key_seed``, exactly
+        as ``PartyMesh._make_context`` derives it, so the exchanged
+        public keys (and everything encrypted under them) match the
+        in-process run byte for byte.
+        """
+        config = self.manifest.protocol_config()
+        contexts = {
+            name: CryptoContext(paillier=cached_paillier_keypair(
+                config.smc.paillier_bits,
+                100 * config.smc.key_seed + slot))
+            for slot, name in enumerate(self.manifest.names)
+        }
+        for left, right in self.manifest.pairs():
+            if self.name not in (left, right):
+                continue
+            pair = self.pairs[right if self.name == left else left]
+            channel = pair.channel
+            left_party = Party(channel.left, derive_pair_rng(
+                self.manifest.seed_of(left), left, left, right))
+            right_party = Party(channel.right, derive_pair_rng(
+                self.manifest.seed_of(right), right, left, right))
+            pair.parties = {left: left_party, right: right_party}
+            pair.session = SmcSession(left_party, right_party, config.smc,
+                                      preset_contexts=contexts)
+
+    # -- control plane -----------------------------------------------------
+
+    def announce_query(self, peer: str) -> None:
+        self._count_query()
+        self.pairs[peer].connection.write_frame(
+            FRAME_CONTROL, serialize_message([CONTROL_QUERY]))
+
+    def _count_query(self) -> None:
+        with self._query_lock:
+            self._queries_seen += 1
+            seen = self._queries_seen
+        if (self._fail_after_queries is not None
+                and seen > self._fail_after_queries):
+            # Failure-injection hook for the orchestrator tests: die the
+            # way a crashed process dies -- no goodbye, no cleanup.
+            print(f"[fault injection] {self.name} dying after "
+                  f"{self._fail_after_queries} queries", flush=True)
+            os._exit(13)
+
+    def _read_control(self, pair: _PairRuntime) -> list:
+        while True:
+            try:
+                kind, payload = pair.connection.read_frame()
+                break
+            except ReceiveTimeout:
+                # Waiting for the next control frame is idle *by
+                # design*: the driver may legitimately spend longer than
+                # any per-message timeout querying its other peers or
+                # computing locally.  Liveness does not suffer -- a dead
+                # peer surfaces immediately as EOF/reset below, and a
+                # hung-but-alive fleet is bounded by the orchestrator's
+                # run deadline (or the operator, for hand-run parties).
+                continue
+            except (ConnectionClosedError, FramingError) as exc:
+                raise PartyRuntimeError(
+                    f"{self.name!r} lost peer {pair.peer!r} while waiting "
+                    f"for a control frame: {exc}") from exc
+        if kind == FRAME_GOODBYE:
+            raise PartyRuntimeError(
+                f"peer {pair.peer!r} closed the link "
+                f"({payload.decode('utf-8', 'replace')!r}) while "
+                f"{self.name!r} awaited its next query")
+        if kind != FRAME_CONTROL:
+            raise PartyRuntimeError(
+                f"{self.name!r} expected a control frame from "
+                f"{pair.peer!r}, got kind {kind!r} (protocol frames must "
+                f"not precede the query announcement)")
+        try:
+            record = deserialize_message(payload)
+        except (SerializationError, UnicodeDecodeError) as exc:
+            raise PartyRuntimeError(
+                f"unreadable control frame from {pair.peer!r}: "
+                f"{exc}") from exc
+        if (not isinstance(record, list) or not record
+                or record[0] not in (CONTROL_QUERY, CONTROL_END_PASS)):
+            raise PartyRuntimeError(
+                f"malformed control record from {pair.peer!r}: {record!r}")
+        return record
+
+    # -- passes ------------------------------------------------------------
+
+    def run(self) -> PartyReport:
+        started = time.perf_counter()
+        self.establish_links()
+        self.build_sessions()
+        config = self.manifest.protocol_config()
+        manifest = self.manifest
+        view = _LocalMeshView(self)
+        ledger = LeakageLedger()
+        labels: tuple[int, ...] = ()
+
+        # The placeholder partitions: public counts, all-zero coordinates
+        # (see RunManifest.placeholder_points / the mirror docstring).
+        points_view = {name: (self.points if name == self.name
+                              else manifest.placeholder_points(name))
+                       for name in manifest.names}
+
+        executor = make_pass_executor(config.concurrent_peers,
+                                      config.peer_workers)
+        passes_started = time.perf_counter()
+        try:
+            for driver in manifest.names:
+                if driver == self.name:
+                    caches = ({peer: PeerCipherCache()
+                               for peer in view.peers_of(driver)}
+                              if config.cache_peer_ciphertexts else None)
+                    result = _driver_pass(view, driver, points_view, config,
+                                          manifest.value_bound, ledger,
+                                          caches, executor)
+                    labels = result.as_tuple()
+                    for peer in view.peers_of(driver):
+                        self.pairs[peer].connection.write_frame(
+                            FRAME_CONTROL,
+                            serialize_message([CONTROL_END_PASS]))
+                else:
+                    self._respond_pass(driver, config)
+        finally:
+            executor.close()
+
+        finished = time.perf_counter()
+        report = self._build_report(labels, ledger,
+                                    elapsed=finished - started,
+                                    passes=finished - passes_started)
+        self._teardown()
+        return report
+
+    def _respond_pass(self, driver: str, config) -> None:
+        """Serve one remote driver's pass on our shared link.
+
+        Each announced query runs the *same* ``_peer_count`` choreography
+        the driver runs, with a placeholder query point; the mirror
+        substitutes every driver-side frame with the authentic one.  The
+        locally-computed count and disclosures belong to the driver's
+        view and are discarded -- the driver's process records them from
+        authentic data.
+        """
+        if driver not in self.pairs:
+            return
+        pair = self.pairs[driver]
+        # A driver skips empty peers entirely, so a party with no points
+        # only ever sees the end-of-pass marker here.
+        cache = (PeerCipherCache() if config.cache_peer_ciphertexts
+                 else None)
+        discard = LeakageLedger()
+        placeholder = tuple([0] * self.manifest.dimensions)
+        label = f"multiparty/{driver}-{self.name}"
+        while True:
+            record = self._read_control(pair)
+            if record[0] == CONTROL_END_PASS:
+                return
+            self._count_query()
+            _peer_count(pair.session, pair.parties[driver],
+                        pair.parties[self.name], placeholder, self.points,
+                        config, self.manifest.value_bound, discard, cache,
+                        label=label)
+
+    # -- reporting / teardown ----------------------------------------------
+
+    def _build_report(self, labels: tuple[int, ...],
+                      ledger: LeakageLedger, *,
+                      elapsed: float, passes: float) -> PartyReport:
+        pair_reports = {}
+        for peer, pair in self.pairs.items():
+            pair.channel.assert_drained()
+            key = pair_key(pair.left, pair.right)
+            pair_reports[key] = {
+                "stats": pair.channel.stats.snapshot(),
+                "transcript_sha256": transcript_digest(
+                    pair.channel.transcript),
+                "messages": pair.channel.transcript.message_count(),
+                "comparisons": pair.session.comparison_backend.invocations,
+            }
+        events = tuple((event.protocol, event.learner,
+                        event.disclosure.value, event.detail)
+                       for event in ledger.events)
+        return PartyReport(party=self.name, labels=labels,
+                           ledger_events=events,
+                           pair_reports=pair_reports,
+                           elapsed_seconds=elapsed,
+                           passes_seconds=passes)
+
+    def _teardown(self) -> None:
+        for pair in self.pairs.values():
+            pair.channel.close(reason=f"{self.name}: run complete")
+
+
+def run_party(run_dir: str | pathlib.Path, name: str, *,
+              fail_after_queries: int | None = None) -> PartyReport:
+    """CLI entry: load manifest + own partition, run, write the report."""
+    run_path = pathlib.Path(run_dir)
+    manifest = RunManifest.from_json(
+        (run_path / "manifest.json").read_text())
+    partition = json.loads(
+        (run_path / f"partition_{name}.json").read_text())
+    points = [tuple(point) for point in partition["points"]]
+    process = PartyProcess(manifest, name, points,
+                           fail_after_queries=fail_after_queries)
+    report = process.run()
+    (run_path / f"report_{name}.json").write_text(report.to_json())
+    return report

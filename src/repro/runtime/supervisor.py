@@ -1,0 +1,113 @@
+"""Thread-level supervision of party programs sharing one channel.
+
+The threaded fabric lets two genuinely independent party programs run
+over one :class:`~repro.net.channel.Channel` -- but before this module,
+a program that *died* mid-protocol simply stopped sending, and its peer
+sat in a blocking receive until the full transport timeout expired, with
+an error that named neither the dead party nor how far the protocol got.
+
+:func:`run_party_programs` fixes the shutdown ordering: the moment any
+program raises, the channel is closed **with a diagnosis** (which party
+died, the exception) *before* anything waits on the remaining threads.
+Closing poisons the transport inboxes, so a peer parked in a blocking
+receive fails immediately with a
+:class:`~repro.net.transport.TransportClosedError` whose message carries
+the dead party's name, the pair, and the last frame that made it across
+-- the three facts needed to localize a desync without attaching a
+debugger to a hung process.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.net.transport import TransportClosedError
+
+
+class PartyProgramError(RuntimeError):
+    """One or more party programs died; carries the primary failure.
+
+    Attributes:
+        failures: ``{party_name: exception}`` in death order; the first
+            entry is the root cause, later entries are usually the
+            peers' induced :class:`TransportClosedError` fallout.
+    """
+
+    def __init__(self, message: str, failures: dict[str, BaseException]):
+        super().__init__(message)
+        self.failures = failures
+
+
+def run_party_programs(channel,
+                       programs: dict[str, Callable[[], object]], *,
+                       join_timeout_s: float = 30.0) -> dict[str, object]:
+    """Run each named party program on its own thread over ``channel``.
+
+    Returns ``{party_name: return value}`` when every program completes.
+    If any program raises, the channel is closed immediately with a
+    diagnosis naming the dead party, the surviving programs fail fast
+    (never hang), and a :class:`PartyProgramError` is raised whose
+    message and ``failures`` dict lead with the root cause.
+
+    ``join_timeout_s`` bounds only the wait *after a failure poisoned
+    the channel* -- the window in which survivors are guaranteed to fail
+    fast.  Healthy programs are waited on indefinitely: a long protocol
+    run is not a hang, and nothing here can tell them apart before a
+    failure exists.
+    """
+    results: dict[str, object] = {}
+    failures: dict[str, BaseException] = {}
+    order_lock = threading.Lock()
+
+    def wrap(name: str, program: Callable[[], object]) -> None:
+        try:
+            results[name] = program()
+        except BaseException as exc:  # noqa: BLE001 - supervision boundary
+            with order_lock:
+                first = not failures
+                failures[name] = exc
+            if first:
+                # Shutdown ordering: diagnose-and-poison *before* anyone
+                # waits, so peers blocked on this party fail fast with
+                # the reason instead of timing out opaquely.
+                channel.close(
+                    reason=f"party {name!r} died: {exc.__class__.__name__}: "
+                           f"{exc}")
+
+    threads = [threading.Thread(target=wrap, args=item, daemon=True)
+               for item in programs.items()]
+    for thread in threads:
+        thread.start()
+    while True:
+        for thread in threads:
+            thread.join(timeout=0.05)
+        if not any(thread.is_alive() for thread in threads):
+            break
+        if failures:
+            # The channel is poisoned; survivors must now unblock within
+            # the grace window or the close semantics are broken.
+            deadline = time.monotonic() + join_timeout_s
+            for thread in threads:
+                remaining = deadline - time.monotonic()
+                if remaining > 0:
+                    thread.join(timeout=remaining)
+            break
+    hung = [thread for thread in threads if thread.is_alive()]
+    if hung:
+        raise PartyProgramError(
+            f"{len(hung)} party program thread(s) still alive {join_timeout_s}s "
+            f"after a failure poisoned the channel; this is a bug in the "
+            f"transport's close semantics", failures)
+    if failures:
+        root_name, root_exc = next(iter(failures.items()))
+        induced = [name for name, exc in failures.items()
+                   if name != root_name
+                   and isinstance(exc, TransportClosedError)]
+        detail = (f"; induced teardown in {induced}" if induced else "")
+        raise PartyProgramError(
+            f"party {root_name!r} died mid-protocol: "
+            f"{root_exc.__class__.__name__}: {root_exc}{detail}",
+            failures) from root_exc
+    return results

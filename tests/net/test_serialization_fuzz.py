@@ -1,9 +1,17 @@
 """Fuzz robustness: arbitrary bytes must never crash the deserializer
 with anything but SerializationError, and valid wire data must be
-re-encodable to identical bytes."""
+re-encodable to identical bytes.  The TCP message-frame envelope gets
+the same treatment: a malicious or corrupted frame must fail with the
+explicit boundary errors, never an unhandled exception, and a valid
+``(label, serialized value)`` envelope must round-trip exactly."""
 
 from hypothesis import given, strategies as st
 
+from repro.net.framing import (
+    FramingError,
+    decode_message_payload,
+    encode_message_payload,
+)
 from repro.net.serialization import (
     SerializationError,
     deserialize_message,
@@ -56,3 +64,43 @@ class TestFuzz:
         # Extremely rare: a truncation that still parses must at least
         # not equal the original value's canonical bytes.
         assert serialize_message(restored) != wire
+
+
+class TestFrameEnvelopeFuzz:
+    """The TCP frame envelope around the serialization wire format."""
+
+    @given(st.binary(max_size=200))
+    def test_arbitrary_frame_payloads_fail_cleanly(self, blob):
+        """The full inbound path -- envelope decode, then wire decode --
+        must surface only the explicit boundary errors."""
+        try:
+            _, wire = decode_message_payload(blob)
+            deserialize_message(wire)
+        except (FramingError, SerializationError, UnicodeDecodeError):
+            return
+
+    @given(st.text(max_size=30), message_values)
+    def test_label_and_value_roundtrip_exactly(self, label, value):
+        wire = serialize_message(value)
+        decoded_label, decoded_wire = decode_message_payload(
+            encode_message_payload(label, wire))
+        assert decoded_label == label
+        assert decoded_wire == wire
+        assert serialize_message(deserialize_message(decoded_wire)) == wire
+
+    @given(st.text(max_size=30), message_values,
+           st.integers(min_value=1, max_value=50))
+    def test_truncated_envelopes_never_misparse_silently(self, label,
+                                                         value, cut):
+        payload = encode_message_payload(label, serialize_message(value))
+        if cut >= len(payload):
+            return
+        truncated = payload[:-cut]
+        try:
+            _, wire = decode_message_payload(truncated)
+            restored = deserialize_message(wire)
+        except (FramingError, SerializationError, UnicodeDecodeError):
+            return
+        # A truncation that still parses end-to-end must not claim to be
+        # the original message.
+        assert serialize_message(restored) != serialize_message(value)

@@ -45,3 +45,32 @@ class TestCommunicationStats:
         stats = CommunicationStats()
         assert stats.total_bytes == 0
         assert stats.bytes_for_phase("anything") == 0
+
+
+class TestMergeSnapshots:
+    def test_matches_object_level_merge(self):
+        """merge_snapshots over per-link snapshot dicts must equal
+        CommunicationStats.merge over the objects, field for field --
+        the invariant the socket runtime's cross-process merge rests
+        on."""
+        from repro.net.stats import merge_snapshots
+
+        links = []
+        for offset, (a, b) in enumerate((("p0", "p1"), ("p0", "p2"))):
+            stats = CommunicationStats()
+            stats.record(a, b, f"phase{offset}/x", 10 + offset)
+            stats.record(b, a, f"phase{offset}/y", 20 + offset)
+            stats.record(b, a, f"phase{offset}/y", 5)
+            stats.record_simulated_wait(a, 0.25 * (offset + 1))
+            links.append(stats)
+
+        reference = CommunicationStats()
+        for stats in links:
+            reference.merge(stats)
+        assert merge_snapshots(s.snapshot() for s in links) \
+            == reference.snapshot()
+
+    def test_empty_iterable_is_zero_snapshot(self):
+        from repro.net.stats import merge_snapshots
+
+        assert merge_snapshots([]) == CommunicationStats().snapshot()

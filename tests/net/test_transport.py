@@ -1,22 +1,40 @@
 """Transport fabrics: delivery semantics, timing model, thread safety."""
 
+import socket
 import threading
 
 import pytest
 
 from repro.net.channel import Channel, ProtocolDesyncError
+from repro.net.framing import FRAME_CONTROL, FramedConnection
 from repro.net.party import make_party_pair
 from repro.net.stats import CommunicationStats
 from repro.net.transport import (
     InProcessTransport,
+    LinkProfile,
     SimulatedNetworkTransport,
+    TcpTransport,
     ThreadedTransport,
     TransportClosedError,
     TransportError,
     TransportSpec,
     TransportTimeoutError,
+    derive_jitter_rng,
 )
 from repro.smc.session import SmcConfig, SmcSession, channel_for_config
+
+
+def tcp_transport_pair(timeout_s: float = 2.0):
+    left_sock, right_sock = socket.socketpair()
+    left = TcpTransport("alice", "bob",
+                        FramedConnection(left_sock, timeout_s=timeout_s,
+                                         name="alice@pair"),
+                        local_name="alice")
+    right = TcpTransport("alice", "bob",
+                         FramedConnection(right_sock, timeout_s=timeout_s,
+                                          name="bob@pair"),
+                         local_name="bob")
+    return left, right
 
 
 class TestInProcessTransport:
@@ -188,6 +206,224 @@ class TestSimulatedNetworkTransport:
         assert simulated.simulated_seconds \
             == pytest.approx(0.005 * simulated.stats.rounds)
         assert plain.simulated_seconds == 0.0
+
+
+class TestSimulatedJitter:
+    def test_zero_jitter_is_the_fixed_latency_model(self):
+        transport = SimulatedNetworkTransport("a", "b", latency_s=0.01,
+                                              jitter_s=0.0)
+        transport.deliver("a", "b", "m", b"x")
+        transport.collect("b", "m")
+        assert transport.elapsed == pytest.approx(0.01)
+
+    def test_seeded_jitter_is_deterministic(self):
+        def run(seed):
+            transport = SimulatedNetworkTransport(
+                "a", "b", latency_s=0.01, jitter_s=0.004,
+                jitter_rng=derive_jitter_rng(seed, "a", "b"))
+            for index in range(4):
+                transport.deliver("a", "b", f"m{index}", b"x")
+                transport.collect("b", f"m{index}")
+                transport.deliver("b", "a", f"r{index}", b"y")
+                transport.collect("a", f"r{index}")
+            return transport.elapsed
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_jitter_adds_to_the_base_latency(self):
+        transport = SimulatedNetworkTransport(
+            "a", "b", latency_s=0.01, jitter_s=0.005,
+            jitter_rng=derive_jitter_rng(3, "a", "b"))
+        transport.deliver("a", "b", "m", b"x")
+        transport.collect("b", "m")
+        assert 0.01 <= transport.elapsed <= 0.015
+
+    def test_jitter_never_reorders_in_flight_messages(self):
+        """Head-of-line: a later message's lucky draw cannot yield an
+        arrival before an earlier one already queued to the receiver."""
+        transport = SimulatedNetworkTransport(
+            "a", "b", latency_s=0.01, jitter_s=0.02,
+            jitter_rng=derive_jitter_rng(5, "a", "b"))
+        for index in range(32):
+            transport.deliver("a", "b", f"m{index}", b"x")
+        arrivals = [entry[2] for entry in transport._inboxes["b"]]
+        assert arrivals == sorted(arrivals)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(TransportError, match="jitter"):
+            SimulatedNetworkTransport("a", "b", jitter_s=-0.001)
+
+    def test_derive_jitter_rng_is_per_link(self):
+        assert derive_jitter_rng(1, "a", "b").random() \
+            != derive_jitter_rng(1, "a", "c").random()
+        assert derive_jitter_rng(1, "a", "b").random() \
+            == derive_jitter_rng(1, "a", "b").random()
+
+
+class TestPerLinkHeterogeneity:
+    def test_override_applies_to_named_pair_only(self):
+        spec = TransportSpec(
+            kind="simulated", latency_s=0.005,
+            per_link={("p0", "p2"): LinkProfile(latency_s=0.05)})
+        slow = spec.create("p0", "p2")
+        fast = spec.create("p0", "p1")
+        assert slow.latency_s == 0.05
+        assert fast.latency_s == 0.005
+
+    def test_override_is_order_insensitive(self):
+        spec = TransportSpec(
+            kind="simulated",
+            per_link={("p2", "p0"): LinkProfile(latency_s=0.07)})
+        assert spec.create("p0", "p2").latency_s == 0.07
+
+    def test_partial_profile_inherits_spec_defaults(self):
+        spec = TransportSpec(
+            kind="simulated", latency_s=0.004, bandwidth_bps=1e6,
+            jitter_s=0.002,
+            per_link={("a", "b"): LinkProfile(bandwidth_bps=5e5)})
+        transport = spec.create("a", "b")
+        assert transport.latency_s == 0.004
+        assert transport.bandwidth_bps == 5e5
+        assert transport.jitter_s == 0.002
+
+    def test_spec_stays_hashable_after_normalization(self):
+        spec = TransportSpec(
+            kind="simulated",
+            per_link={("a", "b"): LinkProfile(latency_s=0.01)})
+        hash(spec)  # frozen dataclass with normalized tuple storage
+
+    def test_bad_profiles_rejected(self):
+        with pytest.raises(TransportError, match="twice"):
+            TransportSpec(per_link={("a", "a"): LinkProfile()})
+        with pytest.raises(TransportError, match="LinkProfile"):
+            TransportSpec(per_link={("a", "b"): 0.5})
+        with pytest.raises(TransportError, match="duplicate"):
+            TransportSpec(per_link=((("a", "b"), LinkProfile()),
+                                    (("b", "a"), LinkProfile())))
+
+    def test_heterogeneous_mesh_timing_differs_observables_do_not(self):
+        """A slow link changes only virtual clocks, never messages."""
+        def run(spec):
+            channel = channel_for_config(SmcConfig(transport=spec),
+                                         "p0", "p1")
+            session = SmcSession(*make_party_pair(channel, 21, 22),
+                                 SmcConfig(key_seed=323, paillier_bits=128))
+            session.compare_leq(session.alice, 4, session.bob, 9,
+                                lo=0, hi=50)
+            return channel
+
+        uniform = run(TransportSpec(kind="simulated", latency_s=0.005))
+        slowed = run(TransportSpec(
+            kind="simulated", latency_s=0.005,
+            per_link={("p0", "p1"): LinkProfile(latency_s=0.05)}))
+        assert [e.value for e in uniform.transcript.entries] \
+            == [e.value for e in slowed.transcript.entries]
+        assert slowed.simulated_seconds \
+            == pytest.approx(10 * uniform.simulated_seconds)
+
+
+class TestTcpTransport:
+    def test_split_party_programs_over_a_real_socket(self):
+        """The genuine split execution: each endpoint in its own
+        transport (here threads; processes in tests/runtime)."""
+        left, right = tcp_transport_pair()
+        channel_left = Channel(transport=left)
+        channel_right = Channel(transport=right)
+        results = {}
+
+        def alice_program():
+            channel_left.left.send("ping", [1, 2, 3])
+            results["alice"] = channel_left.left.receive("pong")
+
+        def bob_program():
+            value = channel_right.right.receive("ping")
+            channel_right.right.send("pong", sum(value))
+            results["bob"] = value
+
+        threads = [threading.Thread(target=alice_program),
+                   threading.Thread(target=bob_program)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert results == {"alice": 6, "bob": [1, 2, 3]}
+        # Each side accounts what it saw: one send, one receive.
+        assert channel_left.stats.total_messages == 1
+        assert channel_right.stats.total_messages == 1
+
+    def test_remote_endpoint_rejected(self):
+        left, _ = tcp_transport_pair()
+        with pytest.raises(TransportError, match="not the local endpoint"):
+            left.deliver("bob", "alice", "m", b"x")
+        with pytest.raises(TransportError, match="not the local endpoint"):
+            left.collect("bob", "m")
+
+    def test_timeout_names_pair_and_last_frame(self):
+        left, right = tcp_transport_pair(timeout_s=0.05)
+        left.deliver("alice", "bob", "opening", b"x")
+        assert right.collect("bob", "opening") == ("opening", b"x")
+        with pytest.raises(TransportTimeoutError) as excinfo:
+            right.collect("bob", "never_sent")
+        message = str(excinfo.value)
+        assert "never_sent" in message
+        assert "'alice'<->'bob'" in message
+        assert "'opening'" in message  # the last frame seen
+
+    def test_close_reason_reaches_the_peer(self):
+        left, right = tcp_transport_pair()
+        left.close(reason="party alice died: ZeroDivisionError")
+        with pytest.raises(TransportClosedError) as excinfo:
+            right.collect("bob", "reply")
+        message = str(excinfo.value)
+        assert "alice died" in message
+        assert "'alice'<->'bob'" in message
+
+    def test_peer_death_without_goodbye_is_closed_not_hang(self):
+        left, right = tcp_transport_pair()
+        left.connection.close()  # crash: no goodbye frame
+        with pytest.raises(TransportClosedError, match="link closed"):
+            right.collect("bob", "reply")
+
+    def test_control_frame_in_protocol_stream_is_desync(self):
+        left, right = tcp_transport_pair()
+        left.connection.write_frame(FRAME_CONTROL, b"oops")
+        with pytest.raises(ProtocolDesyncError, match="control frame"):
+            right.collect("bob", "m")
+
+    def test_protocol_equivalence_over_socket(self):
+        """A full SMC protocol run over TCP (choreographed from one
+        thread per side is not possible; use the split ping-pong level
+        plus the wire-format guarantee: frames carry the exact
+        serialization bytes)."""
+        left, right = tcp_transport_pair()
+        from repro.net.serialization import serialize_message
+        value = [12345678901234567890, "label", True, None]
+        wire = serialize_message(value)
+        left.deliver("alice", "bob", "blob", wire)
+        label, received = right.collect("bob", "blob")
+        assert (label, received) == ("blob", wire)
+
+
+class TestThreadedShutdownDiagnosis:
+    def test_close_reason_and_last_frame_in_error(self):
+        transport = ThreadedTransport("alice", "bob", timeout_s=30.0)
+        transport.deliver("alice", "bob", "phase_one", b"x")
+        transport.collect("bob", "phase_one")
+        transport.close(reason="party 'alice' died: RuntimeError: boom")
+        with pytest.raises(TransportClosedError) as excinfo:
+            transport.collect("bob", "phase_two")
+        message = str(excinfo.value)
+        assert "link closed" in message          # stable phrase
+        assert "alice' died" in message          # the diagnosis
+        assert "phase_one" in message            # how far the protocol got
+        assert "'alice'<->'bob'" in message      # which pair
+
+    def test_timeout_error_names_pair_and_progress(self):
+        transport = ThreadedTransport("a", "b", timeout_s=0.05)
+        with pytest.raises(TransportTimeoutError,
+                           match="no frames were delivered"):
+            transport.collect("a", "hello")
 
 
 class TestTransportSpec:

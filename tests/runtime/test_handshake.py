@@ -1,0 +1,106 @@
+"""Handshake: matched links accept, every mismatch refuses with the field."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.net.framing import FramedConnection
+from repro.runtime.handshake import (
+    PROTOCOL_VERSION,
+    HandshakeError,
+    Hello,
+    perform_handshake,
+)
+
+
+def hello(**overrides) -> Hello:
+    fields = dict(version=PROTOCOL_VERSION, session_id="run-1",
+                  pair_left="p0", pair_right="p1", party_id="p0",
+                  config_digest="d" * 64)
+    fields.update(overrides)
+    return Hello(**fields)
+
+
+def exchange(mine: Hello, theirs: Hello, expect_mine: str,
+             expect_theirs: str):
+    """Run both ends of a handshake over a socketpair; return outcomes."""
+    left_sock, right_sock = socket.socketpair()
+    left = FramedConnection(left_sock, timeout_s=2.0, name="left")
+    right = FramedConnection(right_sock, timeout_s=2.0, name="right")
+    outcomes = {}
+
+    def side(name, connection, record, expected_peer):
+        try:
+            outcomes[name] = perform_handshake(connection, record,
+                                               expected_peer)
+        except HandshakeError as exc:
+            outcomes[name] = exc
+
+    threads = [
+        threading.Thread(target=side,
+                         args=("mine", left, mine, expect_mine)),
+        threading.Thread(target=side,
+                         args=("theirs", right, theirs, expect_theirs)),
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=5)
+    return outcomes
+
+
+class TestHandshake:
+    def test_matched_hellos_accept_both_ends(self):
+        outcomes = exchange(hello(party_id="p0"), hello(party_id="p1"),
+                            expect_mine="p1", expect_theirs="p0")
+        assert outcomes["mine"].party_id == "p1"
+        assert outcomes["theirs"].party_id == "p0"
+
+    @pytest.mark.parametrize("field,value,expected", [
+        ("version", PROTOCOL_VERSION + 1, "protocol version"),
+        ("session_id", "run-2", "session id"),
+        ("pair_left", "p9", "pair"),
+        ("config_digest", "e" * 64, "config digest"),
+    ])
+    def test_mismatch_refused_with_field_name(self, field, value, expected):
+        outcomes = exchange(hello(party_id="p0"),
+                            hello(party_id="p1", **{field: value}),
+                            expect_mine="p1", expect_theirs="p0")
+        failures = [outcome for outcome in outcomes.values()
+                    if isinstance(outcome, HandshakeError)]
+        assert failures, f"a {field} mismatch must refuse the link"
+        assert any(expected in str(failure) for failure in failures)
+
+    def test_wrong_party_on_the_far_end_refused(self):
+        outcomes = exchange(hello(party_id="p0"),
+                            hello(party_id="p7"),
+                            expect_mine="p1", expect_theirs="p0")
+        assert isinstance(outcomes["mine"], HandshakeError)
+        assert "p7" in str(outcomes["mine"])
+
+    def test_refusal_reason_reaches_the_refused_peer(self):
+        """The refusing side sends a goodbye naming the mismatch, so the
+        other process logs the same diagnosis instead of a bare EOF."""
+        outcomes = exchange(hello(party_id="p0"),
+                            hello(party_id="p1", session_id="stale-run"),
+                            expect_mine="p1", expect_theirs="p0")
+        assert all(isinstance(outcome, HandshakeError)
+                   for outcome in outcomes.values())
+        assert any("session id" in str(outcome)
+                   for outcome in outcomes.values())
+
+    def test_peer_vanishing_mid_handshake(self):
+        left_sock, right_sock = socket.socketpair()
+        left = FramedConnection(left_sock, timeout_s=2.0, name="left")
+        right_sock.close()
+        with pytest.raises(HandshakeError, match="vanished"):
+            perform_handshake(left, hello(), expected_peer="p1")
+
+    def test_malformed_hello_record(self):
+        with pytest.raises(HandshakeError, match="malformed"):
+            Hello.from_wire(b"N")  # serialized None: wrong shape
+
+    def test_hello_roundtrip(self):
+        record = hello()
+        assert Hello.from_wire(record.to_wire()) == record

@@ -83,6 +83,50 @@ class TestDemoCommand:
                 assert line in simulated
 
 
+class TestOrchestrateCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["orchestrate"])
+        assert args.parties == 3
+        assert not args.verify
+        assert not args.prepare_only
+
+    def test_party_requires_run_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["party", "--party", "p0"])
+
+    def test_prepare_only_writes_run_dir_and_commands(self, tmp_path,
+                                                      capsys):
+        exit_code = main(["orchestrate", "--parties", "2", "--points", "6",
+                          "--key-bits", "128", "--prepare-only",
+                          "--run-dir", str(tmp_path / "run")])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "separate" in output or "terminal" in output
+        assert (tmp_path / "run" / "manifest.json").exists()
+        assert (tmp_path / "run" / "partition_party0.json").exists()
+        assert (tmp_path / "run" / "partition_party1.json").exists()
+        for name in ("party0", "party1"):
+            assert f"--party {name}" in output
+
+    def test_prepare_only_requires_run_dir(self):
+        with pytest.raises(SystemExit):
+            main(["orchestrate", "--prepare-only"])
+
+    @pytest.mark.sockets
+    def test_orchestrate_verify_end_to_end(self, capsys):
+        """Spawns real party subprocesses and checks the bit-identical
+        verification lines all pass."""
+        exit_code = main(["orchestrate", "--parties", "2", "--points", "6",
+                          "--key-bits", "128", "--min-pts", "2",
+                          "--verify"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "OS processes over loopback TCP" in output
+        # labels / ledger / comparisons / transcripts / stats
+        assert output.count("bit-identical") == 5
+        assert "MISMATCH" not in output
+
+
 class TestAttackCommand:
     def test_attack_table(self, capsys):
         exit_code = main(["attack", "--observers", "3",
