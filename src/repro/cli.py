@@ -122,6 +122,22 @@ def build_parser() -> argparse.ArgumentParser:
                                   "here (kept); default: a temp dir, "
                                   "removed after the run")
     orchestrate.add_argument("--deadline-s", type=float, default=180.0)
+    orchestrate.add_argument("--fault", action="append", default=[],
+                             dest="faults", metavar="SPEC",
+                             help="inject a planned failure, e.g. "
+                                  "'kill:party1@pass2' or "
+                                  "'drop:party0:party0-party2@pass1.q3' "
+                                  "(repeatable; grammar in "
+                                  "repro/runtime/faults.py).  The fleet "
+                                  "recovers from its checkpoints and the "
+                                  "result stays bit-identical")
+    orchestrate.add_argument("--retry-budget", type=int, default=3,
+                             help="re-spawns of dead parties before the "
+                                  "run is abandoned")
+    orchestrate.add_argument("--keep-run-dir", action="store_true",
+                             help="keep the temporary run directory "
+                                  "(checkpoints, failure reports, party "
+                                  "logs) for inspection")
     orchestrate.add_argument("--prepare-only", action="store_true",
                              help="write the manifest and partition files "
                                   "to --run-dir and print one 'repro "
@@ -143,6 +159,14 @@ def build_parser() -> argparse.ArgumentParser:
     party.add_argument("--fail-after-queries", type=int, default=None,
                        help="failure-injection hook: die hard after N "
                             "queries (orchestrator failure-path tests)")
+    party.add_argument("--resume", action="store_true",
+                       help="rebuild state from checkpoint_<party>.json "
+                            "in --run-dir and rejoin the mesh at the "
+                            "first incomplete pass")
+    party.add_argument("--epoch", type=int, default=0,
+                       help="recovery-epoch hint from the orchestrator "
+                            "(the checkpoint and the handshake's "
+                            "adopt-max rule refine it)")
     return parser
 
 
@@ -296,6 +320,7 @@ def _orchestrate_workload(args) -> tuple[dict[str, list], list[int]]:
 
 def _run_orchestrate(args) -> int:
     from repro.runtime.orchestrator import (
+        OrchestrationError,
         orchestrate_run,
         verify_against_in_process,
     )
@@ -307,9 +332,23 @@ def _run_orchestrate(args) -> int:
                       key_seed=args.seed))
     if args.prepare_only:
         return _prepare_run_dir(args, by_party, config, seeds)
-    run = orchestrate_run(by_party, config, seeds=seeds,
-                          run_dir=args.run_dir,
-                          deadline_s=args.deadline_s)
+    try:
+        run = orchestrate_run(by_party, config, seeds=seeds,
+                              run_dir=args.run_dir,
+                              deadline_s=args.deadline_s,
+                              faults=args.faults,
+                              retry_budget=args.retry_budget,
+                              keep_run_dir=args.keep_run_dir)
+    except OrchestrationError as exc:
+        print(f"orchestration failed: {exc}", file=sys.stderr)
+        for failure in exc.failures:
+            print(f"  {failure.summary()}", file=sys.stderr)
+        return 1
+    for failure in run.failures:
+        print(f"recovered: {failure.summary()}")
+    for name, count in sorted(run.respawns.items()):
+        if count:
+            print(f"re-spawned {name} x{count} (resumed from checkpoint)")
     for name, labels in run.result.labels_by_party.items():
         print(f"{name}: {labels}")
     print(f"bytes: {run.result.stats['total_bytes']:,}  "
@@ -348,7 +387,8 @@ def _run_party(args) -> int:
     from repro.runtime.party import run_party
 
     report = run_party(args.run_dir, args.party_name,
-                       fail_after_queries=args.fail_after_queries)
+                       fail_after_queries=args.fail_after_queries,
+                       resume=args.resume, epoch=args.epoch)
     print(f"{report.party}: labels={report.labels} "
           f"elapsed={report.elapsed_seconds:.2f}s")
     return 0

@@ -63,6 +63,20 @@ class ReceiveTimeout(FramingError):
     """No frame arrived within the configured timeout."""
 
 
+def encode_frame(kind: bytes, payload: bytes = b"") -> bytes:
+    """The exact bytes :meth:`FramedConnection.write_frame` emits.
+
+    Exposed so the fault injector (``repro.runtime.faults``) can write a
+    deliberately truncated prefix of a *well-formed* frame -- the
+    receiver must then see the stream end mid-frame, which is the
+    connection-loss shape the framing layer distinguishes from a
+    timeout.
+    """
+    if kind not in _FRAME_KINDS:
+        raise FramingError(f"unknown frame kind {kind!r}")
+    return _LENGTH.pack(1 + len(payload)) + kind + payload
+
+
 def encode_message_payload(label: str, wire: bytes) -> bytes:
     """Payload of an ``M`` frame: 2-byte label length, label, wire bytes."""
     encoded = label.encode("utf-8")
@@ -131,7 +145,7 @@ class FramedConnection:
                 f"{self.name}: frame of {1 + len(payload)} bytes exceeds "
                 f"the {self.max_frame_bytes}-byte ceiling; raise "
                 f"max_frame_bytes on both ends for batches this large")
-        frame = _LENGTH.pack(1 + len(payload)) + kind + payload
+        frame = encode_frame(kind, payload)
         with self._send_lock:
             if self._closed:
                 raise ConnectionClosedError(

@@ -1,0 +1,294 @@
+"""Pass-boundary checkpoints and deterministic replay.
+
+The k-party protocol is a strict sequence of per-driver *passes*, and a
+completed pass is a deterministic function of (manifest, own partition,
+the frames the party exchanged).  That makes the pass boundary a natural
+recovery point: after every completed pass the party program persists a
+:class:`PartyCheckpoint` into the run directory -- its completed-pass
+count, labels (once its own driver pass ran), its disclosure-ledger
+slice, per-pass transcript digests, and **its own wire view**: every
+protocol frame it sent or received, per pair, in order.
+
+Recovery is *replay*: a re-spawned (or in-process rewinding) party
+rebuilds all of its state by re-executing the choreography for the
+completed passes with a :class:`ReplayTransport` substituted under its
+mirrored channels -- locally recomputed outbound frames are verified
+byte-for-byte against the recorded ones (any mismatch is a fatal
+:class:`CheckpointDivergenceError`, never silent), and inbound frames
+are served from the record instead of the socket.  Nothing touches the
+network during replay, so completed passes are never re-transmitted;
+RNG streams, randomness pools, sessions, transcripts, and stats all
+advance exactly as they did the first time, which is what makes the
+resumed run bit-identical to an uninterrupted one.
+
+Privacy: a checkpoint contains only data the party already held -- its
+own labels/ledger and the frames of its own protocol view (Definition
+5's view, which the semi-honest analysis already grants it).  Persisting
+and replaying that view discloses nothing new to anyone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from collections import deque
+from dataclasses import dataclass, field
+
+
+class CheckpointError(RuntimeError):
+    """Unreadable, inconsistent, or wrong-session checkpoint data."""
+
+
+class CheckpointDivergenceError(RuntimeError):
+    """Replay recomputed a frame that differs from the recorded one.
+
+    This means the party's deterministic rebuild disagrees with what it
+    actually sent before the failure -- corrupted state, a mismatched
+    manifest, or a bug.  Always fatal: resuming would desync the mesh
+    or silently change observables.
+    """
+
+
+@dataclass(frozen=True)
+class PassRecord:
+    """One completed pass, as this party saw it.
+
+    ``served_queries`` is how many of the driver's queries this party
+    answered (0 when this party drove the pass itself); replay uses it
+    to re-serve a responder pass without the control frames.
+    ``frame_counts`` are *cumulative* per-pair frame counts at the
+    boundary, so the frame log can be truncated to any earlier boundary
+    when the mesh negotiates a lower resume pass.  ``pair_digests`` are
+    the per-pair transcript digests at the boundary -- replay must land
+    on exactly these, a second divergence tripwire besides the
+    frame-level compare.
+    """
+
+    driver: str
+    served_queries: int
+    frame_counts: dict[str, int]
+    pair_digests: dict[str, str]
+
+    def to_dict(self) -> dict:
+        return {"driver": self.driver,
+                "served_queries": self.served_queries,
+                "frame_counts": dict(self.frame_counts),
+                "pair_digests": dict(self.pair_digests)}
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "PassRecord":
+        return cls(driver=record["driver"],
+                   served_queries=record["served_queries"],
+                   frame_counts=dict(record["frame_counts"]),
+                   pair_digests=dict(record["pair_digests"]))
+
+
+#: A frame in a party's wire view: direction ("out" = this party sent
+#: it, "in" = the peer did), the channel label, the exact wire bytes.
+Frame = tuple[str, str, bytes]
+
+
+@dataclass
+class PartyCheckpoint:
+    """Everything a party persists at a pass boundary."""
+
+    party: str
+    session_id: str
+    manifest_sha256: str
+    epoch: int
+    passes_done: int
+    labels: tuple[int, ...] | None
+    ledger_events: tuple[tuple[str, str, str, str], ...]
+    pass_records: list[PassRecord]
+    frames: dict[str, list[Frame]]
+    stats: dict = field(default_factory=dict)
+    comparisons: dict = field(default_factory=dict)
+
+    def frames_up_to(self, passes: int) -> dict[str, list[Frame]]:
+        """The wire view truncated to an earlier boundary.
+
+        The mesh resumes at the *minimum* completed-pass count across
+        parties; a party checkpointed further ahead replays only up to
+        that shared boundary and re-executes the rest live.
+        """
+        if not 1 <= passes <= self.passes_done:
+            raise CheckpointError(
+                f"cannot truncate checkpoint of {self.passes_done} "
+                f"passes to {passes}")
+        counts = self.pass_records[passes - 1].frame_counts
+        return {pair: list(log[:counts.get(pair, 0)])
+                for pair, log in self.frames.items()}
+
+    def record_for(self, passes: int) -> PassRecord:
+        if not 1 <= passes <= self.passes_done:
+            raise CheckpointError(
+                f"no pass record {passes} in a checkpoint of "
+                f"{self.passes_done} passes")
+        return self.pass_records[passes - 1]
+
+    # -- serialization -----------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "party": self.party,
+            "session_id": self.session_id,
+            "manifest_sha256": self.manifest_sha256,
+            "epoch": self.epoch,
+            "passes_done": self.passes_done,
+            "labels": list(self.labels) if self.labels is not None else None,
+            "ledger_events": [list(event) for event in self.ledger_events],
+            "pass_records": [record.to_dict()
+                             for record in self.pass_records],
+            "frames": {pair: [[direction, label, wire.hex()]
+                              for direction, label, wire in log]
+                       for pair, log in self.frames.items()},
+            "stats": self.stats,
+            "comparisons": self.comparisons,
+        }
+        return json.dumps(payload, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, payload: str) -> "PartyCheckpoint":
+        try:
+            data = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(f"unreadable checkpoint: {exc}") from exc
+        try:
+            checkpoint = cls(
+                party=data["party"],
+                session_id=data["session_id"],
+                manifest_sha256=data["manifest_sha256"],
+                epoch=data["epoch"],
+                passes_done=data["passes_done"],
+                labels=(tuple(data["labels"])
+                        if data["labels"] is not None else None),
+                ledger_events=tuple(tuple(event)
+                                    for event in data["ledger_events"]),
+                pass_records=[PassRecord.from_dict(record)
+                              for record in data["pass_records"]],
+                frames={pair: [(direction, label, bytes.fromhex(wire))
+                               for direction, label, wire in log]
+                        for pair, log in data["frames"].items()},
+                stats=data.get("stats", {}),
+                comparisons=data.get("comparisons", {}),
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise CheckpointError(
+                f"malformed checkpoint: {exc!r}") from exc
+        if len(checkpoint.pass_records) != checkpoint.passes_done:
+            raise CheckpointError(
+                f"checkpoint declares {checkpoint.passes_done} passes but "
+                f"records {len(checkpoint.pass_records)}")
+        return checkpoint
+
+
+def checkpoint_path(run_dir: pathlib.Path, party: str) -> pathlib.Path:
+    return pathlib.Path(run_dir) / f"checkpoint_{party}.json"
+
+
+def write_checkpoint(run_dir: pathlib.Path,
+                     checkpoint: PartyCheckpoint) -> None:
+    """Atomic write: a crash mid-checkpoint must leave the previous
+    boundary's file intact, never a torn JSON."""
+    path = checkpoint_path(run_dir, checkpoint.party)
+    temp = path.with_suffix(".json.tmp")
+    temp.write_text(checkpoint.to_json())
+    os.replace(temp, path)
+
+
+def load_checkpoint(run_dir: pathlib.Path, party: str, *,
+                    session_id: str,
+                    manifest_sha256: str) -> PartyCheckpoint | None:
+    """Load and validate a party's checkpoint; ``None`` when absent.
+
+    Session and manifest bindings are enforced exactly like the
+    handshake's: a checkpoint from another run (or a manifest that
+    changed underneath it) is refused, not silently replayed.
+    """
+    path = checkpoint_path(run_dir, party)
+    if not path.exists():
+        return None
+    checkpoint = PartyCheckpoint.from_json(path.read_text())
+    if checkpoint.party != party:
+        raise CheckpointError(
+            f"checkpoint at {path} belongs to {checkpoint.party!r}, "
+            f"not {party!r}")
+    if checkpoint.session_id != session_id:
+        raise CheckpointError(
+            f"checkpoint session {checkpoint.session_id!r} does not match "
+            f"run session {session_id!r}")
+    if checkpoint.manifest_sha256 != manifest_sha256:
+        raise CheckpointError(
+            "checkpoint was written under a different manifest "
+            f"({checkpoint.manifest_sha256[:12]}... vs "
+            f"{manifest_sha256[:12]}...); refusing to replay")
+    return checkpoint
+
+
+class ReplayTransport:
+    """The transport of a replayed pass: serves the recorded wire view.
+
+    Drop-in for :class:`~repro.net.transport.TcpTransport` under a
+    :class:`~repro.runtime.mirror.MirrorChannel`: ``deliver`` consumes
+    the next recorded *outbound* frame and verifies the re-computed
+    bytes against it; ``collect`` consumes the next recorded *inbound*
+    frame.  Order, direction, label, and bytes must all match the
+    record -- replay re-executes history, it does not re-negotiate it.
+    """
+
+    def __init__(self, left_name: str, right_name: str, local_name: str,
+                 frames: list[Frame]):
+        self.left_name = left_name
+        self.right_name = right_name
+        self.local_name = local_name
+        self._queue: deque[Frame] = deque(frames)
+        self._position = 0
+
+    def _context(self) -> str:
+        return (f"replay {self.local_name!r} on pair "
+                f"({self.left_name!r}, {self.right_name!r}), "
+                f"frame {self._position}")
+
+    def _next(self, want_direction: str, label: str) -> Frame:
+        if not self._queue:
+            raise CheckpointDivergenceError(
+                f"{self._context()}: choreography expects another "
+                f"{want_direction!r} frame ({label!r}) but the recorded "
+                f"view is exhausted")
+        self._position += 1
+        frame = self._queue.popleft()
+        if frame[0] != want_direction:
+            raise CheckpointDivergenceError(
+                f"{self._context()}: expected an {want_direction!r} frame "
+                f"({label!r}), record holds {frame[0]!r} {frame[1]!r}")
+        return frame
+
+    def deliver(self, sender: str, receiver: str, label: str,
+                wire: bytes) -> None:
+        recorded_direction, recorded_label, recorded_wire = self._next(
+            "out", label)
+        if recorded_label != label or recorded_wire != wire:
+            detail = ("label" if recorded_label != label
+                      else f"{len(wire)}-byte payload")
+            raise CheckpointDivergenceError(
+                f"{self._context()}: recomputed frame {label!r} diverges "
+                f"from the recorded {recorded_label!r} ({detail} "
+                f"mismatch); the checkpoint does not reproduce this run")
+
+    def collect(self, receiver: str,
+                expected_label: str | None) -> tuple[str, bytes]:
+        _, label, wire = self._next("in", expected_label or "a message")
+        return label, wire
+
+    def close(self, reason: str | None = None) -> None:
+        """Replay holds no resources; closing is a no-op."""
+
+    def assert_exhausted(self) -> None:
+        if self._queue:
+            direction, label, _ = self._queue[0]
+            raise CheckpointDivergenceError(
+                f"{self._context()}: replay finished with "
+                f"{len(self._queue)} recorded frames unconsumed (next: "
+                f"{direction!r} {label!r}); the checkpoint holds more "
+                f"history than the choreography reproduced")

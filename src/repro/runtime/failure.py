@@ -1,0 +1,147 @@
+"""Structured failure reports for the supervised session layer.
+
+When a party process dies -- crash, injected fault, digest divergence,
+exhausted recovery budget -- the bare exit code tells the orchestrator
+almost nothing.  Before exiting on an error, the party program writes a
+``failure_<name>.json`` into the run directory: which phase it was in
+(link-up, replay, pass execution, checkpointing), the pass index and
+recovery epoch, the peer and last frame label it was talking to, and a
+*classification* the supervisor acts on:
+
+- ``retryable`` -- transient process/network failures (a crash, a
+  timeout, a lost connection).  The orchestrator re-spawns the party
+  with ``--resume`` under the bounded retry budget.
+- ``fatal`` -- determinism or configuration violations (replay digest
+  divergence, a refused handshake on config/session fields, a corrupt
+  checkpoint).  Retrying cannot help and could mask a correctness bug,
+  so the run fails fast with the report attached.
+
+The report is the contract between the two processes: the party
+classifies (it knows *why* it died), the orchestrator decides (it knows
+the budget).  A party that dies too hard to write a report -- SIGKILL,
+``os._exit`` from an injected fault -- is classified from its exit code
+alone, conservatively as retryable.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+
+#: Classifications the orchestrator's recovery loop understands.
+RETRYABLE = "retryable"
+FATAL = "fatal"
+
+#: Causes, stable strings for tests and for the CLI summary.
+CAUSE_CRASH = "crash"                       # nonzero exit, no report
+CAUSE_TIMEOUT = "timeout"                   # peer silent past the deadline
+CAUSE_CONNECTION_LOST = "connection-lost"   # EOF/reset mid-protocol
+CAUSE_HANDSHAKE_REFUSED = "handshake-refused"
+CAUSE_DESYNC = "desync"                     # protocol-level label mismatch
+CAUSE_DIGEST_DIVERGENCE = "digest-divergence"
+CAUSE_CHECKPOINT_INVALID = "checkpoint-invalid"
+CAUSE_BUDGET_EXHAUSTED = "recovery-budget-exhausted"
+CAUSE_INTERNAL = "internal-error"
+
+_FATAL_CAUSES = frozenset({
+    CAUSE_DESYNC,
+    CAUSE_DIGEST_DIVERGENCE,
+    CAUSE_CHECKPOINT_INVALID,
+    CAUSE_HANDSHAKE_REFUSED,
+    # The party already spent its own in-process recovery cycles; a
+    # re-spawn would just spend the orchestrator's budget re-exhausting
+    # them.  Fail fast with the attempt history attached.
+    CAUSE_BUDGET_EXHAUSTED,
+})
+
+
+def classification_of(cause: str) -> str:
+    """Default classification for a cause string."""
+    return FATAL if cause in _FATAL_CAUSES else RETRYABLE
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """One party's account of why it died.
+
+    ``phase`` is the coarse lifecycle stage (``link-up``, ``replay``,
+    ``pass``, ``checkpoint``, ``report``); ``pass_index`` the number of
+    passes completed when the failure hit; ``peer`` / ``last_frame`` the
+    link and frame label in flight, when one was.
+    """
+
+    party: str
+    cause: str
+    classification: str
+    message: str
+    phase: str = "unknown"
+    pass_index: int = 0
+    epoch: int = 0
+    peer: str | None = None
+    last_frame: str | None = None
+    attempts: tuple[dict, ...] = field(default_factory=tuple)
+
+    def summary(self) -> str:
+        where = f"pass {self.pass_index}, epoch {self.epoch}"
+        link = f", peer {self.peer!r}" if self.peer else ""
+        frame = f", frame {self.last_frame!r}" if self.last_frame else ""
+        return (f"party {self.party!r} failed ({self.classification} "
+                f"{self.cause}) during {self.phase} at {where}{link}"
+                f"{frame}: {self.message}")
+
+    def to_json(self) -> str:
+        payload = {
+            "party": self.party,
+            "cause": self.cause,
+            "classification": self.classification,
+            "message": self.message,
+            "phase": self.phase,
+            "pass_index": self.pass_index,
+            "epoch": self.epoch,
+            "peer": self.peer,
+            "last_frame": self.last_frame,
+            "attempts": [dict(attempt) for attempt in self.attempts],
+        }
+        return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, payload: str) -> "FailureReport":
+        data = json.loads(payload)
+        return cls(
+            party=data["party"],
+            cause=data["cause"],
+            classification=data["classification"],
+            message=data["message"],
+            phase=data.get("phase", "unknown"),
+            pass_index=data.get("pass_index", 0),
+            epoch=data.get("epoch", 0),
+            peer=data.get("peer"),
+            last_frame=data.get("last_frame"),
+            attempts=tuple(dict(attempt)
+                           for attempt in data.get("attempts", ())),
+        )
+
+
+def failure_path(run_dir: pathlib.Path, party: str) -> pathlib.Path:
+    return pathlib.Path(run_dir) / f"failure_{party}.json"
+
+
+def write_failure(run_dir: pathlib.Path, report: FailureReport) -> None:
+    """Best-effort persist; a failing disk must not mask the original
+    error (the exit code still carries the retryable/fatal split)."""
+    try:
+        failure_path(run_dir, report.party).write_text(report.to_json())
+    except OSError:
+        pass
+
+
+def load_failure(run_dir: pathlib.Path,
+                 party: str) -> FailureReport | None:
+    path = failure_path(run_dir, party)
+    if not path.exists():
+        return None
+    try:
+        return FailureReport.from_json(path.read_text())
+    except (json.JSONDecodeError, KeyError, TypeError):
+        return None

@@ -1,0 +1,349 @@
+"""Deterministic fault injection for the socket runtime.
+
+A :class:`FaultPlan` is a *manifest-carried*, seeded description of the
+failures a run must survive (or die of, for the failure-path tests).
+Carrying the plan in the manifest -- inside the handshake digest, like
+every other run parameter -- means every process interprets the same
+plan, so chaos runs are exactly as reproducible as fault-free runs: the
+same manifest produces the same kills at the same protocol points, and
+the recovery machinery can be property-tested against the bit-identical
+equivalence bar.
+
+Spec grammar (the CLI's ``--fault`` strings)::
+
+    kill:<party>@pass<N>              die hard at the boundary where N
+                                      passes have completed
+    kill:<party>@pass<N>.q<Q>         die mid-pass: N passes completed,
+                                      after seeing Q queries of the
+                                      in-flight pass
+    drop:<party>:<a>-<b>@pass<N>      abruptly close the pair's socket
+                                      (no goodbye) at boundary N; both
+                                      ends recover in-process
+    drop:<party>:<a>-<b>@pass<N>.q<Q> the same, mid-pass
+    delay:<party>:<a>-<b>@pass<N>.f<F>:<seconds>
+                                      sleep before writing the F-th
+                                      protocol frame after boundary N
+    truncate:<party>:<a>-<b>@pass<N>.f<F>
+                                      write a seeded-length prefix of
+                                      the F-th protocol frame after
+                                      boundary N, then hard-close (the
+                                      peer sees the stream end
+                                      mid-frame)
+    refuse:<party>:<a>-<b>            the listening party closes the
+                                      first accepted connection before
+                                      handshaking (the dialer re-dials)
+
+Any spec may end with ``@e<E>``: it fires only at recovery epoch ``E``
+(default 0) -- which is what makes kill faults terminate: the re-spawned
+party runs at the next epoch, where the spec no longer matches.  Every
+fault fires at most once per process lifetime.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import socket
+import time
+from dataclasses import dataclass, replace
+
+from repro.net.framing import (
+    FRAME_MESSAGE,
+    ConnectionClosedError,
+    FramedConnection,
+    encode_frame,
+)
+from repro.net.transport import canonical_pair, derive_seeded_stream
+
+#: Exit code of an injected hard death (``os._exit``); the orchestrator
+#: classifies it as a retryable crash, exactly like a real one.
+FAULT_EXIT_CODE = 13
+
+_KINDS = ("kill", "drop", "delay", "truncate", "refuse")
+_PAIR_KINDS = ("drop", "delay", "truncate", "refuse")
+
+_AT_RE = re.compile(
+    r"^pass(?P<boundary>\d+)"
+    r"(?:\.q(?P<queries>\d+)|\.f(?P<frame>\d+)(?::(?P<seconds>[\d.]+))?)?$")
+
+
+class FaultSpecError(ValueError):
+    """Malformed fault spec string or serialized record."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned failure.
+
+    ``boundary`` is a completed-pass count: a boundary fault fires the
+    moment ``passes_done == boundary``; a mid-pass fault (``queries``
+    set) fires during the following pass, after that many of its
+    queries; a frame fault (``frame`` set) fires on that protocol frame
+    written after the boundary.  ``refuse`` faults have no boundary --
+    they act during link-up at their epoch.
+    """
+
+    kind: str
+    party: str
+    pair: tuple[str, str] | None = None
+    boundary: int | None = None
+    queries: int | None = None
+    frame: int | None = None
+    seconds: float | None = None
+    epoch: int = 0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise FaultSpecError(f"unknown fault kind {self.kind!r}")
+        if self.kind in _PAIR_KINDS and self.pair is None:
+            raise FaultSpecError(f"{self.kind} faults need a pair")
+        if self.kind == "kill" and self.pair is not None:
+            raise FaultSpecError("kill faults take no pair")
+        if self.kind == "refuse":
+            if self.boundary is not None:
+                raise FaultSpecError("refuse faults act at link-up, "
+                                     "not at a pass boundary")
+        elif self.boundary is None:
+            raise FaultSpecError(f"{self.kind} faults need @pass<N>")
+        if self.kind in ("delay", "truncate") and self.frame is None:
+            raise FaultSpecError(f"{self.kind} faults need .f<F>")
+        if self.kind == "delay" and self.seconds is None:
+            raise FaultSpecError("delay faults need :<seconds>")
+        if self.kind in ("kill", "drop") and self.frame is not None:
+            raise FaultSpecError(f"{self.kind} faults take no .f<F>")
+
+    def pair_key(self) -> str | None:
+        return "|".join(self.pair) if self.pair else None
+
+    def to_dict(self) -> dict:
+        record = {"kind": self.kind, "party": self.party,
+                  "epoch": self.epoch, "seed": self.seed}
+        if self.pair is not None:
+            record["pair"] = list(self.pair)
+        for name in ("boundary", "queries", "frame", "seconds"):
+            value = getattr(self, name)
+            if value is not None:
+                record[name] = value
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> "FaultSpec":
+        try:
+            pair = record.get("pair")
+            return cls(kind=record["kind"], party=record["party"],
+                       pair=tuple(pair) if pair else None,
+                       boundary=record.get("boundary"),
+                       queries=record.get("queries"),
+                       frame=record.get("frame"),
+                       seconds=record.get("seconds"),
+                       epoch=record.get("epoch", 0),
+                       seed=record.get("seed", 0))
+        except KeyError as exc:
+            raise FaultSpecError(
+                f"fault record missing field {exc}") from exc
+
+
+def parse_fault(text: str, *, seed: int = 0) -> FaultSpec:
+    """Parse one ``--fault`` spec string (grammar in the module doc)."""
+    segments = text.strip().split("@")
+    head = segments.pop(0)
+    epoch = 0
+    boundary = queries = frame = None
+    seconds = None
+    for segment in segments:
+        if re.fullmatch(r"e\d+", segment):
+            epoch = int(segment[1:])
+            continue
+        match = _AT_RE.match(segment)
+        if match is None:
+            raise FaultSpecError(
+                f"bad fault location {segment!r} in {text!r} (expected "
+                f"pass<N>[.q<Q>|.f<F>[:<seconds>]] or e<E>)")
+        boundary = int(match.group("boundary"))
+        if match.group("queries") is not None:
+            queries = int(match.group("queries"))
+        if match.group("frame") is not None:
+            frame = int(match.group("frame"))
+        if match.group("seconds") is not None:
+            seconds = float(match.group("seconds"))
+    parts = head.split(":")
+    kind = parts[0]
+    if kind not in _KINDS:
+        raise FaultSpecError(f"unknown fault kind {kind!r} in {text!r}")
+    if kind == "kill":
+        if len(parts) != 2:
+            raise FaultSpecError(f"kill spec is kill:<party>, got {text!r}")
+        pair = None
+    else:
+        if len(parts) != 3 or "-" not in parts[2]:
+            raise FaultSpecError(
+                f"{kind} spec is {kind}:<party>:<a>-<b>, got {text!r}")
+        left, _, right = parts[2].partition("-")
+        pair = canonical_pair(left, right)
+    try:
+        return FaultSpec(kind=kind, party=parts[1], pair=pair,
+                         boundary=boundary, queries=queries, frame=frame,
+                         seconds=seconds, epoch=epoch, seed=seed)
+    except FaultSpecError as exc:
+        raise FaultSpecError(f"{text!r}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """All planned faults of a run, plus the seed of their coin stream."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    @classmethod
+    def parse(cls, texts, *, seed: int = 0) -> "FaultPlan":
+        return cls(specs=tuple(parse_fault(text, seed=seed)
+                               for text in texts), seed=seed)
+
+    def to_dicts(self) -> tuple[dict, ...]:
+        return tuple(replace(spec, seed=self.seed).to_dict()
+                     for spec in self.specs)
+
+    @classmethod
+    def from_dicts(cls, records) -> "FaultPlan":
+        specs = tuple(FaultSpec.from_dict(record) for record in records)
+        return cls(specs=specs, seed=specs[0].seed if specs else 0)
+
+    def for_party(self, party: str, epoch: int) -> "PartyFaults":
+        return PartyFaults(
+            [spec for spec in self.specs
+             if spec.party == party and spec.epoch == epoch],
+            party=party, seed=self.seed)
+
+
+class PartyFaults:
+    """One process's live view of the plan at its current epoch.
+
+    The party program consults :meth:`at_boundary` after every
+    checkpoint and :meth:`on_query` per announced/served query; frame
+    faults act inside :class:`FaultyConnection`.  Each spec fires at
+    most once (``_fired``), and the whole object is rebuilt per epoch,
+    so a recovered process only sees specs addressed to its new epoch.
+    """
+
+    def __init__(self, specs, *, party: str, seed: int = 0):
+        self.specs = list(specs)
+        self.party = party
+        self.seed = seed
+        self._fired: set[int] = set()
+
+    def _take(self, predicate) -> list[FaultSpec]:
+        taken = []
+        for index, spec in enumerate(self.specs):
+            if index not in self._fired and predicate(spec):
+                self._fired.add(index)
+                taken.append(spec)
+        return taken
+
+    def at_boundary(self, passes_done: int) -> list[FaultSpec]:
+        return self._take(
+            lambda s: s.kind in ("kill", "drop") and s.queries is None
+            and s.boundary == passes_done)
+
+    def on_query(self, passes_done: int,
+                 queries_in_pass: int) -> list[FaultSpec]:
+        return self._take(
+            lambda s: s.kind in ("kill", "drop") and s.queries is not None
+            and s.boundary == passes_done and s.queries == queries_in_pass)
+
+    def refuse_once(self, pair_key: str) -> bool:
+        """True exactly once per matching refuse spec for this pair."""
+        return bool(self._take(
+            lambda s: s.kind == "refuse" and s.pair_key() == pair_key))
+
+    def frame_specs(self, pair_key: str) -> list[FaultSpec]:
+        return [spec for spec in self.specs
+                if spec.kind in ("delay", "truncate")
+                and spec.pair_key() == pair_key]
+
+    @staticmethod
+    def die(spec: FaultSpec, context: str) -> None:
+        """The injected hard death: no goodbye, no cleanup, no report --
+        exactly the shape of a real crash."""
+        print(f"[fault injection] {spec.party} dying ({spec.kind} "
+              f"{context})", flush=True)
+        os._exit(FAULT_EXIT_CODE)
+
+
+class FaultyConnection(FramedConnection):
+    """A :class:`FramedConnection` that interprets frame-level faults.
+
+    ``state`` is a zero-argument callback returning the party's current
+    ``passes_done`` (frame counts reset at each boundary, so ``.f<F>``
+    means "the F-th protocol frame after that checkpoint").  Delay
+    faults sleep before the write; truncate faults send a seeded-length
+    prefix of the encoded frame, hard-close the socket -- the peer sees
+    the stream end mid-frame, this side sees its next operation fail --
+    and never deliver the rest.
+    """
+
+    def __init__(self, sock, *, specs, state, timeout_s: float,
+                 name: str = "link"):
+        super().__init__(sock, timeout_s=timeout_s, name=name)
+        self._specs = list(specs)
+        self._state = state
+        self._frames_since_boundary = 0
+        self._boundary_seen = -1
+        self._spent: set[int] = set()
+
+    def write_frame(self, kind: bytes, payload: bytes = b"") -> None:
+        if kind != FRAME_MESSAGE or not self._specs:
+            return super().write_frame(kind, payload)
+        passes_done = self._state()
+        if passes_done != self._boundary_seen:
+            self._boundary_seen = passes_done
+            self._frames_since_boundary = 0
+        self._frames_since_boundary += 1
+        for index, spec in enumerate(self._specs):
+            if (index in self._spent or spec.boundary != passes_done
+                    or spec.frame != self._frames_since_boundary):
+                continue
+            self._spent.add(index)
+            if spec.kind == "delay":
+                time.sleep(spec.seconds)
+            elif spec.kind == "truncate":
+                self._truncate(spec, kind, payload)
+        super().write_frame(kind, payload)
+
+    def _truncate(self, spec: FaultSpec, kind: bytes,
+                  payload: bytes) -> None:
+        frame = encode_frame(kind, payload)
+        rng = derive_seeded_stream(spec.seed, "fault-truncate", spec.party,
+                                   spec.boundary, spec.frame)
+        cut = rng.randrange(1, len(frame))
+        with self._send_lock:
+            self._closed = True
+            try:
+                self._sock.sendall(frame[:cut])
+            except OSError:
+                pass
+            # No shutdown: the partial bytes must flush, then FIN -- the
+            # peer reads a frame prefix and hits EOF mid-frame.
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        raise ConnectionClosedError(
+            f"{self.name}: [fault injection] frame truncated after "
+            f"{cut}/{len(frame)} bytes")
+
+
+def refuse_first_accept(listener: socket.socket, faults: PartyFaults,
+                        pair_key: str) -> None:
+    """Link-up hook: consume one ``refuse`` spec by accepting and
+    immediately closing the next connection (the dialer retries)."""
+    if not faults.refuse_once(pair_key):
+        return
+    try:
+        victim, _ = listener.accept()
+        victim.close()
+        print(f"[fault injection] {faults.party} refused a connection "
+              f"on pair {pair_key}", flush=True)
+    except OSError:
+        pass

@@ -10,13 +10,23 @@ sense:
 - the **pair id** (which unordered mesh pair this socket carries);
 - the **party id** (which endpoint of the pair the peer claims to be);
 - the **config digest** (SHA-256 over the canonical run manifest: party
-  names, seeds, counts, every protocol parameter).
+  names, seeds, counts, every protocol parameter);
+- the **epoch** (which link-up attempt of the session this is: 0 for
+  the initial fleet, +1 per recovery cycle -- a stale process still
+  holding last epoch's state cannot rejoin the recovered mesh).
 
 A mismatch on any field raises :class:`HandshakeError` naming the field
 and both values, and the connection closes cleanly -- the failure mode
 is an immediate, diagnosable refusal, never a mid-protocol desync where
 two differently-configured parties exchange ciphertexts that decrypt to
 garbage three rounds later.
+
+One hello field is *informational* rather than refused on mismatch:
+``passes_done``, the sender's count of completed protocol passes.  After
+a recovery the parties legitimately disagree (a re-spawned party may
+have checkpointed fewer passes than a survivor), and the mesh resumes
+at the *minimum* across all links -- see
+:meth:`repro.runtime.party.PartyProcess` for the negotiation.
 """
 
 from __future__ import annotations
@@ -37,12 +47,39 @@ from repro.net.serialization import (
 )
 
 #: Bumped whenever the frame layout, the hello record, or the control
-#: plane changes incompatibly.
-PROTOCOL_VERSION = 1
+#: plane changes incompatibly.  2: the hello carries the recovery epoch
+#: and the sender's completed-pass count.
+PROTOCOL_VERSION = 2
 
 
 class HandshakeError(RuntimeError):
-    """The peer's hello disagrees with ours; the link was refused."""
+    """The peer's hello disagrees with ours; the link was refused.
+
+    Attributes:
+        field_name: which hello field mismatched (``None`` when the
+            failure was not a field comparison -- e.g. a malformed
+            frame).
+        ours / theirs: the two values of the mismatched field, so a
+            caller can react to *what* diverged (the recovery loop
+            adopts the higher epoch instead of dying on a lower one).
+    """
+
+    def __init__(self, message: str, *, field_name: str | None = None,
+                 ours=None, theirs=None):
+        super().__init__(message)
+        self.field_name = field_name
+        self.ours = ours
+        self.theirs = theirs
+
+
+class HandshakePeerLost(HandshakeError):
+    """The peer vanished mid-handshake (EOF/reset, no refusal record).
+
+    Distinct from a refusal because it is *retryable*: a dialing party
+    whose peer dropped the fresh connection (crash between accept and
+    hello, an injected connection drop) re-dials instead of aborting
+    the whole link-up.
+    """
 
 
 @dataclass(frozen=True)
@@ -55,11 +92,13 @@ class Hello:
     pair_right: str
     party_id: str
     config_digest: str
+    epoch: int = 0
+    passes_done: int = 0
 
     def to_wire(self) -> bytes:
         return serialize_message([
             self.version, self.session_id, self.pair_left, self.pair_right,
-            self.party_id, self.config_digest,
+            self.party_id, self.config_digest, self.epoch, self.passes_done,
         ])
 
     @classmethod
@@ -68,14 +107,17 @@ class Hello:
             fields = deserialize_message(payload)
         except (SerializationError, UnicodeDecodeError) as exc:
             raise HandshakeError(f"unreadable hello frame: {exc}") from exc
-        if (not isinstance(fields, list) or len(fields) != 6
+        if (not isinstance(fields, list) or len(fields) != 8
                 or not isinstance(fields[0], int)
-                or not all(isinstance(f, str) for f in fields[1:])):
+                or not all(isinstance(f, str) for f in fields[1:6])
+                or not isinstance(fields[6], int)
+                or not isinstance(fields[7], int)):
             raise HandshakeError(
                 f"malformed hello record: {fields!r}")
         return cls(version=fields[0], session_id=fields[1],
                    pair_left=fields[2], pair_right=fields[3],
-                   party_id=fields[4], config_digest=fields[5])
+                   party_id=fields[4], config_digest=fields[5],
+                   epoch=fields[6], passes_done=fields[7])
 
 
 def perform_handshake(connection: FramedConnection, mine: Hello,
@@ -87,12 +129,16 @@ def perform_handshake(connection: FramedConnection, mine: Hello,
     with the refusal reason is sent best-effort before raising, so the
     peer's own handshake fails with the same diagnosis instead of a
     bare EOF.
+
+    Returns the peer's hello: callers read ``passes_done`` from it (the
+    one informational, never-refused field) to negotiate where a
+    recovered mesh resumes.
     """
     try:
         connection.write_frame(FRAME_HELLO, mine.to_wire())
         kind, payload = connection.read_frame()
     except (ConnectionClosedError, FramingError) as exc:
-        raise HandshakeError(
+        raise HandshakePeerLost(
             f"{connection.name}: peer vanished during the handshake "
             f"({exc})") from exc
     if kind == FRAME_GOODBYE:
@@ -108,22 +154,29 @@ def perform_handshake(connection: FramedConnection, mine: Hello,
             ("session id", mine.session_id, theirs.session_id),
             ("pair", (mine.pair_left, mine.pair_right),
              (theirs.pair_left, theirs.pair_right)),
-            ("config digest", mine.config_digest, theirs.config_digest)):
+            ("config digest", mine.config_digest, theirs.config_digest),
+            ("epoch", mine.epoch, theirs.epoch)):
         if ours_value != theirs_value:
             _refuse(connection,
                     f"{field_name} mismatch: ours {ours_value!r}, "
-                    f"peer {theirs_value!r}")
+                    f"peer {theirs_value!r}",
+                    field_name=field_name, ours=ours_value,
+                    theirs=theirs_value)
     if theirs.party_id != expected_peer:
         _refuse(connection,
                 f"party mismatch: expected {expected_peer!r} on the far "
-                f"end, peer claims {theirs.party_id!r}")
+                f"end, peer claims {theirs.party_id!r}",
+                field_name="party", ours=expected_peer,
+                theirs=theirs.party_id)
     return theirs
 
 
-def _refuse(connection: FramedConnection, reason: str) -> None:
+def _refuse(connection: FramedConnection, reason: str, *,
+            field_name: str | None = None, ours=None, theirs=None) -> None:
     try:
         connection.write_goodbye(f"handshake refused: {reason}")
     except ConnectionClosedError:
         pass
     connection.close()
-    raise HandshakeError(f"{connection.name}: {reason}")
+    raise HandshakeError(f"{connection.name}: {reason}",
+                         field_name=field_name, ours=ours, theirs=theirs)

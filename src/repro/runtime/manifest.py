@@ -122,6 +122,22 @@ class RunManifest:
             (:func:`config_to_dict` shape).
         host: bind/dial host for every link.
         timeout_s: socket receive timeout for protocol frames.
+        connect_timeout_s: total budget for one link's dial (and the
+            matching accept wait) during link-up -- generous, because
+            after a failure the surviving parties wait here for the
+            dead party's re-spawn.
+        connect_retries: maximum dial attempts within that budget.
+        backoff_base_s: base of the shared exponential-backoff-with-
+            seeded-jitter cadence (see :mod:`repro.runtime.backoff`)
+            used between dial attempts and between orchestrator
+            re-spawns.
+        recovery_budget: how many recovery cycles (teardown, epoch
+            bump, re-link-up, resume) one party process tolerates
+            before giving up fatally.
+        faults: the serialized :class:`~repro.runtime.faults.FaultPlan`
+            (empty for a fault-free run).  Manifest-carried so every
+            process interprets the same seeded plan -- deterministic
+            chaos, inside the handshake digest like everything else.
     """
 
     session_id: str
@@ -134,6 +150,11 @@ class RunManifest:
     config: dict
     host: str = DEFAULT_HOST
     timeout_s: float = 30.0
+    connect_timeout_s: float = 15.0
+    connect_retries: int = 120
+    backoff_base_s: float = 0.02
+    recovery_budget: int = 3
+    faults: tuple = ()
     version: int = field(default=1)
 
     def __post_init__(self):
@@ -156,6 +177,21 @@ class RunManifest:
             raise ManifestError(
                 f"ports must cover exactly the mesh pairs "
                 f"{sorted(expected_pairs)}, got {sorted(self.ports)}")
+        if self.connect_timeout_s <= 0:
+            raise ManifestError(
+                f"connect_timeout_s must be > 0, got "
+                f"{self.connect_timeout_s}")
+        if self.connect_retries < 1:
+            raise ManifestError(
+                f"connect_retries must be >= 1, got {self.connect_retries}")
+        if self.backoff_base_s < 0:
+            raise ManifestError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}")
+        if self.recovery_budget < 0:
+            raise ManifestError(
+                f"recovery_budget must be >= 0, got {self.recovery_budget}")
+        object.__setattr__(self, "faults",
+                           tuple(dict(spec) for spec in self.faults))
 
     # -- mesh geometry -----------------------------------------------------
 
@@ -207,6 +243,11 @@ class RunManifest:
             "config": self.config,
             "host": self.host,
             "timeout_s": self.timeout_s,
+            "connect_timeout_s": self.connect_timeout_s,
+            "connect_retries": self.connect_retries,
+            "backoff_base_s": self.backoff_base_s,
+            "recovery_budget": self.recovery_budget,
+            "faults": [dict(spec) for spec in self.faults],
             "version": self.version,
         }
         return json.dumps(payload, sort_keys=True, indent=2) + "\n"
@@ -229,6 +270,11 @@ class RunManifest:
                 config=data["config"],
                 host=data.get("host", DEFAULT_HOST),
                 timeout_s=data.get("timeout_s", 30.0),
+                connect_timeout_s=data.get("connect_timeout_s", 15.0),
+                connect_retries=data.get("connect_retries", 120),
+                backoff_base_s=data.get("backoff_base_s", 0.02),
+                recovery_budget=data.get("recovery_budget", 3),
+                faults=tuple(data.get("faults", ())),
                 version=data.get("version", 1),
             )
         except KeyError as exc:

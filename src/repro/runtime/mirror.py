@@ -100,6 +100,12 @@ class MirrorChannel:
         # receive.
         self._local_echo: deque[tuple[str, bytes]] = deque()
         self._remote_inbox: deque[tuple[str, bytes]] = deque()
+        # The party's wire view of this pair, in choreography order:
+        # ("out", label, wire) for local sends, ("in", label, wire) for
+        # substituted authentic frames.  This is what a checkpoint
+        # persists and what a replayed pass re-produces (see
+        # repro.runtime.checkpoint).
+        self.frame_log: list[tuple[str, str, bytes]] = []
         self.left = ChannelEndpoint(self, left_name, right_name)
         self.right = ChannelEndpoint(self, right_name, left_name)
 
@@ -116,6 +122,22 @@ class MirrorChannel:
         if not self._closed:
             self._closed = True
             self.transport.close(reason)
+
+    def rebind_transport(self, transport) -> None:
+        """Swap the delivery fabric under a live channel.
+
+        The recovery path uses this twice: a resumed party first drives
+        the channel over a :class:`~repro.runtime.checkpoint.ReplayTransport`
+        (rebuilding state from the recorded wire view, no sockets), then
+        rebinds to the fresh epoch's :class:`~repro.net.transport.TcpTransport`
+        for live execution.  Channel-level state (stats, transcript,
+        inboxes, frame log) carries across untouched -- only delivery
+        changes.
+        """
+        if self._closed:
+            raise MirrorChannelError(
+                "cannot rebind the transport of a closed channel")
+        self.transport = transport
 
     def assert_drained(self) -> None:
         """Post-run invariant: every sent frame met its receive.
@@ -149,6 +171,7 @@ class MirrorChannel:
                                    deserialize_message(wire), len(wire))
             self.transport.deliver(sender, receiver, label, wire)
             self._local_echo.append((label, wire))
+            self.frame_log.append(("out", label, wire))
             return
         # The remote party's send: substitute the authentic frame.  The
         # locally-passed value was computed from placeholders and is
@@ -165,6 +188,7 @@ class MirrorChannel:
         self.transcript.record(sender, receiver, label,
                                deserialize_message(wire), len(wire))
         self._remote_inbox.append((label, wire))
+        self.frame_log.append(("in", label, wire))
 
     def _receive(self, receiver: str, expected_label: str | None):
         if self._closed:

@@ -1,0 +1,169 @@
+"""Checkpoints: round-trip, truncation, validation, replay discipline."""
+
+import pathlib
+
+import pytest
+
+from repro.runtime.checkpoint import (
+    CheckpointDivergenceError,
+    CheckpointError,
+    PartyCheckpoint,
+    PassRecord,
+    ReplayTransport,
+    checkpoint_path,
+    load_checkpoint,
+    write_checkpoint,
+)
+
+
+def make_checkpoint(**overrides) -> PartyCheckpoint:
+    fields = dict(
+        party="b",
+        session_id="run-1",
+        manifest_sha256="d" * 64,
+        epoch=1,
+        passes_done=2,
+        labels=(0, 0, -1),
+        ledger_events=(("dbscan/region", "b", "predicate_bit", "q0"),),
+        pass_records=[
+            PassRecord(driver="a", served_queries=3,
+                       frame_counts={"a|b": 4, "b|c": 0},
+                       pair_digests={"a|b": "x1", "b|c": "e0"}),
+            PassRecord(driver="b", served_queries=0,
+                       frame_counts={"a|b": 6, "b|c": 5},
+                       pair_digests={"a|b": "x2", "b|c": "y1"}),
+        ],
+        frames={
+            "a|b": [("in", "m0", b"\x01"), ("out", "m1", b"\x02"),
+                    ("in", "m2", b"\x03"), ("out", "m3", b"\x04"),
+                    ("out", "m4", b"\x05"), ("in", "m5", b"\x06")],
+            "b|c": [("out", "n0", b"\xaa"), ("in", "n1", b"\xbb"),
+                    ("out", "n2", b"\xcc"), ("in", "n3", b"\xdd"),
+                    ("out", "n4", b"\xee")],
+        },
+        stats={"a|b": {"total_bytes": 6}},
+        comparisons={"a|b": 9},
+    )
+    fields.update(overrides)
+    return PartyCheckpoint(**fields)
+
+
+class TestCheckpointSerialization:
+    def test_round_trip(self):
+        checkpoint = make_checkpoint()
+        restored = PartyCheckpoint.from_json(checkpoint.to_json())
+        assert restored.party == checkpoint.party
+        assert restored.epoch == checkpoint.epoch
+        assert restored.passes_done == checkpoint.passes_done
+        assert restored.labels == checkpoint.labels
+        assert restored.ledger_events == checkpoint.ledger_events
+        assert restored.frames == checkpoint.frames
+        assert restored.pass_records == checkpoint.pass_records
+        assert restored.stats == checkpoint.stats
+        assert restored.comparisons == checkpoint.comparisons
+
+    def test_labels_may_be_absent_before_own_pass(self):
+        checkpoint = make_checkpoint(labels=None)
+        assert PartyCheckpoint.from_json(checkpoint.to_json()).labels is None
+
+    def test_unreadable_json_raises(self):
+        with pytest.raises(CheckpointError, match="unreadable"):
+            PartyCheckpoint.from_json("{not json")
+
+    def test_record_count_must_match_passes_done(self):
+        payload = make_checkpoint().to_json().replace(
+            '"passes_done": 2', '"passes_done": 3')
+        with pytest.raises(CheckpointError, match="3 passes"):
+            PartyCheckpoint.from_json(payload)
+
+
+class TestFrameTruncation:
+    def test_frames_up_to_earlier_boundary(self):
+        frames = make_checkpoint().frames_up_to(1)
+        assert frames["a|b"] == make_checkpoint().frames["a|b"][:4]
+        assert frames["b|c"] == []
+
+    def test_frames_up_to_own_boundary_is_everything(self):
+        checkpoint = make_checkpoint()
+        frames = checkpoint.frames_up_to(2)
+        assert frames["a|b"] == checkpoint.frames["a|b"][:6]
+        assert frames["b|c"] == checkpoint.frames["b|c"][:5]
+
+    @pytest.mark.parametrize("passes", [0, 3])
+    def test_out_of_range_boundary_refused(self, passes):
+        with pytest.raises(CheckpointError, match="truncate"):
+            make_checkpoint().frames_up_to(passes)
+
+    def test_record_for_boundary(self):
+        assert make_checkpoint().record_for(1).driver == "a"
+        with pytest.raises(CheckpointError, match="no pass record"):
+            make_checkpoint().record_for(5)
+
+
+class TestPersistence:
+    def test_write_then_load(self, tmp_path):
+        checkpoint = make_checkpoint()
+        write_checkpoint(tmp_path, checkpoint)
+        loaded = load_checkpoint(tmp_path, "b", session_id="run-1",
+                                 manifest_sha256="d" * 64)
+        assert loaded.frames == checkpoint.frames
+        assert not list(tmp_path.glob("*.tmp")), "atomic write must clean up"
+
+    def test_absent_checkpoint_is_none(self, tmp_path):
+        assert load_checkpoint(tmp_path, "b", session_id="run-1",
+                               manifest_sha256="d" * 64) is None
+
+    def test_wrong_session_refused(self, tmp_path):
+        write_checkpoint(tmp_path, make_checkpoint())
+        with pytest.raises(CheckpointError, match="session"):
+            load_checkpoint(tmp_path, "b", session_id="run-2",
+                            manifest_sha256="d" * 64)
+
+    def test_changed_manifest_refused(self, tmp_path):
+        write_checkpoint(tmp_path, make_checkpoint())
+        with pytest.raises(CheckpointError, match="manifest"):
+            load_checkpoint(tmp_path, "b", session_id="run-1",
+                            manifest_sha256="e" * 64)
+
+    def test_wrong_party_in_file_refused(self, tmp_path):
+        path = checkpoint_path(tmp_path, "b")
+        path.write_text(make_checkpoint(party="c").to_json())
+        with pytest.raises(CheckpointError, match="belongs to"):
+            load_checkpoint(tmp_path, "b", session_id="run-1",
+                            manifest_sha256="d" * 64)
+
+
+class TestReplayTransport:
+    def frames(self):
+        return [("out", "m0", b"\x01\x02"), ("in", "m1", b"\x03")]
+
+    def test_faithful_replay_exhausts(self):
+        transport = ReplayTransport("a", "b", "a", self.frames())
+        transport.deliver("a", "b", "m0", b"\x01\x02")
+        assert transport.collect("a", "m1") == ("m1", b"\x03")
+        transport.assert_exhausted()
+
+    def test_recomputed_bytes_must_match(self):
+        transport = ReplayTransport("a", "b", "a", self.frames())
+        with pytest.raises(CheckpointDivergenceError, match="diverges"):
+            transport.deliver("a", "b", "m0", b"\x01\xff")
+
+    def test_recomputed_label_must_match(self):
+        transport = ReplayTransport("a", "b", "a", self.frames())
+        with pytest.raises(CheckpointDivergenceError, match="diverges"):
+            transport.deliver("a", "b", "m9", b"\x01\x02")
+
+    def test_direction_must_match(self):
+        transport = ReplayTransport("a", "b", "a", self.frames())
+        with pytest.raises(CheckpointDivergenceError, match="expected"):
+            transport.collect("a", "m0")
+
+    def test_exhausted_record_refuses_more_traffic(self):
+        transport = ReplayTransport("a", "b", "a", [])
+        with pytest.raises(CheckpointDivergenceError, match="exhausted"):
+            transport.deliver("a", "b", "m0", b"\x01")
+
+    def test_leftover_record_is_divergence(self):
+        transport = ReplayTransport("a", "b", "a", self.frames())
+        with pytest.raises(CheckpointDivergenceError, match="unconsumed"):
+            transport.assert_exhausted()

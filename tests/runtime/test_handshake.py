@@ -90,6 +90,37 @@ class TestHandshake:
         assert any("session id" in str(outcome)
                    for outcome in outcomes.values())
 
+    def test_epoch_mismatch_refused_field_by_field(self):
+        """A stale-epoch link must be refused like any other binding
+        mismatch, with both ends seeing the two epoch values (the lower
+        side adopts the higher epoch and re-links from scratch)."""
+        outcomes = exchange(hello(party_id="p0", epoch=2),
+                            hello(party_id="p1", epoch=0),
+                            expect_mine="p1", expect_theirs="p0")
+        failures = [outcome for outcome in outcomes.values()
+                    if isinstance(outcome, HandshakeError)]
+        assert failures, "an epoch mismatch must refuse the link"
+        epoch_failures = [failure for failure in failures
+                          if failure.field_name == "epoch"]
+        assert epoch_failures
+        assert {epoch_failures[0].ours, epoch_failures[0].theirs} == {0, 2}
+
+    def test_matching_epochs_accept(self):
+        outcomes = exchange(hello(party_id="p0", epoch=3),
+                            hello(party_id="p1", epoch=3),
+                            expect_mine="p1", expect_theirs="p0")
+        assert outcomes["mine"].epoch == 3
+        assert outcomes["theirs"].epoch == 3
+
+    def test_passes_done_is_informational_never_refused(self):
+        """The completed-pass count negotiates the resume point; links
+        between parties at different boundaries must still come up."""
+        outcomes = exchange(hello(party_id="p0", passes_done=2),
+                            hello(party_id="p1", passes_done=0),
+                            expect_mine="p1", expect_theirs="p0")
+        assert outcomes["mine"].passes_done == 0
+        assert outcomes["theirs"].passes_done == 2
+
     def test_peer_vanishing_mid_handshake(self):
         left_sock, right_sock = socket.socketpair()
         left = FramedConnection(left_sock, timeout_s=2.0, name="left")

@@ -123,3 +123,44 @@ class TestRunManifest:
 
     def test_pair_key_is_order_insensitive(self):
         assert pair_key("b", "a") == pair_key("a", "b") == "a|b"
+
+    def test_recovery_knobs_roundtrip(self):
+        original = manifest(connect_timeout_s=7.5, connect_retries=40,
+                            backoff_base_s=0.1, recovery_budget=5)
+        restored = RunManifest.from_json(original.to_json())
+        assert restored.connect_timeout_s == 7.5
+        assert restored.connect_retries == 40
+        assert restored.backoff_base_s == 0.1
+        assert restored.recovery_budget == 5
+
+    def test_recovery_knobs_have_back_compat_defaults(self):
+        """Manifests written before the fault-tolerant session layer
+        carry none of the knobs; loading them must still work."""
+        import json
+        payload = json.loads(manifest().to_json())
+        for knob in ("connect_timeout_s", "connect_retries",
+                     "backoff_base_s", "recovery_budget", "faults"):
+            payload.pop(knob)
+        restored = RunManifest.from_json(json.dumps(payload))
+        assert restored.connect_timeout_s == 15.0
+        assert restored.connect_retries == 120
+        assert restored.recovery_budget == 3
+        assert restored.faults == ()
+
+    def test_recovery_knob_validation(self):
+        with pytest.raises(ManifestError, match="connect_timeout_s"):
+            manifest(connect_timeout_s=0)
+        with pytest.raises(ManifestError, match="connect_retries"):
+            manifest(connect_retries=0)
+        with pytest.raises(ManifestError, match="backoff_base_s"):
+            manifest(backoff_base_s=-1)
+        with pytest.raises(ManifestError, match="recovery_budget"):
+            manifest(recovery_budget=-1)
+
+    def test_digest_binds_the_fault_plan(self):
+        """Faults ride inside the manifest digest: a fleet where one
+        process plans a kill and another does not must refuse to link."""
+        from repro.runtime.faults import FaultPlan
+        plan = FaultPlan.parse(["kill:p1@pass1"])
+        assert manifest_digest(manifest()) \
+            != manifest_digest(manifest(faults=plan.to_dicts()))

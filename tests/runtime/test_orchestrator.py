@@ -128,12 +128,16 @@ class TestOrchestratorFailurePaths:
         fleet down instead of hanging."""
         by_party = workload(3)
         with pytest.raises(OrchestrationError) as excinfo:
+            # retry_budget=0: the legacy hook re-fires on every
+            # incarnation, so a resume could never outrun it anyway.
             orchestrate_run(by_party, make_config(), seeds=[31, 32, 33],
-                            deadline_s=120,
+                            deadline_s=120, retry_budget=0,
                             fault_injection={"p1": 1})
         message = str(excinfo.value)
         assert "'p1'" in message
         assert "code 13" in message
+        assert excinfo.value.failures
+        assert excinfo.value.failures[-1].party == "p1"
 
     def test_unsupported_config_refused_before_spawn(self):
         with pytest.raises(UnsupportedConfigError, match="bitwise"):
@@ -147,6 +151,61 @@ class TestOrchestratorFailurePaths:
     def test_missing_seeds_refused(self):
         with pytest.raises(OrchestrationError, match="seed"):
             orchestrate_run(workload(2), make_config(), seeds=None)
+
+
+@pytest.mark.sockets
+class TestRunDirCleanup:
+    def test_temp_run_dir_removed_even_when_the_run_aborts(
+            self, monkeypatch):
+        """The cleanup bugfix bar: an aborted run must still reap its
+        children and remove the temporary run directory."""
+        import pathlib
+        import tempfile
+
+        created = []
+        real_mkdtemp = tempfile.mkdtemp
+
+        def spying_mkdtemp(*args, **kwargs):
+            path = real_mkdtemp(*args, **kwargs)
+            created.append(path)
+            return path
+
+        monkeypatch.setattr(tempfile, "mkdtemp", spying_mkdtemp)
+        with pytest.raises(OrchestrationError):
+            orchestrate_run(workload(2), make_config(), seeds=[31, 32],
+                            deadline_s=120, retry_budget=0,
+                            fault_injection={"p1": 1})
+        assert created, "the orchestrator must have made a temp run dir"
+        assert not pathlib.Path(created[0]).exists()
+
+    def test_keep_run_dir_preserves_recovery_artifacts(self, monkeypatch):
+        import pathlib
+        import shutil
+        import tempfile
+
+        created = []
+        real_mkdtemp = tempfile.mkdtemp
+
+        def spying_mkdtemp(*args, **kwargs):
+            path = real_mkdtemp(*args, **kwargs)
+            created.append(path)
+            return path
+
+        monkeypatch.setattr(tempfile, "mkdtemp", spying_mkdtemp)
+        try:
+            orchestrate_run(workload(2), make_config(), seeds=[31, 32],
+                            deadline_s=120, keep_run_dir=True)
+            run_dir = pathlib.Path(created[0])
+            assert run_dir.exists()
+            assert (run_dir / "manifest.json").exists()
+            # Pass-boundary checkpoints are written on fault-free runs
+            # too -- that is what makes a later crash recoverable.
+            assert (run_dir / "checkpoint_p0.json").exists()
+            assert (run_dir / "checkpoint_p1.json").exists()
+            assert (run_dir / "report_p0.json").exists()
+        finally:
+            for path in created:
+                shutil.rmtree(path, ignore_errors=True)
 
 
 class TestOrchestratorPlumbing:
