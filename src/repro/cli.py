@@ -8,12 +8,23 @@ Usage::
     python -m repro figures
     python -m repro orchestrate --parties 3 --points 12 --verify
     python -m repro party --run-dir /tmp/run --party party0
+    python -m repro mesh-spec /tmp/mesh.json --parties 3
+    python -m repro serve --spec /tmp/mesh.json --party party0
+    python -m repro submit --spec /tmp/mesh.json --sessions 4 --verify
 
 ``orchestrate`` runs the k-party mesh as *real OS processes* over
 loopback TCP (spawning one ``repro party`` subprocess per data holder);
 ``party`` is that subprocess's entry point -- it can equally be launched
 by hand in separate terminals against a shared run directory (see
 ``examples/distributed_mesh.py``).
+
+``serve``/``submit`` are the resident-daemon runtime: ``mesh-spec``
+writes a shared mesh description, ``serve`` keeps one party daemon
+alive per terminal (persistent pair links, warmed crypto engine), and
+``submit`` fires one or many clustering sessions at the standing mesh
+-- interleaved over the same connections -- and merges the reports.
+``submit --spawn`` runs the daemons as background subprocesses for a
+one-command demo.
 
 The CLI exists for downstream users who want to see the protocols run
 before writing code; everything it does is a thin wrapper over the
@@ -150,6 +161,55 @@ def build_parser() -> argparse.ArgumentParser:
                                   "labels, ledger, and per-pair "
                                   "transcripts")
 
+    mesh_spec = commands.add_parser(
+        "mesh-spec",
+        help="write a daemon mesh description (party names + listen "
+             "ports) for 'repro serve' / 'repro submit'")
+    mesh_spec.add_argument("path", help="where to write the spec JSON")
+    mesh_spec.add_argument("--parties", type=int, default=3)
+    mesh_spec.add_argument("--net-latency-ms", type=float, default=0.0,
+                           help="simulated one-way inbound latency per "
+                                "pair link (real event-loop time)")
+    mesh_spec.add_argument("--workers", type=int, default=1,
+                           help="modexp engine worker processes per "
+                                "daemon (1 = serial)")
+
+    serve = commands.add_parser(
+        "serve",
+        help="run one resident party daemon (persistent pair links, "
+             "sessions multiplexed over them) until interrupted")
+    serve.add_argument("--spec", required=True,
+                       help="mesh spec JSON from 'repro mesh-spec'")
+    serve.add_argument("--party", required=True, dest="party_name")
+
+    submit = commands.add_parser(
+        "submit",
+        help="submit clustering sessions to a standing daemon mesh "
+             "(or --spawn a throwaway fleet first)")
+    submit.add_argument("--spec", default=None,
+                        help="mesh spec of the standing daemons; omit "
+                             "with --spawn")
+    submit.add_argument("--spawn", action="store_true",
+                        help="spawn a daemon fleet as subprocesses for "
+                             "this submission, then shut it down")
+    submit.add_argument("--parties", type=int, default=3,
+                        help="party count for --spawn (ignored with "
+                             "--spec)")
+    submit.add_argument("--sessions", type=int, default=1,
+                        help="how many sessions to submit concurrently")
+    submit.add_argument("--points", type=int, default=12,
+                        help="total points across parties per session")
+    submit.add_argument("--eps", type=float, default=1.2)
+    submit.add_argument("--min-pts", type=int, default=4)
+    submit.add_argument("--seed", type=int, default=7)
+    submit.add_argument("--key-bits", type=int, default=256)
+    submit.add_argument("--verify", action="store_true",
+                        help="also run the in-process mesh per session "
+                             "and assert bit-identical labels, ledger, "
+                             "and per-pair transcripts")
+    submit.add_argument("--shutdown", action="store_true",
+                        help="stop the daemons after the submissions")
+
     party = commands.add_parser(
         "party",
         help="one data holder of an orchestrated run (loads only its own "
@@ -182,6 +242,12 @@ def main(argv: list[str] | None = None) -> int:
         return _run_orchestrate(args)
     if args.command == "party":
         return _run_party(args)
+    if args.command == "mesh-spec":
+        return _run_mesh_spec(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "submit":
+        return _run_submit(args)
     return 2  # unreachable: argparse enforces the choices
 
 
@@ -392,6 +458,137 @@ def _run_party(args) -> int:
     print(f"{report.party}: labels={report.labels} "
           f"elapsed={report.elapsed_seconds:.2f}s")
     return 0
+
+
+def _run_mesh_spec(args) -> int:
+    import pathlib
+
+    from repro.runtime.daemon import MeshSpec, mesh_digest
+    from repro.runtime.orchestrator import allocate_ports
+
+    if args.parties < 2:
+        raise SystemExit("--parties must be >= 2")
+    names = tuple(f"party{index}" for index in range(args.parties))
+    ports = allocate_ports(args.parties)
+    spec = MeshSpec(names=names, ports=dict(zip(names, ports)),
+                    net_delay_s=args.net_latency_ms / 1000.0,
+                    engine_workers=args.workers)
+    path = pathlib.Path(args.path)
+    path.write_text(spec.to_json())
+    print(f"mesh spec written: {path}  (digest {mesh_digest(spec)[:12]})")
+    print("launch each daemon in its own terminal:")
+    for name in names:
+        print(f"  python -m repro serve --spec {path} --party {name}")
+    print(f"then submit sessions: python -m repro submit --spec {path}")
+    return 0
+
+
+def _run_serve(args) -> int:
+    import pathlib
+
+    from repro.runtime.daemon import MeshSpec, PartyDaemon
+
+    spec = MeshSpec.from_json(pathlib.Path(args.spec).read_text())
+    daemon = PartyDaemon(spec, args.party_name)
+    print(f"daemon {args.party_name} listening on "
+          f"{spec.host}:{spec.ports[args.party_name]} "
+          f"(mesh of {len(spec.names)}; ctrl-c to stop)", flush=True)
+    try:
+        daemon.run()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _run_submit(args) -> int:
+    import pathlib
+
+    from repro.runtime.client import (
+        DaemonFleet,
+        SessionClient,
+        SessionClientError,
+    )
+    from repro.runtime.daemon import MeshSpec
+    from repro.runtime.manifest import pair_key
+    from repro.runtime.orchestrator import build_manifest
+
+    if bool(args.spec) == bool(args.spawn):
+        raise SystemExit("submit needs exactly one of --spec or --spawn")
+
+    fleet = None
+    if args.spawn:
+        names = tuple(f"party{index}" for index in range(args.parties))
+        fleet = DaemonFleet(names, mode="process").start()
+        spec = fleet.spec
+    else:
+        spec = MeshSpec.from_json(pathlib.Path(args.spec).read_text())
+
+    args.parties = len(spec.names)
+    by_party, seeds = _orchestrate_workload(args)
+    # _orchestrate_workload names parties party0..k-1; rebind the same
+    # partitions to the mesh's party names in slot order.
+    by_party = dict(zip(spec.names, by_party.values()))
+    config = ProtocolConfig(
+        eps=args.eps, min_pts=args.min_pts, scale=100,
+        smc=SmcConfig(paillier_bits=args.key_bits, comparison="bitwise",
+                      key_seed=args.seed))
+    ports = {pair_key(a, b): 0
+             for i, a in enumerate(spec.names)
+             for b in spec.names[i + 1:]}
+    try:
+        with SessionClient(spec) as client:
+            handles = [
+                client.submit(
+                    build_manifest(by_party, config, seeds,
+                                   session_id=f"submit-{index:03d}",
+                                   ports=ports, host=spec.host),
+                    by_party)
+                for index in range(max(1, args.sessions))]
+            failures = 0
+            for handle in handles:
+                try:
+                    run = handle.result()
+                except SessionClientError as exc:
+                    print(f"{handle.session_id}: FAILED ({exc})",
+                          file=sys.stderr)
+                    failures += 1
+                    continue
+                info = next(iter(run.reports.values())).runtime_info
+                print(f"{handle.session_id}: labels="
+                      f"{dict(run.result.labels_by_party)}  "
+                      f"comparisons={run.result.comparisons}  "
+                      f"{run.elapsed_seconds:.2f}s  "
+                      f"(warm_start={info.get('warm_start')})")
+                if args.verify and not _verify_daemon_run(
+                        run, by_party, config, seeds):
+                    failures += 1
+            if args.shutdown:
+                client.shutdown_mesh()
+        return 1 if failures else 0
+    finally:
+        if fleet is not None:
+            fleet.stop()
+
+
+def _verify_daemon_run(run, by_party, config, seeds) -> bool:
+    from repro.net.transcript import transcript_digest
+    from repro.runtime.manifest import pair_key
+
+    mesh = PartyMesh(list(by_party), config.smc, seeds=seeds)
+    reference = run_multiparty_horizontal_dbscan(by_party, config,
+                                                 seeds=seeds, mesh=mesh)
+    digests = {pair_key(*pair): transcript_digest(transcript)
+               for pair, transcript in mesh.pair_transcripts().items()}
+    checks = {
+        "labels": run.result.labels_by_party == reference.labels_by_party,
+        "ledger": run.result.ledger.events == reference.ledger.events,
+        "comparisons": run.result.comparisons == reference.comparisons,
+        "transcripts": run.transcript_digests == digests,
+    }
+    for check, passed in checks.items():
+        print(f"  verify {check}: "
+              f"{'bit-identical' if passed else 'MISMATCH'}")
+    return all(checks.values())
 
 
 def _run_attack(args) -> int:

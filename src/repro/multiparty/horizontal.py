@@ -92,6 +92,7 @@ def run_multiparty_horizontal_dbscan(points_by_party: dict[str, list],
                                      config: ProtocolConfig,
                                      *, seeds: list[int] | None = None,
                                      mesh: PartyMesh | None = None,
+                                     rng_namespace: str | None = None,
                                      ) -> MultipartyRunResult:
     """Run the k-party horizontal protocol.
 
@@ -105,12 +106,17 @@ def run_multiparty_horizontal_dbscan(points_by_party: dict[str, list],
             so callers can run the offline phase
             (``mesh.precompute_pools``) outside whatever they are
             timing; when omitted, the mesh is created here.
+        rng_namespace: per-session coin-stream namespace for the mesh
+            built here (ignored when ``mesh`` is supplied); matches the
+            daemon runtime's per-session derivation so reference runs
+            can reproduce a multiplexed session's coins exactly.
     """
     names = list(points_by_party)
     if len(names) < 2:
         raise MeshError("need at least two parties")
     if mesh is None:
-        mesh = PartyMesh(names, config.smc, seeds=seeds)
+        mesh = PartyMesh(names, config.smc, seeds=seeds,
+                         rng_namespace=rng_namespace)
     elif set(mesh.names) != set(names):
         raise MeshError(
             f"mesh parties {mesh.names} do not match data parties {names}")
@@ -120,7 +126,8 @@ def run_multiparty_horizontal_dbscan(points_by_party: dict[str, list],
     value_bound = squared_distance_bound(all_points, all_points)
 
     executor = make_pass_executor(config.concurrent_peers,
-                                  config.peer_workers)
+                                  config.peer_workers,
+                                  expected_tasks=max(1, len(names) - 1))
     try:
         labels_by_party = {}
         for driver_name in names:

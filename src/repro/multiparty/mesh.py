@@ -39,7 +39,8 @@ from repro.crypto.rsa import generate_rsa_keypair
 
 
 def derive_pair_rng(seed: int | None, party: str, left: str,
-                    right: str) -> random.Random:
+                    right: str,
+                    namespace: str | None = None) -> random.Random:
     """A party's private RNG substream for one pairwise link.
 
     Derived (via :func:`~repro.net.transport.derive_seeded_stream`) by
@@ -50,8 +51,18 @@ def derive_pair_rng(seed: int | None, party: str, left: str,
     which is also what lets the PR-5 socket runtime re-derive the exact
     same coins in every party process.  ``None`` stays
     nondeterministic.
+
+    ``namespace`` adds a further derivation level for multi-session
+    deployments: a daemon serving many clustering sessions derives each
+    session's coins from (seed, namespace=session id, party, pair), so
+    two sessions sharing seeds never share a coin stream.  ``None``
+    keeps the legacy per-(party, pair) stream -- the default everywhere,
+    so all existing single-session equivalences are unchanged.
     """
-    return derive_seeded_stream(seed, party, left, right)
+    if namespace is None:
+        return derive_seeded_stream(seed, party, left, right)
+    return derive_seeded_stream(seed, "session", namespace, party, left,
+                                right)
 
 
 class MeshError(ValueError):
@@ -65,10 +76,14 @@ class PartyMesh:
         names: distinct party names, e.g. ``["party0", "party1", ...]``.
         config: shared cryptographic configuration.
         seeds: optional per-party RNG seeds (parallel to ``names``).
+        rng_namespace: optional per-session derivation tag threaded into
+            every :func:`derive_pair_rng` call (see there); ``None``
+            keeps the legacy streams.
     """
 
     def __init__(self, names: list[str], config: SmcConfig,
-                 seeds: list[int | None] | None = None):
+                 seeds: list[int | None] | None = None,
+                 rng_namespace: str | None = None):
         if len(names) < 2:
             raise MeshError("a mesh needs at least two parties")
         if len(set(names)) != len(names):
@@ -80,6 +95,7 @@ class PartyMesh:
         # hits instead of two O(k) list scans per routed lookup.
         self._slots = {name: slot for slot, name in enumerate(self.names)}
         self.config = config
+        self.rng_namespace = rng_namespace
         self._seeds = {name: (seeds[index] if seeds else None)
                        for index, name in enumerate(names)}
         # Party-level stream: key generation only (pairwise channels use
@@ -117,10 +133,12 @@ class PartyMesh:
         channel = channel_for_config(self.config, left, right)
         left_party = Party(
             channel.left, derive_pair_rng(self._seeds[left], left,
-                                          left, right))
+                                          left, right,
+                                          namespace=self.rng_namespace))
         right_party = Party(
             channel.right, derive_pair_rng(self._seeds[right], right,
-                                           left, right))
+                                           left, right,
+                                           namespace=self.rng_namespace))
         session = SmcSession(left_party, right_party, self.config,
                              preset_contexts=self._contexts)
         key = (left, right)

@@ -126,21 +126,40 @@ class ConcurrentPassExecutor(PassExecutor):
 
     concurrent = True
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(self, max_workers: int | None = None,
+                 expected_tasks: int | None = None):
         super().__init__()
         if max_workers is not None and max_workers < 1:
             raise SchedulerError(
                 f"max_workers must be >= 1, got {max_workers}")
+        if expected_tasks is not None and expected_tasks < 1:
+            raise SchedulerError(
+                f"expected_tasks must be >= 1, got {expected_tasks}")
         self.max_workers = max_workers
+        # Sizing hint from the caller (the mesh's max peer count): the
+        # pool opens at its steady-state width instead of growing
+        # pass by pass.
+        self.expected_tasks = expected_tasks
         self._pool: ThreadPoolExecutor | None = None
         self._pool_workers = 0
 
     def _ensure_pool(self, task_count: int) -> ThreadPoolExecutor:
-        workers = self.max_workers or task_count
-        if self._pool is None or workers > self._pool_workers:
-            if self._pool is not None:
-                self._pool.shutdown(wait=True)
+        """A pool at least ``task_count`` wide, without churn.
+
+        The pool is created once -- sized from the ``expected_tasks``
+        hint when given -- and *grown in place* if a later pass needs
+        more width: bumping ``_max_workers`` makes the executor's lazy
+        thread spawner top the pool up on the next submits.  The old
+        behaviour (shutdown + recreate on every wider pass) threw away
+        every warm worker thread each time the task count grew.
+        """
+        workers = self.max_workers or max(task_count,
+                                          self.expected_tasks or 0)
+        if self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=workers)
+            self._pool_workers = workers
+        elif workers > self._pool_workers:
+            self._pool._max_workers = workers
             self._pool_workers = workers
         return self._pool
 
@@ -178,8 +197,15 @@ class ConcurrentPassExecutor(PassExecutor):
 
 
 def make_pass_executor(concurrent: bool,
-                       max_workers: int | None = None) -> PassExecutor:
-    """Executor factory driven by ``ProtocolConfig(concurrent_peers=...)``."""
+                       max_workers: int | None = None,
+                       expected_tasks: int | None = None) -> PassExecutor:
+    """Executor factory driven by ``ProtocolConfig(concurrent_peers=...)``.
+
+    ``expected_tasks`` -- typically the mesh's max peer count per pass,
+    ``k - 1`` -- pre-sizes the concurrent pool so it never grows (and,
+    before the growth fix, never churned) mid-run.
+    """
     if concurrent:
-        return ConcurrentPassExecutor(max_workers=max_workers)
+        return ConcurrentPassExecutor(max_workers=max_workers,
+                                      expected_tasks=expected_tasks)
     return SequentialPassExecutor()

@@ -22,6 +22,26 @@ frames as ``00 00 00 01 <kind>``.  Four kinds exist:
 - ``X`` (goodbye) -- clean close announcement with a reason string, so
   the peer can distinguish an orderly teardown from a crash.
 
+Two *multiplexed* kinds extend the wire for the daemon runtime, where
+one persistent connection per party-pair carries interleaved frames
+from many concurrent clustering sessions:
+
+- ``m`` (mux message) -- an ``M`` payload prefixed with a session tag::
+
+      2-byte tag length | session id (UTF-8) | message payload
+
+  The inner payload is byte-identical to what a dedicated ``M`` frame
+  would carry for the same protocol message, so demultiplexing strips
+  the tag and hands the single-session machinery the exact same bytes.
+- ``c`` (mux control) -- a control record with the same session-tag
+  prefix; the inner payload is :func:`serialize_message` bytes exactly
+  as in a ``C`` frame.
+
+The tag routes; it never re-encodes.  That is the whole equivalence
+argument at the framing layer: a multiplexed run and a single-session
+run put identical protocol bytes on the wire, differing only in the
+envelope that says which session each frame belongs to.
+
 :class:`FramedConnection` wraps a connected socket with these frames,
 a receive timeout, a maximum frame size (malformed length prefixes must
 not trigger gigabyte allocations), and close-versus-timeout error
@@ -32,6 +52,7 @@ mapping.  It is transport-agnostic plumbing: the delivery semantics
 
 from __future__ import annotations
 
+import asyncio
 import socket
 import struct
 import threading
@@ -40,8 +61,14 @@ FRAME_HELLO = b"H"
 FRAME_MESSAGE = b"M"
 FRAME_CONTROL = b"C"
 FRAME_GOODBYE = b"X"
+FRAME_MUX_MESSAGE = b"m"
+FRAME_MUX_CONTROL = b"c"
 
-_FRAME_KINDS = (FRAME_HELLO, FRAME_MESSAGE, FRAME_CONTROL, FRAME_GOODBYE)
+_FRAME_KINDS = (FRAME_HELLO, FRAME_MESSAGE, FRAME_CONTROL, FRAME_GOODBYE,
+                FRAME_MUX_MESSAGE, FRAME_MUX_CONTROL)
+
+#: Frame kinds that carry a session tag (see :func:`encode_mux_payload`).
+MUX_KINDS = (FRAME_MUX_MESSAGE, FRAME_MUX_CONTROL)
 
 # Generous ceiling: the largest legitimate frames are ciphertext batches
 # (a few MB at realistic key sizes and batch widths).  A corrupt length
@@ -99,6 +126,80 @@ def decode_message_payload(payload: bytes) -> tuple[str, bytes]:
     except UnicodeDecodeError as exc:
         raise FramingError(f"frame label is not valid UTF-8: {exc}") from exc
     return label, payload[2 + label_length:]
+
+
+def encode_mux_payload(session_id: str, inner: bytes) -> bytes:
+    """Payload of an ``m``/``c`` frame: session tag + untouched inner bytes.
+
+    ``inner`` is exactly what the corresponding single-session frame
+    (``M`` or ``C``) would carry -- the tag is routing only, so the
+    protocol bytes under multiplexing are byte-identical to a dedicated
+    per-session connection.
+    """
+    tag = session_id.encode("utf-8")
+    if not tag:
+        raise FramingError("mux frames need a non-empty session id")
+    if len(tag) > 0xFFFF:
+        raise FramingError(f"session id too long ({len(tag)} bytes)")
+    return struct.pack(">H", len(tag)) + tag + inner
+
+
+def decode_mux_payload(payload: bytes) -> tuple[str, bytes]:
+    """Inverse of :func:`encode_mux_payload`."""
+    if len(payload) < 2:
+        raise FramingError("mux frame too short for a session-tag length")
+    (tag_length,) = struct.unpack_from(">H", payload, 0)
+    if tag_length == 0:
+        raise FramingError("mux frame has an empty session tag")
+    if len(payload) < 2 + tag_length:
+        raise FramingError(
+            f"mux frame truncated: session tag needs {tag_length} bytes, "
+            f"have {len(payload) - 2}")
+    try:
+        session_id = payload[2:2 + tag_length].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise FramingError(
+            f"mux session tag is not valid UTF-8: {exc}") from exc
+    return session_id, payload[2 + tag_length:]
+
+
+async def read_frame_async(reader: asyncio.StreamReader, *,
+                           max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+                           name: str = "link") -> tuple[bytes, bytes]:
+    """One ``(kind, payload)`` frame from an asyncio stream.
+
+    The event-loop twin of :meth:`FramedConnection.read_frame`, with the
+    same length/kind validation; EOF maps to
+    :class:`ConnectionClosedError` so loop-side readers classify peer
+    death exactly like the blocking runtime does.  Timeouts are the
+    caller's concern (``asyncio.wait_for`` or none at all -- a daemon's
+    demux reader legitimately idles between sessions).
+    """
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+        (length,) = _LENGTH.unpack(header)
+        if length < 1:
+            raise FramingError(f"{name}: frame length {length} < 1")
+        if length > max_frame_bytes:
+            raise FramingError(
+                f"{name}: frame length {length} exceeds the "
+                f"{max_frame_bytes}-byte ceiling")
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise ConnectionClosedError(
+                f"{name}: stream ended mid-frame (peer died with a "
+                f"frame in flight)") from exc
+        raise ConnectionClosedError(
+            f"{name}: peer closed the connection") from exc
+    except (ConnectionResetError, OSError) as exc:
+        raise ConnectionClosedError(
+            f"{name}: connection lost while reading a frame "
+            f"({exc})") from exc
+    kind, payload = body[:1], body[1:]
+    if kind not in _FRAME_KINDS:
+        raise FramingError(f"{name}: unknown frame kind {kind!r}")
+    return kind, payload
 
 
 class FramedConnection:

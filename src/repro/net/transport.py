@@ -44,6 +44,8 @@ values; the trust boundary stays in the channel layer.
 
 from __future__ import annotations
 
+import asyncio
+import concurrent.futures
 import hashlib
 import queue
 import random
@@ -54,15 +56,24 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.net.framing import (
+    DEFAULT_MAX_FRAME_BYTES,
     FRAME_CONTROL,
     FRAME_GOODBYE,
     FRAME_HELLO,
     FRAME_MESSAGE,
+    FRAME_MUX_CONTROL,
+    FRAME_MUX_MESSAGE,
+    MUX_KINDS,
     ConnectionClosedError,
     FramedConnection,
     FramingError,
     ReceiveTimeout,
     decode_message_payload,
+    decode_mux_payload,
+    encode_frame,
+    encode_message_payload,
+    encode_mux_payload,
+    read_frame_async,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (stats type)
@@ -458,12 +469,16 @@ class TcpTransport(Transport):
                 f"peer {self.peer_name!r} closed the link "
                 f"({payload.decode('utf-8', 'replace')!r}) while "
                 f"{receiver} waited for {want} ({self._context()})")
-        if kind in (FRAME_CONTROL, FRAME_HELLO):
+        if kind != FRAME_MESSAGE:
+            # Control/hello frames inside the protocol stream, or a
+            # session-multiplexed ``m``/``c`` frame on a dedicated
+            # single-session link -- either way the two ends disagree
+            # about what this connection carries.
+            what = ("control frame" if kind == FRAME_CONTROL
+                    else f"{kind!r} frame")
             raise ProtocolDesyncError(
-                f"{'control' if kind == FRAME_CONTROL else 'hello'} frame "
-                f"inside the protocol stream while {receiver} waited for "
-                f"{want} ({self._context()})")
-        assert kind == FRAME_MESSAGE
+                f"unexpected {what} inside the protocol stream "
+                f"while {receiver} waited for {want} ({self._context()})")
         try:
             label, wire = decode_message_payload(payload)
         except FramingError as exc:
@@ -480,6 +495,341 @@ class TcpTransport(Transport):
             except ConnectionClosedError:
                 pass  # peer already gone; nothing to announce
             self.connection.close()
+
+
+class AsyncTcpTransport:
+    """Session-demultiplexing hub over one persistent mux connection.
+
+    The daemon runtime keeps exactly one TCP connection per party-pair,
+    alive across many clustering sessions.  This hub owns that
+    connection's event-loop plumbing:
+
+    - an *inbound demux task* reads ``m``/``c`` frames and routes each,
+      by session tag, into the per-session future queues of a
+      :class:`SessionLinkTransport` view (created eagerly on first
+      sight of a tag, so a peer whose session raced ahead of ours never
+      loses frames);
+    - an *outbound writer task* drains a loop-side queue of pre-encoded
+      frames, so worker threads enqueue via ``call_soon_threadsafe``
+      and per-thread send order is preserved end to end.
+
+    Each :meth:`session` view is a full :class:`Transport`: the
+    unchanged :class:`~repro.runtime.mirror.MirrorChannel` machinery
+    runs over it, which is the equivalence argument -- multiplexing
+    changes which frames share a socket, never the bytes or the
+    per-session order of any (session, pair, direction) stream.
+
+    ``net_delay_s`` is the daemon's simulated-latency profile: every
+    inbound frame is released to its queue ``net_delay_s`` after it is
+    read (``loop.call_later`` keeps FIFO order for equal delays).  The
+    sleep is *real* loop time shared by all sessions on the connection,
+    so latency hiding across concurrent sessions is measured, not
+    modeled.
+    """
+
+    _CLOSED = object()  # queue poison; never crosses the wire
+
+    def __init__(self, left_name: str, right_name: str, local_name: str,
+                 *, timeout_s: float = 30.0, net_delay_s: float = 0.0,
+                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES):
+        if left_name == right_name:
+            raise TransportError("endpoints must have distinct names")
+        if local_name not in (left_name, right_name):
+            raise TransportError(
+                f"{local_name!r} is not an endpoint of this link "
+                f"({left_name!r} <-> {right_name!r})")
+        if timeout_s <= 0:
+            raise TransportError(f"timeout_s must be > 0, got {timeout_s}")
+        if net_delay_s < 0:
+            raise TransportError(
+                f"net_delay_s must be >= 0, got {net_delay_s}")
+        self.left_name = left_name
+        self.right_name = right_name
+        self.local_name = local_name
+        self.peer_name = (right_name if local_name == left_name
+                          else left_name)
+        self.timeout_s = timeout_s
+        self.net_delay_s = net_delay_s
+        self.max_frame_bytes = max_frame_bytes
+        self.name = f"mux {left_name}<->{right_name} at {local_name}"
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._outbox: asyncio.Queue | None = None
+        self._sessions: dict[str, SessionLinkTransport] = {}
+        self._tasks: list[asyncio.Task] = []
+        self._closed = False
+        self._close_reason: str | None = None
+        self._last_frame: tuple[str, str, str] | None = None
+
+    # -- lifecycle (event-loop thread only) --------------------------------
+
+    def start(self, reader: asyncio.StreamReader,
+              writer: asyncio.StreamWriter) -> None:
+        """Adopt a connected, handshaken stream pair and start pumping."""
+        self._loop = asyncio.get_running_loop()
+        self._reader = reader
+        self._writer = writer
+        self._outbox = asyncio.Queue()
+        self._tasks = [self._loop.create_task(self._pump_out()),
+                       self._loop.create_task(self._pump_in())]
+
+    def session(self, session_id: str) -> "SessionLinkTransport":
+        """The (auto-created) per-session view of this connection."""
+        view = self._sessions.get(session_id)
+        if view is None:
+            if self._closed:
+                raise TransportClosedError(
+                    f"{self.name}: connection closed"
+                    + (f": {self._close_reason}" if self._close_reason
+                       else ""))
+            view = SessionLinkTransport(self, session_id)
+            self._sessions[session_id] = view
+        return view
+
+    def release(self, session_id: str) -> None:
+        """Forget a finished session's queues (memory hygiene)."""
+        self._sessions.pop(session_id, None)
+
+    async def aclose(self, reason: str = "done") -> None:
+        """Orderly teardown: goodbye frame, close the stream, poison
+        every parked receiver."""
+        if self._closed:
+            return
+        self._poison(reason)
+        if self._writer is not None:
+            try:
+                self._writer.write(encode_frame(FRAME_GOODBYE,
+                                                reason.encode("utf-8")))
+                await self._writer.drain()
+            except (ConnectionResetError, OSError):
+                pass  # peer already gone; nothing to announce
+            self._writer.close()
+        for task in self._tasks:
+            task.cancel()
+
+    def _poison(self, reason: str) -> None:
+        self._closed = True
+        if self._close_reason is None:
+            self._close_reason = reason
+        for view in self._sessions.values():
+            view._message_queue.put_nowait(self._CLOSED)
+            view._control_queue.put_nowait(self._CLOSED)
+
+    def _abort(self, reason: str) -> None:
+        """Connection-level failure seen by the demux reader: every
+        session on this link fails with the same diagnosis."""
+        self._poison(reason)
+        if self._writer is not None:
+            self._writer.close()
+
+    # -- outbound (any thread) ---------------------------------------------
+
+    def send_frame(self, frame: bytes) -> None:
+        """Enqueue one pre-encoded frame for the writer task.
+
+        Thread-safe: per-thread enqueue order is preserved, which is
+        all the protocol needs -- within one session exactly one thread
+        sends on a given link at a time.
+        """
+        if len(frame) > 4 + self.max_frame_bytes:
+            raise FramingError(
+                f"{self.name}: frame of {len(frame) - 4} bytes exceeds "
+                f"the {self.max_frame_bytes}-byte ceiling")
+        if self._closed:
+            raise TransportClosedError(
+                f"{self.name}: send on closed connection"
+                + (f": {self._close_reason}" if self._close_reason
+                   else ""))
+        try:
+            running = asyncio.get_running_loop()
+        except RuntimeError:
+            running = None
+        if running is self._loop:
+            self._outbox.put_nowait(frame)
+        else:
+            self._loop.call_soon_threadsafe(self._outbox.put_nowait, frame)
+
+    # -- pump tasks (event-loop thread) ------------------------------------
+
+    async def _pump_out(self) -> None:
+        while True:
+            frame = await self._outbox.get()
+            if frame is self._CLOSED:
+                return
+            try:
+                self._writer.write(frame)
+                await self._writer.drain()
+            except (ConnectionResetError, OSError) as exc:
+                self._abort(f"peer gone while writing ({exc})")
+                return
+
+    async def _pump_in(self) -> None:
+        while True:
+            try:
+                kind, payload = await read_frame_async(
+                    self._reader, max_frame_bytes=self.max_frame_bytes,
+                    name=self.name)
+            except ConnectionClosedError as exc:
+                self._abort(f"connection lost ({exc})")
+                return
+            except FramingError as exc:
+                self._abort(f"malformed frame ({exc})")
+                return
+            if kind == FRAME_GOODBYE:
+                self._abort(f"peer {self.peer_name!r} closed the link "
+                            f"({payload.decode('utf-8', 'replace')!r})")
+                return
+            if kind not in MUX_KINDS:
+                self._abort(f"non-multiplexed {kind!r} frame on a mux "
+                            f"connection")
+                return
+            try:
+                session_id, inner = decode_mux_payload(payload)
+                if kind == FRAME_MUX_MESSAGE:
+                    item = decode_message_payload(inner)
+                else:
+                    item = inner
+            except FramingError as exc:
+                self._abort(f"unreadable mux frame ({exc})")
+                return
+            view = self.session(session_id)
+            target = (view._message_queue if kind == FRAME_MUX_MESSAGE
+                      else view._control_queue)
+            if kind == FRAME_MUX_MESSAGE:
+                self._last_frame = (self.peer_name, self.local_name,
+                                    f"{session_id}:{item[0]}")
+            if self.net_delay_s > 0:
+                # Real loop time, shared by every session on the link:
+                # call_later keeps FIFO for equal delays, so simulated
+                # latency never reorders a stream.
+                self._loop.call_later(self.net_delay_s,
+                                      target.put_nowait, item)
+            else:
+                target.put_nowait(item)
+
+    def _context(self) -> str:
+        return link_context(self.left_name, self.right_name,
+                            self._last_frame, local_name=self.local_name)
+
+
+class SessionLinkTransport(Transport):
+    """One session's view of a shared :class:`AsyncTcpTransport`.
+
+    A full :class:`Transport`: ``deliver`` encodes the protocol message
+    as an ``m`` frame tagged with the session id and hands it to the
+    hub's writer queue; ``collect`` -- called from a session worker
+    thread, never the loop -- parks on the session's inbound future
+    queue via ``run_coroutine_threadsafe``.  The control plane
+    (``c`` frames: query announcements, end-of-pass, session sync) uses
+    :meth:`send_control` / :meth:`next_control` and never touches the
+    message queue, mirroring the single-session runtime's strict
+    C-frame / M-frame separation.
+
+    Closing a view never closes the shared connection; it only detaches
+    the session from the hub's demux table.
+    """
+
+    def __init__(self, hub: AsyncTcpTransport, session_id: str):
+        super().__init__(hub.left_name, hub.right_name)
+        self.hub = hub
+        self.session_id = session_id
+        self.local_name = hub.local_name
+        self._message_queue: asyncio.Queue = asyncio.Queue()
+        self._control_queue: asyncio.Queue = asyncio.Queue()
+
+    # -- protocol-message plane (Transport interface) ----------------------
+
+    def deliver(self, sender: str, receiver: str, label: str,
+                wire: bytes) -> None:
+        self._check_endpoint(sender)
+        self._check_endpoint(receiver)
+        if sender != self.local_name:
+            raise TransportError(
+                f"{sender!r} is not the local endpoint of this daemon; "
+                f"a socket fabric only transmits its own party's messages "
+                f"({self._context()})")
+        inner = encode_message_payload(label, wire)
+        try:
+            self.hub.send_frame(encode_frame(
+                FRAME_MUX_MESSAGE,
+                encode_mux_payload(self.session_id, inner)))
+        except TransportClosedError as exc:
+            raise TransportClosedError(
+                f"{sender} could not send {label!r}: {exc} "
+                f"({self._context()})") from exc
+        self.hub._last_frame = (sender, receiver,
+                                f"{self.session_id}:{label}")
+
+    def collect(self, receiver: str,
+                expected_label: str | None) -> tuple[str, bytes]:
+        self._check_endpoint(receiver)
+        if receiver != self.local_name:
+            raise TransportError(
+                f"{receiver!r} is not the local endpoint of this daemon "
+                f"({self._context()})")
+        want = expected_label or "a message"
+        item = self._await_from_worker(self._message_queue, want)
+        return item
+
+    def close(self, reason: str | None = None) -> None:
+        self.hub.release(self.session_id)
+
+    # -- control plane -----------------------------------------------------
+
+    def send_control(self, record_wire: bytes) -> None:
+        """Write one session-tagged control frame (thread-safe)."""
+        self.hub.send_frame(encode_frame(
+            FRAME_MUX_CONTROL,
+            encode_mux_payload(self.session_id, record_wire)))
+
+    async def next_control(self) -> bytes:
+        """Await the session's next control record (loop coroutine)."""
+        item = await self._control_queue.get()
+        if item is AsyncTcpTransport._CLOSED:
+            self._control_queue.put_nowait(AsyncTcpTransport._CLOSED)
+            reason = (f": {self.hub._close_reason}"
+                      if self.hub._close_reason else "")
+            raise TransportClosedError(
+                f"link closed while {self.local_name} waited for a "
+                f"control record{reason} ({self._context()})")
+        return item
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _await_from_worker(self, source: asyncio.Queue, want: str):
+        try:
+            asyncio.get_running_loop()
+        except RuntimeError:
+            pass
+        else:
+            raise TransportError(
+                f"collect() must not run on the event loop thread "
+                f"({self._context()})")
+        future = asyncio.run_coroutine_threadsafe(source.get(),
+                                                  self.hub._loop)
+        try:
+            item = future.result(self.hub.timeout_s)
+        except concurrent.futures.TimeoutError:
+            future.cancel()
+            raise TransportTimeoutError(
+                f"{self.local_name} waited {self.hub.timeout_s}s for "
+                f"{want}; the peer never sent it ({self._context()})"
+            ) from None
+        if item is AsyncTcpTransport._CLOSED:
+            source.put_nowait(AsyncTcpTransport._CLOSED)
+            reason = (f": {self.hub._close_reason}"
+                      if self.hub._close_reason else "")
+            raise TransportClosedError(
+                f"link closed while {self.local_name} waited for "
+                f"{want}{reason} ({self._context()})")
+        return item
+
+    def _context(self) -> str:
+        return (f"session {self.session_id!r}, "
+                + link_context(self.left_name, self.right_name,
+                               self.hub._last_frame,
+                               local_name=self.local_name))
 
 
 def derive_seeded_stream(seed: int | None, *parts) -> random.Random:

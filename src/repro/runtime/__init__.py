@@ -38,8 +38,29 @@ inside one interpreter; this package runs the same protocols across
 - :mod:`repro.runtime.supervisor` -- thread-level party-program
   supervision used by tests and the threaded fabric: a dying program
   closes its channel with a diagnosis instead of leaving peers hung.
+- :mod:`repro.runtime.daemon` -- the resident party daemon: one asyncio
+  event loop per party, persistent pair links carrying *many*
+  interleaved clustering sessions (session-tagged frames, demultiplexed
+  into per-session future queues), one warmed crypto engine shared
+  across sessions.
+- :mod:`repro.runtime.client` -- the submission plane for daemon
+  meshes: submit sessions, stream reports back, merge and cross-check
+  them; plus the :class:`~repro.runtime.client.DaemonFleet` harness.
 """
 
+from repro.runtime.client import (
+    DaemonFleet,
+    DaemonRun,
+    SessionClient,
+    SessionClientError,
+    run_via_daemons,
+)
+from repro.runtime.daemon import (
+    DaemonError,
+    MeshSpec,
+    PartyDaemon,
+    mesh_digest,
+)
 from repro.runtime.checkpoint import (
     CheckpointDivergenceError,
     CheckpointError,
@@ -64,20 +85,29 @@ from repro.runtime.party import run_party
 __all__ = [
     "CheckpointDivergenceError",
     "CheckpointError",
+    "DaemonError",
+    "DaemonFleet",
+    "DaemonRun",
     "FailureReport",
     "FaultPlan",
     "FaultSpec",
     "HandshakeError",
+    "MeshSpec",
     "OrchestratedRun",
     "OrchestrationError",
     "PartyCheckpoint",
+    "PartyDaemon",
     "RunManifest",
+    "SessionClient",
+    "SessionClientError",
     "UnsupportedConfigError",
     "load_checkpoint",
     "load_failure",
     "manifest_digest",
+    "mesh_digest",
     "orchestrate_run",
     "parse_fault",
     "perform_handshake",
     "run_party",
+    "run_via_daemons",
 ]

@@ -1,0 +1,884 @@
+"""Resident party daemon: one event loop, many clustering sessions.
+
+The PR-5 runtime pays full process spin-up -- interpreter boot, key
+derivation, engine warm-up, link-up, handshakes -- for *every* run.
+This module keeps the party processes resident instead: ``k`` daemons
+(one per data holder, described by a shared :class:`MeshSpec`) hold one
+persistent TCP connection per mesh pair and accept ``start_session``
+requests from clients, each carrying a full
+:class:`~repro.runtime.manifest.RunManifest` plus that daemon's own
+partition -- the per-process privacy boundary of the orchestrated
+runtime, unchanged.
+
+Execution model
+---------------
+
+One :mod:`asyncio` event loop per daemon owns *all* socket I/O: every
+pair connection is an :class:`~repro.net.transport.AsyncTcpTransport`
+hub whose demux task routes inbound session-tagged ``m``/``c`` frames
+into per-session future queues.  The protocol choreographies themselves
+are synchronous and run *unchanged*: each session gets a one-thread
+executor, driver passes and query servings run there via
+``run_in_executor``, and a blocking ``collect`` parks the worker on the
+session's queue through ``run_coroutine_threadsafe`` -- so a session
+waiting on the network occupies no loop time and other sessions' frames
+keep flowing.  Responder duties are coroutines awaiting the session's
+control queue, dispatching each announced query to the session's
+worker.
+
+Determinism: a session's coins, keys, and channel machinery are exactly
+the single-session runtime's (same ``derive_pair_rng`` streams --
+optionally namespaced per session, see
+:attr:`~repro.runtime.manifest.RunManifest.rng_namespace` -- same
+``cached_paillier_keypair`` slots, same
+:class:`~repro.runtime.mirror.MirrorChannel`).  Multiplexing changes
+which frames share a socket, never the bytes or per-(session, pair,
+direction) order of any stream, so every session's labels, ledger,
+per-pair transcripts, and comparison counts are bit-identical to the
+dedicated-process run (property-tested with interleaved concurrent
+sessions in ``tests/runtime/test_daemon.py``).
+
+Amortization: the daemon builds and warms one
+:class:`~repro.crypto.engine.ModexpEngine` at startup and injects it
+into every session's :class:`~repro.smc.session.SmcSession`; the
+process-level key cache makes every session after the first reuse the
+derived key material.  Each session's
+:attr:`~repro.runtime.party.PartyReport.runtime_info` records whether
+it warm-started and its setup/pool figures, so the amortization is
+observable in reports, not just in wall-clock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import hashlib
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+
+from repro.core.distance import PeerCipherCache
+from repro.core.leakage import LeakageLedger
+from repro.crypto.engine import ModexpEngine
+from repro.crypto.keycache import cached_paillier_keypair
+from repro.multiparty.horizontal import _driver_pass, _peer_count
+from repro.multiparty.mesh import derive_pair_rng
+from repro.multiparty.scheduler import make_pass_executor
+from repro.net.framing import (
+    FRAME_CONTROL,
+    FRAME_GOODBYE,
+    FRAME_HELLO,
+    ConnectionClosedError,
+    FramingError,
+    encode_frame,
+    read_frame_async,
+)
+from repro.net.party import Party
+from repro.net.serialization import (
+    SerializationError,
+    deserialize_message,
+    serialize_message,
+)
+from repro.net.transcript import transcript_digest
+from repro.net.transport import AsyncTcpTransport
+from repro.runtime.handshake import (
+    PROTOCOL_VERSION,
+    ROLE_CLIENT,
+    ROLE_DAEMON,
+    HandshakeError,
+    HandshakePeerLost,
+    Hello,
+    client_hello_mismatch,
+    hello_mismatch,
+)
+from repro.runtime.manifest import (
+    DEFAULT_HOST,
+    RunManifest,
+    manifest_digest,
+    pair_key,
+)
+from repro.runtime.mirror import MirrorChannel
+from repro.runtime.party import (
+    CONTROL_END_PASS,
+    CONTROL_QUERY,
+    PartyReport,
+    PartyRuntimeError,
+)
+from repro.smc.session import CryptoContext, SmcSession
+
+#: Client-plane control records (plain C frames on a client connection).
+CONTROL_START_SESSION = "start_session"
+CONTROL_SESSION_REPORT = "session_report"
+CONTROL_SESSION_FAILED = "session_failed"
+CONTROL_SHUTDOWN = "shutdown"
+#: Pair-plane per-session sync record (session-tagged ``c`` frame): each
+#: daemon announces the manifest digest of a freshly submitted session
+#: on every pair link and refuses the session unless the peer's matches.
+CONTROL_SESSION_SYNC = "session_sync"
+
+_DIAL_BACKOFF_S = 0.05
+
+
+class DaemonError(RuntimeError):
+    """Mesh-spec, link-up, or session-validation failure in a daemon."""
+
+
+@dataclass(frozen=True)
+class MeshSpec:
+    """Public description of one resident daemon mesh.
+
+    Unlike a :class:`~repro.runtime.manifest.RunManifest` -- which
+    describes one *run* -- a mesh spec describes standing
+    infrastructure: which parties exist, where each daemon listens, and
+    the link behaviour every session over this mesh shares.  Its digest
+    is what daemon-daemon and client-daemon handshakes bind (sessions
+    are validated individually at submission, via per-session sync
+    records on the pair links).
+
+    Attributes:
+        names: party names in mesh slot order (shared with every
+            manifest submitted to this mesh).
+        ports: ``{party: port}`` -- each daemon's single listen port;
+            higher-slot daemons dial lower-slot daemons' ports, and
+            clients dial every daemon's port.
+        host: bind/dial host (loopback by design, like the manifest).
+        timeout_s: per-receive timeout for parked session workers.
+        connect_timeout_s: link-up budget (daemon dials and accepts).
+        net_delay_s: simulated one-way inbound latency per pair link --
+            *real* event-loop time shared by all sessions on the
+            connection, so cross-session latency hiding is measured,
+            not modeled (see :class:`~repro.net.transport.AsyncTcpTransport`).
+        engine_workers: worker processes for the daemon's shared
+            :class:`~repro.crypto.engine.ModexpEngine` (1 = serial).
+    """
+
+    names: tuple[str, ...]
+    ports: dict[str, int]
+    host: str = DEFAULT_HOST
+    timeout_s: float = 30.0
+    connect_timeout_s: float = 15.0
+    net_delay_s: float = 0.0
+    engine_workers: int = 1
+    version: int = field(default=1)
+
+    def __post_init__(self):
+        if len(self.names) < 2:
+            raise DaemonError("a mesh needs at least two parties")
+        if len(set(self.names)) != len(self.names):
+            raise DaemonError(f"duplicate party names in {self.names}")
+        if set(self.ports) != set(self.names):
+            raise DaemonError(
+                f"ports must cover exactly the party names "
+                f"{sorted(self.names)}, got {sorted(self.ports)}")
+        if self.timeout_s <= 0:
+            raise DaemonError(f"timeout_s must be > 0, got {self.timeout_s}")
+        if self.connect_timeout_s <= 0:
+            raise DaemonError(
+                f"connect_timeout_s must be > 0, got "
+                f"{self.connect_timeout_s}")
+        if self.net_delay_s < 0:
+            raise DaemonError(
+                f"net_delay_s must be >= 0, got {self.net_delay_s}")
+        if self.engine_workers < 1:
+            raise DaemonError(
+                f"engine_workers must be >= 1, got {self.engine_workers}")
+
+    def slot_of(self, name: str) -> int:
+        try:
+            return self.names.index(name)
+        except ValueError:
+            raise DaemonError(f"unknown party {name!r}") from None
+
+    def peers_of(self, name: str) -> list[str]:
+        self.slot_of(name)
+        return [other for other in self.names if other != name]
+
+    def ordered_pair(self, a: str, b: str) -> tuple[str, str]:
+        """The pair in slot order (matches mesh/manifest orientation)."""
+        return (a, b) if self.slot_of(a) < self.slot_of(b) else (b, a)
+
+    def to_json(self) -> str:
+        payload = {
+            "names": list(self.names),
+            "ports": dict(self.ports),
+            "host": self.host,
+            "timeout_s": self.timeout_s,
+            "connect_timeout_s": self.connect_timeout_s,
+            "net_delay_s": self.net_delay_s,
+            "engine_workers": self.engine_workers,
+            "version": self.version,
+        }
+        return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, payload: str) -> "MeshSpec":
+        try:
+            data = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise DaemonError(f"unreadable mesh spec: {exc}") from exc
+        try:
+            return cls(
+                names=tuple(data["names"]),
+                ports=dict(data["ports"]),
+                host=data.get("host", DEFAULT_HOST),
+                timeout_s=data.get("timeout_s", 30.0),
+                connect_timeout_s=data.get("connect_timeout_s", 15.0),
+                net_delay_s=data.get("net_delay_s", 0.0),
+                engine_workers=data.get("engine_workers", 1),
+                version=data.get("version", 1),
+            )
+        except KeyError as exc:
+            raise DaemonError(f"mesh spec missing field {exc}") from exc
+
+
+def mesh_digest(spec: MeshSpec) -> str:
+    """SHA-256 over the canonical spec JSON -- the handshake binding."""
+    return hashlib.sha256(spec.to_json().encode()).hexdigest()
+
+
+# -- async handshake plumbing (asyncio streams, not FramedConnection) ------
+
+async def _send_frame(writer: asyncio.StreamWriter, kind: bytes,
+                      payload: bytes) -> None:
+    writer.write(encode_frame(kind, payload))
+    await writer.drain()
+
+
+async def _refuse_stream(writer: asyncio.StreamWriter, name: str,
+                         reason: str) -> None:
+    try:
+        writer.write(encode_frame(FRAME_GOODBYE,
+                                  f"handshake refused: {reason}".encode()))
+        await writer.drain()
+    except (ConnectionResetError, OSError):
+        pass
+    writer.close()
+    raise HandshakeError(f"{name}: {reason}")
+
+
+async def read_hello_async(reader: asyncio.StreamReader,
+                           name: str) -> Hello:
+    """The asyncio twin of :func:`repro.runtime.handshake.read_hello`."""
+    try:
+        kind, payload = await read_frame_async(reader, name=name)
+    except (ConnectionClosedError, FramingError) as exc:
+        raise HandshakePeerLost(
+            f"{name}: peer vanished during the handshake ({exc})") from exc
+    if kind == FRAME_GOODBYE:
+        raise HandshakeError(
+            f"{name}: peer refused the link: "
+            f"{payload.decode('utf-8', 'replace')}")
+    if kind != FRAME_HELLO:
+        raise HandshakeError(
+            f"{name}: expected a hello frame, got kind {kind!r}")
+    return Hello.from_wire(payload)
+
+
+@dataclass
+class _SessionState:
+    """Everything one running session owns inside the daemon."""
+
+    manifest: RunManifest
+    points: list
+    views: dict = field(default_factory=dict)      # peer -> link view
+    channels: dict = field(default_factory=dict)   # peer -> MirrorChannel
+    sessions: dict = field(default_factory=dict)   # peer -> SmcSession
+    parties: dict = field(default_factory=dict)    # peer -> {name: Party}
+
+
+class _SessionMeshView:
+    """The ``PartyMesh`` surface of one daemon session's k-1 links.
+
+    The daemon twin of ``repro.runtime.party._LocalMeshView``:
+    ``begin_peer_query`` emits the session-tagged query-announcement
+    control frame (thread-safe -- it fires on scheduler worker threads
+    under ``concurrent_peers``, and the hub's outbound queue is fed via
+    ``call_soon_threadsafe``).
+    """
+
+    _QUERY_WIRE = serialize_message([CONTROL_QUERY])
+
+    def __init__(self, local_name: str, state: _SessionState):
+        self._name = local_name
+        self._state = state
+
+    def peers_of(self, name: str) -> list[str]:
+        return self._state.manifest.peers_of(name)
+
+    def _peer(self, a: str, b: str) -> str:
+        peer = b if a == self._name else a
+        if peer not in self._state.channels:
+            raise PartyRuntimeError(
+                f"no link between {a!r} and {b!r} in daemon "
+                f"{self._name!r}")
+        return peer
+
+    def session_between(self, a: str, b: str) -> SmcSession:
+        return self._state.sessions[self._peer(a, b)]
+
+    def party_in_pair(self, name: str, peer: str) -> Party:
+        return self._state.parties[self._peer(name, peer)][name]
+
+    def pair_channel(self, a: str, b: str) -> MirrorChannel:
+        return self._state.channels[self._peer(a, b)]
+
+    def begin_peer_query(self, driver_name: str, peer_name: str) -> None:
+        self._state.views[peer_name].send_control(self._QUERY_WIRE)
+
+
+class PartyDaemon:
+    """One resident party: accepts sessions, multiplexes them over one
+    persistent connection per mesh pair.
+
+    Lifecycle: construct, then :meth:`run` (blocking; owns its own
+    event loop) or ``await`` :meth:`serve` on an existing loop.
+    :attr:`ready` is set -- thread-safely -- once every pair link is up
+    and sessions can be served; :meth:`stop` (thread-safe) tears the
+    daemon down from anywhere.
+    """
+
+    def __init__(self, spec: MeshSpec, name: str):
+        spec.slot_of(name)
+        self.spec = spec
+        self.name = name
+        self.digest = mesh_digest(spec)
+        self.engine = ModexpEngine(workers=spec.engine_workers)
+        self.engine_warm = False
+        self.hubs: dict[str, AsyncTcpTransport] = {}
+        self.sessions_run = 0
+        self.ready = threading.Event()
+        self.error: BaseException | None = None
+        self._setup_seconds = 0.0
+        self._active: set[str] = set()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._links_ready: asyncio.Event | None = None
+        self._hub_events: dict[str, asyncio.Event] = {}
+        self._session_tasks: set[asyncio.Task] = set()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run(self) -> None:
+        """Blocking entry point: serve until :meth:`stop` (or a fatal
+        link-up error).  Records the failure in :attr:`error` so a
+        harness thread can surface it."""
+        try:
+            asyncio.run(self.serve())
+        except BaseException as exc:  # noqa: BLE001 - surfaced to harness
+            self.error = exc
+            self.ready.set()  # unblock anyone waiting on startup
+            raise
+
+    def stop(self) -> None:
+        """Request teardown from any thread."""
+        loop = self._loop
+        if loop is not None and self._stop_event is not None:
+            try:
+                loop.call_soon_threadsafe(self._stop_event.set)
+            except RuntimeError:
+                pass  # loop already closed
+
+    async def serve(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        self._links_ready = asyncio.Event()
+        for peer in self.spec.peers_of(self.name):
+            self._hub_events[peer] = asyncio.Event()
+        started = time.perf_counter()
+        server = await asyncio.start_server(
+            self._on_connection, self.spec.host,
+            self.spec.ports[self.name])
+        try:
+            # Engine warm-up off the loop: accepting links while the
+            # worker pool boots.
+            self.engine_warm = await self._loop.run_in_executor(
+                None, self.engine.warm_up)
+            await self._link_up()
+            self._setup_seconds = time.perf_counter() - started
+            self._links_ready.set()
+            self.ready.set()
+            await self._stop_event.wait()
+        finally:
+            for task in list(self._session_tasks):
+                task.cancel()
+            for hub in self.hubs.values():
+                await hub.aclose("daemon stopping")
+            server.close()
+            await server.wait_closed()
+            self.engine.close()
+
+    # -- pair link-up ------------------------------------------------------
+
+    def _pair_hello(self, peer: str) -> Hello:
+        left, right = self.spec.ordered_pair(self.name, peer)
+        return Hello(version=PROTOCOL_VERSION, session_id="",
+                     pair_left=left, pair_right=right,
+                     party_id=self.name, config_digest=self.digest,
+                     role=ROLE_DAEMON)
+
+    def _register_hub(self, peer: str, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        left, right = self.spec.ordered_pair(self.name, peer)
+        hub = AsyncTcpTransport(left, right, self.name,
+                                timeout_s=self.spec.timeout_s,
+                                net_delay_s=self.spec.net_delay_s)
+        hub.start(reader, writer)
+        self.hubs[peer] = hub
+        self._hub_events[peer].set()
+
+    async def _link_up(self) -> None:
+        """Dial lower-slot peers, await higher-slot peers' dials."""
+        my_slot = self.spec.slot_of(self.name)
+        for peer in self.spec.names:
+            if self.spec.slot_of(peer) < my_slot:
+                await self._dial_peer(peer)
+        for peer in self.spec.names:
+            if self.spec.slot_of(peer) > my_slot:
+                try:
+                    await asyncio.wait_for(self._hub_events[peer].wait(),
+                                           self.spec.connect_timeout_s)
+                except asyncio.TimeoutError:
+                    raise DaemonError(
+                        f"daemon {self.name!r} waited "
+                        f"{self.spec.connect_timeout_s}s for peer daemon "
+                        f"{peer!r} to dial; it never linked up") from None
+
+    async def _dial_peer(self, peer: str) -> None:
+        deadline = self._loop.time() + self.spec.connect_timeout_s
+        name = f"daemon {self.name}->{peer}"
+        last_error: Exception | None = None
+        while True:
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.spec.host, self.spec.ports[peer])
+            except OSError as exc:
+                last_error = exc
+                if self._loop.time() >= deadline:
+                    break
+                await asyncio.sleep(_DIAL_BACKOFF_S)
+                continue
+            mine = self._pair_hello(peer)
+            try:
+                await _send_frame(writer, FRAME_HELLO, mine.to_wire())
+                theirs = await asyncio.wait_for(
+                    read_hello_async(reader, name),
+                    self.spec.connect_timeout_s)
+            except HandshakePeerLost as exc:
+                # The peer daemon may be booting (accepted, not yet
+                # serving); retry within the budget.
+                writer.close()
+                last_error = exc
+                if self._loop.time() >= deadline:
+                    break
+                await asyncio.sleep(_DIAL_BACKOFF_S)
+                continue
+            except asyncio.TimeoutError:
+                writer.close()
+                last_error = TimeoutError("hello answer timed out")
+                break
+            mismatch = hello_mismatch(mine, theirs, expected_peer=peer)
+            if mismatch is not None:
+                field_name, ours, theirs_value = mismatch
+                await _refuse_stream(
+                    writer, name,
+                    f"{field_name} mismatch: ours {ours!r}, "
+                    f"peer {theirs_value!r}")
+            self._register_hub(peer, reader, writer)
+            return
+        raise DaemonError(
+            f"daemon {self.name!r} could not link peer daemon {peer!r} "
+            f"within {self.spec.connect_timeout_s}s: {last_error}")
+
+    # -- accept loop -------------------------------------------------------
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        name = f"daemon {self.name} accept"
+        try:
+            theirs = await asyncio.wait_for(
+                read_hello_async(reader, name),
+                self.spec.connect_timeout_s)
+            if theirs.role == ROLE_DAEMON:
+                await self._accept_peer(theirs, reader, writer)
+            elif theirs.role == ROLE_CLIENT:
+                await self._serve_client(theirs, reader, writer)
+            else:
+                await _refuse_stream(
+                    writer, name,
+                    f"unknown endpoint role {theirs.role!r}")
+        except (HandshakeError, asyncio.TimeoutError):
+            writer.close()
+        except (ConnectionResetError, OSError):
+            writer.close()
+
+    async def _accept_peer(self, theirs: Hello,
+                           reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        name = f"daemon {self.name} accept"
+        peer = theirs.party_id
+        if peer not in self.spec.names or peer == self.name:
+            await _refuse_stream(writer, name,
+                                 f"unknown peer daemon {peer!r}")
+        if self.spec.slot_of(peer) < self.spec.slot_of(self.name):
+            await _refuse_stream(
+                writer, name,
+                f"slot order violation: {peer!r} holds a lower mesh slot "
+                f"and must be dialed, not accept from us")
+        mine = self._pair_hello(peer)
+        mismatch = hello_mismatch(mine, theirs, expected_peer=peer)
+        if mismatch is not None:
+            field_name, ours, theirs_value = mismatch
+            await _refuse_stream(
+                writer, name,
+                f"{field_name} mismatch: ours {ours!r}, "
+                f"peer {theirs_value!r}")
+        await _send_frame(writer, FRAME_HELLO, mine.to_wire())
+        self._register_hub(peer, reader, writer)
+
+    # -- client plane ------------------------------------------------------
+
+    async def _serve_client(self, theirs: Hello,
+                            reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+        name = f"daemon {self.name} client"
+        mismatch = client_hello_mismatch(theirs, self.digest)
+        if mismatch is not None:
+            field_name, ours, theirs_value = mismatch
+            await _refuse_stream(
+                writer, name,
+                f"{field_name} mismatch: ours {ours!r}, "
+                f"client {theirs_value!r}")
+        mine = Hello(version=PROTOCOL_VERSION, session_id="",
+                     pair_left=theirs.pair_left,
+                     pair_right=theirs.pair_right,
+                     party_id=self.name, config_digest=self.digest,
+                     role=ROLE_DAEMON)
+        await _send_frame(writer, FRAME_HELLO, mine.to_wire())
+
+        write_lock = asyncio.Lock()
+
+        async def send_record(record: list) -> None:
+            frame = encode_frame(FRAME_CONTROL, serialize_message(record))
+            async with write_lock:
+                try:
+                    writer.write(frame)
+                    await writer.drain()
+                except (ConnectionResetError, OSError):
+                    pass  # client gone; the session result is lost with it
+
+        try:
+            while True:
+                try:
+                    kind, payload = await read_frame_async(
+                        reader, name=name)
+                except (ConnectionClosedError, FramingError):
+                    return
+                if kind == FRAME_GOODBYE:
+                    return
+                if kind != FRAME_CONTROL:
+                    return
+                try:
+                    record = deserialize_message(payload)
+                except (SerializationError, UnicodeDecodeError):
+                    return
+                if not isinstance(record, list) or not record:
+                    return
+                if record[0] == CONTROL_SHUTDOWN:
+                    self._stop_event.set()
+                    return
+                if record[0] != CONTROL_START_SESSION or len(record) != 3:
+                    return
+                task = self._loop.create_task(
+                    self._session_task(record[1], record[2], send_record))
+                self._session_tasks.add(task)
+                task.add_done_callback(self._session_tasks.discard)
+        finally:
+            writer.close()
+
+    async def _session_task(self, manifest_json: str, points_json: str,
+                            send_record) -> None:
+        session_id = "?"
+        try:
+            manifest = RunManifest.from_json(manifest_json)
+            session_id = manifest.session_id
+            points = [tuple(point) for point in json.loads(points_json)]
+            report = await self._run_session(manifest, points)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - reported to the client
+            await send_record([CONTROL_SESSION_FAILED, session_id,
+                               f"{type(exc).__name__}: {exc}"])
+        else:
+            await send_record([CONTROL_SESSION_REPORT,
+                               manifest.session_id, report.to_json()])
+
+    # -- session execution -------------------------------------------------
+
+    def _validate_session(self, manifest: RunManifest,
+                          points: list) -> None:
+        if tuple(manifest.names) != self.spec.names:
+            raise DaemonError(
+                f"manifest names {manifest.names} do not match the mesh "
+                f"spec {self.spec.names}")
+        if len(points) != manifest.counts[self.name]:
+            raise DaemonError(
+                f"partition for {self.name!r} has {len(points)} points "
+                f"but the manifest declares "
+                f"{manifest.counts[self.name]}")
+        for point in points:
+            if len(point) != manifest.dimensions:
+                raise DaemonError(
+                    f"point {point!r} has {len(point)} dimensions, "
+                    f"manifest declares {manifest.dimensions}")
+        if manifest.session_id in self._active:
+            raise DaemonError(
+                f"session {manifest.session_id!r} is already running on "
+                f"daemon {self.name!r}")
+
+    async def _run_session(self, manifest: RunManifest,
+                           points: list) -> PartyReport:
+        await self._links_ready.wait()
+        started = time.perf_counter()
+        self._validate_session(manifest, points)
+        digest = manifest_digest(manifest)
+        config = manifest.protocol_config()
+        # Inject the daemon's shared warmed engine.  The manifest
+        # requires engine=None (engines cannot cross processes); the
+        # engine changes where modexps run, never their results
+        # (engine-vs-serial equivalence is property-tested since PR 2).
+        config = dataclasses.replace(
+            config, smc=dataclasses.replace(config.smc, engine=self.engine))
+        session_index = self.sessions_run
+        self.sessions_run += 1
+        warm_start = session_index > 0
+        self._active.add(manifest.session_id)
+
+        state = _SessionState(manifest=manifest, points=points)
+        pool = ThreadPoolExecutor(
+            max_workers=1,
+            thread_name_prefix=f"session-{manifest.session_id[:8]}")
+        executor = make_pass_executor(
+            config.concurrent_peers, config.peer_workers,
+            expected_tasks=max(1, len(manifest.names) - 1))
+        try:
+            for peer in manifest.peers_of(self.name):
+                view = self.hubs[peer].session(manifest.session_id)
+                state.views[peer] = view
+                state.channels[peer] = MirrorChannel(
+                    view.left_name, view.right_name, self.name, view)
+            await self._session_sync(state, digest)
+            await self._loop.run_in_executor(
+                pool, partial(self._build_sessions, state, config))
+            setup_seconds = time.perf_counter() - started
+
+            view = _SessionMeshView(self.name, state)
+            points_view = {
+                name: (state.points if name == self.name
+                       else manifest.placeholder_points(name))
+                for name in manifest.names}
+            ledger = LeakageLedger()
+            labels: tuple[int, ...] = ()
+            passes_started = time.perf_counter()
+            for driver in manifest.names:
+                if driver == self.name:
+                    labels = await self._drive_pass(
+                        state, view, points_view, config, ledger,
+                        executor, pool)
+                else:
+                    await self._respond_pass(state, driver, config, pool)
+            finished = time.perf_counter()
+            return self._build_report(
+                state, labels, ledger,
+                elapsed=finished - started,
+                passes=finished - passes_started,
+                runtime_info=self._runtime_info(
+                    state, session_index, warm_start, setup_seconds))
+        finally:
+            executor.close()
+            pool.shutdown(wait=False)
+            for link_view in state.views.values():
+                link_view.close()
+            self._active.discard(manifest.session_id)
+
+    async def _session_sync(self, state: _SessionState,
+                            digest: str) -> None:
+        """Cross-check the manifest digest with every peer daemon.
+
+        The pair handshake bound only the mesh spec; each *session* is
+        validated here, before any protocol byte of it flows: both ends
+        of every link announce the digest of the manifest they were
+        handed and refuse the session on mismatch.  Per-link FIFO makes
+        this record the first control record of the session stream, so
+        it can never be confused with a query announcement.
+        """
+        wire = serialize_message([CONTROL_SESSION_SYNC, digest])
+        for view in state.views.values():
+            view.send_control(wire)
+
+        async def check(peer, view):
+            try:
+                raw = await asyncio.wait_for(view.next_control(),
+                                             self.spec.timeout_s)
+            except asyncio.TimeoutError:
+                raise DaemonError(
+                    f"peer daemon {peer!r} never answered the session "
+                    f"sync for {state.manifest.session_id!r}") from None
+            record = deserialize_message(raw)
+            if (not isinstance(record, list) or len(record) != 2
+                    or record[0] != CONTROL_SESSION_SYNC):
+                raise DaemonError(
+                    f"malformed session sync from {peer!r}: {record!r}")
+            if record[1] != digest:
+                raise DaemonError(
+                    f"manifest digest mismatch with peer daemon {peer!r} "
+                    f"for session {state.manifest.session_id!r}: ours "
+                    f"{digest[:12]}..., theirs {str(record[1])[:12]}...")
+
+        await asyncio.gather(*(check(peer, view)
+                               for peer, view in state.views.items()))
+
+    def _build_sessions(self, state: _SessionState, config) -> None:
+        """Worker-thread twin of ``PartyProcess.build_sessions``: same
+        global pair order, same key slots, same RNG substreams."""
+        manifest = state.manifest
+        contexts = {
+            name: CryptoContext(paillier=cached_paillier_keypair(
+                config.smc.paillier_bits,
+                100 * config.smc.key_seed + slot))
+            for slot, name in enumerate(manifest.names)
+        }
+        for left, right in manifest.pairs():
+            if self.name not in (left, right):
+                continue
+            peer = right if self.name == left else left
+            channel = state.channels[peer]
+            left_party = Party(channel.left, derive_pair_rng(
+                manifest.seed_of(left), left, left, right,
+                namespace=manifest.rng_namespace))
+            right_party = Party(channel.right, derive_pair_rng(
+                manifest.seed_of(right), right, left, right,
+                namespace=manifest.rng_namespace))
+            state.parties[peer] = {left: left_party, right: right_party}
+            state.sessions[peer] = SmcSession(
+                left_party, right_party, config.smc,
+                preset_contexts=contexts)
+
+    async def _drive_pass(self, state: _SessionState, view, points_view,
+                          config, ledger, executor,
+                          pool) -> tuple[int, ...]:
+        manifest = state.manifest
+        caches = ({peer: PeerCipherCache()
+                   for peer in manifest.peers_of(self.name)}
+                  if config.cache_peer_ciphertexts else None)
+        result = await self._loop.run_in_executor(
+            pool, partial(_driver_pass, view, self.name, points_view,
+                          config, manifest.value_bound, ledger, caches,
+                          executor))
+        end = serialize_message([CONTROL_END_PASS])
+        for peer in manifest.peers_of(self.name):
+            state.views[peer].send_control(end)
+        return result.as_tuple()
+
+    async def _respond_pass(self, state: _SessionState, driver: str,
+                            config, pool) -> int:
+        """Serve one remote driver's pass (coroutine twin of
+        ``PartyProcess._respond_pass``).
+
+        Waiting for the next control record is unbounded *by design* --
+        the driver may spend arbitrarily long on its other peers -- and
+        costs no thread while parked: a dead peer surfaces through the
+        hub's poison, and each announced query runs the unchanged
+        ``_peer_count`` choreography on the session's worker thread.
+        """
+        manifest = state.manifest
+        link = state.views[driver]
+        session = state.sessions[driver]
+        pair_parties = state.parties[driver]
+        cache = (PeerCipherCache() if config.cache_peer_ciphertexts
+                 else None)
+        discard = LeakageLedger()
+        placeholder = tuple([0] * manifest.dimensions)
+        label = f"multiparty/{driver}-{self.name}"
+        served = 0
+        while True:
+            raw = await link.next_control()
+            try:
+                record = deserialize_message(raw)
+            except (SerializationError, UnicodeDecodeError) as exc:
+                raise PartyRuntimeError(
+                    f"unreadable control record from {driver!r}: "
+                    f"{exc}") from exc
+            if (not isinstance(record, list) or not record
+                    or record[0] not in (CONTROL_QUERY,
+                                         CONTROL_END_PASS)):
+                raise PartyRuntimeError(
+                    f"malformed control record from {driver!r}: "
+                    f"{record!r}")
+            if record[0] == CONTROL_END_PASS:
+                return served
+            served += 1
+            await self._loop.run_in_executor(
+                pool, partial(_peer_count, session, pair_parties[driver],
+                              pair_parties[self.name], placeholder,
+                              state.points, config, manifest.value_bound,
+                              discard, cache, label=label))
+
+    # -- reporting ---------------------------------------------------------
+
+    def _runtime_info(self, state: _SessionState, session_index: int,
+                      warm_start: bool, setup_seconds: float) -> dict:
+        pool_totals: dict[str, int] = {
+            "pregenerated": 0, "consumed": 0, "misses": 0}
+        for session in state.sessions.values():
+            for report in session.pool_report().values():
+                for key in pool_totals:
+                    pool_totals[key] += report.get(key, 0)
+        return {
+            "runtime": "daemon",
+            "session_index": session_index,
+            "warm_start": warm_start,
+            "engine_warm": self.engine_warm,
+            "engine": self.engine.report(),
+            "daemon_setup_seconds": round(self._setup_seconds, 6),
+            "setup_seconds": round(setup_seconds, 6),
+            "pool": pool_totals,
+        }
+
+    def _build_report(self, state: _SessionState, labels, ledger, *,
+                      elapsed: float, passes: float,
+                      runtime_info: dict) -> PartyReport:
+        pair_reports = {}
+        for peer, channel in state.channels.items():
+            channel.assert_drained()
+            key = pair_key(*self.spec.ordered_pair(self.name, peer))
+            pair_reports[key] = {
+                "stats": channel.stats.snapshot(),
+                "transcript_sha256": transcript_digest(channel.transcript),
+                "messages": channel.transcript.message_count(),
+                "comparisons":
+                    state.sessions[peer].comparison_backend.invocations,
+            }
+        events = tuple((event.protocol, event.learner,
+                        event.disclosure.value, event.detail)
+                       for event in ledger.events)
+        return PartyReport(party=self.name, labels=tuple(labels),
+                           ledger_events=events,
+                           pair_reports=pair_reports,
+                           elapsed_seconds=elapsed,
+                           passes_seconds=passes,
+                           runtime_info=runtime_info)
+
+
+def run_daemon(spec_path, name: str) -> None:
+    """CLI entry: load the mesh spec and serve until stopped."""
+    import pathlib
+
+    spec = MeshSpec.from_json(pathlib.Path(spec_path).read_text())
+    daemon = PartyDaemon(spec, name)
+    try:
+        daemon.run()
+    except KeyboardInterrupt:
+        pass

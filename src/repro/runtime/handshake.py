@@ -48,8 +48,20 @@ from repro.net.serialization import (
 
 #: Bumped whenever the frame layout, the hello record, or the control
 #: plane changes incompatibly.  2: the hello carries the recovery epoch
-#: and the sender's completed-pass count.
-PROTOCOL_VERSION = 2
+#: and the sender's completed-pass count.  3: the hello carries the
+#: endpoint *role* (party / daemon / client) and the wire grows the
+#: session-multiplexed ``m``/``c`` frame kinds.
+PROTOCOL_VERSION = 3
+
+#: Endpoint roles carried in the v3 hello.  ``party`` is the PR-5
+#: single-session party process (both ends of a mesh link).  ``daemon``
+#: marks a resident multi-session daemon's pair links, where the hello
+#: binds the *mesh spec* digest instead of a run manifest (sessions are
+#: validated individually later, via per-session sync records).
+#: ``client`` marks a session-submission connection into a daemon.
+ROLE_PARTY = "party"
+ROLE_DAEMON = "daemon"
+ROLE_CLIENT = "client"
 
 
 class HandshakeError(RuntimeError):
@@ -94,11 +106,13 @@ class Hello:
     config_digest: str
     epoch: int = 0
     passes_done: int = 0
+    role: str = ROLE_PARTY
 
     def to_wire(self) -> bytes:
         return serialize_message([
             self.version, self.session_id, self.pair_left, self.pair_right,
             self.party_id, self.config_digest, self.epoch, self.passes_done,
+            self.role,
         ])
 
     @classmethod
@@ -107,17 +121,19 @@ class Hello:
             fields = deserialize_message(payload)
         except (SerializationError, UnicodeDecodeError) as exc:
             raise HandshakeError(f"unreadable hello frame: {exc}") from exc
-        if (not isinstance(fields, list) or len(fields) != 8
+        if (not isinstance(fields, list) or len(fields) != 9
                 or not isinstance(fields[0], int)
                 or not all(isinstance(f, str) for f in fields[1:6])
                 or not isinstance(fields[6], int)
-                or not isinstance(fields[7], int)):
+                or not isinstance(fields[7], int)
+                or not isinstance(fields[8], str)):
             raise HandshakeError(
                 f"malformed hello record: {fields!r}")
         return cls(version=fields[0], session_id=fields[1],
                    pair_left=fields[2], pair_right=fields[3],
                    party_id=fields[4], config_digest=fields[5],
-                   epoch=fields[6], passes_done=fields[7])
+                   epoch=fields[6], passes_done=fields[7],
+                   role=fields[8])
 
 
 def perform_handshake(connection: FramedConnection, mine: Hello,
@@ -136,6 +152,23 @@ def perform_handshake(connection: FramedConnection, mine: Hello,
     """
     try:
         connection.write_frame(FRAME_HELLO, mine.to_wire())
+    except (ConnectionClosedError, FramingError) as exc:
+        raise HandshakePeerLost(
+            f"{connection.name}: peer vanished during the handshake "
+            f"({exc})") from exc
+    theirs = read_hello(connection)
+    _validate_symmetric(connection, mine, theirs, expected_peer)
+    return theirs
+
+
+def read_hello(connection: FramedConnection) -> Hello:
+    """Read one hello frame; map EOF/goodbye to the handshake errors.
+
+    Used directly by the daemon's accept loop, which must *read first*
+    to learn the peer's role (mesh daemon vs session client) before it
+    can decide how to answer.
+    """
+    try:
         kind, payload = connection.read_frame()
     except (ConnectionClosedError, FramingError) as exc:
         raise HandshakePeerLost(
@@ -148,26 +181,150 @@ def perform_handshake(connection: FramedConnection, mine: Hello,
     if kind != FRAME_HELLO:
         _refuse(connection,
                 f"expected a hello frame, got kind {kind!r}")
-    theirs = Hello.from_wire(payload)
+    return Hello.from_wire(payload)
+
+
+def answer_handshake(connection: FramedConnection, mine: Hello,
+                     theirs: Hello, expected_peer: str) -> Hello:
+    """Acceptor half of an asymmetric handshake.
+
+    The daemon accept loop has already read the dialer's hello (to
+    dispatch on its role); this validates it against ours and answers
+    with our hello, refusing with a goodbye on any mismatch.  Paired
+    with :func:`perform_handshake` on the dialing side, whose
+    send-first/read-second shape is unchanged.
+    """
+    _validate_symmetric(connection, mine, theirs, expected_peer)
+    try:
+        connection.write_frame(FRAME_HELLO, mine.to_wire())
+    except (ConnectionClosedError, FramingError) as exc:
+        raise HandshakePeerLost(
+            f"{connection.name}: peer vanished during the handshake "
+            f"({exc})") from exc
+    return theirs
+
+
+def hello_mismatch(mine: Hello, theirs: Hello,
+                   expected_peer: str) -> tuple[str, object, object] | None:
+    """First binding mismatch between two symmetric hellos, or ``None``.
+
+    Returns ``(field_name, ours, theirs)`` so both the sync
+    :class:`~repro.net.framing.FramedConnection` path and the daemon's
+    asyncio accept loop refuse with identical diagnostics.
+    """
     for field_name, ours_value, theirs_value in (
             ("protocol version", mine.version, theirs.version),
             ("session id", mine.session_id, theirs.session_id),
             ("pair", (mine.pair_left, mine.pair_right),
              (theirs.pair_left, theirs.pair_right)),
             ("config digest", mine.config_digest, theirs.config_digest),
-            ("epoch", mine.epoch, theirs.epoch)):
+            ("epoch", mine.epoch, theirs.epoch),
+            ("role", mine.role, theirs.role)):
+        if ours_value != theirs_value:
+            return field_name, ours_value, theirs_value
+    if theirs.party_id != expected_peer:
+        return "party", expected_peer, theirs.party_id
+    return None
+
+
+def client_hello_mismatch(theirs: Hello, config_digest: str,
+                          ) -> tuple[str, object, object] | None:
+    """What a daemon refuses on a client hello: version + spec digest.
+
+    Client ids are unknown to the daemon in advance and scope nothing
+    security-relevant, so they are never compared; per-session
+    validation happens when a session is actually submitted.
+    """
+    for field_name, ours_value, theirs_value in (
+            ("protocol version", PROTOCOL_VERSION, theirs.version),
+            ("config digest", config_digest, theirs.config_digest)):
+        if ours_value != theirs_value:
+            return field_name, ours_value, theirs_value
+    return None
+
+
+def _validate_symmetric(connection: FramedConnection, mine: Hello,
+                        theirs: Hello, expected_peer: str) -> None:
+    mismatch = hello_mismatch(mine, theirs, expected_peer)
+    if mismatch is None:
+        return
+    field_name, ours_value, theirs_value = mismatch
+    if field_name == "party":
+        _refuse(connection,
+                f"party mismatch: expected {ours_value!r} on the far "
+                f"end, peer claims {theirs_value!r}",
+                field_name=field_name, ours=ours_value,
+                theirs=theirs_value)
+    _refuse(connection,
+            f"{field_name} mismatch: ours {ours_value!r}, "
+            f"peer {theirs_value!r}",
+            field_name=field_name, ours=ours_value, theirs=theirs_value)
+
+
+def perform_client_handshake(connection: FramedConnection, *,
+                             client_id: str, daemon_id: str,
+                             config_digest: str) -> Hello:
+    """Client side of a session-submission link into a daemon.
+
+    The client binds the protocol version and the mesh-spec digest (not
+    a run manifest -- sessions are validated individually when they are
+    submitted).  The daemon's answer must carry its own party id with
+    the ``daemon`` role and the same digest.
+    """
+    mine = Hello(version=PROTOCOL_VERSION, session_id="",
+                 pair_left=client_id, pair_right=daemon_id,
+                 party_id=client_id, config_digest=config_digest,
+                 role=ROLE_CLIENT)
+    try:
+        connection.write_frame(FRAME_HELLO, mine.to_wire())
+    except (ConnectionClosedError, FramingError) as exc:
+        raise HandshakePeerLost(
+            f"{connection.name}: daemon vanished during the handshake "
+            f"({exc})") from exc
+    theirs = read_hello(connection)
+    for field_name, ours_value, theirs_value in (
+            ("protocol version", PROTOCOL_VERSION, theirs.version),
+            ("role", ROLE_DAEMON, theirs.role),
+            ("config digest", config_digest, theirs.config_digest),
+            ("party", daemon_id, theirs.party_id)):
         if ours_value != theirs_value:
             _refuse(connection,
                     f"{field_name} mismatch: ours {ours_value!r}, "
-                    f"peer {theirs_value!r}",
+                    f"daemon {theirs_value!r}",
                     field_name=field_name, ours=ours_value,
                     theirs=theirs_value)
-    if theirs.party_id != expected_peer:
+    return theirs
+
+
+def answer_client_handshake(connection: FramedConnection, theirs: Hello,
+                            *, daemon_id: str,
+                            config_digest: str) -> Hello:
+    """Daemon side of a session-submission link.
+
+    ``theirs`` was already read by the accept loop.  The daemon cannot
+    know client ids in advance, so only the version and the mesh-spec
+    digest are refused on mismatch; the client id is whatever the
+    client claims and scopes nothing security-relevant (per-session
+    validation happens on submission).
+    """
+    mismatch = client_hello_mismatch(theirs, config_digest)
+    if mismatch is not None:
+        field_name, ours_value, theirs_value = mismatch
         _refuse(connection,
-                f"party mismatch: expected {expected_peer!r} on the far "
-                f"end, peer claims {theirs.party_id!r}",
-                field_name="party", ours=expected_peer,
-                theirs=theirs.party_id)
+                f"{field_name} mismatch: ours {ours_value!r}, "
+                f"client {theirs_value!r}",
+                field_name=field_name, ours=ours_value,
+                theirs=theirs_value)
+    mine = Hello(version=PROTOCOL_VERSION, session_id="",
+                 pair_left=theirs.pair_left, pair_right=theirs.pair_right,
+                 party_id=daemon_id, config_digest=config_digest,
+                 role=ROLE_DAEMON)
+    try:
+        connection.write_frame(FRAME_HELLO, mine.to_wire())
+    except (ConnectionClosedError, FramingError) as exc:
+        raise HandshakePeerLost(
+            f"{connection.name}: client vanished during the handshake "
+            f"({exc})") from exc
     return theirs
 
 

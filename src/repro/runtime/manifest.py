@@ -138,6 +138,13 @@ class RunManifest:
             (empty for a fault-free run).  Manifest-carried so every
             process interprets the same seeded plan -- deterministic
             chaos, inside the handshake digest like everything else.
+        rng_namespace: optional per-session coin-stream namespace (see
+            :func:`repro.multiparty.mesh.derive_pair_rng`).  The daemon
+            runtime sets it to the session id so concurrent sessions
+            sharing seeds never share coins; ``None`` -- the
+            single-session default -- keeps the legacy streams, so
+            every pre-existing manifest digest and equivalence is
+            untouched.
     """
 
     session_id: str
@@ -155,6 +162,7 @@ class RunManifest:
     backoff_base_s: float = 0.02
     recovery_budget: int = 3
     faults: tuple = ()
+    rng_namespace: str | None = None
     version: int = field(default=1)
 
     def __post_init__(self):
@@ -248,6 +256,7 @@ class RunManifest:
             "backoff_base_s": self.backoff_base_s,
             "recovery_budget": self.recovery_budget,
             "faults": [dict(spec) for spec in self.faults],
+            "rng_namespace": self.rng_namespace,
             "version": self.version,
         }
         return json.dumps(payload, sort_keys=True, indent=2) + "\n"
@@ -275,6 +284,7 @@ class RunManifest:
                 backoff_base_s=data.get("backoff_base_s", 0.02),
                 recovery_budget=data.get("recovery_budget", 3),
                 faults=tuple(data.get("faults", ())),
+                rng_namespace=data.get("rng_namespace"),
                 version=data.get("version", 1),
             )
         except KeyError as exc:

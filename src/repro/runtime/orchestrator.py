@@ -154,7 +154,8 @@ def build_manifest(points_by_party: dict[str, list],
                    recovery_budget: int = 3,
                    faults: FaultPlan | None = None,
                    session_id: str | None = None,
-                   ports: dict[str, int] | None = None) -> RunManifest:
+                   ports: dict[str, int] | None = None,
+                   rng_namespace: str | None = None) -> RunManifest:
     """Derive the public run description from a workload.
 
     ``value_bound`` is computed over the union of all parties' points
@@ -196,6 +197,7 @@ def build_manifest(points_by_party: dict[str, list],
         backoff_base_s=backoff_base_s,
         recovery_budget=recovery_budget,
         faults=(faults or FaultPlan()).to_dicts(),
+        rng_namespace=rng_namespace,
     )
 
 

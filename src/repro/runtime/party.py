@@ -228,6 +228,13 @@ class PartyReport:
     and exchange, passes, and any recovery cycles); ``passes_seconds``
     covers only the protocol passes of the final successful attempt, so
     benchmarks can separate socket/round-trip cost from one-time setup.
+
+    ``runtime_info`` is an optional, runtime-specific diagnostics dict
+    (absent on PR-5-era reports, tolerated by ``from_json``).  The
+    daemon runtime reports per-session amortization figures there:
+    whether the session warm-started on an already-warmed engine,
+    setup vs pass timings, and the randomness-pool hit/miss counts from
+    ``SmcSession.pool_report()``.
     """
 
     party: str
@@ -236,16 +243,20 @@ class PartyReport:
     pair_reports: dict
     elapsed_seconds: float
     passes_seconds: float
+    runtime_info: dict = field(default_factory=dict)
 
     def to_json(self) -> str:
-        return json.dumps({
+        payload = {
             "party": self.party,
             "labels": list(self.labels),
             "ledger_events": [list(event) for event in self.ledger_events],
             "pair_reports": self.pair_reports,
             "elapsed_seconds": self.elapsed_seconds,
             "passes_seconds": self.passes_seconds,
-        }, sort_keys=True) + "\n"
+        }
+        if self.runtime_info:
+            payload["runtime_info"] = self.runtime_info
+        return json.dumps(payload, sort_keys=True) + "\n"
 
     @classmethod
     def from_json(cls, payload: str) -> "PartyReport":
@@ -258,6 +269,7 @@ class PartyReport:
             pair_reports=data["pair_reports"],
             elapsed_seconds=data["elapsed_seconds"],
             passes_seconds=data["passes_seconds"],
+            runtime_info=data.get("runtime_info", {}),
         )
 
     def ledger(self) -> LeakageLedger:
@@ -568,9 +580,11 @@ class PartyProcess:
             pair = self.pairs[right if self.name == left else left]
             channel = pair.channel
             left_party = Party(channel.left, derive_pair_rng(
-                self.manifest.seed_of(left), left, left, right))
+                self.manifest.seed_of(left), left, left, right,
+                namespace=self.manifest.rng_namespace))
             right_party = Party(channel.right, derive_pair_rng(
-                self.manifest.seed_of(right), right, left, right))
+                self.manifest.seed_of(right), right, left, right,
+                namespace=self.manifest.rng_namespace))
             pair.parties = {left: left_party, right: right_party}
             pair.session = SmcSession(left_party, right_party, config.smc,
                                       preset_contexts=contexts)
@@ -749,8 +763,9 @@ class PartyProcess:
                        for name in manifest.names}
 
         self._bind_channels(resume_pass)
-        executor = make_pass_executor(config.concurrent_peers,
-                                      config.peer_workers)
+        executor = make_pass_executor(
+            config.concurrent_peers, config.peer_workers,
+            expected_tasks=max(1, len(manifest.names) - 1))
         passes_started = time.perf_counter()
         try:
             self._phase = "session"

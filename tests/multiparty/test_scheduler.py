@@ -264,6 +264,51 @@ class TestExecutorUnit:
                           ConcurrentPassExecutor)
         with pytest.raises(SchedulerError, match="max_workers"):
             ConcurrentPassExecutor(max_workers=0)
+        with pytest.raises(SchedulerError, match="expected_tasks"):
+            ConcurrentPassExecutor(expected_tasks=0)
+
+    def test_growing_pass_keeps_the_warm_pool(self):
+        """Regression: a pass with more tasks than the previous one used
+        to shutdown+recreate the pool, discarding every warm worker
+        thread.  Growth must happen in place."""
+        import threading
+
+        def make_tasks(count):
+            return [PeerQuery(peer=f"p{i}", run=lambda ledger: 1)
+                    for i in range(count)]
+
+        executor = ConcurrentPassExecutor()
+        try:
+            executor.run_pass(make_tasks(2))
+            first_pool = executor._pool
+            first_threads = set(first_pool._threads)
+            assert first_threads
+            executor.run_pass(make_tasks(4))
+            assert executor._pool is first_pool
+            assert first_threads <= set(first_pool._threads)
+            assert first_pool._max_workers == 4
+            # Shrinking passes never touch the pool either.
+            executor.run_pass(make_tasks(2))
+            assert executor._pool is first_pool
+        finally:
+            executor.close()
+        assert all(not t.is_alive() or t.daemon is not None
+                   for t in threading.enumerate())
+
+    def test_expected_tasks_presizes_the_pool(self):
+        executor = ConcurrentPassExecutor(expected_tasks=4)
+        try:
+            executor.run_pass([PeerQuery(peer=f"p{i}",
+                                         run=lambda ledger: 1)
+                               for i in range(2)])
+            pool = executor._pool
+            assert pool._max_workers == 4
+            executor.run_pass([PeerQuery(peer=f"p{i}",
+                                         run=lambda ledger: 1)
+                               for i in range(4)])
+            assert executor._pool is pool
+        finally:
+            executor.close()
 
 
 class TestPairRngDerivation:
