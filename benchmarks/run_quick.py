@@ -1,9 +1,9 @@
 """Quick fixed-workload perf snapshot -- the PR-over-PR trajectory file.
 
 Runs one small, deterministic workload per protocol and writes
-``benchmarks/results/BENCH_PR4.json`` with wall-clock, bytes, messages,
+``benchmarks/results/BENCH_PR8.json`` with wall-clock, bytes, messages,
 and secure-comparison counts, so future PRs have a stable baseline to
-compare against.  Five ablations ride along:
+compare against.  The ablations ride along:
 
 - **horizontal** (PR 1): seed-era pipeline (per-point HDP, no pools)
   vs. batched region queries + pools prefilled offline.
@@ -57,6 +57,15 @@ compare against.  Five ablations ride along:
   by overlapping link latency across sessions (the per-link delay is
   real event-loop time, so the hiding is measured, not modeled).
 
+- **link_auth** (PR 8): the orchestrated loopback-TCP run with plain
+  frames vs per-frame HMAC-SHA256 link authentication under a PSK
+  (which also runs sealed per-party keys end to end: each process
+  derives only its own keypair, peers are wire-captured public halves
+  pinned by the manifest's key digests).  Both arms are verified
+  bit-identical to the in-process reference; the reported overhead is
+  the MAC's whole cost, expected to vanish against the Paillier
+  arithmetic.
+
 The script verifies that each optimized pipeline produces bit-identical
 cluster labels and identical leakage-ledger disclosure sequences before
 reporting its speedup.
@@ -95,7 +104,7 @@ from repro.net.transport import TransportSpec
 from repro.smc.session import SmcConfig, SmcSession
 
 RESULTS_PATH = (pathlib.Path(__file__).parent / "results"
-                / "BENCH_PR7.json")
+                / "BENCH_PR8.json")
 
 MIN_EXPECTED_SPEEDUP = 3.0
 MIN_EXPECTED_MESH_SPEEDUP = 2.0
@@ -484,6 +493,69 @@ def _socket_runtime_ablation() -> dict:
     }
 
 
+def _link_auth_ablation() -> dict:
+    """Authenticated links vs plain links on the real TCP runtime (PR 8).
+
+    The same fixed 3-party workload runs through the orchestrator twice
+    -- once over plain frames, once with per-frame HMAC-SHA256 under a
+    PSK (which also switches every party to sealed peer keys pinned by
+    the manifest digests).  Both arms are verified bit-identical to the
+    in-process reference before any number is reported: authentication
+    is a wire envelope, so the *only* admissible difference is time.
+    The per-frame cost is one HMAC over a few hundred bytes at each
+    end; against Paillier arithmetic it should vanish, and this
+    snapshot is the regression tripwire for that claim.
+    """
+    from repro.runtime.orchestrator import (
+        orchestrate_run,
+        verify_against_in_process,
+    )
+
+    points = _latency_workload(3)
+    seeds = [81, 82, 83]
+    config = ProtocolConfig(
+        eps=1.0, min_pts=3, scale=10,
+        smc=SmcConfig(paillier_bits=256, comparison="bitwise",
+                      key_seed=994, mask_sigma=8))
+
+    mesh = PartyMesh(list(points), config.smc, seeds=seeds)
+    reference = run_multiparty_horizontal_dbscan(points, config,
+                                                 seeds=seeds, mesh=mesh)
+
+    arms = {}
+    for label, psk in (("auth_off", None),
+                       ("auth_on", "bench link-auth psk")):
+        run, seconds = _timed(orchestrate_run, points, config,
+                              seeds=seeds, deadline_s=300, psk=psk)
+        identical = all(
+            verify_against_in_process(run, points, config, seeds,
+                                      reference=reference,
+                                      mesh=mesh).values())
+        frames = run.result.stats["total_messages"]
+        arms[label] = {
+            "wall_clock_s": round(seconds, 4),
+            "passes_s": round(max(report.passes_seconds
+                                  for report in run.reports.values()), 4),
+            "protocol_frames": frames,
+            "link_auth": run.manifest.link_auth,
+            "key_digests_pinned": len(run.manifest.key_digests),
+            "observables_bit_identical": identical,
+        }
+    overhead = (arms["auth_on"]["wall_clock_s"]
+                - arms["auth_off"]["wall_clock_s"])
+    return {
+        "workload": {"parties": 3, "points_per_party": 3,
+                     "dimensions": 2},
+        **arms,
+        "auth_overhead_s": round(overhead, 4),
+        "notes": "auth_on MACs every frame (HMAC-SHA256, 32 bytes) and "
+                 "runs sealed peer keys end to end; wall-clock includes "
+                 "python startup per party process, so small negative "
+                 "overheads are startup noise, not a speedup",
+        "host_cpus": os.cpu_count(),
+    }
+
+
 def _session_throughput_ablation() -> dict:
     """Resident daemon mesh vs fresh-fleet-per-session (PR 7).
 
@@ -677,11 +749,12 @@ def main() -> int:
     latency_sweep = _latency_sweep_ablation()
     socket_runtime = _socket_runtime_ablation()
     session_throughput = _session_throughput_ablation()
+    link_auth = _link_auth_ablation()
     payload = {
-        "pr": 7,
-        "description": "quick fixed-workload perf snapshot (resident "
-                       "asyncio daemon mesh: many clustering sessions "
-                       "multiplexed over persistent pair links)",
+        "pr": 8,
+        "description": "quick fixed-workload perf snapshot (sealed "
+                       "per-party keys and PSK-authenticated links on "
+                       "the socket runtimes)",
         "horizontal": horizontal,
         "multiparty": multiparty,
         "offline_scaling": offline,
@@ -689,6 +762,7 @@ def main() -> int:
         "latency_sweep": latency_sweep,
         "socket_runtime": socket_runtime,
         "session_throughput": session_throughput,
+        "link_auth": link_auth,
         "enhanced": _enhanced_quick(),
         "vertical": _vertical_quick(),
     }
@@ -737,6 +811,13 @@ def main() -> int:
               "reference (labels/ledger/comparisons/transcripts)",
               file=sys.stderr)
         failed = True
+    for arm in ("auth_off", "auth_on"):
+        if not link_auth[arm]["observables_bit_identical"]:
+            print(f"FAIL: the {arm} TCP run diverged from the "
+                  f"in-process fabric "
+                  f"(labels/ledger/comparisons/transcripts)",
+                  file=sys.stderr)
+            failed = True
     daemon_arms = session_throughput["resident_daemons"]
     baseline_rate = session_throughput["fresh_fleet_serial"][
         "sessions_per_s"]

@@ -160,6 +160,11 @@ def build_parser() -> argparse.ArgumentParser:
                                   "same workload and assert bit-identical "
                                   "labels, ledger, and per-pair "
                                   "transcripts")
+    orchestrate.add_argument("--psk", default=None,
+                             help="pre-shared key: authenticate every "
+                                  "party link with per-frame HMACs "
+                                  "(prefer the REPRO_PSK environment "
+                                  "variable over argv on shared hosts)")
 
     mesh_spec = commands.add_parser(
         "mesh-spec",
@@ -173,6 +178,21 @@ def build_parser() -> argparse.ArgumentParser:
     mesh_spec.add_argument("--workers", type=int, default=1,
                            help="modexp engine worker processes per "
                                 "daemon (1 = serial)")
+    mesh_spec.add_argument("--host", default=None,
+                           help="dial host for the daemons (default "
+                                "loopback; set a routable address for "
+                                "multi-host meshes and bind with "
+                                "'serve --bind-host')")
+    mesh_spec.add_argument("--max-sessions", type=int, default=0,
+                           help="per-daemon cap on concurrent sessions; "
+                                "excess submissions get a typed "
+                                "session_rejected reply (0 = unlimited)")
+    mesh_spec.add_argument("--link-auth", action="store_true",
+                           help="require per-frame HMAC authentication "
+                                "on every daemon and client link (each "
+                                "endpoint supplies the PSK via --psk / "
+                                "REPRO_PSK; the flag is part of the "
+                                "mesh digest)")
 
     serve = commands.add_parser(
         "serve",
@@ -181,6 +201,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--spec", required=True,
                        help="mesh spec JSON from 'repro mesh-spec'")
     serve.add_argument("--party", required=True, dest="party_name")
+    serve.add_argument("--psk", default=None,
+                       help="pre-shared key for --link-auth meshes "
+                            "(falls back to REPRO_PSK)")
+    serve.add_argument("--bind-host", default=None,
+                       help="listen address override (e.g. 0.0.0.0 to "
+                            "accept cross-machine dials while the spec "
+                            "advertises this daemon's routable host)")
 
     submit = commands.add_parser(
         "submit",
@@ -209,6 +236,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "and per-pair transcripts")
     submit.add_argument("--shutdown", action="store_true",
                         help="stop the daemons after the submissions")
+    submit.add_argument("--psk", default=None,
+                        help="pre-shared key for --link-auth meshes "
+                             "(falls back to REPRO_PSK)")
 
     party = commands.add_parser(
         "party",
@@ -227,6 +257,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="recovery-epoch hint from the orchestrator "
                             "(the checkpoint and the handshake's "
                             "adopt-max rule refine it)")
+    party.add_argument("--psk", default=None,
+                       help="pre-shared key for link-authenticated "
+                            "manifests (falls back to REPRO_PSK)")
+    party.add_argument("--bind-host", default=None,
+                       help="listen address override for multi-host "
+                            "meshes (dialing still uses the manifest's "
+                            "host)")
     return parser
 
 
@@ -404,7 +441,8 @@ def _run_orchestrate(args) -> int:
                               deadline_s=args.deadline_s,
                               faults=args.faults,
                               retry_budget=args.retry_budget,
-                              keep_run_dir=args.keep_run_dir)
+                              keep_run_dir=args.keep_run_dir,
+                              psk=_resolve_psk(args))
     except OrchestrationError as exc:
         print(f"orchestration failed: {exc}", file=sys.stderr)
         for failure in exc.failures:
@@ -449,12 +487,20 @@ def _prepare_run_dir(args, by_party, config, seeds) -> int:
     return 0
 
 
+def _resolve_psk(args) -> str | None:
+    import os
+
+    return args.psk or os.environ.get("REPRO_PSK") or None
+
+
 def _run_party(args) -> int:
     from repro.runtime.party import run_party
 
     report = run_party(args.run_dir, args.party_name,
                        fail_after_queries=args.fail_after_queries,
-                       resume=args.resume, epoch=args.epoch)
+                       resume=args.resume, epoch=args.epoch,
+                       psk=_resolve_psk(args),
+                       bind_host=args.bind_host)
     print(f"{report.party}: labels={report.labels} "
           f"elapsed={report.elapsed_seconds:.2f}s")
     return 0
@@ -469,17 +515,24 @@ def _run_mesh_spec(args) -> int:
     if args.parties < 2:
         raise SystemExit("--parties must be >= 2")
     names = tuple(f"party{index}" for index in range(args.parties))
-    ports = allocate_ports(args.parties)
+    host_kwargs = {"host": args.host} if args.host else {}
+    ports = allocate_ports(args.parties, **host_kwargs)
     spec = MeshSpec(names=names, ports=dict(zip(names, ports)),
                     net_delay_s=args.net_latency_ms / 1000.0,
-                    engine_workers=args.workers)
+                    engine_workers=args.workers,
+                    max_sessions=args.max_sessions,
+                    link_auth=args.link_auth,
+                    **host_kwargs)
     path = pathlib.Path(args.path)
     path.write_text(spec.to_json())
     print(f"mesh spec written: {path}  (digest {mesh_digest(spec)[:12]})")
     print("launch each daemon in its own terminal:")
+    auth_hint = " --psk <shared secret>" if args.link_auth else ""
     for name in names:
-        print(f"  python -m repro serve --spec {path} --party {name}")
-    print(f"then submit sessions: python -m repro submit --spec {path}")
+        print(f"  python -m repro serve --spec {path} --party {name}"
+              f"{auth_hint}")
+    print(f"then submit sessions: python -m repro submit --spec {path}"
+          f"{auth_hint}")
     return 0
 
 
@@ -489,10 +542,13 @@ def _run_serve(args) -> int:
     from repro.runtime.daemon import MeshSpec, PartyDaemon
 
     spec = MeshSpec.from_json(pathlib.Path(args.spec).read_text())
-    daemon = PartyDaemon(spec, args.party_name)
+    daemon = PartyDaemon(spec, args.party_name, psk=_resolve_psk(args),
+                         bind_host=args.bind_host)
     print(f"daemon {args.party_name} listening on "
-          f"{spec.host}:{spec.ports[args.party_name]} "
-          f"(mesh of {len(spec.names)}; ctrl-c to stop)", flush=True)
+          f"{args.bind_host or spec.host}:{spec.ports[args.party_name]} "
+          f"(mesh of {len(spec.names)}"
+          f"{', link auth on' if spec.link_auth else ''}; "
+          f"ctrl-c to stop)", flush=True)
     try:
         daemon.run()
     except KeyboardInterrupt:
@@ -515,10 +571,11 @@ def _run_submit(args) -> int:
     if bool(args.spec) == bool(args.spawn):
         raise SystemExit("submit needs exactly one of --spec or --spawn")
 
+    psk = _resolve_psk(args)
     fleet = None
     if args.spawn:
         names = tuple(f"party{index}" for index in range(args.parties))
-        fleet = DaemonFleet(names, mode="process").start()
+        fleet = DaemonFleet(names, mode="process", psk=psk).start()
         spec = fleet.spec
     else:
         spec = MeshSpec.from_json(pathlib.Path(args.spec).read_text())
@@ -536,7 +593,7 @@ def _run_submit(args) -> int:
              for i, a in enumerate(spec.names)
              for b in spec.names[i + 1:]}
     try:
-        with SessionClient(spec) as client:
+        with SessionClient(spec, psk=psk) as client:
             handles = [
                 client.submit(
                     build_manifest(by_party, config, seeds,

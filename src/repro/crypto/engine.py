@@ -350,6 +350,15 @@ class ModexpEngine:
         )
 
         values = list(ciphertext_values)
+        if getattr(private, "sealed", False):
+            # Sanctioned discard boundary: a sealed key means the
+            # decrypting party is remote in this process -- no secret
+            # exists here, so no modexp runs.  The placeholder zeros
+            # feed only frames the mirror discards (the bit-identical
+            # equivalence bar proves that on every run); any *direct*
+            # decrypt on the sealed key object still raises
+            # PublicOnlyKeyError.
+            return [0] * len(values)
         self._count(len(values))
         if not self._parallel_eligible(2 * len(values)):
             return private.decrypt_raw_batch(values)

@@ -29,13 +29,11 @@ from repro.net.transport import derive_seeded_stream
 from repro.net.stats import CommunicationStats
 from repro.smc.session import (
     CryptoContext,
+    FullKeyProvider,
     SmcConfig,
     SmcSession,
     channel_for_config,
 )
-from repro.crypto.keycache import cached_paillier_keypair, cached_rsa_keypair
-from repro.crypto.paillier import generate_paillier_keypair
-from repro.crypto.rsa import generate_rsa_keypair
 
 
 def derive_pair_rng(seed: int | None, party: str, left: str,
@@ -83,7 +81,8 @@ class PartyMesh:
 
     def __init__(self, names: list[str], config: SmcConfig,
                  seeds: list[int | None] | None = None,
-                 rng_namespace: str | None = None):
+                 rng_namespace: str | None = None,
+                 key_provider=None):
         if len(names) < 2:
             raise MeshError("a mesh needs at least two parties")
         if len(set(names)) != len(names):
@@ -103,6 +102,11 @@ class PartyMesh:
         self._rngs = {
             name: random.Random(seed) for name, seed in self._seeds.items()
         }
+        # Key material goes through a provider so the runtime layers can
+        # swap the trust model (sealed peer contexts) without touching
+        # the mesh wiring; the default derives every party's full
+        # keypair exactly as before.
+        self._key_provider = key_provider or FullKeyProvider(config)
         self._contexts = {
             name: self._make_context(name, slot)
             for slot, name in enumerate(names)
@@ -115,19 +119,7 @@ class PartyMesh:
                 self._build_pair(left, right)
 
     def _make_context(self, name: str, slot: int) -> CryptoContext:
-        cfg = self.config
-        needs_rsa = cfg.comparison == "ympp"
-        rng = self._rngs[name]
-        if cfg.key_seed is not None:
-            paillier = cached_paillier_keypair(
-                cfg.paillier_bits, 100 * cfg.key_seed + slot)
-            rsa = (cached_rsa_keypair(cfg.rsa_bits, 100 * cfg.key_seed + slot)
-                   if needs_rsa else None)
-        else:
-            paillier = generate_paillier_keypair(cfg.paillier_bits, rng)
-            rsa = (generate_rsa_keypair(cfg.rsa_bits, rng)
-                   if needs_rsa else None)
-        return CryptoContext(paillier=paillier, rsa=rsa)
+        return self._key_provider.context_for(name, slot, self._rngs[name])
 
     def _build_pair(self, left: str, right: str) -> None:
         channel = channel_for_config(self.config, left, right)

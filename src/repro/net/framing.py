@@ -48,11 +48,30 @@ not trigger gigabyte allocations), and close-versus-timeout error
 mapping.  It is transport-agnostic plumbing: the delivery semantics
 (what an empty inbox means, who may read) live in
 :class:`repro.net.transport.TcpTransport`.
+
+Link authentication
+-------------------
+
+When a :class:`FrameAuthenticator` is attached, every frame's payload
+carries a trailing 32-byte HMAC-SHA256 tag computed from an
+out-of-band pre-shared key over ``context | kind | payload``.  The
+``context`` (the session id for party links, the mesh-spec digest for
+daemon links) is known a priori on both ends -- there is no key
+bootstrap inside the channel -- and makes a frame replayed from a
+*different* session fail verification even under the same PSK.  Tags
+are verified with :func:`hmac.compare_digest` before a payload reaches
+any parser; failure raises :class:`FrameAuthenticationError`, which the
+runtime classifies as **fatal** (an authentication failure is never
+retried against the recovery budget).  The MAC authenticates and
+integrity-protects; it does not encrypt -- see DESIGN.md's threat
+model for what that buys and what it does not.
 """
 
 from __future__ import annotations
 
 import asyncio
+import hashlib
+import hmac
 import socket
 import struct
 import threading
@@ -88,6 +107,74 @@ class ConnectionClosedError(FramingError):
 
 class ReceiveTimeout(FramingError):
     """No frame arrived within the configured timeout."""
+
+
+class FrameAuthenticationError(FramingError):
+    """A frame's MAC failed verification (tamper, truncation, replay
+    from another session, or a pre-shared-key mismatch).
+
+    Subclasses :class:`FramingError` so generic plumbing treats it as a
+    wire-level failure, but the runtime's failure classifier matches it
+    *first* and maps it to a fatal, never-retried cause: retrying an
+    authentication failure cannot succeed and would burn the recovery
+    budget against an active attacker or a misconfigured fleet.
+    """
+
+
+#: Length of the per-frame HMAC-SHA256 tag appended to sealed payloads.
+MAC_BYTES = 32
+
+
+class FrameAuthenticator:
+    """Per-frame HMAC sealing/verification for one authenticated link.
+
+    Args:
+        psk: the out-of-band pre-shared key (text or bytes).  Never
+            serialized anywhere; both ends must receive it through a
+            channel outside the mesh (environment, CLI flag).
+        context: public per-link binding mixed into every tag -- the
+            session id for party links, the mesh-spec digest for daemon
+            pair/client links.  Both ends know it before connecting, so
+            authentication needs no in-band negotiation, and a frame
+            captured on one session fails verification when replayed
+            into another even under the same PSK.
+    """
+
+    def __init__(self, psk: str | bytes, context: str):
+        if not psk:
+            raise FramingError("link authentication needs a non-empty PSK")
+        raw = psk.encode("utf-8") if isinstance(psk, str) else bytes(psk)
+        # Hash the PSK into a fixed-width HMAC key so arbitrary-length
+        # passphrases behave identically and the raw secret is not kept
+        # on the instance.
+        self._key = hashlib.sha256(b"repro-link-psk|" + raw).digest()
+        self.context = context
+        self._context_bytes = context.encode("utf-8")
+
+    def tag(self, kind: bytes, payload: bytes) -> bytes:
+        """The 32-byte MAC over ``context | kind | payload``."""
+        return hmac.new(self._key,
+                        self._context_bytes + b"|" + kind + payload,
+                        hashlib.sha256).digest()
+
+    def seal(self, kind: bytes, payload: bytes) -> bytes:
+        """Payload with its tag appended (what goes on the wire)."""
+        return payload + self.tag(kind, payload)
+
+    def open(self, kind: bytes, sealed: bytes, *,
+             name: str = "link") -> bytes:
+        """Verify and strip the trailing tag; raise on any mismatch."""
+        if len(sealed) < MAC_BYTES:
+            raise FrameAuthenticationError(
+                f"{name}: authenticated {kind!r} frame of {len(sealed)} "
+                f"bytes is shorter than the {MAC_BYTES}-byte MAC")
+        payload, received = sealed[:-MAC_BYTES], sealed[-MAC_BYTES:]
+        if not hmac.compare_digest(received, self.tag(kind, payload)):
+            raise FrameAuthenticationError(
+                f"{name}: MAC verification failed on a {kind!r} frame "
+                f"(tampered frame, cross-session replay, or pre-shared "
+                f"key mismatch)")
+        return payload
 
 
 def encode_frame(kind: bytes, payload: bytes = b"") -> bytes:
@@ -165,7 +252,9 @@ def decode_mux_payload(payload: bytes) -> tuple[str, bytes]:
 
 async def read_frame_async(reader: asyncio.StreamReader, *,
                            max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
-                           name: str = "link") -> tuple[bytes, bytes]:
+                           name: str = "link",
+                           authenticator: FrameAuthenticator | None = None,
+                           ) -> tuple[bytes, bytes]:
     """One ``(kind, payload)`` frame from an asyncio stream.
 
     The event-loop twin of :meth:`FramedConnection.read_frame`, with the
@@ -173,7 +262,10 @@ async def read_frame_async(reader: asyncio.StreamReader, *,
     :class:`ConnectionClosedError` so loop-side readers classify peer
     death exactly like the blocking runtime does.  Timeouts are the
     caller's concern (``asyncio.wait_for`` or none at all -- a daemon's
-    demux reader legitimately idles between sessions).
+    demux reader legitimately idles between sessions).  When an
+    ``authenticator`` is given, the trailing MAC is verified and
+    stripped before the payload is returned -- and in particular before
+    any mux demultiplexing parses it.
     """
     try:
         header = await reader.readexactly(_LENGTH.size)
@@ -199,6 +291,8 @@ async def read_frame_async(reader: asyncio.StreamReader, *,
     kind, payload = body[:1], body[1:]
     if kind not in _FRAME_KINDS:
         raise FramingError(f"{name}: unknown frame kind {kind!r}")
+    if authenticator is not None:
+        payload = authenticator.open(kind, payload, name=name)
     return kind, payload
 
 
@@ -214,7 +308,8 @@ class FramedConnection:
     def __init__(self, sock: socket.socket, *,
                  timeout_s: float = 30.0,
                  max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
-                 name: str = "link"):
+                 name: str = "link",
+                 authenticator: FrameAuthenticator | None = None):
         if timeout_s <= 0:
             raise FramingError(f"timeout_s must be > 0, got {timeout_s}")
         if max_frame_bytes < 1:
@@ -224,6 +319,10 @@ class FramedConnection:
         self.timeout_s = timeout_s
         self.max_frame_bytes = max_frame_bytes
         self.name = name
+        #: Optional per-frame MAC layer; sealing happens on write,
+        #: verification on read, both below the kind/payload interface
+        #: so callers never see tags.
+        self.authenticator = authenticator
         self._send_lock = threading.Lock()
         self._recv_lock = threading.Lock()
         # Partial-read buffer: bytes consumed from the socket stay here
@@ -238,6 +337,8 @@ class FramedConnection:
     def write_frame(self, kind: bytes, payload: bytes = b"") -> None:
         if kind not in _FRAME_KINDS:
             raise FramingError(f"unknown frame kind {kind!r}")
+        if self.authenticator is not None:
+            payload = self.authenticator.seal(kind, payload)
         if 1 + len(payload) > self.max_frame_bytes:
             # Mirror of the read-side ceiling: fail at the producing call
             # site with the real cause, not at the receiver as a
@@ -320,6 +421,9 @@ class FramedConnection:
             if kind not in _FRAME_KINDS:
                 raise FramingError(
                     f"{self.name}: unknown frame kind {kind!r}")
+            if self.authenticator is not None:
+                payload = self.authenticator.open(kind, payload,
+                                                  name=self.name)
             return kind, payload
 
     def close(self) -> None:

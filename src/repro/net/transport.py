@@ -65,6 +65,8 @@ from repro.net.framing import (
     FRAME_MUX_MESSAGE,
     MUX_KINDS,
     ConnectionClosedError,
+    FrameAuthenticationError,
+    FrameAuthenticator,
     FramedConnection,
     FramingError,
     ReceiveTimeout,
@@ -460,6 +462,12 @@ class TcpTransport(Transport):
             raise TransportClosedError(
                 f"link closed while {receiver} waited for {want}: {exc} "
                 f"({self._context()})") from exc
+        except FrameAuthenticationError:
+            # Not a desync: the peer (or someone on the path) fails the
+            # MAC.  Propagate unchanged so the failure classifier maps
+            # it to the fatal, never-retried auth cause instead of the
+            # generic desync.
+            raise
         except FramingError as exc:
             raise ProtocolDesyncError(
                 f"malformed frame while {receiver} waited for {want}: "
@@ -531,7 +539,8 @@ class AsyncTcpTransport:
 
     def __init__(self, left_name: str, right_name: str, local_name: str,
                  *, timeout_s: float = 30.0, net_delay_s: float = 0.0,
-                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES):
+                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+                 authenticator: FrameAuthenticator | None = None):
         if left_name == right_name:
             raise TransportError("endpoints must have distinct names")
         if local_name not in (left_name, right_name):
@@ -551,6 +560,12 @@ class AsyncTcpTransport:
         self.timeout_s = timeout_s
         self.net_delay_s = net_delay_s
         self.max_frame_bytes = max_frame_bytes
+        #: Optional per-frame MAC layer shared by every session on the
+        #: connection (context: the mesh-spec digest, known a priori on
+        #: both ends).  Outbound frames are sealed at encode time via
+        #: :meth:`encode_sealed`; inbound frames are verified in
+        #: :meth:`_pump_in` *before* any demultiplexing parses them.
+        self.authenticator = authenticator
         self.name = f"mux {left_name}<->{right_name} at {local_name}"
         self._loop: asyncio.AbstractEventLoop | None = None
         self._reader: asyncio.StreamReader | None = None
@@ -560,6 +575,7 @@ class AsyncTcpTransport:
         self._tasks: list[asyncio.Task] = []
         self._closed = False
         self._close_reason: str | None = None
+        self._auth_failed = False
         self._last_frame: tuple[str, str, str] | None = None
 
     # -- lifecycle (event-loop thread only) --------------------------------
@@ -599,8 +615,8 @@ class AsyncTcpTransport:
         self._poison(reason)
         if self._writer is not None:
             try:
-                self._writer.write(encode_frame(FRAME_GOODBYE,
-                                                reason.encode("utf-8")))
+                self._writer.write(self.encode_sealed(
+                    FRAME_GOODBYE, reason.encode("utf-8")))
                 await self._writer.drain()
             except (ConnectionResetError, OSError):
                 pass  # peer already gone; nothing to announce
@@ -624,6 +640,18 @@ class AsyncTcpTransport:
             self._writer.close()
 
     # -- outbound (any thread) ---------------------------------------------
+
+    def encode_sealed(self, kind: bytes, payload: bytes) -> bytes:
+        """Encode one frame, sealing it when the link is authenticated.
+
+        Every outbound frame on this connection must go through here
+        (or carry a tag applied by the same authenticator): a mix of
+        sealed and unsealed frames on one authenticated link would fail
+        verification at the peer.
+        """
+        if self.authenticator is not None:
+            payload = self.authenticator.seal(kind, payload)
+        return encode_frame(kind, payload)
 
     def send_frame(self, frame: bytes) -> None:
         """Enqueue one pre-encoded frame for the writer task.
@@ -669,9 +697,16 @@ class AsyncTcpTransport:
             try:
                 kind, payload = await read_frame_async(
                     self._reader, max_frame_bytes=self.max_frame_bytes,
-                    name=self.name)
+                    name=self.name, authenticator=self.authenticator)
             except ConnectionClosedError as exc:
                 self._abort(f"connection lost ({exc})")
+                return
+            except FrameAuthenticationError as exc:
+                # Verified (and failed) before any demux parsing; the
+                # flag makes every parked receiver on this hub re-raise
+                # the auth failure instead of a retryable closure.
+                self._auth_failed = True
+                self._abort(f"link authentication failed ({exc})")
                 return
             except FramingError as exc:
                 self._abort(f"malformed frame ({exc})")
@@ -751,7 +786,7 @@ class SessionLinkTransport(Transport):
                 f"({self._context()})")
         inner = encode_message_payload(label, wire)
         try:
-            self.hub.send_frame(encode_frame(
+            self.hub.send_frame(self.hub.encode_sealed(
                 FRAME_MUX_MESSAGE,
                 encode_mux_payload(self.session_id, inner)))
         except TransportClosedError as exc:
@@ -779,7 +814,7 @@ class SessionLinkTransport(Transport):
 
     def send_control(self, record_wire: bytes) -> None:
         """Write one session-tagged control frame (thread-safe)."""
-        self.hub.send_frame(encode_frame(
+        self.hub.send_frame(self.hub.encode_sealed(
             FRAME_MUX_CONTROL,
             encode_mux_payload(self.session_id, record_wire)))
 
@@ -790,6 +825,11 @@ class SessionLinkTransport(Transport):
             self._control_queue.put_nowait(AsyncTcpTransport._CLOSED)
             reason = (f": {self.hub._close_reason}"
                       if self.hub._close_reason else "")
+            if self.hub._auth_failed:
+                raise FrameAuthenticationError(
+                    f"link authentication failed while {self.local_name} "
+                    f"waited for a control record{reason} "
+                    f"({self._context()})")
             raise TransportClosedError(
                 f"link closed while {self.local_name} waited for a "
                 f"control record{reason} ({self._context()})")
@@ -820,6 +860,10 @@ class SessionLinkTransport(Transport):
             source.put_nowait(AsyncTcpTransport._CLOSED)
             reason = (f": {self.hub._close_reason}"
                       if self.hub._close_reason else "")
+            if self.hub._auth_failed:
+                raise FrameAuthenticationError(
+                    f"link authentication failed while {self.local_name} "
+                    f"waited for {want}{reason} ({self._context()})")
             raise TransportClosedError(
                 f"link closed while {self.local_name} waited for "
                 f"{want}{reason} ({self._context()})")

@@ -29,6 +29,7 @@ and replaying that view discloses nothing new to anyone.
 
 from __future__ import annotations
 
+import hmac
 import json
 import os
 import pathlib
@@ -214,11 +215,15 @@ def load_checkpoint(run_dir: pathlib.Path, party: str, *,
         raise CheckpointError(
             f"checkpoint at {path} belongs to {checkpoint.party!r}, "
             f"not {party!r}")
-    if checkpoint.session_id != session_id:
+    # compare_digest for the identity/digest bindings: these are the
+    # same strings the handshake refuses on, so the comparison should
+    # not leak a byte-position timing signal either.
+    if not hmac.compare_digest(checkpoint.session_id, session_id):
         raise CheckpointError(
             f"checkpoint session {checkpoint.session_id!r} does not match "
             f"run session {session_id!r}")
-    if checkpoint.manifest_sha256 != manifest_sha256:
+    if not hmac.compare_digest(checkpoint.manifest_sha256,
+                               manifest_sha256):
         raise CheckpointError(
             "checkpoint was written under a different manifest "
             f"({checkpoint.manifest_sha256[:12]}... vs "

@@ -28,6 +28,7 @@ default for tests and benchmarks) or as ``repro serve`` subprocesses
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import socket
 import subprocess
@@ -41,6 +42,8 @@ from repro.net.framing import (
     FRAME_CONTROL,
     FRAME_GOODBYE,
     ConnectionClosedError,
+    FrameAuthenticationError,
+    FrameAuthenticator,
     FramedConnection,
     FramingError,
     ReceiveTimeout,
@@ -52,6 +55,7 @@ from repro.net.serialization import (
 )
 from repro.runtime.daemon import (
     CONTROL_SESSION_FAILED,
+    CONTROL_SESSION_REJECTED,
     CONTROL_SESSION_REPORT,
     CONTROL_SHUTDOWN,
     CONTROL_START_SESSION,
@@ -144,10 +148,17 @@ class SessionHandle:
 class SessionClient:
     """One client endpoint connected to every daemon of a mesh."""
 
-    def __init__(self, spec: MeshSpec, *, client_id: str = "client"):
+    def __init__(self, spec: MeshSpec, *, client_id: str = "client",
+                 psk: str | None = None):
         self.spec = spec
         self.client_id = client_id
         self.digest = mesh_digest(spec)
+        if spec.link_auth and not psk:
+            raise SessionClientError(
+                f"mesh spec requires link authentication but client "
+                f"{client_id!r} was given no PSK")
+        self._authenticator = (FrameAuthenticator(psk, self.digest)
+                               if spec.link_auth else None)
         self._connections: dict[str, FramedConnection] = {}
         self._write_locks: dict[str, threading.Lock] = {}
         self._readers: list[threading.Thread] = []
@@ -182,7 +193,8 @@ class SessionClient:
                     (self.spec.host, self.spec.ports[name]), timeout=5.0)
                 return FramedConnection(
                     sock, timeout_s=self.spec.timeout_s,
-                    name=f"{self.client_id}->{name}")
+                    name=f"{self.client_id}->{name}",
+                    authenticator=self._authenticator)
             except OSError as exc:
                 last_error = exc
                 time.sleep(_CONNECT_BACKOFF_S)
@@ -201,6 +213,13 @@ class SessionClient:
                 # Idle between reports (sessions can outlast the frame
                 # timeout); keep listening until goodbye/EOF.
                 continue
+            except FrameAuthenticationError as exc:
+                # Tampered or mis-keyed daemon frames are terminal for
+                # every in-flight session on this link -- and named as
+                # such, never as a generic lost connection.
+                self._fail_pending(name,
+                                   f"link authentication failed: {exc}")
+                return
             except (ConnectionClosedError, FramingError, OSError):
                 self._fail_pending(name, "daemon connection lost")
                 return
@@ -226,6 +245,8 @@ class SessionClient:
                 handle._offer(name, PartyReport.from_json(body), None)
             elif tag == CONTROL_SESSION_FAILED:
                 handle._offer(name, None, str(body))
+            elif tag == CONTROL_SESSION_REJECTED:
+                handle._offer(name, None, f"rejected: {body}")
 
     def _fail_pending(self, name: str, reason: str) -> None:
         if self._closed:
@@ -350,8 +371,9 @@ def run_via_daemons(points_by_party: dict[str, list], config,
 class _DaemonThread:
     """One in-process daemon on a background thread with its own loop."""
 
-    def __init__(self, spec: MeshSpec, name: str):
-        self.daemon = PartyDaemon(spec, name)
+    def __init__(self, spec: MeshSpec, name: str,
+                 psk: str | None = None):
+        self.daemon = PartyDaemon(spec, name, psk=psk)
         self.thread = threading.Thread(target=self.daemon.run,
                                        name=f"daemon-{name}", daemon=True)
 
@@ -376,12 +398,18 @@ class _DaemonThread:
 class _DaemonProcess:
     """One ``repro serve`` subprocess (real process isolation)."""
 
-    def __init__(self, spec_path: pathlib.Path, name: str):
+    def __init__(self, spec_path: pathlib.Path, name: str,
+                 psk: str | None = None):
         self.name = name
+        env = dict(os.environ)
+        if psk:
+            # The PSK travels by environment, never argv: command lines
+            # are world-readable on a shared host.
+            env["REPRO_PSK"] = psk
         self.process = subprocess.Popen(
             [sys.executable, "-m", "repro", "serve",
              "--spec", str(spec_path), "--party", name],
-            stdout=subprocess.DEVNULL, stderr=subprocess.PIPE)
+            stdout=subprocess.DEVNULL, stderr=subprocess.PIPE, env=env)
 
     def stop(self, timeout: float) -> None:
         if self.process.poll() is None:
@@ -407,7 +435,8 @@ class DaemonFleet:
     def __init__(self, names, *, host: str | None = None,
                  net_delay_s: float = 0.0, engine_workers: int = 1,
                  timeout_s: float = 30.0, connect_timeout_s: float = 15.0,
-                 mode: str = "thread"):
+                 mode: str = "thread", psk: str | None = None,
+                 max_sessions: int = 0):
         if mode not in ("thread", "process"):
             raise DaemonError(f"unknown fleet mode {mode!r}")
         names = tuple(names)
@@ -420,8 +449,11 @@ class DaemonFleet:
             engine_workers=engine_workers,
             timeout_s=timeout_s,
             connect_timeout_s=connect_timeout_s,
+            max_sessions=max_sessions,
+            link_auth=bool(psk),
             **kwargs)
         self.mode = mode
+        self.psk = psk
         self._members: list = []
         self._spec_dir: tempfile.TemporaryDirectory | None = None
 
@@ -433,7 +465,7 @@ class DaemonFleet:
 
     def start(self) -> "DaemonFleet":
         if self.mode == "thread":
-            self._members = [_DaemonThread(self.spec, name)
+            self._members = [_DaemonThread(self.spec, name, self.psk)
                              for name in self.spec.names]
             for member in self._members:
                 member.start()
@@ -444,12 +476,12 @@ class DaemonFleet:
                 prefix="repro-mesh-")
             spec_path = pathlib.Path(self._spec_dir.name) / "mesh.json"
             spec_path.write_text(self.spec.to_json())
-            self._members = [_DaemonProcess(spec_path, name)
+            self._members = [_DaemonProcess(spec_path, name, self.psk)
                              for name in self.spec.names]
         return self
 
     def client(self, *, client_id: str = "client") -> SessionClient:
-        return SessionClient(self.spec, client_id=client_id)
+        return SessionClient(self.spec, client_id=client_id, psk=self.psk)
 
     def stop(self) -> None:
         for member in self._members:

@@ -30,7 +30,8 @@ Determinism: a session's coins, keys, and channel machinery are exactly
 the single-session runtime's (same ``derive_pair_rng`` streams --
 optionally namespaced per session, see
 :attr:`~repro.runtime.manifest.RunManifest.rng_namespace` -- same
-``cached_paillier_keypair`` slots, same
+own-slot key derivation with sealed peer contexts
+(:class:`~repro.smc.session.SealedKeyProvider`), same
 :class:`~repro.runtime.mirror.MirrorChannel`).  Multiplexing changes
 which frames share a socket, never the bytes or per-(session, pair,
 direction) order of any stream, so every session's labels, ledger,
@@ -53,7 +54,9 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import hashlib
+import hmac
 import json
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -63,7 +66,6 @@ from functools import partial
 from repro.core.distance import PeerCipherCache
 from repro.core.leakage import LeakageLedger
 from repro.crypto.engine import ModexpEngine
-from repro.crypto.keycache import cached_paillier_keypair
 from repro.multiparty.horizontal import _driver_pass, _peer_count
 from repro.multiparty.mesh import derive_pair_rng
 from repro.multiparty.scheduler import make_pass_executor
@@ -72,6 +74,8 @@ from repro.net.framing import (
     FRAME_GOODBYE,
     FRAME_HELLO,
     ConnectionClosedError,
+    FrameAuthenticationError,
+    FrameAuthenticator,
     FramingError,
     encode_frame,
     read_frame_async,
@@ -107,12 +111,16 @@ from repro.runtime.party import (
     PartyReport,
     PartyRuntimeError,
 )
-from repro.smc.session import CryptoContext, SmcSession
+from repro.smc.session import SealedKeyProvider, SmcSession
 
 #: Client-plane control records (plain C frames on a client connection).
 CONTROL_START_SESSION = "start_session"
 CONTROL_SESSION_REPORT = "session_report"
 CONTROL_SESSION_FAILED = "session_failed"
+#: Typed refusal of a ``start_session`` that would exceed the daemon's
+#: :attr:`MeshSpec.max_sessions` cap -- the client gets an immediate
+#: answer instead of the submission queueing unboundedly.
+CONTROL_SESSION_REJECTED = "session_rejected"
 CONTROL_SHUTDOWN = "shutdown"
 #: Pair-plane per-session sync record (session-tagged ``c`` frame): each
 #: daemon announces the manifest digest of a freshly submitted session
@@ -153,6 +161,16 @@ class MeshSpec:
             not modeled (see :class:`~repro.net.transport.AsyncTcpTransport`).
         engine_workers: worker processes for the daemon's shared
             :class:`~repro.crypto.engine.ModexpEngine` (1 = serial).
+        max_sessions: per-daemon cap on concurrently running sessions;
+            a ``start_session`` arriving while the cap is full is
+            answered with a typed ``session_rejected`` control record
+            instead of queueing unboundedly.  0 means unlimited.
+        link_auth: when true, every daemon-daemon and client-daemon
+            link carries per-frame HMACs keyed by a pre-shared key
+            (supplied out of band via ``--psk`` / ``REPRO_PSK``, never
+            written into the spec).  The flag is inside the mesh
+            digest, so authenticated and unauthenticated deployments
+            can never half-connect.
     """
 
     names: tuple[str, ...]
@@ -162,6 +180,8 @@ class MeshSpec:
     connect_timeout_s: float = 15.0
     net_delay_s: float = 0.0
     engine_workers: int = 1
+    max_sessions: int = 0
+    link_auth: bool = False
     version: int = field(default=1)
 
     def __post_init__(self):
@@ -185,6 +205,10 @@ class MeshSpec:
         if self.engine_workers < 1:
             raise DaemonError(
                 f"engine_workers must be >= 1, got {self.engine_workers}")
+        if self.max_sessions < 0:
+            raise DaemonError(
+                f"max_sessions must be >= 0 (0 = unlimited), got "
+                f"{self.max_sessions}")
 
     def slot_of(self, name: str) -> int:
         try:
@@ -209,6 +233,8 @@ class MeshSpec:
             "connect_timeout_s": self.connect_timeout_s,
             "net_delay_s": self.net_delay_s,
             "engine_workers": self.engine_workers,
+            "max_sessions": self.max_sessions,
+            "link_auth": self.link_auth,
             "version": self.version,
         }
         return json.dumps(payload, sort_keys=True, indent=2) + "\n"
@@ -228,6 +254,8 @@ class MeshSpec:
                 connect_timeout_s=data.get("connect_timeout_s", 15.0),
                 net_delay_s=data.get("net_delay_s", 0.0),
                 engine_workers=data.get("engine_workers", 1),
+                max_sessions=data.get("max_sessions", 0),
+                link_auth=bool(data.get("link_auth", False)),
                 version=data.get("version", 1),
             )
         except KeyError as exc:
@@ -242,16 +270,24 @@ def mesh_digest(spec: MeshSpec) -> str:
 # -- async handshake plumbing (asyncio streams, not FramedConnection) ------
 
 async def _send_frame(writer: asyncio.StreamWriter, kind: bytes,
-                      payload: bytes) -> None:
+                      payload: bytes,
+                      authenticator: FrameAuthenticator | None = None,
+                      ) -> None:
+    if authenticator is not None:
+        payload = authenticator.seal(kind, payload)
     writer.write(encode_frame(kind, payload))
     await writer.drain()
 
 
 async def _refuse_stream(writer: asyncio.StreamWriter, name: str,
-                         reason: str) -> None:
+                         reason: str,
+                         authenticator: FrameAuthenticator | None = None,
+                         ) -> None:
     try:
-        writer.write(encode_frame(FRAME_GOODBYE,
-                                  f"handshake refused: {reason}".encode()))
+        payload = f"handshake refused: {reason}".encode()
+        if authenticator is not None:
+            payload = authenticator.seal(FRAME_GOODBYE, payload)
+        writer.write(encode_frame(FRAME_GOODBYE, payload))
         await writer.drain()
     except (ConnectionResetError, OSError):
         pass
@@ -260,10 +296,17 @@ async def _refuse_stream(writer: asyncio.StreamWriter, name: str,
 
 
 async def read_hello_async(reader: asyncio.StreamReader,
-                           name: str) -> Hello:
+                           name: str,
+                           authenticator: FrameAuthenticator | None = None,
+                           ) -> Hello:
     """The asyncio twin of :func:`repro.runtime.handshake.read_hello`."""
     try:
-        kind, payload = await read_frame_async(reader, name=name)
+        kind, payload = await read_frame_async(
+            reader, name=name, authenticator=authenticator)
+    except FrameAuthenticationError:
+        # Never fold a MAC failure into "peer vanished": that path is
+        # retried, and an attacker (or wrong PSK) re-fails identically.
+        raise
     except (ConnectionClosedError, FramingError) as exc:
         raise HandshakePeerLost(
             f"{name}: peer vanished during the handshake ({exc})") from exc
@@ -275,6 +318,15 @@ async def read_hello_async(reader: asyncio.StreamReader,
         raise HandshakeError(
             f"{name}: expected a hello frame, got kind {kind!r}")
     return Hello.from_wire(payload)
+
+
+def _session_id_of(manifest_json: str) -> str:
+    """Best-effort session id extraction for a rejection reply; the
+    manifest has not been validated yet, so never trust its shape."""
+    try:
+        return str(json.loads(manifest_json).get("session_id", "?"))
+    except (json.JSONDecodeError, AttributeError, TypeError):
+        return "?"
 
 
 @dataclass
@@ -340,11 +392,24 @@ class PartyDaemon:
     daemon down from anywhere.
     """
 
-    def __init__(self, spec: MeshSpec, name: str):
+    def __init__(self, spec: MeshSpec, name: str, *,
+                 psk: str | None = None, bind_host: str | None = None):
         spec.slot_of(name)
         self.spec = spec
         self.name = name
         self.digest = mesh_digest(spec)
+        self.bind_host = bind_host
+        if spec.link_auth and not psk:
+            raise DaemonError(
+                f"mesh spec requires link authentication but daemon "
+                f"{name!r} was given no PSK (pass psk=... / --psk / "
+                f"REPRO_PSK)")
+        # The MAC context is the mesh digest: both ends know it a
+        # priori, and it differs per mesh, so frames replayed from
+        # another mesh fail verification.  A stray psk with
+        # link_auth=False is ignored -- the digest-bound flag decides.
+        self._authenticator = (FrameAuthenticator(psk, self.digest)
+                               if spec.link_auth else None)
         self.engine = ModexpEngine(workers=spec.engine_workers)
         self.engine_warm = False
         self.hubs: dict[str, AsyncTcpTransport] = {}
@@ -389,7 +454,7 @@ class PartyDaemon:
             self._hub_events[peer] = asyncio.Event()
         started = time.perf_counter()
         server = await asyncio.start_server(
-            self._on_connection, self.spec.host,
+            self._on_connection, self.bind_host or self.spec.host,
             self.spec.ports[self.name])
         try:
             # Engine warm-up off the loop: accepting links while the
@@ -417,14 +482,15 @@ class PartyDaemon:
         return Hello(version=PROTOCOL_VERSION, session_id="",
                      pair_left=left, pair_right=right,
                      party_id=self.name, config_digest=self.digest,
-                     role=ROLE_DAEMON)
+                     role=ROLE_DAEMON).authenticated(self._authenticator)
 
     def _register_hub(self, peer: str, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
         left, right = self.spec.ordered_pair(self.name, peer)
         hub = AsyncTcpTransport(left, right, self.name,
                                 timeout_s=self.spec.timeout_s,
-                                net_delay_s=self.spec.net_delay_s)
+                                net_delay_s=self.spec.net_delay_s,
+                                authenticator=self._authenticator)
         hub.start(reader, writer)
         self.hubs[peer] = hub
         self._hub_events[peer].set()
@@ -462,9 +528,10 @@ class PartyDaemon:
                 continue
             mine = self._pair_hello(peer)
             try:
-                await _send_frame(writer, FRAME_HELLO, mine.to_wire())
+                await _send_frame(writer, FRAME_HELLO, mine.to_wire(),
+                                  self._authenticator)
                 theirs = await asyncio.wait_for(
-                    read_hello_async(reader, name),
+                    read_hello_async(reader, name, self._authenticator),
                     self.spec.connect_timeout_s)
             except HandshakePeerLost as exc:
                 # The peer daemon may be booting (accepted, not yet
@@ -479,13 +546,14 @@ class PartyDaemon:
                 writer.close()
                 last_error = TimeoutError("hello answer timed out")
                 break
-            mismatch = hello_mismatch(mine, theirs, expected_peer=peer)
+            mismatch = hello_mismatch(mine, theirs, expected_peer=peer,
+                                      authenticator=self._authenticator)
             if mismatch is not None:
                 field_name, ours, theirs_value = mismatch
                 await _refuse_stream(
                     writer, name,
                     f"{field_name} mismatch: ours {ours!r}, "
-                    f"peer {theirs_value!r}")
+                    f"peer {theirs_value!r}", self._authenticator)
             self._register_hub(peer, reader, writer)
             return
         raise DaemonError(
@@ -499,7 +567,7 @@ class PartyDaemon:
         name = f"daemon {self.name} accept"
         try:
             theirs = await asyncio.wait_for(
-                read_hello_async(reader, name),
+                read_hello_async(reader, name, self._authenticator),
                 self.spec.connect_timeout_s)
             if theirs.role == ROLE_DAEMON:
                 await self._accept_peer(theirs, reader, writer)
@@ -508,7 +576,12 @@ class PartyDaemon:
             else:
                 await _refuse_stream(
                     writer, name,
-                    f"unknown endpoint role {theirs.role!r}")
+                    f"unknown endpoint role {theirs.role!r}",
+                    self._authenticator)
+        except FrameAuthenticationError:
+            # Unauthenticated endpoint (wrong or missing PSK): drop the
+            # connection without an answer; the daemon itself stays up.
+            writer.close()
         except (HandshakeError, asyncio.TimeoutError):
             writer.close()
         except (ConnectionResetError, OSError):
@@ -521,21 +594,25 @@ class PartyDaemon:
         peer = theirs.party_id
         if peer not in self.spec.names or peer == self.name:
             await _refuse_stream(writer, name,
-                                 f"unknown peer daemon {peer!r}")
+                                 f"unknown peer daemon {peer!r}",
+                                 self._authenticator)
         if self.spec.slot_of(peer) < self.spec.slot_of(self.name):
             await _refuse_stream(
                 writer, name,
                 f"slot order violation: {peer!r} holds a lower mesh slot "
-                f"and must be dialed, not accept from us")
+                f"and must be dialed, not accept from us",
+                self._authenticator)
         mine = self._pair_hello(peer)
-        mismatch = hello_mismatch(mine, theirs, expected_peer=peer)
+        mismatch = hello_mismatch(mine, theirs, expected_peer=peer,
+                                  authenticator=self._authenticator)
         if mismatch is not None:
             field_name, ours, theirs_value = mismatch
             await _refuse_stream(
                 writer, name,
                 f"{field_name} mismatch: ours {ours!r}, "
-                f"peer {theirs_value!r}")
-        await _send_frame(writer, FRAME_HELLO, mine.to_wire())
+                f"peer {theirs_value!r}", self._authenticator)
+        await _send_frame(writer, FRAME_HELLO, mine.to_wire(),
+                          self._authenticator)
         self._register_hub(peer, reader, writer)
 
     # -- client plane ------------------------------------------------------
@@ -544,24 +621,29 @@ class PartyDaemon:
                             reader: asyncio.StreamReader,
                             writer: asyncio.StreamWriter) -> None:
         name = f"daemon {self.name} client"
-        mismatch = client_hello_mismatch(theirs, self.digest)
+        mismatch = client_hello_mismatch(theirs, self.digest,
+                                         authenticator=self._authenticator)
         if mismatch is not None:
             field_name, ours, theirs_value = mismatch
             await _refuse_stream(
                 writer, name,
                 f"{field_name} mismatch: ours {ours!r}, "
-                f"client {theirs_value!r}")
+                f"client {theirs_value!r}", self._authenticator)
         mine = Hello(version=PROTOCOL_VERSION, session_id="",
                      pair_left=theirs.pair_left,
                      pair_right=theirs.pair_right,
                      party_id=self.name, config_digest=self.digest,
-                     role=ROLE_DAEMON)
-        await _send_frame(writer, FRAME_HELLO, mine.to_wire())
+                     role=ROLE_DAEMON).authenticated(self._authenticator)
+        await _send_frame(writer, FRAME_HELLO, mine.to_wire(),
+                          self._authenticator)
 
         write_lock = asyncio.Lock()
 
         async def send_record(record: list) -> None:
-            frame = encode_frame(FRAME_CONTROL, serialize_message(record))
+            payload = serialize_message(record)
+            if self._authenticator is not None:
+                payload = self._authenticator.seal(FRAME_CONTROL, payload)
+            frame = encode_frame(FRAME_CONTROL, payload)
             async with write_lock:
                 try:
                     writer.write(frame)
@@ -573,8 +655,12 @@ class PartyDaemon:
             while True:
                 try:
                     kind, payload = await read_frame_async(
-                        reader, name=name)
+                        reader, name=name,
+                        authenticator=self._authenticator)
                 except (ConnectionClosedError, FramingError):
+                    # FrameAuthenticationError lands here too: an
+                    # unauthenticated client frame just drops the
+                    # connection -- the daemon keeps serving others.
                     return
                 if kind == FRAME_GOODBYE:
                     return
@@ -591,6 +677,16 @@ class PartyDaemon:
                     return
                 if record[0] != CONTROL_START_SESSION or len(record) != 3:
                     return
+                if (self.spec.max_sessions
+                        and len(self._session_tasks)
+                        >= self.spec.max_sessions):
+                    await send_record([
+                        CONTROL_SESSION_REJECTED,
+                        _session_id_of(record[1]),
+                        f"daemon {self.name!r} is at its max_sessions "
+                        f"cap ({self.spec.max_sessions}); resubmit "
+                        f"when a session finishes"])
+                    continue
                 task = self._loop.create_task(
                     self._session_task(record[1], record[2], send_record))
                 self._session_tasks.add(task)
@@ -728,10 +824,13 @@ class PartyDaemon:
                     f"sync for {state.manifest.session_id!r}") from None
             record = deserialize_message(raw)
             if (not isinstance(record, list) or len(record) != 2
-                    or record[0] != CONTROL_SESSION_SYNC):
+                    or record[0] != CONTROL_SESSION_SYNC
+                    or not isinstance(record[1], str)):
                 raise DaemonError(
                     f"malformed session sync from {peer!r}: {record!r}")
-            if record[1] != digest:
+            # compare_digest: same constant-time treatment as every
+            # other digest comparison on the runtime's trust boundary.
+            if not hmac.compare_digest(record[1], digest):
                 raise DaemonError(
                     f"manifest digest mismatch with peer daemon {peer!r} "
                     f"for session {state.manifest.session_id!r}: ours "
@@ -742,14 +841,19 @@ class PartyDaemon:
 
     def _build_sessions(self, state: _SessionState, config) -> None:
         """Worker-thread twin of ``PartyProcess.build_sessions``: same
-        global pair order, same key slots, same RNG substreams."""
+        global pair order, same key slots, same RNG substreams.
+
+        Key material is sealed exactly like the dedicated-process
+        runtime's: this daemon derives only its *own* slot's keypair;
+        every peer context is a sealed placeholder whose authentic
+        public key arrives over the wire during session setup, pinned
+        against the manifest's ``key_digests`` when present.
+        """
         manifest = state.manifest
-        contexts = {
-            name: CryptoContext(paillier=cached_paillier_keypair(
-                config.smc.paillier_bits,
-                100 * config.smc.key_seed + slot))
-            for slot, name in enumerate(manifest.names)
-        }
+        provider = SealedKeyProvider(config.smc, self.name,
+                                     key_digests=manifest.key_digests)
+        contexts = {name: provider.context_for(name, slot)
+                    for slot, name in enumerate(manifest.names)}
         for left, right in manifest.pairs():
             if self.name not in (left, right):
                 continue
@@ -872,12 +976,19 @@ class PartyDaemon:
                            runtime_info=runtime_info)
 
 
-def run_daemon(spec_path, name: str) -> None:
-    """CLI entry: load the mesh spec and serve until stopped."""
+def run_daemon(spec_path, name: str, *, psk: str | None = None,
+               bind_host: str | None = None) -> None:
+    """CLI entry: load the mesh spec and serve until stopped.
+
+    ``psk`` falls back to the ``REPRO_PSK`` environment variable so the
+    secret never has to appear on a command line or in the spec file.
+    """
     import pathlib
 
+    if psk is None:
+        psk = os.environ.get("REPRO_PSK") or None
     spec = MeshSpec.from_json(pathlib.Path(spec_path).read_text())
-    daemon = PartyDaemon(spec, name)
+    daemon = PartyDaemon(spec, name, psk=psk, bind_host=bind_host)
     try:
         daemon.run()
     except KeyboardInterrupt:

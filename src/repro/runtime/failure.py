@@ -41,6 +41,7 @@ CAUSE_HANDSHAKE_REFUSED = "handshake-refused"
 CAUSE_DESYNC = "desync"                     # protocol-level label mismatch
 CAUSE_DIGEST_DIVERGENCE = "digest-divergence"
 CAUSE_CHECKPOINT_INVALID = "checkpoint-invalid"
+CAUSE_AUTH_FAILED = "auth-failed"           # frame MAC / PSK rejection
 CAUSE_BUDGET_EXHAUSTED = "recovery-budget-exhausted"
 CAUSE_INTERNAL = "internal-error"
 
@@ -49,6 +50,10 @@ _FATAL_CAUSES = frozenset({
     CAUSE_DIGEST_DIVERGENCE,
     CAUSE_CHECKPOINT_INVALID,
     CAUSE_HANDSHAKE_REFUSED,
+    # A MAC failure is either an attacker or a misconfigured PSK;
+    # re-dialing re-fails identically, so spending the recovery budget
+    # on it would only delay (and blur) the diagnosis.
+    CAUSE_AUTH_FAILED,
     # The party already spent its own in-process recovery cycles; a
     # re-spawn would just spend the orchestrator's budget re-exhausting
     # them.  Fail fast with the attempt history attached.

@@ -284,8 +284,9 @@ class FaultyConnection(FramedConnection):
     """
 
     def __init__(self, sock, *, specs, state, timeout_s: float,
-                 name: str = "link"):
-        super().__init__(sock, timeout_s=timeout_s, name=name)
+                 name: str = "link", authenticator=None):
+        super().__init__(sock, timeout_s=timeout_s, name=name,
+                         authenticator=authenticator)
         self._specs = list(specs)
         self._state = state
         self._frames_since_boundary = 0

@@ -31,12 +31,14 @@ at the *minimum* across all links -- see
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hmac
+from dataclasses import dataclass, replace
 
 from repro.net.framing import (
     FRAME_GOODBYE,
     FRAME_HELLO,
     ConnectionClosedError,
+    FrameAuthenticationError,
     FramedConnection,
     FramingError,
 )
@@ -50,8 +52,10 @@ from repro.net.serialization import (
 #: plane changes incompatibly.  2: the hello carries the recovery epoch
 #: and the sender's completed-pass count.  3: the hello carries the
 #: endpoint *role* (party / daemon / client) and the wire grows the
-#: session-multiplexed ``m``/``c`` frame kinds.
-PROTOCOL_VERSION = 3
+#: session-multiplexed ``m``/``c`` frame kinds.  4: the hello carries
+#: an ``auth_tag`` (empty on unauthenticated links) and authenticated
+#: links MAC every frame.
+PROTOCOL_VERSION = 4
 
 #: Endpoint roles carried in the v3 hello.  ``party`` is the PR-5
 #: single-session party process (both ends of a mesh link).  ``daemon``
@@ -96,7 +100,16 @@ class HandshakePeerLost(HandshakeError):
 
 @dataclass(frozen=True)
 class Hello:
-    """One endpoint's handshake record."""
+    """One endpoint's handshake record.
+
+    ``auth_tag`` is the v4 link-authentication field: on an
+    authenticated link it is the hex HMAC (under the out-of-band PSK)
+    over the record's nine *core* fields, computed by
+    :meth:`authenticated` and verified by the validators.  It is
+    belt-and-braces on top of the per-frame MAC -- it binds the hello's
+    *content* under the PSK even if the framing layer is ever bypassed
+    -- and stays empty (ignored) on unauthenticated links.
+    """
 
     version: int
     session_id: str
@@ -107,12 +120,33 @@ class Hello:
     epoch: int = 0
     passes_done: int = 0
     role: str = ROLE_PARTY
+    auth_tag: str = ""
+
+    def core_wire(self) -> bytes:
+        """Serialized nine core fields -- what ``auth_tag`` signs."""
+        return serialize_message([
+            self.version, self.session_id, self.pair_left, self.pair_right,
+            self.party_id, self.config_digest, self.epoch, self.passes_done,
+            self.role,
+        ])
+
+    def authenticated(self, authenticator) -> "Hello":
+        """Copy with ``auth_tag`` filled from the link authenticator."""
+        if authenticator is None:
+            return self
+        tag = authenticator.tag(FRAME_HELLO, self.core_wire()).hex()
+        return replace(self, auth_tag=tag)
+
+    def auth_tag_valid(self, authenticator) -> bool:
+        """Constant-time check of ``auth_tag`` against the PSK."""
+        expected = authenticator.tag(FRAME_HELLO, self.core_wire()).hex()
+        return hmac.compare_digest(self.auth_tag, expected)
 
     def to_wire(self) -> bytes:
         return serialize_message([
             self.version, self.session_id, self.pair_left, self.pair_right,
             self.party_id, self.config_digest, self.epoch, self.passes_done,
-            self.role,
+            self.role, self.auth_tag,
         ])
 
     @classmethod
@@ -121,19 +155,24 @@ class Hello:
             fields = deserialize_message(payload)
         except (SerializationError, UnicodeDecodeError) as exc:
             raise HandshakeError(f"unreadable hello frame: {exc}") from exc
-        if (not isinstance(fields, list) or len(fields) != 9
+        # A v3 peer sends nine elements (no auth_tag); accept both
+        # shapes so the mismatch surfaces as a clean "protocol version"
+        # refusal instead of a malformed-record error.
+        if (not isinstance(fields, list) or len(fields) not in (9, 10)
                 or not isinstance(fields[0], int)
                 or not all(isinstance(f, str) for f in fields[1:6])
                 or not isinstance(fields[6], int)
                 or not isinstance(fields[7], int)
-                or not isinstance(fields[8], str)):
+                or not isinstance(fields[8], str)
+                or (len(fields) == 10 and not isinstance(fields[9], str))):
             raise HandshakeError(
                 f"malformed hello record: {fields!r}")
         return cls(version=fields[0], session_id=fields[1],
                    pair_left=fields[2], pair_right=fields[3],
                    party_id=fields[4], config_digest=fields[5],
                    epoch=fields[6], passes_done=fields[7],
-                   role=fields[8])
+                   role=fields[8],
+                   auth_tag=fields[9] if len(fields) == 10 else "")
 
 
 def perform_handshake(connection: FramedConnection, mine: Hello,
@@ -150,6 +189,7 @@ def perform_handshake(connection: FramedConnection, mine: Hello,
     one informational, never-refused field) to negotiate where a
     recovered mesh resumes.
     """
+    mine = mine.authenticated(connection.authenticator)
     try:
         connection.write_frame(FRAME_HELLO, mine.to_wire())
     except (ConnectionClosedError, FramingError) as exc:
@@ -170,6 +210,11 @@ def read_hello(connection: FramedConnection) -> Hello:
     """
     try:
         kind, payload = connection.read_frame()
+    except FrameAuthenticationError:
+        # Not a vanished peer: the peer is present but fails the MAC
+        # (tamper or PSK mismatch).  Let the classifier see the real
+        # cause -- fatal, never retried.
+        raise
     except (ConnectionClosedError, FramingError) as exc:
         raise HandshakePeerLost(
             f"{connection.name}: peer vanished during the handshake "
@@ -194,6 +239,7 @@ def answer_handshake(connection: FramedConnection, mine: Hello,
     with :func:`perform_handshake` on the dialing side, whose
     send-first/read-second shape is unchanged.
     """
+    mine = mine.authenticated(connection.authenticator)
     _validate_symmetric(connection, mine, theirs, expected_peer)
     try:
         connection.write_frame(FRAME_HELLO, mine.to_wire())
@@ -204,30 +250,38 @@ def answer_handshake(connection: FramedConnection, mine: Hello,
     return theirs
 
 
-def hello_mismatch(mine: Hello, theirs: Hello,
-                   expected_peer: str) -> tuple[str, object, object] | None:
+def hello_mismatch(mine: Hello, theirs: Hello, expected_peer: str,
+                   authenticator=None) -> tuple[str, object, object] | None:
     """First binding mismatch between two symmetric hellos, or ``None``.
 
     Returns ``(field_name, ours, theirs)`` so both the sync
     :class:`~repro.net.framing.FramedConnection` path and the daemon's
-    asyncio accept loop refuse with identical diagnostics.
+    asyncio accept loop refuse with identical diagnostics.  The config
+    digest is compared constant-time (it is the one field an attacker
+    could usefully probe byte-by-byte); with an ``authenticator``, the
+    peer's ``auth_tag`` must also verify under the shared PSK.
     """
     for field_name, ours_value, theirs_value in (
             ("protocol version", mine.version, theirs.version),
             ("session id", mine.session_id, theirs.session_id),
             ("pair", (mine.pair_left, mine.pair_right),
              (theirs.pair_left, theirs.pair_right)),
-            ("config digest", mine.config_digest, theirs.config_digest),
             ("epoch", mine.epoch, theirs.epoch),
             ("role", mine.role, theirs.role)):
         if ours_value != theirs_value:
             return field_name, ours_value, theirs_value
+    if not hmac.compare_digest(mine.config_digest, theirs.config_digest):
+        return "config digest", mine.config_digest, theirs.config_digest
     if theirs.party_id != expected_peer:
         return "party", expected_peer, theirs.party_id
+    if authenticator is not None and not theirs.auth_tag_valid(authenticator):
+        return "auth tag", "<valid HMAC under the shared PSK>", \
+            theirs.auth_tag or "<missing>"
     return None
 
 
 def client_hello_mismatch(theirs: Hello, config_digest: str,
+                          authenticator=None,
                           ) -> tuple[str, object, object] | None:
     """What a daemon refuses on a client hello: version + spec digest.
 
@@ -235,17 +289,20 @@ def client_hello_mismatch(theirs: Hello, config_digest: str,
     security-relevant, so they are never compared; per-session
     validation happens when a session is actually submitted.
     """
-    for field_name, ours_value, theirs_value in (
-            ("protocol version", PROTOCOL_VERSION, theirs.version),
-            ("config digest", config_digest, theirs.config_digest)):
-        if ours_value != theirs_value:
-            return field_name, ours_value, theirs_value
+    if PROTOCOL_VERSION != theirs.version:
+        return "protocol version", PROTOCOL_VERSION, theirs.version
+    if not hmac.compare_digest(config_digest, theirs.config_digest):
+        return "config digest", config_digest, theirs.config_digest
+    if authenticator is not None and not theirs.auth_tag_valid(authenticator):
+        return "auth tag", "<valid HMAC under the shared PSK>", \
+            theirs.auth_tag or "<missing>"
     return None
 
 
 def _validate_symmetric(connection: FramedConnection, mine: Hello,
                         theirs: Hello, expected_peer: str) -> None:
-    mismatch = hello_mismatch(mine, theirs, expected_peer)
+    mismatch = hello_mismatch(mine, theirs, expected_peer,
+                              connection.authenticator)
     if mismatch is None:
         return
     field_name, ours_value, theirs_value = mismatch
@@ -274,7 +331,7 @@ def perform_client_handshake(connection: FramedConnection, *,
     mine = Hello(version=PROTOCOL_VERSION, session_id="",
                  pair_left=client_id, pair_right=daemon_id,
                  party_id=client_id, config_digest=config_digest,
-                 role=ROLE_CLIENT)
+                 role=ROLE_CLIENT).authenticated(connection.authenticator)
     try:
         connection.write_frame(FRAME_HELLO, mine.to_wire())
     except (ConnectionClosedError, FramingError) as exc:
@@ -282,12 +339,22 @@ def perform_client_handshake(connection: FramedConnection, *,
             f"{connection.name}: daemon vanished during the handshake "
             f"({exc})") from exc
     theirs = read_hello(connection)
-    for field_name, ours_value, theirs_value in (
-            ("protocol version", PROTOCOL_VERSION, theirs.version),
-            ("role", ROLE_DAEMON, theirs.role),
-            ("config digest", config_digest, theirs.config_digest),
-            ("party", daemon_id, theirs.party_id)):
-        if ours_value != theirs_value:
+    checks = [
+        ("protocol version", PROTOCOL_VERSION, theirs.version,
+         PROTOCOL_VERSION == theirs.version),
+        ("role", ROLE_DAEMON, theirs.role, ROLE_DAEMON == theirs.role),
+        ("config digest", config_digest, theirs.config_digest,
+         hmac.compare_digest(config_digest, theirs.config_digest)),
+        ("party", daemon_id, theirs.party_id,
+         daemon_id == theirs.party_id),
+    ]
+    if connection.authenticator is not None:
+        checks.append(
+            ("auth tag", "<valid HMAC under the shared PSK>",
+             theirs.auth_tag or "<missing>",
+             theirs.auth_tag_valid(connection.authenticator)))
+    for field_name, ours_value, theirs_value, matches in checks:
+        if not matches:
             _refuse(connection,
                     f"{field_name} mismatch: ours {ours_value!r}, "
                     f"daemon {theirs_value!r}",
@@ -307,7 +374,8 @@ def answer_client_handshake(connection: FramedConnection, theirs: Hello,
     client claims and scopes nothing security-relevant (per-session
     validation happens on submission).
     """
-    mismatch = client_hello_mismatch(theirs, config_digest)
+    mismatch = client_hello_mismatch(theirs, config_digest,
+                                     connection.authenticator)
     if mismatch is not None:
         field_name, ours_value, theirs_value = mismatch
         _refuse(connection,
@@ -318,7 +386,7 @@ def answer_client_handshake(connection: FramedConnection, theirs: Hello,
     mine = Hello(version=PROTOCOL_VERSION, session_id="",
                  pair_left=theirs.pair_left, pair_right=theirs.pair_right,
                  party_id=daemon_id, config_digest=config_digest,
-                 role=ROLE_DAEMON)
+                 role=ROLE_DAEMON).authenticated(connection.authenticator)
     try:
         connection.write_frame(FRAME_HELLO, mine.to_wire())
     except (ConnectionClosedError, FramingError) as exc:

@@ -16,12 +16,17 @@ Supported configuration surface
 
 The socket runtime executes the existing choreography implementations on
 both ends of every link (see :mod:`repro.runtime.mirror`), which
-requires every party's coin streams and key material to be *derivable
-from public seeds*: ``SmcConfig.key_seed`` and per-party seeds are
-mandatory, and the comparison backend must be ``"bitwise"`` (the
-``oracle`` backend compares both plaintexts locally without touching the
-wire -- there is nothing to transport -- and ``ympp`` support is future
-work).  Unsupported configurations raise
+requires every party's *coin streams* to be derivable from public
+seeds: ``SmcConfig.key_seed`` and per-party seeds are mandatory, and
+the comparison backend must be ``"bitwise"`` (the ``oracle`` backend
+compares both plaintexts locally without touching the wire -- there is
+nothing to transport -- and ``ympp`` support is future work).  Key
+material is *sealed* per party: each process derives only its **own**
+slot's keypair from ``key_seed``; peers' public keys are captured from
+the authentic wire exchange and cross-checked against the manifest's
+per-party ``key_digests``, and their private halves exist in this
+process only as public-only sealed stand-ins
+(:mod:`repro.crypto.sealed`).  Unsupported configurations raise
 :class:`UnsupportedConfigError` at orchestration time, never mid-run.
 """
 
@@ -34,9 +39,12 @@ from dataclasses import dataclass, field
 from repro.core.config import ProtocolConfig
 from repro.smc.session import SmcConfig
 
-#: Hostname party processes bind and dial.  Loopback by design: the
-#: runtime's job is real process isolation and real sockets; multi-host
-#: deployment needs authenticated channels first (see DESIGN.md).
+#: Default hostname party processes bind and dial.  Loopback by
+#: default: single-machine runs need no routing.  Multi-host meshes
+#: pass an explicit host per manifest plus a ``bind_host`` on the
+#: listening side, and should enable link authentication (a pre-shared
+#: key -- see DESIGN.md, "Threat model") so frames crossing a real
+#: network are integrity-checked.
 DEFAULT_HOST = "127.0.0.1"
 
 
@@ -57,19 +65,37 @@ _PROTOCOL_FIELDS = ("eps", "min_pts", "scale", "selection",
                     "concurrent_peers", "peer_workers")
 
 
+#: Comparison backends the socket runtime can execute, with the reason
+#: each *other* backend is refused -- surfaced verbatim in
+#: :class:`UnsupportedConfigError` so a rejection names what IS allowed.
+SUPPORTED_COMPARISON_BACKENDS = ("bitwise",)
+_UNSUPPORTED_COMPARISON_REASONS = {
+    "oracle": "compares both plaintexts locally -- nothing crosses a "
+              "wire, so there is nothing for the runtime to transport",
+    "ympp": "RSA-based millionaires' comparison is not yet mirrored "
+            "over sockets (future work)",
+}
+
+
 def validate_runtime_config(config: ProtocolConfig) -> None:
     """Refuse configurations the socket runtime cannot execute."""
-    if config.smc.comparison != "bitwise":
+    if config.smc.comparison not in SUPPORTED_COMPARISON_BACKENDS:
+        supported = ", ".join(repr(name)
+                              for name in SUPPORTED_COMPARISON_BACKENDS)
+        reason = _UNSUPPORTED_COMPARISON_REASONS.get(
+            config.smc.comparison, "not a comparison backend the socket "
+            "runtime knows how to mirror")
         raise UnsupportedConfigError(
-            f"the socket runtime supports the 'bitwise' comparison "
-            f"backend only, got {config.smc.comparison!r} (the oracle "
-            f"backend compares plaintexts locally -- nothing crosses a "
-            f"wire -- and ympp is future work)")
+            f"comparison backend {config.smc.comparison!r} cannot run on "
+            f"the socket runtime: {reason}.  Supported backends: "
+            f"{supported}")
     if config.smc.key_seed is None:
         raise UnsupportedConfigError(
             "the socket runtime requires SmcConfig(key_seed=...): every "
-            "party process derives the mesh's key material "
-            "deterministically (see DESIGN.md, 'Mirrored choreography')")
+            "party process derives its OWN slot's keypair "
+            "deterministically (peers' public keys arrive over the wire, "
+            "pinned by the manifest's key_digests -- see DESIGN.md, "
+            "'Sealed per-party keys')")
     if config.smc.engine is not None:
         raise UnsupportedConfigError(
             "SmcConfig.engine cannot cross a process boundary; party "
@@ -145,6 +171,20 @@ class RunManifest:
             single-session default -- keeps the legacy streams, so
             every pre-existing manifest digest and equivalence is
             untouched.
+        key_digests: ``{party: sha256}`` over each party's Paillier
+            *public* key (:func:`repro.crypto.sealed.paillier_public_digest`),
+            computed by the trusted orchestrator at manifest-build time.
+            Each party process derives only its own keypair; peers'
+            public keys are captured from the wire exchange and
+            cross-checked (constant-time) against these digests before
+            any protocol byte depends on them.  Empty -- the legacy
+            default -- skips the pin, so pre-PR-8 manifests still load.
+        link_auth: whether every link authenticates its frames with the
+            out-of-band pre-shared key (HMAC handshake tag + per-frame
+            MACs).  The PSK itself NEVER enters the manifest -- only
+            this public flag does, inside the handshake digest, so an
+            authenticated and an unauthenticated deployment can never
+            half-connect.
     """
 
     session_id: str
@@ -163,6 +203,8 @@ class RunManifest:
     recovery_budget: int = 3
     faults: tuple = ()
     rng_namespace: str | None = None
+    key_digests: dict = field(default_factory=dict)
+    link_auth: bool = False
     version: int = field(default=1)
 
     def __post_init__(self):
@@ -198,6 +240,10 @@ class RunManifest:
         if self.recovery_budget < 0:
             raise ManifestError(
                 f"recovery_budget must be >= 0, got {self.recovery_budget}")
+        if self.key_digests and set(self.key_digests) != set(self.names):
+            raise ManifestError(
+                f"key_digests must cover exactly the party names "
+                f"{sorted(self.names)}, got {sorted(self.key_digests)}")
         object.__setattr__(self, "faults",
                            tuple(dict(spec) for spec in self.faults))
 
@@ -257,6 +303,8 @@ class RunManifest:
             "recovery_budget": self.recovery_budget,
             "faults": [dict(spec) for spec in self.faults],
             "rng_namespace": self.rng_namespace,
+            "key_digests": dict(self.key_digests),
+            "link_auth": self.link_auth,
             "version": self.version,
         }
         return json.dumps(payload, sort_keys=True, indent=2) + "\n"
@@ -285,6 +333,8 @@ class RunManifest:
                 recovery_budget=data.get("recovery_budget", 3),
                 faults=tuple(data.get("faults", ())),
                 rng_namespace=data.get("rng_namespace"),
+                key_digests=dict(data.get("key_digests", {})),
+                link_auth=bool(data.get("link_auth", False)),
                 version=data.get("version", 1),
             )
         except KeyError as exc:

@@ -51,9 +51,18 @@ What the placeholders may influence: local garbage that feeds only into
 discarded remote sends, and the *local* copies of remote-side
 decisions, which callers on this side must treat as garbage (the party
 program only consumes results owned by its local party).  Key material
-is derived from the shared ``key_seed`` in every process -- the
-reproduction's standing determinism convention; see DESIGN.md for the
-sealed-key deployment discussion.
+follows the same ownership rule *structurally*: a party process derives
+only its **own** slot's keypair from ``key_seed``; every peer context
+is a :mod:`sealed <repro.crypto.sealed>` public-only stand-in whose
+authentic public key is captured from the wire key exchange (pinned
+against the manifest's ``key_digests``), and any code path that tries
+to use a peer's private key raises
+:class:`~repro.crypto.sealed.PublicOnlyKeyError` instead of silently
+computing with a secret this process must not hold.  The mirror's
+discard rule is what makes that sound: the only values a sealed
+private key would have produced feed discarded remote sends, so
+substituting zeros changes no authentic byte.  See DESIGN.md, 'Sealed
+per-party keys'.
 """
 
 from __future__ import annotations

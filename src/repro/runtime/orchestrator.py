@@ -53,6 +53,8 @@ from dataclasses import dataclass, field
 
 from repro.core.config import ProtocolConfig
 from repro.core.leakage import LeakageLedger
+from repro.crypto.keycache import cached_paillier_keypair
+from repro.crypto.sealed import paillier_public_digest
 from repro.data.quantize import squared_distance_bound
 from repro.multiparty.horizontal import MultipartyRunResult
 from repro.net.stats import merge_snapshots
@@ -155,7 +157,8 @@ def build_manifest(points_by_party: dict[str, list],
                    faults: FaultPlan | None = None,
                    session_id: str | None = None,
                    ports: dict[str, int] | None = None,
-                   rng_namespace: str | None = None) -> RunManifest:
+                   rng_namespace: str | None = None,
+                   link_auth: bool = False) -> RunManifest:
     """Derive the public run description from a workload.
 
     ``value_bound`` is computed over the union of all parties' points
@@ -164,6 +167,14 @@ def build_manifest(points_by_party: dict[str, list],
     in-process execution exactly.  The fault plan rides in the manifest
     (and hence inside the handshake digest): every process interprets
     the same planned failures, which keeps chaos runs reproducible.
+
+    ``key_digests``: the orchestrator is the one place that may derive
+    *every* party's keypair (it is the trusted workload owner handing
+    out partitions anyway), so it pins each party's expected Paillier
+    *public* key digest into the manifest.  The party processes derive
+    only their own slot's keypair; each peer public key arrives over
+    the wire and is cross-checked against these digests at session
+    start.  Digests expose no secret: they hash public parameters.
     """
     names = list(points_by_party)
     if seeds is None or len(seeds) != len(names):
@@ -180,6 +191,13 @@ def build_manifest(points_by_party: dict[str, list],
                  for b in names[index + 1:]]
     if ports is None:
         ports = dict(zip(pair_keys, allocate_ports(len(pair_keys), host)))
+    key_digests: dict[str, str] = {}
+    if config.smc.key_seed is not None:
+        key_digests = {
+            name: paillier_public_digest(cached_paillier_keypair(
+                config.smc.paillier_bits,
+                100 * config.smc.key_seed + slot).public_key)
+            for slot, name in enumerate(names)}
     return RunManifest(
         session_id=session_id or uuid.uuid4().hex,
         names=tuple(names),
@@ -198,6 +216,8 @@ def build_manifest(points_by_party: dict[str, list],
         recovery_budget=recovery_budget,
         faults=(faults or FaultPlan()).to_dicts(),
         rng_namespace=rng_namespace,
+        key_digests=key_digests,
+        link_auth=link_auth,
     )
 
 
@@ -230,7 +250,8 @@ def write_run_dir(run_dir: pathlib.Path, manifest: RunManifest,
 def _spawn_party(run_dir: pathlib.Path, name: str, *,
                  fail_after_queries: int | None,
                  resume: bool = False,
-                 epoch: int = 0) -> subprocess.Popen:
+                 epoch: int = 0,
+                 psk: str | None = None) -> subprocess.Popen:
     command = [sys.executable, "-m", "repro", "party",
                "--run-dir", str(run_dir), "--party", name]
     if fail_after_queries is not None:
@@ -242,6 +263,11 @@ def _spawn_party(run_dir: pathlib.Path, name: str, *,
     env["PYTHONPATH"] = os.pathsep.join(
         [str(src_root)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH")
                            else []))
+    if psk:
+        # Environment, not argv: the manifest only records *that* links
+        # are authenticated; the secret itself never touches disk or a
+        # world-readable command line.
+        env["REPRO_PSK"] = psk
     # Append on resume: the previous incarnation's output is part of the
     # run's story and must survive its re-spawn.
     mode = "a" if resume else "w"
@@ -300,6 +326,7 @@ def _supervise(processes: dict[str, subprocess.Popen],
                run_dir: pathlib.Path, manifest: RunManifest,
                deadline_s: float, retry_budget: int,
                fault_injection: dict[str, int],
+               psk: str | None = None,
                ) -> tuple[dict[str, int], list[FailureReport]]:
     """Wait for the fleet, re-spawning retryable deaths within budget.
 
@@ -356,7 +383,7 @@ def _supervise(processes: dict[str, subprocess.Popen],
                   flush=True)
             child = _spawn_party(run_dir, name,
                                  fail_after_queries=fault_injection.get(name),
-                                 resume=True, epoch=waves)
+                                 resume=True, epoch=waves, psk=psk)
             processes[name] = child
             pending[name] = child
         if pending and time.monotonic() >= deadline:
@@ -475,6 +502,7 @@ def orchestrate_run(points_by_party: dict[str, list],
                     faults=(),
                     keep_run_dir: bool = False,
                     fault_injection: dict[str, int] | None = None,
+                    psk: str | None = None,
                     ) -> OrchestratedRun:
     """Run the k-party horizontal protocol as real processes over TCP.
 
@@ -512,6 +540,10 @@ def orchestrate_run(points_by_party: dict[str, list],
             *every* incarnation; pair it with ``retry_budget=0`` when
             the test wants the failure path, since resume cannot outrun
             a fault that always re-fires.
+        psk: pre-shared key for link authentication.  When given, the
+            manifest's ``link_auth`` flag is set (inside the handshake
+            digest) and every party frame carries an HMAC; the secret
+            itself travels to the party processes by environment only.
     """
     plan = _coerce_faults(faults, seed=seeds[0] if seeds else 0)
     manifest = build_manifest(points_by_party, config, seeds,
@@ -519,7 +551,8 @@ def orchestrate_run(points_by_party: dict[str, list],
                               connect_timeout_s=connect_timeout_s,
                               backoff_base_s=backoff_base_s,
                               recovery_budget=recovery_budget,
-                              faults=plan)
+                              faults=plan,
+                              link_auth=bool(psk))
     owns_dir = run_dir is None
     run_path = (pathlib.Path(tempfile.mkdtemp(prefix="repro-run-"))
                 if owns_dir else pathlib.Path(run_dir))
@@ -531,10 +564,10 @@ def orchestrate_run(points_by_party: dict[str, list],
         for name in manifest.names:
             processes[name] = _spawn_party(
                 run_path, name,
-                fail_after_queries=fault_injection.get(name))
+                fail_after_queries=fault_injection.get(name), psk=psk)
         respawns, failures = _supervise(processes, run_path, manifest,
                                         deadline_s, retry_budget,
-                                        fault_injection)
+                                        fault_injection, psk=psk)
         reports = {}
         for name in manifest.names:
             report_path = run_path / f"report_{name}.json"

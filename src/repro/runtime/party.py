@@ -65,6 +65,8 @@ from repro.net.framing import (
     FRAME_CONTROL,
     FRAME_GOODBYE,
     ConnectionClosedError,
+    FrameAuthenticationError,
+    FrameAuthenticator,
     FramedConnection,
     FramingError,
     ReceiveTimeout,
@@ -90,6 +92,7 @@ from repro.runtime.checkpoint import (
     write_checkpoint,
 )
 from repro.runtime.failure import (
+    CAUSE_AUTH_FAILED,
     CAUSE_BUDGET_EXHAUSTED,
     CAUSE_CHECKPOINT_INVALID,
     CAUSE_CONNECTION_LOST,
@@ -118,8 +121,7 @@ from repro.runtime.handshake import (
 )
 from repro.runtime.manifest import RunManifest, manifest_digest, pair_key
 from repro.runtime.mirror import MirrorChannel, MirrorChannelError
-from repro.crypto.keycache import cached_paillier_keypair
-from repro.smc.session import CryptoContext, SmcSession
+from repro.smc.session import SealedKeyProvider, SmcSession
 
 
 class PartyRuntimeError(RuntimeError):
@@ -183,6 +185,11 @@ def classify_exception(exc: BaseException) -> tuple[str, str]:
         return CAUSE_DIGEST_DIVERGENCE, FATAL
     if isinstance(exc, CheckpointError):
         return CAUSE_CHECKPOINT_INVALID, FATAL
+    # Before every retryable branch: FrameAuthenticationError subclasses
+    # FramingError, and an auth failure (tamper or PSK mismatch) re-fails
+    # identically on every retry -- fatal, never charged to the budget.
+    if isinstance(exc, FrameAuthenticationError):
+        return CAUSE_AUTH_FAILED, FATAL
     if isinstance(exc, HandshakePeerLost):
         return CAUSE_CONNECTION_LOST, RETRYABLE
     if isinstance(exc, HandshakeError):
@@ -328,7 +335,9 @@ class PartyProcess:
                  run_dir: pathlib.Path | None = None,
                  resume_from: PartyCheckpoint | None = None,
                  epoch: int = 0,
-                 fail_after_queries: int | None = None):
+                 fail_after_queries: int | None = None,
+                 psk: str | None = None,
+                 bind_host: str | None = None):
         manifest.slot_of(name)
         if len(points) != manifest.counts[name]:
             raise PartyRuntimeError(
@@ -342,6 +351,20 @@ class PartyProcess:
         self.manifest = manifest
         self.name = name
         self.points = [tuple(point) for point in points]
+        # Multi-host meshes listen on an interface (e.g. "0.0.0.0")
+        # different from the address peers dial; loopback runs leave it
+        # None and bind the manifest host as before.
+        self.bind_host = bind_host
+        if manifest.link_auth and not psk:
+            raise PartyRuntimeError(
+                f"manifest for session {manifest.session_id!r} requires "
+                f"link authentication but no pre-shared key was provided "
+                f"(pass psk=... / --psk / REPRO_PSK)")
+        # The PSK never enters the manifest; the session id is the MAC
+        # context, so a frame captured from another session (same PSK)
+        # fails verification here.
+        self._authenticator = (FrameAuthenticator(psk, manifest.session_id)
+                               if manifest.link_auth else None)
         self.run_dir = (pathlib.Path(run_dir)
                         if run_dir is not None else None)
         self.pairs: dict[str, _PairRuntime] = {}
@@ -382,7 +405,7 @@ class PartyProcess:
             listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
             listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
             try:
-                listener.bind((self.manifest.host, port))
+                listener.bind((self.bind_host or self.manifest.host, port))
                 listener.listen(1)
                 return listener
             except OSError as exc:
@@ -402,9 +425,11 @@ class PartyProcess:
             return FaultyConnection(
                 sock, specs=frame_specs,
                 state=lambda: self.passes_done,
-                timeout_s=self.manifest.timeout_s, name=name)
+                timeout_s=self.manifest.timeout_s, name=name,
+                authenticator=self._authenticator)
         return FramedConnection(sock, timeout_s=self.manifest.timeout_s,
-                                name=name)
+                                name=name,
+                                authenticator=self._authenticator)
 
     def _handshake_and_register(self, sock: socket.socket, left: str,
                                 right: str, expected_peer: str) -> Hello:
@@ -413,7 +438,7 @@ class PartyProcess:
         try:
             theirs = perform_handshake(connection, self._hello(left, right),
                                        expected_peer)
-        except HandshakePeerLost:
+        except (HandshakePeerLost, FrameAuthenticationError):
             connection.close()
             raise
         transport = TcpTransport(left, right, connection,
@@ -561,17 +586,23 @@ class PartyProcess:
         for that link, and every process visits its links in the shared
         global order -- so the smallest not-yet-built pair always has
         both owners working on it, and link-up progresses.  Key material
-        is derived per party slot from the shared ``key_seed``, exactly
-        as ``PartyMesh._make_context`` derives it, so the exchanged
-        public keys (and everything encrypted under them) match the
-        in-process run byte for byte.  On resume the exchange replays
-        from the recorded view: the identical frames, no new traffic.
+        is *sealed*: this process derives only its OWN slot's keypair
+        from the shared ``key_seed`` (exactly as ``PartyMesh`` derives
+        that slot, so its announced public key -- and everything
+        encrypted under it -- matches the in-process run byte for byte);
+        every peer's context starts as a placeholder whose private half
+        is a :class:`~repro.crypto.sealed.SealedPaillierPrivateKey`
+        holding no secret at all.  The session's key exchange then
+        captures each peer's authentic public key from the wire and
+        pins it against the manifest's ``key_digests``.  On resume the
+        exchange replays from the recorded view: the identical frames,
+        no new traffic.
         """
         config = self.manifest.protocol_config()
+        provider = SealedKeyProvider(config.smc, self.name,
+                                     key_digests=self.manifest.key_digests)
         contexts = {
-            name: CryptoContext(paillier=cached_paillier_keypair(
-                config.smc.paillier_bits,
-                100 * config.smc.key_seed + slot))
+            name: provider.context_for(name, slot)
             for slot, name in enumerate(self.manifest.names)
         }
         for left, right in self.manifest.pairs():
@@ -656,6 +687,10 @@ class PartyProcess:
                 # hung-but-alive fleet is bounded by the orchestrator's
                 # run deadline (or the operator, for hand-run parties).
                 continue
+            except FrameAuthenticationError:
+                # Fatal, not a lost peer: the classifier must see the
+                # auth failure, not a retryable connection loss.
+                raise
             except (ConnectionClosedError, FramingError) as exc:
                 raise PeerLostError(
                     f"{self.name!r} lost peer {pair.peer!r} while waiting "
@@ -1045,7 +1080,9 @@ class PartyProcess:
 
 def run_party(run_dir: str | pathlib.Path, name: str, *,
               fail_after_queries: int | None = None,
-              resume: bool = False, epoch: int = 0) -> PartyReport:
+              resume: bool = False, epoch: int = 0,
+              psk: str | None = None,
+              bind_host: str | None = None) -> PartyReport:
     """CLI entry: load manifest + own partition, run, write the report.
 
     With ``resume=True`` the party first loads its checkpoint from the
@@ -1054,8 +1091,15 @@ def run_party(run_dir: str | pathlib.Path, name: str, *,
     orchestrator's ``epoch`` is a hint; the checkpoint knows the last
     epoch this party actually reached, and the handshake's adopt-max
     rule absorbs any remaining skew.
+
+    ``psk`` (default: the ``REPRO_PSK`` environment variable) is the
+    out-of-band link-authentication secret, required when the manifest
+    sets ``link_auth``; ``bind_host`` overrides the listening interface
+    for multi-host meshes.
     """
     run_path = pathlib.Path(run_dir)
+    if psk is None:
+        psk = os.environ.get("REPRO_PSK") or None
     manifest = RunManifest.from_json(
         (run_path / "manifest.json").read_text())
     partition = json.loads(
@@ -1077,7 +1121,8 @@ def run_party(run_dir: str | pathlib.Path, name: str, *,
             epoch = max(epoch, checkpoint.epoch + 1)
     process = PartyProcess(manifest, name, points, run_dir=run_path,
                            resume_from=checkpoint, epoch=epoch,
-                           fail_after_queries=fail_after_queries)
+                           fail_after_queries=fail_after_queries,
+                           psk=psk, bind_host=bind_host)
     report = process.run()
     (run_path / f"report_{name}.json").write_text(report.to_json())
     return report

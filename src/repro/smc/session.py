@@ -13,14 +13,24 @@ A :class:`SmcSession` is created once per distributed-DBSCAN run.  It
 
 from __future__ import annotations
 
+import hmac
 import random
 from dataclasses import dataclass, field
 
 from repro.crypto.engine import ModexpEngine, default_engine
 from repro.crypto.keycache import cached_paillier_keypair, cached_rsa_keypair
-from repro.crypto.paillier import PaillierKeyPair, generate_paillier_keypair
+from repro.crypto.paillier import (
+    PaillierKeyPair,
+    PaillierPublicKey,
+    generate_paillier_keypair,
+)
 from repro.crypto.precompute import RandomnessPool
 from repro.crypto.rsa import RsaKeyPair, generate_rsa_keypair
+from repro.crypto.sealed import (
+    is_sealed,
+    paillier_public_digest,
+    seal_paillier_keypair,
+)
 from repro.net.channel import Channel
 from repro.net.party import Party
 from repro.net.transport import TransportSpec
@@ -115,10 +125,90 @@ def channel_for_config(config: SmcConfig, left_name: str = "alice",
 
 @dataclass
 class CryptoContext:
-    """One party's key material."""
+    """One party's key material.
+
+    ``expected_digest`` is set on sealed peer contexts: the manifest's
+    pinned public-key digest that the wire-announced key must match
+    before the session trusts it (``None`` skips the pin -- legacy
+    manifests without ``key_digests``).
+    """
 
     paillier: PaillierKeyPair
     rsa: RsaKeyPair | None = None
+    expected_digest: str | None = None
+
+
+def sealed_peer_context(owner: str,
+                        expected_digest: str | None = None) -> CryptoContext:
+    """Key context for a party that is *remote* in this process.
+
+    Holds a sealed keypair with a placeholder public key until the
+    session's key exchange captures the owner's authentic public key
+    from the wire (the mirrored choreography discards the placeholder
+    send unserialized, so the placeholder never reaches any peer).
+    The private half never exists here at all.
+    """
+    placeholder = PaillierPublicKey(n=0, g=0)
+    return CryptoContext(paillier=seal_paillier_keypair(placeholder, owner),
+                         expected_digest=expected_digest)
+
+
+class FullKeyProvider:
+    """Key provider of the in-process trust model: every party's full
+    keypair exists in this interpreter.
+
+    ``key_seed_stride`` preserves the historical per-surface seed
+    layout (the mesh derives slot keys at ``100 * key_seed + slot``),
+    so providers and the legacy inline derivation produce bit-identical
+    keys.
+    """
+
+    def __init__(self, config: SmcConfig, *, key_seed_stride: int = 100):
+        self.config = config
+        self.key_seed_stride = key_seed_stride
+
+    def context_for(self, name: str, slot: int,
+                    rng: random.Random | None = None) -> CryptoContext:
+        cfg = self.config
+        needs_rsa = cfg.comparison == "ympp"
+        if cfg.key_seed is not None:
+            seed = self.key_seed_stride * cfg.key_seed + slot
+            paillier = cached_paillier_keypair(cfg.paillier_bits, seed)
+            rsa = (cached_rsa_keypair(cfg.rsa_bits, seed)
+                   if needs_rsa else None)
+        else:
+            if rng is None:
+                raise SessionError(
+                    f"key generation for {name!r} needs an RNG when "
+                    f"key_seed is unset")
+            paillier = generate_paillier_keypair(cfg.paillier_bits, rng)
+            rsa = (generate_rsa_keypair(cfg.rsa_bits, rng)
+                   if needs_rsa else None)
+        return CryptoContext(paillier=paillier, rsa=rsa)
+
+
+class SealedKeyProvider:
+    """Key provider of the distributed trust model: this process derives
+    only ``own_name``'s keypair; every peer gets a sealed public-only
+    context, pinned to the manifest's per-party public-key digest and
+    completed from the authentic wire announcement at session start.
+    """
+
+    def __init__(self, config: SmcConfig, own_name: str,
+                 key_digests: dict[str, str] | None = None, *,
+                 key_seed_stride: int = 100):
+        self.config = config
+        self.own_name = own_name
+        self.key_digests = dict(key_digests or {})
+
+        self._own_provider = FullKeyProvider(
+            config, key_seed_stride=key_seed_stride)
+
+    def context_for(self, name: str, slot: int,
+                    rng: random.Random | None = None) -> CryptoContext:
+        if name != self.own_name:
+            return sealed_peer_context(name, self.key_digests.get(name))
+        return self._own_provider.context_for(name, slot, rng)
 
 
 @dataclass
@@ -180,16 +270,45 @@ class SmcSession:
         return CryptoContext(paillier=paillier, rsa=rsa)
 
     def _exchange_public_keys(self) -> None:
-        """Send each party's public keys to the peer, once, accounted."""
+        """Send each party's public keys to the peer, once, accounted.
+
+        For a sealed peer context (mirrored runtime) the locally-held
+        placeholder send is discarded by the mirror and the *receive*
+        returns the owner's authentic announcement from the wire; the
+        sealed context adopts that public key after cross-checking it
+        against the manifest's pinned digest.
+        """
         for party, peer in ((self.alice, self.bob), (self.bob, self.alice)):
             context = self._contexts[party.name]
             public = context.paillier.public_key
             party.send("keys/paillier_pub", [public.n, public.g])
-            peer.receive("keys/paillier_pub")
+            announced = peer.receive("keys/paillier_pub")
+            if is_sealed(context.paillier.private_key):
+                self._adopt_peer_public(party.name, context, announced)
             if context.rsa is not None:
                 party.send("keys/rsa_pub",
                            [context.rsa.public_key.n, context.rsa.public_key.e])
                 peer.receive("keys/rsa_pub")
+
+    @staticmethod
+    def _adopt_peer_public(owner: str, context: CryptoContext,
+                           announced) -> None:
+        if (not isinstance(announced, list) or len(announced) != 2
+                or not all(isinstance(part, int) and part > 0
+                           for part in announced)):
+            raise SessionError(
+                f"malformed public-key announcement from {owner!r}: "
+                f"expected [n, g], got {type(announced).__name__}")
+        public = PaillierPublicKey(n=announced[0], g=announced[1])
+        if context.expected_digest is not None:
+            digest = paillier_public_digest(public)
+            if not hmac.compare_digest(digest, context.expected_digest):
+                raise SessionError(
+                    f"public key announced by {owner!r} does not match "
+                    f"the manifest's pinned digest ({digest[:12]}... vs "
+                    f"{context.expected_digest[:12]}...); refusing the "
+                    f"session")
+        context.paillier = seal_paillier_keypair(public, owner)
 
     def party(self, name: str) -> Party:
         if name == self.alice.name:

@@ -12,6 +12,7 @@ Conventions used across the suite:
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
@@ -19,6 +20,38 @@ import pytest
 from repro.net.channel import Channel
 from repro.net.party import make_party_pair
 from repro.smc.session import SmcConfig, SmcSession
+
+# Link-auth test matrix: setting REPRO_TEST_PSK re-runs the socket
+# suite with every link authenticated under that PSK (CI runs the
+# `sockets` smoke both ways).  The knob injects a *default* psk into
+# the two runtime entry points tests use -- orchestrate_run and
+# DaemonFleet -- so the whole existing matrix exercises MAC'd frames
+# without each test growing an auth parameter; tests that pass an
+# explicit psk (including the wrong-PSK rejection tests) keep it.
+_matrix_psk = os.environ.get("REPRO_TEST_PSK")
+if _matrix_psk:
+    import repro.runtime.client as _client_module
+    import repro.runtime.orchestrator as _orchestrator_module
+
+    # Direct run_party() calls (offline resume tests) find the secret
+    # the same way a real operator's shell provides it.
+    os.environ.setdefault("REPRO_PSK", _matrix_psk)
+
+    _plain_orchestrate_run = _orchestrator_module.orchestrate_run
+
+    def _orchestrate_run_with_auth(*args, **kwargs):
+        kwargs.setdefault("psk", _matrix_psk)
+        return _plain_orchestrate_run(*args, **kwargs)
+
+    _orchestrator_module.orchestrate_run = _orchestrate_run_with_auth
+
+    _plain_fleet_init = _client_module.DaemonFleet.__init__
+
+    def _fleet_init_with_auth(self, names, **kwargs):
+        kwargs.setdefault("psk", _matrix_psk)
+        _plain_fleet_init(self, names, **kwargs)
+
+    _client_module.DaemonFleet.__init__ = _fleet_init_with_auth
 
 
 @pytest.fixture
