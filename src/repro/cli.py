@@ -11,6 +11,7 @@ Usage::
     python -m repro mesh-spec /tmp/mesh.json --parties 3
     python -m repro serve --spec /tmp/mesh.json --party party0
     python -m repro submit --spec /tmp/mesh.json --sessions 4 --verify
+    python -m repro submit --spec /tmp/mesh.json --concurrency 32
 
 ``orchestrate`` runs the k-party mesh as *real OS processes* over
 loopback TCP (spawning one ``repro party`` subprocess per data holder);
@@ -224,6 +225,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "--spec)")
     submit.add_argument("--sessions", type=int, default=1,
                         help="how many sessions to submit concurrently")
+    submit.add_argument("--concurrency", type=int, default=1,
+                        help="submit each session manifest this many "
+                             "times in flight, every copy under its own "
+                             "rng_namespace (distinct coin streams on "
+                             "shared seeds)")
     submit.add_argument("--points", type=int, default=12,
                         help="total points across parties per session")
     submit.add_argument("--eps", type=float, default=1.2)
@@ -235,7 +241,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "and assert bit-identical labels, ledger, "
                              "and per-pair transcripts")
     submit.add_argument("--shutdown", action="store_true",
-                        help="stop the daemons after the submissions")
+                        help="stop the daemons after the submissions "
+                             "(graceful: daemons drain before closing "
+                             "links)")
     submit.add_argument("--psk", default=None,
                         help="pre-shared key for --link-auth meshes "
                              "(falls back to REPRO_PSK)")
@@ -538,21 +546,49 @@ def _run_mesh_spec(args) -> int:
 
 def _run_serve(args) -> int:
     import pathlib
+    import signal
 
     from repro.runtime.daemon import MeshSpec, PartyDaemon
 
     spec = MeshSpec.from_json(pathlib.Path(args.spec).read_text())
     daemon = PartyDaemon(spec, args.party_name, psk=_resolve_psk(args),
                          bind_host=args.bind_host)
+    interrupts = 0
+
+    def _on_interrupt(signum, frame) -> None:
+        # First interrupt drains (in-flight sessions finish, new
+        # submits get the typed `draining` rejection); the second
+        # cancels them.  Before the event loop exists there is nothing
+        # to drain -- fall back to the plain KeyboardInterrupt exit.
+        nonlocal interrupts
+        interrupts += 1
+        if daemon._loop is None:
+            raise KeyboardInterrupt
+        if interrupts == 1:
+            print("draining: finishing in-flight sessions "
+                  "(interrupt again to stop hard)", flush=True)
+            daemon.stop(drain=True)
+        else:
+            daemon.stop()
+
     print(f"daemon {args.party_name} listening on "
           f"{args.bind_host or spec.host}:{spec.ports[args.party_name]} "
           f"(mesh of {len(spec.names)}"
           f"{', link auth on' if spec.link_auth else ''}; "
-          f"ctrl-c to stop)", flush=True)
+          f"ctrl-c drains, twice stops hard)", flush=True)
+    handlers = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            handlers[signum] = signal.signal(signum, _on_interrupt)
+        except ValueError:
+            pass  # not the main thread; keep default delivery
     try:
         daemon.run()
     except KeyboardInterrupt:
         pass
+    finally:
+        for signum, previous in handlers.items():
+            signal.signal(signum, previous)
     return 0
 
 
@@ -594,13 +630,18 @@ def _run_submit(args) -> int:
              for b in spec.names[i + 1:]}
     try:
         with SessionClient(spec, psk=psk) as client:
-            handles = [
-                client.submit(
-                    build_manifest(by_party, config, seeds,
-                                   session_id=f"submit-{index:03d}",
-                                   ports=ports, host=spec.host),
-                    by_party)
-                for index in range(max(1, args.sessions))]
+            concurrency = max(1, getattr(args, "concurrency", 1))
+            handles = []
+            for index in range(max(1, args.sessions)):
+                manifest = build_manifest(
+                    by_party, config, seeds,
+                    session_id=f"submit-{index:03d}",
+                    ports=ports, host=spec.host)
+                if concurrency > 1:
+                    handles.extend(client.submit_wave(
+                        manifest, by_party, concurrency))
+                else:
+                    handles.append(client.submit(manifest, by_party))
             failures = 0
             for handle in handles:
                 try:
@@ -620,7 +661,7 @@ def _run_submit(args) -> int:
                         run, by_party, config, seeds):
                     failures += 1
             if args.shutdown:
-                client.shutdown_mesh()
+                client.shutdown_mesh(drain=True)
         return 1 if failures else 0
     finally:
         if fleet is not None:
@@ -631,7 +672,12 @@ def _verify_daemon_run(run, by_party, config, seeds) -> bool:
     from repro.net.transcript import transcript_digest
     from repro.runtime.manifest import pair_key
 
-    mesh = PartyMesh(list(by_party), config.smc, seeds=seeds)
+    # The reference must share the session's coin stream: wave sessions
+    # (--concurrency) run under derived rng_namespaces, and a
+    # namespace-mismatched reference would flag transcript drift that
+    # is really just different coins.
+    mesh = PartyMesh(list(by_party), config.smc, seeds=seeds,
+                     rng_namespace=run.manifest.rng_namespace)
     reference = run_multiparty_horizontal_dbscan(by_party, config,
                                                  seeds=seeds, mesh=mesh)
     digests = {pair_key(*pair): transcript_digest(transcript)

@@ -56,6 +56,20 @@ def _modexp_chunk(jobs: Sequence[ModexpJob]) -> list[int]:
     return [pow(base, exponent, modulus) for base, exponent, modulus in jobs]
 
 
+def _modexp_chunk_cached(jobs: Sequence[ModexpJob]) -> list[int]:
+    """In-process variant of :func:`_modexp_chunk` behind the powmod memo.
+
+    Worker processes keep the plain version (their memory is not shared,
+    so a memo there only burns RAM); in-process execution shares the
+    :func:`~repro.crypto.integer_math.cached_pow` memo with the online
+    paths, which is what lets a prefill of already-seen factors cost
+    dict hits instead of exponentiations.
+    """
+    from repro.crypto.integer_math import cached_pow
+    return [cached_pow(base, exponent, modulus)
+            for base, exponent, modulus in jobs]
+
+
 class ModexpEngine:
     """Executes arrays of modexp jobs, serially or across a process pool.
 
@@ -208,12 +222,12 @@ class ModexpEngine:
     def _execute(self, jobs: list[ModexpJob]) -> list[int]:
         """Run jobs without accounting (callers counted at entry)."""
         if not self._parallel_eligible(len(jobs)):
-            return _modexp_chunk(jobs)
+            return _modexp_chunk_cached(jobs)
         executor = self._ensure_executor()
         if executor is None:
             with self._lock:
                 self.fallbacks += 1
-            return _modexp_chunk(jobs)
+            return _modexp_chunk_cached(jobs)
         shard_count = min(len(jobs), self.workers * self.shards_per_worker)
         step = (len(jobs) + shard_count - 1) // shard_count
         shards = [jobs[start:start + step]
@@ -227,7 +241,7 @@ class ModexpEngine:
                 self._pool_broken = True
                 self._executor = None
                 self.fallbacks += 1
-            return _modexp_chunk(jobs)
+            return _modexp_chunk_cached(jobs)
         with self._lock:
             self.parallel_batches += 1
             self.parallel_modexps += len(jobs)

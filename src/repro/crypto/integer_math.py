@@ -10,6 +10,26 @@ deterministic pure-integer math; randomized routines live in
 from __future__ import annotations
 
 import math
+from functools import lru_cache
+
+
+@lru_cache(maxsize=1 << 16)
+def cached_pow(base: int, exponent: int, modulus: int) -> int:
+    """``pow(base, exponent, modulus)`` behind a bounded memo.
+
+    The restartable async pass runtime
+    (:mod:`repro.runtime.async_pass`) re-executes a region query from
+    its start whenever a missing frame parks it, so the online powmods
+    of the replayed prefix repeat with *identical* arguments -- this
+    memo turns every repeat into a dict hit instead of a fresh
+    exponentiation.  The in-process refill paths share the memo too, so
+    a resident daemon prefilling pools for a session whose coin stream
+    it has served before pays dict hits, exactly like the replays.
+    Only worker *processes* keep plain ``pow`` -- their memory is not
+    shared, so a memo there would only burn RAM.  The function is pure,
+    so memoization cannot change any result, transcript, or ledger.
+    """
+    return pow(base, exponent, modulus)
 
 
 def egcd(a: int, b: int) -> tuple[int, int, int]:
@@ -94,5 +114,5 @@ def pow_mod(base: int, exponent: int, modulus: int) -> int:
     if modulus <= 0:
         raise ValueError(f"modulus must be positive, got {modulus}")
     if exponent < 0:
-        return pow(mod_inverse(base, modulus), -exponent, modulus)
-    return pow(base, exponent, modulus)
+        return cached_pow(mod_inverse(base, modulus), -exponent, modulus)
+    return cached_pow(base, exponent, modulus)

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from functools import lru_cache
 from typing import TYPE_CHECKING
 
-from repro.crypto.integer_math import lcm, mod_inverse
+from repro.crypto.integer_math import cached_pow, lcm, mod_inverse
 from repro.crypto.primes import generate_distinct_primes
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids import cycle)
@@ -78,7 +78,7 @@ class PaillierPublicKey:
                 "with SignedEncoder first"
             )
         n_sq = self.n_squared
-        return (self._g_pow(plaintext) * pow(r, self.n, n_sq)) % n_sq
+        return (self._g_pow(plaintext) * cached_pow(r, self.n, n_sq)) % n_sq
 
     def raw_encrypt_with_factor(self, plaintext: int, factor: int) -> int:
         """``c = g^m * factor`` with a pregenerated factor ``r^n mod n^2``.
@@ -175,15 +175,15 @@ class PaillierPrivateKey:
         n_sq = self.public_key.n_squared
         if not 0 <= ciphertext_value < n_sq:
             raise PaillierError("ciphertext outside Z_{n^2}")
-        u = pow(ciphertext_value, self.lam, n_sq)
+        u = cached_pow(ciphertext_value, self.lam, n_sq)
         return (_paillier_l(u, n) * self.mu) % n
 
     def _decrypt_crt(self, ciphertext_value: int) -> int:
         from repro.crypto.integer_math import crt_pair
         p, q = self.p, self.q
-        m_p = (_l_quotient(pow(ciphertext_value, p - 1, p * p), p)
+        m_p = (_l_quotient(cached_pow(ciphertext_value, p - 1, p * p), p)
                * self.hp) % p
-        m_q = (_l_quotient(pow(ciphertext_value, q - 1, q * q), q)
+        m_q = (_l_quotient(cached_pow(ciphertext_value, q - 1, q * q), q)
                * self.hq) % q
         return crt_pair(m_p, p, m_q, q)
 
@@ -251,7 +251,7 @@ class PaillierCiphertext:
         n = self.public_key.n
         return PaillierCiphertext(
             self.public_key,
-            pow(self.value, scalar % n, self.public_key.n_squared),
+            cached_pow(self.value, scalar % n, self.public_key.n_squared),
         )
 
     __rmul__ = __mul__
@@ -278,7 +278,7 @@ class PaillierCiphertext:
             zero_enc = pool.rerandomization_unit()
         else:
             r = self.public_key.random_unit(rng)
-            zero_enc = pow(r, self.public_key.n, n_sq)
+            zero_enc = cached_pow(r, self.public_key.n, n_sq)
         return PaillierCiphertext(self.public_key,
                                   (self.value * zero_enc) % n_sq)
 

@@ -28,9 +28,12 @@ most once (the queue pops).
 
 from __future__ import annotations
 
+import asyncio
 import random
 from collections import deque
 from typing import TYPE_CHECKING
+
+from repro.crypto.integer_math import cached_pow
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (paillier types)
     from repro.crypto.paillier import PaillierPublicKey
@@ -75,7 +78,7 @@ class RandomnessPool:
     def _fresh_factor(self) -> int:
         public = self.public_key
         r = public.random_unit(self.rng)
-        return pow(r, public.n, public.n_squared)
+        return cached_pow(r, public.n, public.n_squared)
 
     def draw_units(self, count: int) -> list[int]:
         """Draw ``count`` randomness units from the actor's RNG, in order.
@@ -99,7 +102,8 @@ class RandomnessPool:
         """Offline phase: pregenerate ``count`` factors."""
         units = self.draw_units(count)
         public = self.public_key
-        self.deposit([pow(r, public.n, public.n_squared) for r in units])
+        self.deposit([cached_pow(r, public.n, public.n_squared)
+                      for r in units])
 
     def try_factor(self) -> int | None:
         """Pop one factor if available; ``None`` (and a counted miss)
@@ -192,3 +196,209 @@ class FixedBaseExp:
             exponent >>= self.window
             position += 1
         return result
+
+
+class RandomnessLease:
+    """One session's registration with a daemon :class:`RandomnessService`.
+
+    A lease holds the session's own :class:`RandomnessPool` objects --
+    factor *values* are never shared across sessions, because each pool
+    draws from a per-session forked RNG stream and sharing values would
+    break the bit-identity contract between runtimes.  What the lease
+    buys the session is the service's cross-session knowledge: how many
+    factors past sessions under the same keypair actually consumed, so
+    the pools can be filled to that demand up front (and topped up in
+    idle time) instead of missing their way through the first run.
+
+    Accounting attributes (read by ``runtime_info`` and tests):
+
+    - ``prefilled``: factors filled synchronously at registration.
+    - ``background_refilled``: factors added by the idle refill
+      coroutine while the session ran.
+    - ``busy``: count of in-flight secure queries, incremented by the
+      pass runtime around each one (several pair runtimes share one
+      lease); the idle refiller skips busy leases so background
+      deposits never interleave with an in-flight (restartable)
+      query attempt.
+    """
+
+    __slots__ = ("service", "session_id", "pools", "busy", "prefilled",
+                 "background_refilled", "released")
+
+    def __init__(self, service: "RandomnessService", session_id: str):
+        self.service = service
+        self.session_id = session_id
+        self.pools: list[tuple[tuple[str, bool], RandomnessPool]] = []
+        self.busy = 0
+        self.prefilled = 0
+        self.background_refilled = 0
+        self.released = False
+
+    def register_pool(self, pool: RandomnessPool, owner_digest: str,
+                      actor_is_owner: bool) -> int:
+        """Adopt one session pool; prefill it to the learned demand.
+
+        ``owner_digest`` is the Paillier public-key digest of the pool's
+        key owner -- the cross-session identity demand is scoped by
+        (factor *counts* transfer between sessions of the same keypair;
+        nothing else does).  Returns the number of factors prefilled.
+        """
+        if self.released:
+            raise PrecomputeError(
+                f"lease {self.session_id!r} already released")
+        key = (owner_digest[:16], bool(actor_is_owner))
+        self.pools.append((key, pool))
+        target = self.service.demand_for(key)
+        shortfall = max(0, target - len(pool))
+        if shortfall:
+            self.service.fill(pool, shortfall)
+            self.prefilled += shortfall
+        return shortfall
+
+    def hit_report(self) -> dict[str, int]:
+        """Consumption totals over the lease's pools (hit = no miss)."""
+        totals = combine_pool_reports(
+            pool.report() for __, pool in self.pools)
+        totals["prefilled"] = self.prefilled
+        totals["background_refilled"] = self.background_refilled
+        totals["hits"] = totals["consumed"] - totals["misses"]
+        return totals
+
+
+class RandomnessService:
+    """Daemon-wide offline-phase broker: demand learning + idle refill.
+
+    Lives on the daemon event loop (single-threaded by construction; no
+    locks).  Three jobs:
+
+    1. **Demand model.**  Keyed by ``(key digest[:16], actor-is-owner)``
+       -- the two pool roles a keypair induces -- the service remembers
+       the peak factor consumption any released session reported.  A new
+       session's pools are prefilled to that target at registration, so
+       session N+1 starts warm from session N's experience even though
+       their factor values come from disjoint per-session RNG streams.
+    2. **Idle refill.**  :meth:`refill_idle` is a background coroutine
+       that tops up registered pools toward target in small chunks
+       between protocol work, yielding to the loop after every chunk
+       and skipping leases that are mid-query.
+    3. **Fixed-base tables.**  :class:`FixedBaseExp` tables depend only
+       on the public key, so they are cached per key digest and shared
+       across every session under that keypair (``random_g`` keys
+       only; the ``n + 1`` default never builds one).
+    """
+
+    def __init__(self, engine=None, *, refill_chunk: int = 8,
+                 idle_interval_s: float = 0.02):
+        if refill_chunk < 1:
+            raise PrecomputeError(
+                f"refill_chunk must be >= 1, got {refill_chunk}")
+        self.engine = engine
+        self.refill_chunk = refill_chunk
+        self.idle_interval_s = idle_interval_s
+        self._demand: dict[tuple[str, bool], int] = {}
+        self._leases: dict[str, RandomnessLease] = {}
+        self._tables: dict[tuple[str, int, int], FixedBaseExp] = {}
+        self.sessions_served = 0
+        self.factors_prefilled = 0
+        self.factors_background = 0
+        self.table_builds = 0
+        self.table_hits = 0
+        self._closed = False
+
+    # -- leases -------------------------------------------------------------
+
+    def lease(self, session_id: str) -> RandomnessLease:
+        if self._closed:
+            raise PrecomputeError("randomness service is closed")
+        if session_id in self._leases:
+            raise PrecomputeError(
+                f"session {session_id!r} already holds a lease")
+        grant = RandomnessLease(self, session_id)
+        self._leases[session_id] = grant
+        return grant
+
+    def release(self, session_id: str) -> dict[str, int]:
+        """End a lease: learn its demand, return its hit accounting."""
+        grant = self._leases.pop(session_id, None)
+        if grant is None:
+            raise PrecomputeError(f"no lease for session {session_id!r}")
+        grant.released = True
+        for key, pool in grant.pools:
+            self._demand[key] = max(self._demand.get(key, 0), pool.consumed)
+        self.sessions_served += 1
+        self.factors_prefilled += grant.prefilled
+        self.factors_background += grant.background_refilled
+        return grant.hit_report()
+
+    def demand_for(self, key: tuple[str, bool]) -> int:
+        return self._demand.get(key, 0)
+
+    def fill(self, pool: RandomnessPool, count: int) -> None:
+        """Refill through the engine when one is attached (sharded
+        modexps), serially otherwise -- bit-identical either way."""
+        if count <= 0:
+            return
+        if self.engine is not None:
+            self.engine.fill_pool(pool, count)
+        else:
+            pool.refill(count)
+
+    # -- background refill --------------------------------------------------
+
+    def refill_step(self) -> int:
+        """Top up at most one chunk across all idle leases; returns the
+        number of factors generated (0 = every pool is at target)."""
+        for grant in list(self._leases.values()):
+            if grant.busy or grant.released:
+                continue
+            for key, pool in grant.pools:
+                shortfall = self.demand_for(key) - len(pool)
+                if shortfall <= 0:
+                    continue
+                count = min(self.refill_chunk, shortfall)
+                self.fill(pool, count)
+                grant.background_refilled += count
+                return count
+        return 0
+
+    async def refill_idle(self) -> None:
+        """Idle-time top-up loop; cancel to stop (daemon teardown)."""
+        while not self._closed:
+            generated = self.refill_step()
+            # A productive step yields briefly so protocol coroutines
+            # preempt it; a dry pass sleeps until there is plausible
+            # new demand.
+            await asyncio.sleep(0 if generated else self.idle_interval_s)
+
+    # -- fixed-base tables --------------------------------------------------
+
+    def fixed_base_table(self, base: int, modulus: int, max_bits: int,
+                         key_digest: str, *, window: int = 4) -> FixedBaseExp:
+        """Shared ``g^m`` table for one keypair, built at most once."""
+        cache_key = (key_digest[:16], max_bits, window)
+        table = self._tables.get(cache_key)
+        if table is None:
+            table = FixedBaseExp(base, modulus, max_bits, window=window)
+            self._tables[cache_key] = table
+            self.table_builds += 1
+        else:
+            self.table_hits += 1
+        return table
+
+    # -- reporting / lifecycle ----------------------------------------------
+
+    def report(self) -> dict[str, int]:
+        return {
+            "sessions_served": self.sessions_served,
+            "active_leases": len(self._leases),
+            "demand_entries": len(self._demand),
+            "factors_prefilled": self.factors_prefilled,
+            "factors_background": self.factors_background,
+            "table_builds": self.table_builds,
+            "table_hits": self.table_hits,
+        }
+
+    def close(self) -> None:
+        self._closed = True
+        self._leases.clear()
+        self._tables.clear()

@@ -153,57 +153,64 @@ def run_multiparty_horizontal_dbscan(points_by_party: dict[str, list],
     )
 
 
+def _pass_program(own_points: list, config: ProtocolConfig):
+    """Algorithm 3+4 as a generator: the single protocol implementation.
+
+    Yields each query point whose cross-party neighbour count the
+    protocol needs (one yield per density test -- the seed test of
+    Algorithm 3 and every BFS step of Algorithm 4), receives the summed
+    peer total back via ``send``, and returns the finished
+    :class:`ClusterLabels` through ``StopIteration.value``.
+
+    Both drivers -- the synchronous :func:`_driver_pass` below and the
+    daemon's message-granularity ``drive_pass_async`` -- step this same
+    generator, so the clustering control flow (and therefore the exact
+    sequence of secure queries) cannot diverge between runtimes.
+    """
+    labels = ClusterLabels(len(own_points))
+    index = BruteForceIndex(own_points)
+    eps_squared = config.eps_squared
+    cluster_id = next_cluster_id(NOISE)
+    for point_index in range(len(own_points)):
+        if not labels.is_unclassified(point_index):
+            continue
+        seeds = index.region_query(index.points[point_index], eps_squared)
+        peer_total = yield index.points[point_index]
+        if len(seeds) + peer_total < config.min_pts:
+            labels.change_cluster_id(point_index, NOISE)
+            continue
+        labels.change_cluster_ids(seeds, cluster_id)
+        queue = deque(s for s in seeds if s != point_index)
+        while queue:
+            current = queue.popleft()
+            result = index.region_query(index.points[current], eps_squared)
+            peer_total = yield index.points[current]
+            if len(result) + peer_total >= config.min_pts:
+                for neighbor in result:
+                    if labels[neighbor] in (UNCLASSIFIED, NOISE):
+                        if labels[neighbor] == UNCLASSIFIED:
+                            queue.append(neighbor)
+                        labels.change_cluster_id(neighbor, cluster_id)
+        cluster_id = next_cluster_id(cluster_id)
+    return labels
+
+
 def _driver_pass(mesh: PartyMesh, driver_name: str,
                  points_by_party: dict[str, list], config: ProtocolConfig,
                  value_bound: int, ledger: LeakageLedger,
                  caches: dict[str, PeerCipherCache] | None,
                  executor: PassExecutor) -> ClusterLabels:
-    """Algorithm 3 for one driving party against all peers."""
-    own_points = list(points_by_party[driver_name])
-    labels = ClusterLabels(len(own_points))
-    index = BruteForceIndex(own_points)
-    cluster_id = next_cluster_id(NOISE)
-    for point_index in range(len(own_points)):
-        if labels.is_unclassified(point_index):
-            if _expand(mesh, driver_name, points_by_party, config,
-                       value_bound, ledger, index, labels, point_index,
-                       cluster_id, caches, executor):
-                cluster_id = next_cluster_id(cluster_id)
-    return labels
-
-
-def _expand(mesh: PartyMesh, driver_name: str,
-            points_by_party: dict[str, list], config: ProtocolConfig,
-            value_bound: int, ledger: LeakageLedger,
-            index: BruteForceIndex, labels: ClusterLabels,
-            point_index: int, cluster_id: int,
-            caches: dict[str, PeerCipherCache] | None,
-            executor: PassExecutor) -> bool:
-    """Algorithm 4 with the density test summed over every peer."""
-    eps_squared = config.eps_squared
-    seeds = index.region_query(index.points[point_index], eps_squared)
-    peer_total = _all_peer_counts(mesh, driver_name, points_by_party,
-                                  index.points[point_index], config,
-                                  value_bound, ledger, caches, executor)
-    if len(seeds) + peer_total < config.min_pts:
-        labels.change_cluster_id(point_index, NOISE)
-        return False
-
-    labels.change_cluster_ids(seeds, cluster_id)
-    queue = deque(s for s in seeds if s != point_index)
-    while queue:
-        current = queue.popleft()
-        result = index.region_query(index.points[current], eps_squared)
-        peer_total = _all_peer_counts(mesh, driver_name, points_by_party,
-                                      index.points[current], config,
-                                      value_bound, ledger, caches, executor)
-        if len(result) + peer_total >= config.min_pts:
-            for neighbor in result:
-                if labels[neighbor] in (UNCLASSIFIED, NOISE):
-                    if labels[neighbor] == UNCLASSIFIED:
-                        queue.append(neighbor)
-                    labels.change_cluster_id(neighbor, cluster_id)
-    return True
+    """Drive :func:`_pass_program` with blocking per-peer queries."""
+    program = _pass_program(list(points_by_party[driver_name]), config)
+    try:
+        query_point = next(program)
+        while True:
+            total = _all_peer_counts(mesh, driver_name, points_by_party,
+                                     query_point, config, value_bound,
+                                     ledger, caches, executor)
+            query_point = program.send(total)
+    except StopIteration as done:
+        return done.value
 
 
 def _all_peer_counts(mesh: PartyMesh, driver_name: str,
@@ -219,6 +226,27 @@ def _all_peer_counts(mesh: PartyMesh, driver_name: str,
     merged here in deterministic peer order, so the disclosure sequence
     is identical however the queries were scheduled.
     """
+    tasks = _build_peer_queries(mesh, driver_name, points_by_party,
+                                query_point, config, value_bound, caches)
+    return _merge_outcomes(executor.run_pass(tasks), ledger)
+
+
+def _merge_outcomes(outcomes, ledger: LeakageLedger) -> int:
+    """Fold pass outcomes (already in task order) into the run ledger."""
+    total = 0
+    for outcome in outcomes:
+        ledger.extend(outcome.ledger)
+        total += outcome.count
+    return total
+
+
+def _build_peer_queries(mesh: PartyMesh, driver_name: str,
+                        points_by_party: dict[str, list],
+                        query_point: tuple[int, ...],
+                        config: ProtocolConfig, value_bound: int,
+                        caches: dict[str, PeerCipherCache] | None,
+                        ) -> list[PeerQuery]:
+    """The scheduler tasks of one density test, in mesh peer order."""
     tasks = []
     for peer_name in mesh.peers_of(driver_name):
         peer_points = points_by_party[peer_name]
@@ -229,13 +257,17 @@ def _all_peer_counts(mesh: PartyMesh, driver_name: str,
             run=_make_peer_task(mesh, driver_name, peer_name, query_point,
                                 list(peer_points), config, value_bound,
                                 caches),
+            prepare=_make_prepare(mesh, driver_name, peer_name),
             simulated_clock=_simulated_clock(mesh, driver_name, peer_name),
         ))
-    total = 0
-    for outcome in executor.run_pass(tasks):
-        ledger.extend(outcome.ledger)
-        total += outcome.count
-    return total
+    return tasks
+
+
+def _make_prepare(mesh: PartyMesh, driver_name: str, peer_name: str):
+    """The query announcement, split from ``run`` so executors that may
+    re-execute the query body (the restartable async path) announce it
+    exactly once."""
+    return lambda: mesh.begin_peer_query(driver_name, peer_name)
 
 
 def _make_peer_task(mesh: PartyMesh, driver_name: str, peer_name: str,
@@ -249,7 +281,6 @@ def _make_peer_task(mesh: PartyMesh, driver_name: str, peer_name: str,
     cache = caches[peer_name] if caches is not None else None
 
     def run(sub_ledger: LeakageLedger) -> int:
-        mesh.begin_peer_query(driver_name, peer_name)
         count = _peer_count(session, driver, peer, query_point, peer_points,
                             config, value_bound, sub_ledger, cache,
                             label=f"multiparty/{driver_name}-{peer_name}")

@@ -26,9 +26,10 @@ network deployment would see.
 
 from __future__ import annotations
 
+import asyncio
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import dataclass
+from typing import Awaitable, Callable
 
 from repro.core.leakage import LeakageLedger
 
@@ -45,6 +46,10 @@ class PeerQuery:
         peer: the queried peer's name (merge order follows task order).
         run: executes the pairwise protocol, recording every disclosure
             into the supplied sub-ledger; returns the neighbour count.
+        prepare: fired exactly once per task, before ``run`` -- the
+            query announcement (``begin_peer_query``).  Split out of
+            ``run`` so an executor that may *re-execute* ``run`` (the
+            restartable async path) never re-announces the query.
         simulated_clock: zero-argument probe returning the pair link's
             simulated seconds (0.0 on real fabrics); sampled before and
             after the query so the executor can charge virtual time.
@@ -52,6 +57,7 @@ class PeerQuery:
 
     peer: str
     run: Callable[[LeakageLedger], int]
+    prepare: Callable[[], None] = lambda: None
     simulated_clock: Callable[[], float] = lambda: 0.0
 
 
@@ -92,6 +98,7 @@ class PassExecutor:
 
     @staticmethod
     def _run_one(task: PeerQuery) -> PeerQueryOutcome:
+        task.prepare()
         ledger = LeakageLedger()
         before = task.simulated_clock()
         count = task.run(ledger)
@@ -142,6 +149,55 @@ class ConcurrentPassExecutor(PassExecutor):
         self.expected_tasks = expected_tasks
         self._pool: ThreadPoolExecutor | None = None
         self._pool_workers = 0
+        # Shrink accounting: how many pooled workers the last pass left
+        # idle, how many times the pool was narrowed, and how many
+        # consecutive passes have under-used it.
+        self.idle_workers = 0
+        self.shrinks = 0
+        self._surplus_streak = 0
+
+    def run_pass(self, tasks: list[PeerQuery]) -> list[PeerQueryOutcome]:
+        outcomes = super().run_pass(tasks)
+        # Single-task passes run inline (no pool submit), so their pool
+        # demand is zero.
+        self._note_demand(len(tasks) if len(tasks) >= 2 else 0)
+        return outcomes
+
+    def _note_demand(self, demand: int) -> None:
+        """Narrow the pool once demand has stayed below its width.
+
+        The growth path above never shrinks, so a session whose
+        ``expected_tasks`` hint overshot real demand (peers with empty
+        partitions are skipped, and single-task passes bypass the pool)
+        would hold k-1 idle threads for its whole lifetime.  Two
+        consecutive under-used passes are taken as the new steady
+        state: the pool is recreated at the observed demand -- or torn
+        down entirely when the pool sees no work at all -- and the
+        sizing hint is lowered so ``_ensure_pool`` does not immediately
+        grow it back.
+        """
+        if self._pool is None:
+            self.idle_workers = 0
+            self._surplus_streak = 0
+            return
+        self.idle_workers = max(0, self._pool_workers - demand)
+        if self.idle_workers == 0:
+            self._surplus_streak = 0
+            return
+        self._surplus_streak += 1
+        if self._surplus_streak < 2:
+            return
+        self._pool.shutdown(wait=False)
+        if demand > 0:
+            self._pool = ThreadPoolExecutor(max_workers=demand)
+            self._pool_workers = demand
+        else:
+            self._pool = None
+            self._pool_workers = 0
+        self.expected_tasks = demand or None
+        self.shrinks += 1
+        self._surplus_streak = 0
+        self.idle_workers = 0
 
     def _ensure_pool(self, task_count: int) -> ThreadPoolExecutor:
         """A pool at least ``task_count`` wide, without churn.
@@ -194,6 +250,61 @@ class ConcurrentPassExecutor(PassExecutor):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+
+class AsyncPassExecutor(PassExecutor):
+    """Coroutine-per-peer scheduling on the daemon's event loop.
+
+    The daemon runtime injects ``run_query`` -- an awaitable that
+    drives one task's pairwise choreography at message granularity,
+    parking on the per-(session, pair) frame queue instead of blocking
+    a thread.  ``asyncio.gather`` preserves argument order, so outcomes
+    come back in task order and the merge-determinism contract of the
+    threaded executors carries over unchanged; the virtual-time charge
+    is ``max`` (all peers overlap), matching an unbounded
+    :class:`ConcurrentPassExecutor`.
+
+    ``prepare`` fires exactly once per task here, *outside* ``run`` --
+    the restartable channel may re-execute the query body, and the
+    query announcement must not repeat.
+    """
+
+    concurrent = True
+
+    def __init__(self, run_query: Callable[
+            [PeerQuery, LeakageLedger], Awaitable[int]]):
+        super().__init__()
+        self._run_query = run_query
+
+    def run_pass(self, tasks: list[PeerQuery]) -> list[PeerQueryOutcome]:
+        raise SchedulerError(
+            "AsyncPassExecutor schedules passes on the event loop; "
+            "await run_pass_async() instead of calling run_pass()")
+
+    async def run_pass_async(
+            self, tasks: list[PeerQuery]) -> list[PeerQueryOutcome]:
+        """Execute one pass concurrently; outcomes in task order."""
+        self.passes += 1
+        if not tasks:
+            return []
+        outcomes = list(await asyncio.gather(
+            *(self._run_one_async(task) for task in tasks)))
+        self.simulated_seconds += self._charge(
+            [outcome.simulated_delta for outcome in outcomes])
+        return outcomes
+
+    async def _run_one_async(self, task: PeerQuery) -> PeerQueryOutcome:
+        task.prepare()
+        ledger = LeakageLedger()
+        before = task.simulated_clock()
+        count = await self._run_query(task, ledger)
+        return PeerQueryOutcome(
+            peer=task.peer, count=count, ledger=ledger,
+            simulated_delta=task.simulated_clock() - before)
+
+    def _charge(self, deltas: list[float]) -> float:
+        """All peer coroutines overlap: the pass costs its slowest link."""
+        return max(deltas)
 
 
 def make_pass_executor(concurrent: bool,

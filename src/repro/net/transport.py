@@ -639,6 +639,21 @@ class AsyncTcpTransport:
         if self._writer is not None:
             self._writer.close()
 
+    def _abort_in_order(self, reason: str) -> None:
+        """Abort *after* every already-delayed inbound frame lands.
+
+        With simulated latency, data frames are released to their
+        queues ``net_delay_s`` after being read; poisoning immediately
+        on goodbye/EOF would let the closure overtake frames the peer
+        sent (and TCP delivered) before closing -- e.g. a final
+        END_PASS racing the peer daemon's drain teardown.  Scheduling
+        the abort through the same ``call_later`` lane preserves the
+        stream's FIFO order end to end."""
+        if self.net_delay_s > 0:
+            self._loop.call_later(self.net_delay_s, self._abort, reason)
+        else:
+            self._abort(reason)
+
     # -- outbound (any thread) ---------------------------------------------
 
     def encode_sealed(self, kind: bytes, payload: bytes) -> bytes:
@@ -699,7 +714,7 @@ class AsyncTcpTransport:
                     self._reader, max_frame_bytes=self.max_frame_bytes,
                     name=self.name, authenticator=self.authenticator)
             except ConnectionClosedError as exc:
-                self._abort(f"connection lost ({exc})")
+                self._abort_in_order(f"connection lost ({exc})")
                 return
             except FrameAuthenticationError as exc:
                 # Verified (and failed) before any demux parsing; the
@@ -712,8 +727,9 @@ class AsyncTcpTransport:
                 self._abort(f"malformed frame ({exc})")
                 return
             if kind == FRAME_GOODBYE:
-                self._abort(f"peer {self.peer_name!r} closed the link "
-                            f"({payload.decode('utf-8', 'replace')!r})")
+                self._abort_in_order(
+                    f"peer {self.peer_name!r} closed the link "
+                    f"({payload.decode('utf-8', 'replace')!r})")
                 return
             if kind not in MUX_KINDS:
                 self._abort(f"non-multiplexed {kind!r} frame on a mux "
@@ -807,6 +823,50 @@ class SessionLinkTransport(Transport):
         item = self._await_from_worker(self._message_queue, want)
         return item
 
+    def try_collect(self, receiver: str,
+                    expected_label: str | None
+                    ) -> tuple[str, bytes] | None:
+        """Non-blocking :meth:`collect`: the already-arrived frame, or
+        ``None`` when the peer's frame is still in flight.
+
+        This is the message-granularity probe of the async pass
+        executor: a restartable choreography segment calls it at a
+        remote-send substitution and, on ``None``, unwinds so its
+        *coroutine* can park on :meth:`wait_message` -- no thread ever
+        blocks.  Event-loop thread only (the queue is loop-owned).
+        """
+        self._check_endpoint(receiver)
+        if receiver != self.local_name:
+            raise TransportError(
+                f"{receiver!r} is not the local endpoint of this daemon "
+                f"({self._context()})")
+        try:
+            item = self._message_queue.get_nowait()
+        except asyncio.QueueEmpty:
+            return None
+        want = expected_label or "a message"
+        return self._checked_item(item, self._message_queue, want)
+
+    async def wait_message(self, want: str = "a message"
+                           ) -> tuple[str, bytes]:
+        """Await the session's next protocol frame (loop coroutine).
+
+        The coroutine twin of a worker-thread :meth:`collect`: same
+        timeout budget, same closed/auth-failure classification, but it
+        parks only this coroutine on the per-(session, pair) queue --
+        the daemon's thread count stays flat however many sessions are
+        simultaneously waiting here.
+        """
+        try:
+            item = await asyncio.wait_for(self._message_queue.get(),
+                                          self.hub.timeout_s)
+        except asyncio.TimeoutError:
+            raise TransportTimeoutError(
+                f"{self.local_name} waited {self.hub.timeout_s}s for "
+                f"{want}; the peer never sent it ({self._context()})"
+            ) from None
+        return self._checked_item(item, self._message_queue, want)
+
     def close(self, reason: str | None = None) -> None:
         self.hub.release(self.session_id)
 
@@ -856,6 +916,12 @@ class SessionLinkTransport(Transport):
                 f"{self.local_name} waited {self.hub.timeout_s}s for "
                 f"{want}; the peer never sent it ({self._context()})"
             ) from None
+        return self._checked_item(item, source, want)
+
+    def _checked_item(self, item, source: asyncio.Queue, want: str):
+        """Classify a dequeued item: re-seat the closed sentinel (every
+        later receiver must see it too) and raise the same failure the
+        worker-thread path raises -- auth failures named as such."""
         if item is AsyncTcpTransport._CLOSED:
             source.put_nowait(AsyncTcpTransport._CLOSED)
             reason = (f": {self.hub._close_reason}"

@@ -36,7 +36,7 @@ import sys
 import tempfile
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.net.framing import (
     FRAME_CONTROL,
@@ -59,6 +59,7 @@ from repro.runtime.daemon import (
     CONTROL_SESSION_REPORT,
     CONTROL_SHUTDOWN,
     CONTROL_START_SESSION,
+    SHUTDOWN_DRAIN,
     DaemonError,
     MeshSpec,
     PartyDaemon,
@@ -234,9 +235,9 @@ class SessionClient:
                 record = deserialize_message(payload)
             except (SerializationError, UnicodeDecodeError):
                 continue
-            if not isinstance(record, list) or len(record) != 3:
+            if not isinstance(record, list) or len(record) not in (3, 4):
                 continue
-            tag, session_id, body = record
+            tag, session_id, body = record[:3]
             with self._handles_lock:
                 handle = self._handles.get(session_id)
             if handle is None:
@@ -246,7 +247,13 @@ class SessionClient:
             elif tag == CONTROL_SESSION_FAILED:
                 handle._offer(name, None, str(body))
             elif tag == CONTROL_SESSION_REJECTED:
-                handle._offer(name, None, f"rejected: {body}")
+                # Typed rejections carry a machine-readable code fourth
+                # ("capacity", "draining"); older daemons send three.
+                if len(record) == 4:
+                    handle._offer(name, None,
+                                  f"rejected ({record[3]}): {body}")
+                else:
+                    handle._offer(name, None, f"rejected: {body}")
 
     def _fail_pending(self, name: str, reason: str) -> None:
         if self._closed:
@@ -254,7 +261,17 @@ class SessionClient:
         with self._handles_lock:
             handles = list(self._handles.values())
         for handle in handles:
-            if not handle.done():
+            if handle.done():
+                continue
+            with handle._lock:
+                # A lost connection can only lose what this daemon had
+                # not delivered yet.  A daemon that already reported --
+                # e.g. one that finished its drain and closed while
+                # peers were still mid-pass -- must not fail handles
+                # waiting only on the *other* daemons.
+                delivered = (name in handle._reports
+                             or name in handle._errors)
+            if not delivered:
                 handle._offer(name, None, reason)
 
     # -- submission --------------------------------------------------------
@@ -305,9 +322,40 @@ class SessionClient:
         """Submit and wait -- the serial convenience wrapper."""
         return self.submit(manifest, points_by_party).result(timeout)
 
-    def shutdown_mesh(self) -> None:
-        """Ask every daemon to stop (idempotent, best-effort)."""
-        record = serialize_message([CONTROL_SHUTDOWN])
+    def submit_wave(self, manifest: RunManifest,
+                    points_by_party: dict[str, list],
+                    concurrency: int) -> list[SessionHandle]:
+        """Submit ``concurrency`` independent copies of one manifest.
+
+        Each copy derives its session id from the template's
+        (``{session_id}-w{index:02d}``) and sets ``rng_namespace`` to
+        that derived id, so the copies share seeds and workload but
+        never coin streams -- the high-concurrency idiom the benchmark
+        used to assemble by hand.  Returns handles in submission order;
+        callers wait on each (rejections surface per handle, so a
+        daemon at capacity fails that copy, not the wave).
+        """
+        if concurrency < 1:
+            raise SessionClientError(
+                f"concurrency must be >= 1, got {concurrency}")
+        handles = []
+        for index in range(concurrency):
+            derived = f"{manifest.session_id}-w{index:02d}"
+            copy = replace(manifest, session_id=derived,
+                           rng_namespace=derived)
+            handles.append(self.submit(copy, points_by_party))
+        return handles
+
+    def shutdown_mesh(self, *, drain: bool = False) -> None:
+        """Ask every daemon to stop (idempotent, best-effort).
+
+        With ``drain=True`` the daemons finish their in-flight sessions
+        before closing links; new submissions get a typed ``draining``
+        rejection in the meantime.
+        """
+        record = serialize_message(
+            [CONTROL_SHUTDOWN, SHUTDOWN_DRAIN] if drain
+            else [CONTROL_SHUTDOWN])
         for name in self.spec.names:
             try:
                 with self._write_locks[name]:

@@ -17,14 +17,25 @@ One :mod:`asyncio` event loop per daemon owns *all* socket I/O: every
 pair connection is an :class:`~repro.net.transport.AsyncTcpTransport`
 hub whose demux task routes inbound session-tagged ``m``/``c`` frames
 into per-session future queues.  The protocol choreographies themselves
-are synchronous and run *unchanged*: each session gets a one-thread
-executor, driver passes and query servings run there via
-``run_in_executor``, and a blocking ``collect`` parks the worker on the
-session's queue through ``run_coroutine_threadsafe`` -- so a session
-waiting on the network occupies no loop time and other sessions' frames
-keep flowing.  Responder duties are coroutines awaiting the session's
-control queue, dispatching each announced query to the session's
-worker.
+are synchronous and run *unchanged* -- but inline on the event loop,
+at message granularity, through the restartable machinery of
+:mod:`repro.runtime.async_pass`: a choreography that reaches a frame
+not yet arrived unwinds via ``NeedFrame``, its *coroutine* parks on the
+session's frame queue, and the segment re-executes (replay-verified
+against the pair's frame log) once the frame lands.  No session owns a
+worker thread, so the daemon's thread count is O(1) in its session
+count -- the loop plus the shared engine's workers, whatever the
+concurrency.  Responder duties are coroutines awaiting the session's
+control queue, serving each announced query through the same
+restartable runner.
+
+A daemon-wide :class:`~repro.crypto.precompute.RandomnessService`
+amortizes the offline phase across sessions: it learns each keypair's
+per-session factor demand as sessions release their leases, prefetches
+new sessions' pools to that demand, and tops pools up from an idle-time
+background coroutine.  Factor *values* stay per-session (each pool
+draws from a per-session forked RNG stream), so warm starts change
+where offline time is spent, never a byte of any transcript.
 
 Determinism: a session's coins, keys, and channel machinery are exactly
 the single-session runtime's (same ``derive_pair_rng`` streams --
@@ -52,6 +63,7 @@ observable in reports, not just in wall-clock.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import dataclasses
 import hashlib
 import hmac
@@ -59,16 +71,15 @@ import json
 import os
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from functools import partial
 
 from repro.core.distance import PeerCipherCache
 from repro.core.leakage import LeakageLedger
 from repro.crypto.engine import ModexpEngine
-from repro.multiparty.horizontal import _driver_pass, _peer_count
+from repro.crypto.precompute import PrecomputeError, RandomnessService
+from repro.crypto.sealed import paillier_public_digest
+from repro.multiparty.horizontal import _peer_count
 from repro.multiparty.mesh import derive_pair_rng
-from repro.multiparty.scheduler import make_pass_executor
 from repro.net.framing import (
     FRAME_CONTROL,
     FRAME_GOODBYE,
@@ -104,6 +115,11 @@ from repro.runtime.manifest import (
     manifest_digest,
     pair_key,
 )
+from repro.runtime.async_pass import (
+    PairRuntime,
+    RestartableMirrorChannel,
+    drive_pass_async,
+)
 from repro.runtime.mirror import MirrorChannel
 from repro.runtime.party import (
     CONTROL_END_PASS,
@@ -117,11 +133,19 @@ from repro.smc.session import SealedKeyProvider, SmcSession
 CONTROL_START_SESSION = "start_session"
 CONTROL_SESSION_REPORT = "session_report"
 CONTROL_SESSION_FAILED = "session_failed"
-#: Typed refusal of a ``start_session`` that would exceed the daemon's
-#: :attr:`MeshSpec.max_sessions` cap -- the client gets an immediate
-#: answer instead of the submission queueing unboundedly.
+#: Typed refusal of a ``start_session`` -- the client gets an immediate
+#: answer instead of the submission queueing unboundedly.  The record
+#: carries a machine-readable code (:data:`REJECT_CAPACITY` when the
+#: daemon is at its :attr:`MeshSpec.max_sessions` cap,
+#: :data:`REJECT_DRAINING` while a graceful shutdown drains) after the
+#: human-readable reason.
 CONTROL_SESSION_REJECTED = "session_rejected"
+REJECT_CAPACITY = "capacity"
+REJECT_DRAINING = "draining"
+#: Client-requested teardown; ``["shutdown", "drain"]`` asks the daemon
+#: to finish in-flight sessions before closing its links.
 CONTROL_SHUTDOWN = "shutdown"
+SHUTDOWN_DRAIN = "drain"
 #: Pair-plane per-session sync record (session-tagged ``c`` frame): each
 #: daemon announces the manifest digest of a freshly submitted session
 #: on every pair link and refuses the session unless the peer's matches.
@@ -412,6 +436,7 @@ class PartyDaemon:
                                if spec.link_auth else None)
         self.engine = ModexpEngine(workers=spec.engine_workers)
         self.engine_warm = False
+        self.randomness = RandomnessService(engine=self.engine)
         self.hubs: dict[str, AsyncTcpTransport] = {}
         self.sessions_run = 0
         self.ready = threading.Event()
@@ -423,6 +448,9 @@ class PartyDaemon:
         self._links_ready: asyncio.Event | None = None
         self._hub_events: dict[str, asyncio.Event] = {}
         self._session_tasks: set[asyncio.Task] = set()
+        self._refill_task: asyncio.Task | None = None
+        self._draining = False
+        self._drain = False
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -437,14 +465,31 @@ class PartyDaemon:
             self.ready.set()  # unblock anyone waiting on startup
             raise
 
-    def stop(self) -> None:
-        """Request teardown from any thread."""
+    def stop(self, drain: bool = False) -> None:
+        """Request teardown from any thread.
+
+        ``drain=True`` is the graceful variant: the daemon stops
+        accepting sessions (submits get a typed ``draining`` rejection),
+        lets every in-flight session coroutine finish, and only then
+        closes its links.  ``drain=False`` cancels in-flight sessions.
+        """
         loop = self._loop
         if loop is not None and self._stop_event is not None:
             try:
-                loop.call_soon_threadsafe(self._stop_event.set)
+                loop.call_soon_threadsafe(self._begin_stop, drain)
             except RuntimeError:
                 pass  # loop already closed
+
+    def _begin_stop(self, drain: bool) -> None:
+        """Loop-thread half of :meth:`stop` (also the shutdown-record
+        path).  A drain request never downgrades to a hard stop, but a
+        hard stop overrides a drain in progress."""
+        self._draining = True
+        if drain:
+            self._drain = True
+        else:
+            self._drain = False
+        self._stop_event.set()
 
     async def serve(self) -> None:
         self._loop = asyncio.get_running_loop()
@@ -463,12 +508,26 @@ class PartyDaemon:
                 None, self.engine.warm_up)
             await self._link_up()
             self._setup_seconds = time.perf_counter() - started
+            self._refill_task = self._loop.create_task(
+                self.randomness.refill_idle())
             self._links_ready.set()
             self.ready.set()
             await self._stop_event.wait()
+            if self._drain and self._session_tasks:
+                # Graceful path: in-flight sessions run to completion
+                # (their reports still reach the clients) while new
+                # submits are rejected with the `draining` code.
+                await asyncio.gather(*list(self._session_tasks),
+                                     return_exceptions=True)
         finally:
+            self._draining = True
             for task in list(self._session_tasks):
                 task.cancel()
+            if self._refill_task is not None:
+                self._refill_task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await self._refill_task
+            self.randomness.close()
             for hub in self.hubs.values():
                 await hub.aclose("daemon stopping")
             server.close()
@@ -673,10 +732,26 @@ class PartyDaemon:
                 if not isinstance(record, list) or not record:
                     return
                 if record[0] == CONTROL_SHUTDOWN:
-                    self._stop_event.set()
+                    drain = (len(record) > 1
+                             and record[1] == SHUTDOWN_DRAIN)
+                    self._begin_stop(drain)
+                    if drain:
+                        # Keep serving this connection: the in-flight
+                        # sessions' reports still flow back to the
+                        # client that requested the drain, and further
+                        # submits get the typed rejection below.
+                        continue
                     return
                 if record[0] != CONTROL_START_SESSION or len(record) != 3:
                     return
+                if self._draining:
+                    await send_record([
+                        CONTROL_SESSION_REJECTED,
+                        _session_id_of(record[1]),
+                        f"daemon {self.name!r} is draining for shutdown "
+                        f"and accepts no new sessions",
+                        REJECT_DRAINING])
+                    continue
                 if (self.spec.max_sessions
                         and len(self._session_tasks)
                         >= self.spec.max_sessions):
@@ -685,7 +760,8 @@ class PartyDaemon:
                         _session_id_of(record[1]),
                         f"daemon {self.name!r} is at its max_sessions "
                         f"cap ({self.spec.max_sessions}); resubmit "
-                        f"when a session finishes"])
+                        f"when a session finishes",
+                        REJECT_CAPACITY])
                     continue
                 task = self._loop.create_task(
                     self._session_task(record[1], record[2], send_record))
@@ -753,21 +829,20 @@ class PartyDaemon:
         self._active.add(manifest.session_id)
 
         state = _SessionState(manifest=manifest, points=points)
-        pool = ThreadPoolExecutor(
-            max_workers=1,
-            thread_name_prefix=f"session-{manifest.session_id[:8]}")
-        executor = make_pass_executor(
-            config.concurrent_peers, config.peer_workers,
-            expected_tasks=max(1, len(manifest.names) - 1))
+        lease = self.randomness.lease(manifest.session_id)
+        lease_report: dict | None = None
+        runtimes: dict[str, PairRuntime] = {}
         try:
             for peer in manifest.peers_of(self.name):
                 view = self.hubs[peer].session(manifest.session_id)
                 state.views[peer] = view
-                state.channels[peer] = MirrorChannel(
+                state.channels[peer] = RestartableMirrorChannel(
                     view.left_name, view.right_name, self.name, view)
+                runtimes[peer] = PairRuntime(state.channels[peer], view,
+                                             lease)
             await self._session_sync(state, digest)
-            await self._loop.run_in_executor(
-                pool, partial(self._build_sessions, state, config))
+            await self._build_sessions(state, config, runtimes)
+            self._register_pools(state, lease)
             setup_seconds = time.perf_counter() - started
 
             view = _SessionMeshView(self.name, state)
@@ -782,19 +857,23 @@ class PartyDaemon:
                 if driver == self.name:
                     labels = await self._drive_pass(
                         state, view, points_view, config, ledger,
-                        executor, pool)
+                        runtimes)
                 else:
-                    await self._respond_pass(state, driver, config, pool)
+                    await self._respond_pass(state, driver, config,
+                                             runtimes)
             finished = time.perf_counter()
+            lease_report = self.randomness.release(manifest.session_id)
             return self._build_report(
                 state, labels, ledger,
                 elapsed=finished - started,
                 passes=finished - passes_started,
                 runtime_info=self._runtime_info(
-                    state, session_index, warm_start, setup_seconds))
+                    state, session_index, warm_start, setup_seconds,
+                    runtimes, lease_report))
         finally:
-            executor.close()
-            pool.shutdown(wait=False)
+            if lease_report is None:
+                with contextlib.suppress(PrecomputeError):
+                    self.randomness.release(manifest.session_id)
             for link_view in state.views.values():
                 link_view.close()
             self._active.discard(manifest.session_id)
@@ -839,8 +918,9 @@ class PartyDaemon:
         await asyncio.gather(*(check(peer, view)
                                for peer, view in state.views.items()))
 
-    def _build_sessions(self, state: _SessionState, config) -> None:
-        """Worker-thread twin of ``PartyProcess.build_sessions``: same
+    async def _build_sessions(self, state: _SessionState, config,
+                              runtimes: dict[str, PairRuntime]) -> None:
+        """Event-loop twin of ``PartyProcess.build_sessions``: same
         global pair order, same key slots, same RNG substreams.
 
         Key material is sealed exactly like the dedicated-process
@@ -848,6 +928,19 @@ class PartyDaemon:
         every peer context is a sealed placeholder whose authentic
         public key arrives over the wire during session setup, pinned
         against the manifest's ``key_digests`` when present.
+
+        The key exchange inside ``SmcSession`` is itself a choreography
+        (sends and receives on the pair channel), so it runs through
+        the restartable runner: an attempt that reaches the peer's
+        announcement before it has arrived unwinds and rebuilds from
+        scratch once the frame lands.  Rebuilding is cheap (the keypair
+        is process-cached after the first session) and deterministic --
+        party RNGs are re-derived from the manifest seeds, so every
+        attempt re-produces byte-identical announcements, which the
+        channel's replay check enforces.  Pairs build sequentially in
+        the same global order on every daemon; each daemon's outbound
+        announcements are produced without waiting on the peer's, so
+        the order admits no circular wait.
         """
         manifest = state.manifest
         provider = SealedKeyProvider(config.smc, self.name,
@@ -859,35 +952,63 @@ class PartyDaemon:
                 continue
             peer = right if self.name == left else left
             channel = state.channels[peer]
-            left_party = Party(channel.left, derive_pair_rng(
-                manifest.seed_of(left), left, left, right,
-                namespace=manifest.rng_namespace))
-            right_party = Party(channel.right, derive_pair_rng(
-                manifest.seed_of(right), right, left, right,
-                namespace=manifest.rng_namespace))
+
+            def build(_ledger, left=left, right=right, channel=channel):
+                left_party = Party(channel.left, derive_pair_rng(
+                    manifest.seed_of(left), left, left, right,
+                    namespace=manifest.rng_namespace))
+                right_party = Party(channel.right, derive_pair_rng(
+                    manifest.seed_of(right), right, left, right,
+                    namespace=manifest.rng_namespace))
+                session = SmcSession(left_party, right_party, config.smc,
+                                     preset_contexts=contexts)
+                return left_party, right_party, session
+
+            left_party, right_party, session = await runtimes[peer].run(
+                build)
             state.parties[peer] = {left: left_party, right: right_party}
-            state.sessions[peer] = SmcSession(
-                left_party, right_party, config.smc,
-                preset_contexts=contexts)
+            state.sessions[peer] = session
+            runtimes[peer].session = session
+
+    def _register_pools(self, state: _SessionState, lease) -> None:
+        """Hand every pair session's pools to the randomness service.
+
+        Registration prefills each pool to the demand the service
+        learned from released sessions under the same keypair -- the
+        cross-session warm start.  The pools themselves (and their
+        factor values) stay session-private.
+        """
+        for session in state.sessions.values():
+            for (actor, owner), pool in session.pools().items():
+                digest = paillier_public_digest(
+                    session.paillier_keys(owner).public_key)
+                lease.register_pool(pool, digest, actor == owner)
 
     async def _drive_pass(self, state: _SessionState, view, points_view,
-                          config, ledger, executor,
-                          pool) -> tuple[int, ...]:
+                          config, ledger,
+                          runtimes: dict[str, PairRuntime],
+                          ) -> tuple[int, ...]:
         manifest = state.manifest
         caches = ({peer: PeerCipherCache()
                    for peer in manifest.peers_of(self.name)}
                   if config.cache_peer_ciphertexts else None)
-        result = await self._loop.run_in_executor(
-            pool, partial(_driver_pass, view, self.name, points_view,
-                          config, manifest.value_bound, ledger, caches,
-                          executor))
+        for peer, runtime in runtimes.items():
+            runtime.cache = caches[peer] if caches is not None else None
+        try:
+            labels, _executor = await drive_pass_async(
+                view, self.name, points_view, config,
+                manifest.value_bound, ledger, caches, runtimes)
+        finally:
+            for runtime in runtimes.values():
+                runtime.cache = None
         end = serialize_message([CONTROL_END_PASS])
         for peer in manifest.peers_of(self.name):
             state.views[peer].send_control(end)
-        return result.as_tuple()
+        return labels.as_tuple()
 
     async def _respond_pass(self, state: _SessionState, driver: str,
-                            config, pool) -> int:
+                            config,
+                            runtimes: dict[str, PairRuntime]) -> int:
         """Serve one remote driver's pass (coroutine twin of
         ``PartyProcess._respond_pass``).
 
@@ -895,53 +1016,65 @@ class PartyDaemon:
         the driver may spend arbitrarily long on its other peers -- and
         costs no thread while parked: a dead peer surfaces through the
         hub's poison, and each announced query runs the unchanged
-        ``_peer_count`` choreography on the session's worker thread.
+        ``_peer_count`` choreography inline through the restartable
+        runner.  The per-attempt ledger is discarded (the responder's
+        disclosure view is the driver's report, not this daemon's).
         """
         manifest = state.manifest
         link = state.views[driver]
         session = state.sessions[driver]
         pair_parties = state.parties[driver]
+        runtime = runtimes[driver]
         cache = (PeerCipherCache() if config.cache_peer_ciphertexts
                  else None)
-        discard = LeakageLedger()
+        runtime.cache = cache
         placeholder = tuple([0] * manifest.dimensions)
         label = f"multiparty/{driver}-{self.name}"
+
+        def serve_query(attempt_ledger: LeakageLedger) -> int:
+            return _peer_count(
+                session, pair_parties[driver], pair_parties[self.name],
+                placeholder, state.points, config, manifest.value_bound,
+                attempt_ledger, cache, label=label)
+
         served = 0
-        while True:
-            raw = await link.next_control()
-            try:
-                record = deserialize_message(raw)
-            except (SerializationError, UnicodeDecodeError) as exc:
-                raise PartyRuntimeError(
-                    f"unreadable control record from {driver!r}: "
-                    f"{exc}") from exc
-            if (not isinstance(record, list) or not record
-                    or record[0] not in (CONTROL_QUERY,
-                                         CONTROL_END_PASS)):
-                raise PartyRuntimeError(
-                    f"malformed control record from {driver!r}: "
-                    f"{record!r}")
-            if record[0] == CONTROL_END_PASS:
-                return served
-            served += 1
-            await self._loop.run_in_executor(
-                pool, partial(_peer_count, session, pair_parties[driver],
-                              pair_parties[self.name], placeholder,
-                              state.points, config, manifest.value_bound,
-                              discard, cache, label=label))
+        try:
+            while True:
+                raw = await link.next_control()
+                try:
+                    record = deserialize_message(raw)
+                except (SerializationError, UnicodeDecodeError) as exc:
+                    raise PartyRuntimeError(
+                        f"unreadable control record from {driver!r}: "
+                        f"{exc}") from exc
+                if (not isinstance(record, list) or not record
+                        or record[0] not in (CONTROL_QUERY,
+                                             CONTROL_END_PASS)):
+                    raise PartyRuntimeError(
+                        f"malformed control record from {driver!r}: "
+                        f"{record!r}")
+                if record[0] == CONTROL_END_PASS:
+                    return served
+                served += 1
+                await runtime.run(serve_query)
+        finally:
+            runtime.cache = None
 
     # -- reporting ---------------------------------------------------------
 
     def _runtime_info(self, state: _SessionState, session_index: int,
-                      warm_start: bool, setup_seconds: float) -> dict:
+                      warm_start: bool, setup_seconds: float,
+                      runtimes: dict[str, PairRuntime] | None = None,
+                      lease_report: dict | None = None) -> dict:
         pool_totals: dict[str, int] = {
             "pregenerated": 0, "consumed": 0, "misses": 0}
         for session in state.sessions.values():
             for report in session.pool_report().values():
                 for key in pool_totals:
                     pool_totals[key] += report.get(key, 0)
-        return {
+        info = {
             "runtime": "daemon",
+            "pass_model": "async-restartable",
             "session_index": session_index,
             "warm_start": warm_start,
             "engine_warm": self.engine_warm,
@@ -949,7 +1082,18 @@ class PartyDaemon:
             "daemon_setup_seconds": round(self._setup_seconds, 6),
             "setup_seconds": round(setup_seconds, 6),
             "pool": pool_totals,
+            # The scale-out observable: loop + engine machinery only,
+            # independent of how many sessions run concurrently.
+            "thread_count": threading.active_count(),
         }
+        if runtimes is not None:
+            info["restarts"] = sum(rt.restarts for rt in runtimes.values())
+        if lease_report is not None:
+            info["randomness"] = {
+                "lease": lease_report,
+                "service": self.randomness.report(),
+            }
+        return info
 
     def _build_report(self, state: _SessionState, labels, ledger, *,
                       elapsed: float, passes: float,

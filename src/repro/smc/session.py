@@ -236,7 +236,23 @@ class SmcSession:
             self._make_context(self.bob, slot=1),
         }
         self._exchange_public_keys()
+        # Every (actor, key_owner) pool is created eagerly, in fixed
+        # order, each with its own RNG stream *forked* from the actor's
+        # protocol RNG at this pinned point.  The fork is what makes
+        # pool refills timing-invariant: a pool filled in the
+        # background (the daemon's RandomnessService), filled up front,
+        # or filled on demand produces the same factor sequence,
+        # because pool draws no longer interleave with the party's
+        # protocol coin draws.  Pooling therefore only reorders work in
+        # time -- the bit-identity contract across runtimes holds
+        # whatever the refill schedule.
         self._pools: dict[tuple[str, str], RandomnessPool] = {}
+        if self.config.precompute:
+            for actor in (self.alice, self.bob):
+                for owner in (self.alice, self.bob):
+                    self._pools[(actor.name, owner.name)] = RandomnessPool(
+                        self._contexts[owner.name].paillier.public_key,
+                        random.Random(actor.rng.getrandbits(128)))
         self.engine: ModexpEngine = self.config.engine or default_engine()
         alice_ctx = self._contexts[self.alice.name]
         bob_ctx = self._contexts[self.bob.name]
@@ -330,22 +346,19 @@ class SmcSession:
         """Randomness pool for ``actor`` encrypting under ``key_owner``'s key.
 
         Pools are keyed by both coordinates because each party draws its
-        encryption randomness from its *own* RNG, but may encrypt under
-        either Paillier key (e.g. DGK blinding happens under the key
-        holder's key).  Lazily created; ``None`` when ``precompute`` is
-        disabled, which every pooled primitive treats as "generate
-        fresh".
+        encryption randomness from its *own* forked pool stream, but may
+        encrypt under either Paillier key (e.g. DGK blinding happens
+        under the key holder's key).  All four pools exist from session
+        construction (see ``__post_init__``); ``None`` when
+        ``precompute`` is disabled, which every pooled primitive treats
+        as "generate fresh".
         """
         if not self.config.precompute:
             return None
         actor_name = actor if isinstance(actor, str) else actor.name
         owner_name = key_owner if isinstance(key_owner, str) else key_owner.name
-        key = (self.party(actor_name).name, self.party(owner_name).name)
-        if key not in self._pools:
-            self._pools[key] = RandomnessPool(
-                self.paillier_keys(key[1]).public_key,
-                self.party(key[0]).rng)
-        return self._pools[key]
+        return self._pools[(self.party(actor_name).name,
+                            self.party(owner_name).name)]
 
     def precompute_pools(self, factors: "int | dict") -> None:
         """Offline phase: pregenerate encryption/rerandomization factors.
@@ -373,6 +386,12 @@ class SmcSession:
         """Per-pool accounting: pregenerated/consumed/misses/available."""
         return {key: pool.report()
                 for key, pool in sorted(self._pools.items())}
+
+    def pools(self) -> dict[tuple[str, str], RandomnessPool]:
+        """The live pool objects, keyed ``(actor, key_owner)`` in fixed
+        creation order -- what the daemon's randomness service registers
+        under a session lease."""
+        return dict(self._pools)
 
     # -- protocol entry points ----------------------------------------------
 

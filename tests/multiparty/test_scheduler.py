@@ -287,7 +287,8 @@ class TestExecutorUnit:
             assert executor._pool is first_pool
             assert first_threads <= set(first_pool._threads)
             assert first_pool._max_workers == 4
-            # Shrinking passes never touch the pool either.
+            # A single shrinking pass never touches the pool (two
+            # consecutive ones narrow it -- see TestPoolShrink).
             executor.run_pass(make_tasks(2))
             assert executor._pool is first_pool
         finally:
@@ -326,3 +327,138 @@ class TestPairRngDerivation:
     def test_unseeded_stays_nondeterministic(self):
         assert derive_pair_rng(None, "a", "a", "b").random() \
             != derive_pair_rng(None, "a", "a", "b").random()
+
+
+def _noop_tasks(count):
+    return [PeerQuery(peer=f"p{i}", run=lambda ledger: 1)
+            for i in range(count)]
+
+
+class TestPoolShrink:
+    """The satellite fix: a pool sized for a wide pass no longer holds
+    its surplus threads for the session's whole lifetime."""
+
+    def test_two_underused_passes_narrow_the_pool(self):
+        executor = ConcurrentPassExecutor(expected_tasks=4)
+        try:
+            executor.run_pass(_noop_tasks(4))
+            wide_pool = executor._pool
+            assert executor._pool_workers == 4
+
+            executor.run_pass(_noop_tasks(2))
+            # Hysteresis: one under-used pass only records the surplus.
+            assert executor._pool is wide_pool
+            assert executor.idle_workers == 2
+            assert executor.shrinks == 0
+
+            executor.run_pass(_noop_tasks(2))
+            assert executor._pool is not wide_pool
+            assert executor._pool_workers == 2
+            assert executor.shrinks == 1
+            assert executor.idle_workers == 0
+            # The sizing hint follows, so the next pass cannot regrow
+            # the pool right back to the overshoot.
+            assert executor.expected_tasks == 2
+            executor.run_pass(_noop_tasks(2))
+            assert executor._pool_workers == 2
+            assert executor.shrinks == 1
+        finally:
+            executor.close()
+
+    def test_recovered_demand_resets_the_streak(self):
+        executor = ConcurrentPassExecutor(expected_tasks=4)
+        try:
+            executor.run_pass(_noop_tasks(4))
+            executor.run_pass(_noop_tasks(2))    # surplus pass 1
+            executor.run_pass(_noop_tasks(4))    # full again: reset
+            assert executor.idle_workers == 0
+            executor.run_pass(_noop_tasks(2))    # surplus pass 1 again
+            assert executor.shrinks == 0
+            assert executor._pool_workers == 4
+        finally:
+            executor.close()
+
+    def test_pool_closes_when_demand_stays_zero(self):
+        executor = ConcurrentPassExecutor()
+        try:
+            executor.run_pass(_noop_tasks(3))
+            assert executor._pool is not None
+            # Single-task passes run inline: zero pool demand.
+            executor.run_pass(_noop_tasks(1))
+            executor.run_pass(_noop_tasks(1))
+            assert executor._pool is None
+            assert executor._pool_workers == 0
+            assert executor.expected_tasks is None
+            # Later wide passes still work -- the pool comes back.
+            assert [outcome.count
+                    for outcome in executor.run_pass(_noop_tasks(3))] \
+                == [1, 1, 1]
+            assert executor._pool_workers == 3
+        finally:
+            executor.close()
+
+
+class TestPrepareHook:
+    def test_prepare_fires_once_before_run(self):
+        calls = []
+
+        def make_task(name):
+            def run(ledger):
+                calls.append(("run", name))
+                return 0
+            return PeerQuery(peer=name, run=run,
+                             prepare=lambda: calls.append(
+                                 ("prepare", name)))
+
+        SequentialPassExecutor().run_pass(
+            [make_task("p0"), make_task("p1")])
+        assert calls == [("prepare", "p0"), ("run", "p0"),
+                         ("prepare", "p1"), ("run", "p1")]
+
+
+class TestAsyncPassExecutor:
+    def test_run_pass_is_refused(self):
+        from repro.multiparty.scheduler import AsyncPassExecutor
+
+        executor = AsyncPassExecutor(lambda task, ledger: None)
+        with pytest.raises(SchedulerError, match="run_pass_async"):
+            executor.run_pass(_noop_tasks(2))
+
+    def test_outcomes_in_task_order_and_prepare_once_per_task(self):
+        """Even when the injected runner re-executes a task's ``run``
+        (the restartable path), ``prepare`` fires exactly once."""
+        import asyncio
+
+        from repro.multiparty.scheduler import AsyncPassExecutor
+
+        calls = []
+
+        def make_task(name, clock):
+            def run(ledger):
+                calls.append(("run", name))
+                return ord(name[-1])
+            return PeerQuery(peer=name, run=run,
+                             prepare=lambda: calls.append(
+                                 ("prepare", name)),
+                             simulated_clock=clock)
+
+        async def run_query(task, ledger):
+            await asyncio.sleep(0)
+            task.run(ledger)       # first attempt, restarted
+            return task.run(ledger)
+
+        clocks = {"p0": iter([0.0, 3.0]).__next__,
+                  "p1": iter([0.0, 5.0]).__next__}
+        executor = AsyncPassExecutor(run_query)
+        tasks = [make_task("p0", clocks["p0"]),
+                 make_task("p1", clocks["p1"])]
+        outcomes = asyncio.run(executor.run_pass_async(tasks))
+        assert [outcome.peer for outcome in outcomes] == ["p0", "p1"]
+        assert [outcome.count for outcome in outcomes] \
+            == [ord("0"), ord("1")]
+        assert calls.count(("prepare", "p0")) == 1
+        assert calls.count(("prepare", "p1")) == 1
+        assert calls.count(("run", "p0")) == 2
+        # The pass charges the slowest overlapping link, not the sum.
+        assert executor.simulated_seconds == pytest.approx(5.0)
+        assert asyncio.run(executor.run_pass_async([])) == []

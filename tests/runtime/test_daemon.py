@@ -277,3 +277,136 @@ class TestDaemonCli:
         assert proc.stdout.count("labels=") == 2
         assert "MISMATCH" not in proc.stdout
         assert "warm_start=True" in proc.stdout
+
+
+@pytest.mark.sockets
+class TestDaemonScaleOut:
+    def test_sixty_four_concurrent_sessions_with_flat_thread_count(self):
+        """The PR-9 acceptance bar: 64 sessions in flight on one 3-party
+        mesh, every one bit-identical to the single-session reference,
+        with the process's thread count independent of session count
+        (the restartable pass model runs sessions as coroutines, not
+        threads)."""
+        by_party = workload(3)
+        seeds = [31, 32, 33]
+        config = make_config()
+        reference, digests = reference_run(by_party, config, seeds)
+        ports = spec_ports(by_party)
+        with DaemonFleet(list(by_party), net_delay_s=0.001,
+                         timeout_s=120.0) as fleet:
+            with fleet.client() as client:
+                handles = [
+                    client.submit(
+                        build_manifest(by_party, config, seeds,
+                                       session_id=f"scale-{index:02d}",
+                                       ports=ports),
+                        by_party)
+                    for index in range(64)]
+                runs = [handle.result(600) for handle in handles]
+        infos = [run.reports["p0"].runtime_info for run in runs]
+        for run in runs:
+            assert_matches_reference(run, reference, digests)
+        assert sorted(info["session_index"] for info in infos) \
+            == list(range(64))
+        assert all(info["pass_model"] == "async-restartable"
+                   for info in infos)
+        # Thread flatness: reports are built at every stage of the
+        # burst (1 in flight .. 64 in flight), so a per-session thread
+        # would show up as a spread of dozens here.
+        threads = [info["thread_count"] for info in infos]
+        assert max(threads) - min(threads) <= 4, threads
+        # The coroutines genuinely parked mid-query (frames not yet
+        # arrived), exercising the restartable path.
+        assert sum(info["restarts"] for info in infos) > 0
+
+    def test_submit_wave_isolates_coin_streams(self):
+        """``submit_wave`` fans one manifest out under derived
+        namespaces: each copy matches its namespace-matched serial
+        reference, and the copies' transcripts differ."""
+        by_party = workload(3)
+        seeds = [31, 32, 33]
+        config = make_config()
+        manifest = build_manifest(by_party, config, seeds,
+                                  session_id="wave",
+                                  ports=spec_ports(by_party))
+        with DaemonFleet(list(by_party)) as fleet:
+            with fleet.client() as client:
+                handles = client.submit_wave(manifest, by_party, 3)
+                runs = [handle.result(240) for handle in handles]
+        assert [run.manifest.session_id for run in runs] \
+            == ["wave-w00", "wave-w01", "wave-w02"]
+        digest_sets = set()
+        for run in runs:
+            reference, digests = reference_run(
+                by_party, config, seeds,
+                rng_namespace=run.manifest.rng_namespace)
+            assert_matches_reference(run, reference, digests)
+            digest_sets.add(frozenset(digests.items()))
+        assert len(digest_sets) == 3
+
+
+@pytest.mark.sockets
+class TestDaemonDrain:
+    def test_drain_finishes_in_flight_and_rejects_new_sessions(self):
+        by_party = workload(3)
+        seeds = [31, 32, 33]
+        config = make_config()
+        reference, digests = reference_run(by_party, config, seeds)
+        ports = spec_ports(by_party)
+        with DaemonFleet(list(by_party), net_delay_s=0.002) as fleet:
+            with fleet.client() as client:
+                running = client.submit(
+                    build_manifest(by_party, config, seeds,
+                                   session_id="drain-inflight",
+                                   ports=ports),
+                    by_party)
+                client.shutdown_mesh(drain=True)
+                late = client.submit(
+                    build_manifest(by_party, config, seeds,
+                                   session_id="drain-late", ports=ports),
+                    by_party)
+                with pytest.raises(SessionClientError,
+                                   match=r"rejected \(draining\)"):
+                    late.result(120)
+                run = running.result(240)
+        # The drained session is a full-fidelity session, not a rush.
+        assert_matches_reference(run, reference, digests)
+
+    def test_hard_shutdown_still_tears_down(self):
+        by_party = workload(2)
+        with DaemonFleet(list(by_party)) as fleet:
+            with fleet.client() as client:
+                client.shutdown_mesh()
+            for member in fleet._members:
+                member.thread.join(10)
+                assert not member.thread.is_alive()
+
+
+@pytest.mark.sockets
+class TestRandomnessServiceAcrossSessions:
+    def test_later_sessions_start_warm_from_learned_demand(self):
+        """Session 0 misses its way through (cold pools, no demand
+        model); once released, the service prefills session 1's pools
+        to the observed demand -- hit rate goes from 0 to 100%."""
+        by_party = workload(3)
+        seeds = [31, 32, 33]
+        config = make_config()
+        with DaemonFleet(list(by_party)) as fleet:
+            with fleet.client() as client:
+                runs = [run_via_daemons(by_party, config, seeds,
+                                        client=client,
+                                        session_id=f"svc-{index}",
+                                        timeout=120)
+                        for index in range(3)]
+        leases = [run.reports["p0"].runtime_info["randomness"]["lease"]
+                  for run in runs]
+        assert leases[0]["consumed"] > 0
+        assert leases[0]["misses"] == leases[0]["consumed"]
+        assert leases[0]["prefilled"] == 0
+        for lease in leases[1:]:
+            assert lease["misses"] == 0
+            assert lease["hits"] == lease["consumed"] > 0
+            assert lease["prefilled"] >= lease["consumed"]
+        service = runs[-1].reports["p0"].runtime_info["randomness"]
+        assert service["service"]["sessions_served"] >= 2
+        assert service["service"]["factors_prefilled"] > 0
