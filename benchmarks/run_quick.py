@@ -72,6 +72,19 @@ compare against.  The ablations ride along:
   session 0 pays cold pool misses, every later session is prefilled
   from the learned demand so its hit rate must improve.
 
+- **obs_overhead** (PR 10): the unified observability layer's cost on
+  the resident daemon mesh.  Two otherwise-identical arms run the same
+  sessions serially -- one with the metrics registry disabled and no
+  tracer (the null-instrument fast path), one with metrics enabled
+  *and* per-party span traces written to disk -- and both are verified
+  bit-identical to the in-process reference (observation never feeds
+  back into the protocol).  The instrumented arm also pulls a live
+  ``get_metrics`` snapshot from every daemon and checks the trace files
+  exist; the weekly CI run fails if the arms' observables diverge or
+  the instrumented arm costs more than
+  :data:`OBS_OVERHEAD_TOLERANCE` extra wall-clock (median of
+  interleaved batch pairs, to keep shared-box jitter out of the gate).
+
 - **link_auth** (PR 8): the orchestrated loopback-TCP run with plain
   frames vs per-frame HMAC-SHA256 link authentication under a PSK
   (which also runs sealed per-party keys end to end: each process
@@ -119,7 +132,7 @@ from repro.net.transport import TransportSpec
 from repro.smc.session import SmcConfig, SmcSession
 
 RESULTS_PATH = (pathlib.Path(__file__).parent / "results"
-                / "BENCH_PR9.json")
+                / "BENCH_PR10.json")
 
 MIN_EXPECTED_SPEEDUP = 3.0
 MIN_EXPECTED_MESH_SPEEDUP = 2.0
@@ -139,6 +152,17 @@ SESSION_SCALEOUT_THREAD_SPREAD = 4
 PR7_SESSION_THROUGHPUT_C8 = 2.455
 OFFLINE_SCALING_FACTORS = 600
 OFFLINE_SCALING_WORKERS = (1, 2, 4)
+OBS_OVERHEAD_SESSIONS = 4
+OBS_OVERHEAD_BATCHES = 8
+OBS_OVERHEAD_DELAY_S = 0.005
+# Wall-clock the fully instrumented arm may cost over the disabled arm.
+# The budget the observability layer is designed to: counter bumps on
+# cached instruments plus one JSONL line per span, against sessions
+# dominated by crypto and (simulated) link latency.  Single-shot wall
+# clocks on a shared CI box swing more than the overhead itself, so
+# the arms interleave OBS_OVERHEAD_BATCHES batches and the gate is the
+# median of the per-batch-pair ratios.
+OBS_OVERHEAD_TOLERANCE = 0.05
 LATENCY_SWEEP_MS = (5.0, 20.0, 50.0)
 LATENCY_SWEEP_PARTIES = (3, 4)
 
@@ -858,6 +882,98 @@ def _session_scaleout_ablation() -> dict:
     }
 
 
+def _obs_overhead_ablation() -> dict:
+    """Metrics + tracing on vs off on the resident daemon mesh (PR 10).
+
+    A disabled fleet and a fully instrumented fleet stand side by side,
+    and :data:`OBS_OVERHEAD_BATCHES` batches of
+    :data:`OBS_OVERHEAD_SESSIONS` serial sessions alternate between
+    them under :data:`OBS_OVERHEAD_DELAY_S` simulated link latency.
+    The gate is the median of the per-batch-pair on/off ratios.
+    Interleaving plus a median of paired ratios is deliberate:
+    single-shot wall clocks on a shared CI box swing more than the
+    overhead being measured, interleaving makes machine-load drift hit
+    both arms alike, and the median shrugs off a single batch that a
+    GC pause or CPU-steal spike made slow.  The powmod memo is warmed
+    by a discarded priming batch on each fleet so neither arm pays the
+    one-time fill.  The instrumented arm writes span traces for every
+    daemon and answers a live ``get_metrics`` snapshot; the disabled
+    arm exercises the shared null-instrument path the hot loops keep a
+    reference to.  Observables must stay bit-identical between the
+    arms and against the in-process reference -- the observability
+    layer is read-only by design.
+    """
+    import contextlib
+    import statistics
+    import tempfile
+
+    from repro.runtime.client import DaemonFleet, SessionClient
+    from repro.runtime.orchestrator import build_manifest
+
+    (points, seeds, config, names, reference,
+     reference_digests, ports) = _daemon_bench_workload()
+    identical = True
+
+    def run_batch(client, tag: str, batch: int) -> float:
+        nonlocal identical
+        started = time.perf_counter()
+        for index in range(OBS_OVERHEAD_SESSIONS):
+            manifest = build_manifest(
+                points, config, seeds,
+                session_id=f"obs-{tag}-{batch}-{index:02d}", ports=ports)
+            run = client.run(manifest, points, 120)
+            identical = identical and (
+                run.result.labels_by_party == reference.labels_by_party
+                and run.result.ledger.events == reference.ledger.events
+                and run.result.comparisons == reference.comparisons
+                and run.transcript_digests == reference_digests)
+        return time.perf_counter() - started
+
+    with contextlib.ExitStack() as stack:
+        traces = stack.enter_context(
+            tempfile.TemporaryDirectory(prefix="repro-obs-bench-"))
+        arms = {}
+        for tag, metrics_enabled, trace_dir in (
+                ("off", False, None), ("on", True, traces)):
+            fleet = stack.enter_context(DaemonFleet(
+                names, net_delay_s=OBS_OVERHEAD_DELAY_S,
+                metrics_enabled=metrics_enabled, trace_dir=trace_dir))
+            arms[tag] = stack.enter_context(SessionClient(fleet.spec))
+        for tag, client in arms.items():
+            run_batch(client, f"{tag}-warm", 0)
+        seconds = {tag: [] for tag in arms}
+        for batch in range(OBS_OVERHEAD_BATCHES):
+            for tag, client in arms.items():
+                seconds[tag].append(run_batch(client, tag, batch))
+        snapshots = arms["on"].get_metrics(timeout=30)
+        expected = (OBS_OVERHEAD_BATCHES + 1) * OBS_OVERHEAD_SESSIONS
+        snapshot_ok = set(snapshots) == set(names) and all(
+            snap.get("enabled")
+            and snap["gauges"].get("repro_sessions_run") == expected
+            for snap in snapshots.values())
+        trace_files = sorted(path.name for path
+                             in pathlib.Path(traces).glob("*.jsonl"))
+
+    ratios = [on / off for on, off in zip(seconds["on"], seconds["off"])]
+    overhead = statistics.median(ratios) - 1.0
+    return {
+        "sessions_per_batch": OBS_OVERHEAD_SESSIONS,
+        "batches_per_arm": OBS_OVERHEAD_BATCHES,
+        "net_delay_ms": OBS_OVERHEAD_DELAY_S * 1000,
+        "disabled_wall_clock_s": round(sum(seconds["off"]), 4),
+        "instrumented_wall_clock_s": round(sum(seconds["on"]), 4),
+        "overhead_frac": round(overhead, 4),
+        "overhead_tolerance": OBS_OVERHEAD_TOLERANCE,
+        "observables_bit_identical": identical,
+        "metrics_snapshot_ok": snapshot_ok,
+        "trace_files": trace_files,
+        "notes": "interleaved batches on side-by-side fleets; "
+                 "overhead_frac is the median per-batch-pair on/off "
+                 "ratio; wall clocks are per-arm totals; a discarded "
+                 "priming batch warms each fleet first",
+    }
+
+
 def _offline_scaling_ablation() -> dict:
     """Pool-fill wall-clock: serial refill vs engine workers 1/2/4.
 
@@ -934,12 +1050,13 @@ def main() -> int:
     session_throughput = _session_throughput_ablation()
     session_scaleout = _session_scaleout_ablation()
     link_auth = _link_auth_ablation()
+    obs_overhead = _obs_overhead_ablation()
     payload = {
-        "pr": 9,
+        "pr": 10,
         "description": "quick fixed-workload perf snapshot "
-                       "(message-granularity async passes and the "
-                       "shared randomness service on the resident "
-                       "daemon mesh)",
+                       "(unified observability layer: metrics "
+                       "registry, span tracing, and live daemon "
+                       "introspection on the resident mesh)",
         "horizontal": horizontal,
         "multiparty": multiparty,
         "offline_scaling": offline,
@@ -949,6 +1066,7 @@ def main() -> int:
         "session_throughput": session_throughput,
         "session_scaleout": session_scaleout,
         "link_auth": link_auth,
+        "obs_overhead": obs_overhead,
         "enhanced": _enhanced_quick(),
         "vertical": _vertical_quick(),
     }
@@ -1024,6 +1142,25 @@ def main() -> int:
         print("FAIL: sequential sessions did not warm up -- the "
               "randomness service's learned demand should prefill "
               "every session after the first", file=sys.stderr)
+        failed = True
+    if not obs_overhead["observables_bit_identical"]:
+        print("FAIL: an instrumented (or instrumentation-disabled) "
+              "session diverged from the in-process reference -- "
+              "observability must be read-only", file=sys.stderr)
+        failed = True
+    if not obs_overhead["metrics_snapshot_ok"]:
+        print("FAIL: a daemon's live get_metrics snapshot was missing "
+              "or did not account every session", file=sys.stderr)
+        failed = True
+    if not obs_overhead["trace_files"]:
+        print("FAIL: the instrumented arm wrote no span trace files",
+              file=sys.stderr)
+        failed = True
+    if obs_overhead["overhead_frac"] >= OBS_OVERHEAD_TOLERANCE:
+        print(f"FAIL: full instrumentation cost "
+              f"{obs_overhead['overhead_frac']:.1%} wall-clock, over "
+              f"the {OBS_OVERHEAD_TOLERANCE:.0%} budget",
+              file=sys.stderr)
         failed = True
     for arm in ("auth_off", "auth_on"):
         if not link_auth[arm]["observables_bit_identical"]:

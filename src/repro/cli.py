@@ -12,6 +12,8 @@ Usage::
     python -m repro serve --spec /tmp/mesh.json --party party0
     python -m repro submit --spec /tmp/mesh.json --sessions 4 --verify
     python -m repro submit --spec /tmp/mesh.json --concurrency 32
+    python -m repro stats --spec /tmp/mesh.json
+    python -m repro trace summarize --trace-dir /tmp/traces
 
 ``orchestrate`` runs the k-party mesh as *real OS processes* over
 loopback TCP (spawning one ``repro party`` subprocess per data holder);
@@ -26,6 +28,11 @@ alive per terminal (persistent pair links, warmed crypto engine), and
 -- interleaved over the same connections -- and merges the reports.
 ``submit --spawn`` runs the daemons as background subprocesses for a
 one-command demo.
+
+``stats`` asks every daemon of a standing mesh for a live metrics
+snapshot over the client control plane; ``trace summarize`` folds the
+span files a ``--trace-dir`` run wrote into per-session critical-path
+breakdowns.
 
 The CLI exists for downstream users who want to see the protocols run
 before writing code; everything it does is a thin wrapper over the
@@ -166,6 +173,10 @@ def build_parser() -> argparse.ArgumentParser:
                                   "party link with per-frame HMACs "
                                   "(prefer the REPRO_PSK environment "
                                   "variable over argv on shared hosts)")
+    orchestrate.add_argument("--trace-dir", default=None,
+                             help="write one structured span trace per "
+                                  "party to <dir>/<party>.jsonl (inspect "
+                                  "with 'repro trace summarize')")
 
     mesh_spec = commands.add_parser(
         "mesh-spec",
@@ -209,6 +220,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="listen address override (e.g. 0.0.0.0 to "
                             "accept cross-machine dials while the spec "
                             "advertises this daemon's routable host)")
+    serve.add_argument("--trace-dir", default=None,
+                       help="write this daemon's structured span trace "
+                            "to <dir>/<party>.jsonl (falls back to "
+                            "REPRO_TRACE_DIR)")
 
     submit = commands.add_parser(
         "submit",
@@ -247,6 +262,36 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--psk", default=None,
                         help="pre-shared key for --link-auth meshes "
                              "(falls back to REPRO_PSK)")
+    submit.add_argument("--trace-dir", default=None,
+                        help="with --spawn: every spawned daemon writes "
+                             "its structured span trace to "
+                             "<dir>/<party>.jsonl")
+
+    stats = commands.add_parser(
+        "stats",
+        help="ask every daemon of a standing mesh for a live metrics "
+             "snapshot (sessions, restarts, pool hit rate, per-pair "
+             "frames/bytes)")
+    stats.add_argument("--spec", required=True,
+                       help="mesh spec JSON from 'repro mesh-spec'")
+    stats.add_argument("--psk", default=None,
+                       help="pre-shared key for --link-auth meshes "
+                            "(falls back to REPRO_PSK)")
+    stats.add_argument("--json", action="store_true",
+                       help="print the raw per-daemon snapshots as JSON "
+                            "instead of the summary")
+    stats.add_argument("--timeout", type=float, default=None,
+                       help="seconds to wait for every daemon's reply "
+                            "(default: the spec's session timeout)")
+
+    trace = commands.add_parser(
+        "trace",
+        help="analyze structured span traces from a --trace-dir run")
+    trace.add_argument("action", choices=("summarize",),
+                       help="summarize: per-session critical-path "
+                            "breakdown across parties and passes")
+    trace.add_argument("--trace-dir", required=True,
+                       help="directory of <party>.jsonl span files")
 
     party = commands.add_parser(
         "party",
@@ -293,6 +338,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve(args)
     if args.command == "submit":
         return _run_submit(args)
+    if args.command == "stats":
+        return _run_stats(args)
+    if args.command == "trace":
+        return _run_trace(args)
     return 2  # unreachable: argparse enforces the choices
 
 
@@ -450,7 +499,8 @@ def _run_orchestrate(args) -> int:
                               faults=args.faults,
                               retry_budget=args.retry_budget,
                               keep_run_dir=args.keep_run_dir,
-                              psk=_resolve_psk(args))
+                              psk=_resolve_psk(args),
+                              trace_dir=args.trace_dir)
     except OrchestrationError as exc:
         print(f"orchestration failed: {exc}", file=sys.stderr)
         for failure in exc.failures:
@@ -545,14 +595,16 @@ def _run_mesh_spec(args) -> int:
 
 
 def _run_serve(args) -> int:
+    import os
     import pathlib
     import signal
 
     from repro.runtime.daemon import MeshSpec, PartyDaemon
 
     spec = MeshSpec.from_json(pathlib.Path(args.spec).read_text())
+    trace_dir = args.trace_dir or os.environ.get("REPRO_TRACE_DIR") or None
     daemon = PartyDaemon(spec, args.party_name, psk=_resolve_psk(args),
-                         bind_host=args.bind_host)
+                         bind_host=args.bind_host, trace_dir=trace_dir)
     interrupts = 0
 
     def _on_interrupt(signum, frame) -> None:
@@ -611,7 +663,8 @@ def _run_submit(args) -> int:
     fleet = None
     if args.spawn:
         names = tuple(f"party{index}" for index in range(args.parties))
-        fleet = DaemonFleet(names, mode="process", psk=psk).start()
+        fleet = DaemonFleet(names, mode="process", psk=psk,
+                            trace_dir=args.trace_dir).start()
         spec = fleet.spec
     else:
         spec = MeshSpec.from_json(pathlib.Path(args.spec).read_text())
@@ -666,6 +719,82 @@ def _run_submit(args) -> int:
     finally:
         if fleet is not None:
             fleet.stop()
+
+
+def _run_stats(args) -> int:
+    import json
+    import pathlib
+
+    from repro.runtime.client import SessionClient, SessionClientError
+    from repro.runtime.daemon import MeshSpec
+
+    spec = MeshSpec.from_json(pathlib.Path(args.spec).read_text())
+    try:
+        with SessionClient(spec, psk=_resolve_psk(args)) as client:
+            snapshots = client.get_metrics(timeout=args.timeout)
+    except SessionClientError as exc:
+        print(f"stats failed: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(snapshots, indent=2, sort_keys=True))
+        return 0
+    for party in sorted(snapshots):
+        _print_daemon_stats(party, snapshots[party])
+    return 0
+
+
+def _print_daemon_stats(party: str, snapshot: dict) -> None:
+    from repro.obs.metrics import parse_series_key
+
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+
+    def total(name: str) -> float:
+        return sum(value for key, value in counters.items()
+                   if parse_series_key(key)[0] == name)
+
+    def level(name: str, **labels) -> float:
+        from repro.obs.metrics import series_key
+        return gauges.get(series_key(name, labels), 0)
+
+    consumed = level("repro_randomness", stat="factors_consumed")
+    hits = level("repro_randomness", stat="factors_hit")
+    hit_rate = f"{hits / consumed:.1%}" if consumed else "n/a"
+    print(f"{party}: sessions run={level('repro_sessions_run'):g} "
+          f"active={level('repro_sessions_active'):g} "
+          f"admitted={total('repro_sessions_admitted_total'):g} "
+          f"completed={total('repro_sessions_completed_total'):g} "
+          f"failed={total('repro_sessions_failed_total'):g} "
+          f"rejected={total('repro_sessions_rejected_total'):g}")
+    print(f"  restarts={total('repro_restarts_total'):g}  "
+          f"pool hit rate {hit_rate} ({hits:g}/{consumed:g})  "
+          f"threads={level('repro_daemon_threads'):g}")
+    links: dict[str, dict[str, float]] = {}
+    for key, value in counters.items():
+        name, labels = parse_series_key(key)
+        if name not in ("repro_link_frames_total", "repro_link_bytes_total"):
+            continue
+        entry = links.setdefault(labels.get("pair", "?"), {
+            "frames_out": 0, "frames_in": 0, "bytes_out": 0, "bytes_in": 0})
+        unit = "frames" if name == "repro_link_frames_total" else "bytes"
+        entry[f"{unit}_{labels.get('dir', 'out')}"] += value
+    for pair in sorted(links):
+        entry = links[pair]
+        print(f"  link {pair}: out {entry['frames_out']:g} frames / "
+              f"{entry['bytes_out']:g} bytes, in {entry['frames_in']:g} "
+              f"frames / {entry['bytes_in']:g} bytes")
+
+
+def _run_trace(args) -> int:
+    from repro.obs.trace import format_trace_summary, summarize_trace_dir
+
+    summary = summarize_trace_dir(args.trace_dir)
+    if not summary["sessions"]:
+        print(f"no session spans found under {args.trace_dir}",
+              file=sys.stderr)
+        return 1
+    print(format_trace_summary(summary), end="")
+    return 0
 
 
 def _verify_daemon_run(run, by_party, config, seeds) -> bool:

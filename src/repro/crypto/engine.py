@@ -113,6 +113,10 @@ class ModexpEngine:
         self.parallel_modexps = 0
         self.fallbacks = 0
         self.warmups = 0
+        # Shard-utilization accounting: chunks actually dispatched vs
+        # the slots a perfectly even split would fill.
+        self.chunks = 0
+        self.chunk_slots = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -177,7 +181,7 @@ class ModexpEngine:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def report(self) -> dict[str, int]:
+    def report(self) -> dict[str, int | float]:
         """Execution accounting for benchmarks and the CLI summary.
 
         ``jobs`` counts *logical* items handed to the engine (one per
@@ -186,6 +190,8 @@ class ModexpEngine:
         modexp jobs actually executed on workers (CRT decryption runs
         two per ciphertext), so the two are deliberately not comparable.
         """
+        with self._lock:
+            chunks, slots = self.chunks, self.chunk_slots
         return {
             "workers": self.workers,
             "batches": self.batches,
@@ -194,6 +200,10 @@ class ModexpEngine:
             "parallel_modexps": self.parallel_modexps,
             "fallbacks": self.fallbacks,
             "warmups": self.warmups,
+            "chunks": chunks,
+            "chunk_slots": slots,
+            "chunk_utilization": (round(chunks / slots, 4)
+                                  if slots else 0.0),
         }
 
     # -- core executor -----------------------------------------------------
@@ -245,6 +255,8 @@ class ModexpEngine:
         with self._lock:
             self.parallel_batches += 1
             self.parallel_modexps += len(jobs)
+            self.chunks += len(shards)
+            self.chunk_slots += self.workers * self.shards_per_worker
         return results
 
     # -- high-level operations --------------------------------------------

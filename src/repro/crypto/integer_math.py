@@ -32,6 +32,23 @@ def cached_pow(base: int, exponent: int, modulus: int) -> int:
     return pow(base, exponent, modulus)
 
 
+def powmod_cache_report() -> dict[str, int]:
+    """Hit/miss/eviction accounting for the :func:`cached_pow` memo.
+
+    ``evictions`` is derived: every miss inserts one entry, so entries
+    beyond ``currsize`` were pushed out by the LRU bound.  Feeds the
+    daemon's metrics collector and the ``repro stats`` summary.
+    """
+    info = cached_pow.cache_info()
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "size": info.currsize,
+        "maxsize": info.maxsize or 0,
+        "evictions": max(0, info.misses - info.currsize),
+    }
+
+
 def egcd(a: int, b: int) -> tuple[int, int, int]:
     """Extended Euclidean algorithm.
 

@@ -301,6 +301,10 @@ class RandomnessService:
         self.sessions_served = 0
         self.factors_prefilled = 0
         self.factors_background = 0
+        # Lifetime consumption totals folded in at lease release -- the
+        # single source for the daemon-wide pool hit rate.
+        self.factors_consumed = 0
+        self.factors_missed = 0
         self.table_builds = 0
         self.table_hits = 0
         self._closed = False
@@ -328,7 +332,10 @@ class RandomnessService:
         self.sessions_served += 1
         self.factors_prefilled += grant.prefilled
         self.factors_background += grant.background_refilled
-        return grant.hit_report()
+        report = grant.hit_report()
+        self.factors_consumed += report["consumed"]
+        self.factors_missed += report["misses"]
+        return report
 
     def demand_for(self, key: tuple[str, bool]) -> int:
         return self._demand.get(key, 0)
@@ -394,6 +401,9 @@ class RandomnessService:
             "demand_entries": len(self._demand),
             "factors_prefilled": self.factors_prefilled,
             "factors_background": self.factors_background,
+            "factors_consumed": self.factors_consumed,
+            "factors_missed": self.factors_missed,
+            "factors_hit": self.factors_consumed - self.factors_missed,
             "table_builds": self.table_builds,
             "table_hits": self.table_hits,
         }

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Awaitable, Callable
 
 from repro.core.leakage import LeakageLedger
+from repro.obs.metrics import default_registry
 
 
 class SchedulerError(ValueError):
@@ -85,10 +86,21 @@ class PassExecutor:
     def __init__(self):
         self.simulated_seconds = 0.0
         self.passes = 0
+        # Process-wide scheduling accounting (executors are created per
+        # run/session, so per-instance counters would vanish with
+        # them); instruments fetched once, incremented per pass.
+        registry = default_registry()
+        kind = type(self).__name__
+        self._obs_passes = registry.counter(
+            "repro_pass_executor_passes_total", kind=kind)
+        self._obs_queries = registry.counter(
+            "repro_pass_executor_queries_total", kind=kind)
 
     def run_pass(self, tasks: list[PeerQuery]) -> list[PeerQueryOutcome]:
         """Execute one pass; outcomes are returned in task order."""
         self.passes += 1
+        self._obs_passes.inc()
+        self._obs_queries.inc(len(tasks))
         if not tasks:
             return []
         outcomes = self._execute(tasks)
@@ -155,6 +167,11 @@ class ConcurrentPassExecutor(PassExecutor):
         self.idle_workers = 0
         self.shrinks = 0
         self._surplus_streak = 0
+        registry = default_registry()
+        self._obs_shrinks = registry.counter(
+            "repro_pass_executor_shrinks_total")
+        self._obs_pool_width = registry.gauge(
+            "repro_pass_executor_pool_width")
 
     def run_pass(self, tasks: list[PeerQuery]) -> list[PeerQueryOutcome]:
         outcomes = super().run_pass(tasks)
@@ -196,6 +213,8 @@ class ConcurrentPassExecutor(PassExecutor):
             self._pool_workers = 0
         self.expected_tasks = demand or None
         self.shrinks += 1
+        self._obs_shrinks.inc()
+        self._obs_pool_width.set(self._pool_workers)
         self._surplus_streak = 0
         self.idle_workers = 0
 
@@ -214,9 +233,11 @@ class ConcurrentPassExecutor(PassExecutor):
         if self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=workers)
             self._pool_workers = workers
+            self._obs_pool_width.set(workers)
         elif workers > self._pool_workers:
             self._pool._max_workers = workers
             self._pool_workers = workers
+            self._obs_pool_width.set(workers)
         return self._pool
 
     def _execute(self, tasks: list[PeerQuery]) -> list[PeerQueryOutcome]:
@@ -285,6 +306,8 @@ class AsyncPassExecutor(PassExecutor):
             self, tasks: list[PeerQuery]) -> list[PeerQueryOutcome]:
         """Execute one pass concurrently; outcomes in task order."""
         self.passes += 1
+        self._obs_passes.inc()
+        self._obs_queries.inc(len(tasks))
         if not tasks:
             return []
         outcomes = list(await asyncio.gather(

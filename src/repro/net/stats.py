@@ -160,9 +160,12 @@ def merge_snapshots(snapshots) -> dict:
     for name in _SNAPSHOT_MAPPINGS:
         merged[name] = {}
     for snapshot in snapshots:
+        # Tolerate snapshots from before a field existed (an old report
+        # replayed through a newer merge): a missing scalar counts as
+        # zero, a missing mapping as empty, instead of a KeyError.
         for name in _SNAPSHOT_SCALARS:
-            merged[name] += snapshot[name]
+            merged[name] += snapshot.get(name, 0)
         for name in _SNAPSHOT_MAPPINGS:
-            for key, value in snapshot[name].items():
+            for key, value in snapshot.get(name, {}).items():
                 merged[name][key] = merged[name].get(key, 0) + value
     return merged

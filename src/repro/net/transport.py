@@ -77,6 +77,7 @@ from repro.net.framing import (
     encode_mux_payload,
     read_frame_async,
 )
+from repro.obs.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (stats type)
     from repro.net.stats import CommunicationStats
@@ -540,7 +541,8 @@ class AsyncTcpTransport:
     def __init__(self, left_name: str, right_name: str, local_name: str,
                  *, timeout_s: float = 30.0, net_delay_s: float = 0.0,
                  max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
-                 authenticator: FrameAuthenticator | None = None):
+                 authenticator: FrameAuthenticator | None = None,
+                 metrics: "MetricsRegistry | None" = None):
         if left_name == right_name:
             raise TransportError("endpoints must have distinct names")
         if local_name not in (left_name, right_name):
@@ -577,6 +579,29 @@ class AsyncTcpTransport:
         self._close_reason: str | None = None
         self._auth_failed = False
         self._last_frame: tuple[str, str, str] | None = None
+        # Frame/byte accounting per (pair, direction, kind).  A missing
+        # registry degrades to the shared null instruments, so the hot
+        # pumps pay one attribute call when observability is off.
+        if metrics is None:
+            metrics = MetricsRegistry(enabled=False)
+        self.metrics = metrics
+        self._obs_pair = f"{left_name}-{right_name}"
+        self._frames_out: dict[bytes, object] = {}
+        self._frames_in: dict[bytes, object] = {}
+        self._bytes_out = metrics.counter(
+            "repro_link_bytes_total", pair=self._obs_pair, dir="out")
+        self._bytes_in = metrics.counter(
+            "repro_link_bytes_total", pair=self._obs_pair, dir="in")
+        self._auth_failures = metrics.counter(
+            "repro_link_auth_failures_total", pair=self._obs_pair)
+
+    def _frame_counter(self, table: dict, direction: str, kind: bytes):
+        counter = table.get(kind)
+        if counter is None:
+            counter = table[kind] = self.metrics.counter(
+                "repro_link_frames_total", pair=self._obs_pair,
+                dir=direction, kind=kind.decode("ascii", "replace"))
+        return counter
 
     # -- lifecycle (event-loop thread only) --------------------------------
 
@@ -666,7 +691,10 @@ class AsyncTcpTransport:
         """
         if self.authenticator is not None:
             payload = self.authenticator.seal(kind, payload)
-        return encode_frame(kind, payload)
+        frame = encode_frame(kind, payload)
+        self._frame_counter(self._frames_out, "out", kind).inc()
+        self._bytes_out.inc(len(frame))
+        return frame
 
     def send_frame(self, frame: bytes) -> None:
         """Enqueue one pre-encoded frame for the writer task.
@@ -721,11 +749,14 @@ class AsyncTcpTransport:
                 # flag makes every parked receiver on this hub re-raise
                 # the auth failure instead of a retryable closure.
                 self._auth_failed = True
+                self._auth_failures.inc()
                 self._abort(f"link authentication failed ({exc})")
                 return
             except FramingError as exc:
                 self._abort(f"malformed frame ({exc})")
                 return
+            self._frame_counter(self._frames_in, "in", kind).inc()
+            self._bytes_in.inc(5 + len(payload))
             if kind == FRAME_GOODBYE:
                 self._abort_in_order(
                     f"peer {self.peer_name!r} closed the link "

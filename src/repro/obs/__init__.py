@@ -1,0 +1,46 @@
+"""Unified observability layer: metrics registry + span tracing.
+
+``repro.obs.metrics`` holds the thread-safe counter/gauge/histogram
+registry every subsystem reports into (one source of truth, JSON
+snapshot + Prometheus-style text); ``repro.obs.trace`` holds the
+privacy-guarded span tracer (session -> pass -> peer-query -> attempt)
+and the ``repro trace summarize`` critical-path folding.  Both are
+observational only: instrumented runs stay bit-identical to
+uninstrumented ones in labels, ledger, and transcripts.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_REGISTRY,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    default_registry,
+    parse_series_key,
+    series_key,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    format_trace_summary,
+    guard_value,
+    read_trace_dir,
+    summarize_trace_dir,
+    tracer_for,
+)
+
+__all__ = [
+    "DEFAULT_REGISTRY",
+    "MetricsRegistry",
+    "NULL_INSTRUMENT",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "default_registry",
+    "format_trace_summary",
+    "guard_value",
+    "parse_series_key",
+    "read_trace_dir",
+    "series_key",
+    "summarize_trace_dir",
+    "tracer_for",
+]

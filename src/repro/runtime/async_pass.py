@@ -53,6 +53,8 @@ from repro.multiparty.horizontal import (
 from repro.multiparty.scheduler import AsyncPassExecutor, PeerQuery
 from repro.net.serialization import deserialize_message, serialize_message
 from repro.net.transport import ProtocolDesyncError
+from repro.obs.metrics import NULL_INSTRUMENT
+from repro.obs.trace import NULL_SPAN
 from repro.runtime.mirror import MirrorChannel, MirrorChannelError
 
 
@@ -95,6 +97,12 @@ class RestartableMirrorChannel(MirrorChannel):
       was parked) or the transport's non-blocking ``try_collect`` --
       raising :class:`NeedFrame` instead of blocking a thread.
     """
+
+    #: Live-vs-replayed segment accounting (``repro_segment_frames``)
+    #: -- the daemon rebinds these to real counters per pair; the class
+    #: defaults keep non-instrumented channels at one no-op call.
+    obs_live = NULL_INSTRUMENT
+    obs_replayed = NULL_INSTRUMENT
 
     def __init__(self, left_name: str, right_name: str, local_name: str,
                  transport):
@@ -141,6 +149,7 @@ class RestartableMirrorChannel(MirrorChannel):
         if sender == self.local_name:
             super()._send(sender, receiver, label, value)
             self._cursor = len(self.frame_log)
+            self.obs_live.inc()
             return
         # Live remote send: the staged frame (collected while parked)
         # first, then whatever the pump has queued; never block.
@@ -163,6 +172,7 @@ class RestartableMirrorChannel(MirrorChannel):
         self._remote_inbox.append((label, wire))
         self.frame_log.append(("in", label, wire))
         self._cursor = len(self.frame_log)
+        self.obs_live.inc()
 
     def _replay(self, sender: str, label: str, value) -> None:
         direction, logged_label, logged_wire = self.frame_log[self._cursor]
@@ -189,6 +199,7 @@ class RestartableMirrorChannel(MirrorChannel):
         else:
             self._remote_inbox.append((label, logged_wire))
         self._cursor += 1
+        self.obs_replayed.inc()
 
 
 class PairRuntime:
@@ -201,6 +212,11 @@ class PairRuntime:
     total -- even a background pool deposit that landed mid-attempt is
     rolled back with the pool RNG, so re-generation stays consistent.
     """
+
+    #: Restart/parked accounting; the daemon rebinds these to its
+    #: registry's instruments, non-instrumented runtimes stay no-op.
+    obs_restarts = NULL_INSTRUMENT
+    obs_parked = NULL_INSTRUMENT
 
     def __init__(self, channel: RestartableMirrorChannel, link,
                  lease=None):
@@ -249,7 +265,8 @@ class PairRuntime:
             self.cache.ciphers.update(state["cache"])
 
     async def run(self, fn: Callable[[LeakageLedger], object],
-                  out_ledger: LeakageLedger | None = None):
+                  out_ledger: LeakageLedger | None = None,
+                  span=NULL_SPAN):
         """Run ``fn`` to completion, re-executing on :class:`NeedFrame`.
 
         ``fn`` receives a fresh ledger per attempt (an aborted attempt
@@ -257,23 +274,37 @@ class PairRuntime:
         records are folded into ``out_ledger``.  While an attempt is in
         flight the lease is flagged busy, so the service's idle refill
         never deposits into a pool between snapshot and restore.
+        ``span`` (a peer-query span) gets one child per attempt; parked
+        attempts record the frame label they waited for.
         """
         if self.lease is not None:
             self.lease.busy += 1
         try:
             self.channel.begin_query()
             snapshot = self._capture()
+            attempt = 0
             while True:
+                attempt += 1
                 self.channel.begin_attempt()
+                attempt_span = span.child("attempt", f"attempt{attempt}",
+                                          attempt=attempt)
                 attempt_ledger = LeakageLedger()
                 try:
                     result = fn(attempt_ledger)
                 except NeedFrame as need:
                     self.restarts += 1
+                    self.obs_restarts.inc()
                     self._restore(snapshot)
-                    self.channel.stage(await self.link.wait_message(
-                        f"frame {need.label!r}"))
+                    attempt_span.set(parked_on=need.label)
+                    attempt_span.close()
+                    self.obs_parked.inc()
+                    try:
+                        self.channel.stage(await self.link.wait_message(
+                            f"frame {need.label!r}"))
+                    finally:
+                        self.obs_parked.dec()
                     continue
+                attempt_span.close()
                 if out_ledger is not None:
                     out_ledger.extend(attempt_ledger)
                 return result
@@ -285,7 +316,8 @@ class PairRuntime:
 async def drive_pass_async(mesh, driver_name: str,
                            points_by_party: dict[str, list], config,
                            value_bound: int, ledger: LeakageLedger,
-                           caches, runtimes: dict[str, PairRuntime]):
+                           caches, runtimes: dict[str, PairRuntime],
+                           span=NULL_SPAN):
     """One driver pass at message granularity: the async ``_driver_pass``.
 
     Steps the *same* :func:`_pass_program` generator as the threaded
@@ -293,11 +325,19 @@ async def drive_pass_async(mesh, driver_name: str,
     sequence -- but executes each density test's per-peer queries as
     coroutines under ``asyncio.gather`` via the pair runtimes.  Returns
     ``(labels, executor)``; the executor carries the pass-level
-    virtual-time charge and pass count.
+    virtual-time charge and pass count.  ``span`` (the pass span) gets
+    one ``peer_query`` child per (step, peer) -- the substrate of the
+    ``repro trace summarize`` critical path.
     """
+    step = 0
 
     async def run_query(task: PeerQuery, out_ledger: LeakageLedger) -> int:
-        return await runtimes[task.peer].run(task.run, out_ledger)
+        # All queries of one step run before ``step`` advances, so the
+        # closure read is race-free under the gather.
+        with span.child("peer_query", f"step{step}:{task.peer}",
+                        step=step, peer=task.peer) as query_span:
+            return await runtimes[task.peer].run(task.run, out_ledger,
+                                                 span=query_span)
 
     executor = AsyncPassExecutor(run_query)
     program = _pass_program(list(points_by_party[driver_name]), config)
@@ -309,6 +349,7 @@ async def drive_pass_async(mesh, driver_name: str,
                                         caches)
             total = _merge_outcomes(
                 await executor.run_pass_async(tasks), ledger)
+            step += 1
             query_point = program.send(total)
     except StopIteration as done:
         return done.value, executor

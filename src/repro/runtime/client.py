@@ -53,7 +53,10 @@ from repro.net.serialization import (
     deserialize_message,
     serialize_message,
 )
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.daemon import (
+    CONTROL_GET_METRICS,
+    CONTROL_METRICS,
     CONTROL_SESSION_FAILED,
     CONTROL_SESSION_REJECTED,
     CONTROL_SESSION_REPORT,
@@ -146,6 +149,22 @@ class SessionHandle:
                          - self._submitted)
 
 
+class _MetricsWaiter:
+    """Collects one ``get_metrics`` request's per-daemon replies."""
+
+    def __init__(self, expected: set[str]):
+        self.expected = expected
+        self.snapshots: dict[str, dict] = {}
+        self.lock = threading.Lock()
+        self.event = threading.Event()
+
+    def offer(self, party: str, snapshot: dict) -> None:
+        with self.lock:
+            self.snapshots[party] = snapshot
+            if set(self.snapshots) >= self.expected:
+                self.event.set()
+
+
 class SessionClient:
     """One client endpoint connected to every daemon of a mesh."""
 
@@ -165,6 +184,9 @@ class SessionClient:
         self._readers: list[threading.Thread] = []
         self._handles: dict[str, SessionHandle] = {}
         self._handles_lock = threading.Lock()
+        self._metrics_waiters: dict[str, _MetricsWaiter] = {}
+        self._metrics_lock = threading.Lock()
+        self._metrics_seq = 0
         self._closed = False
         try:
             for name in spec.names:
@@ -238,6 +260,18 @@ class SessionClient:
             if not isinstance(record, list) or len(record) not in (3, 4):
                 continue
             tag, session_id, body = record[:3]
+            if tag == CONTROL_METRICS:
+                # `session_id` is the request id on this record shape.
+                with self._metrics_lock:
+                    waiter = self._metrics_waiters.get(session_id)
+                if waiter is not None:
+                    try:
+                        snapshot = json.loads(body)
+                    except (json.JSONDecodeError, TypeError):
+                        snapshot = None
+                    if isinstance(snapshot, dict):
+                        waiter.offer(name, snapshot)
+                continue
             with self._handles_lock:
                 handle = self._handles.get(session_id)
             if handle is None:
@@ -346,6 +380,47 @@ class SessionClient:
             handles.append(self.submit(copy, points_by_party))
         return handles
 
+    def get_metrics(self, timeout: float | None = None) -> dict[str, dict]:
+        """Live metrics snapshot from every daemon: ``{party: snapshot}``.
+
+        Read-only introspection on the standing client connections --
+        the transport under ``repro stats``.  Each daemon answers with
+        its full :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`;
+        the call blocks until every daemon replied (or ``timeout``,
+        default the mesh receive timeout, elapses).
+        """
+        if self._closed:
+            raise SessionClientError("client is closed")
+        with self._metrics_lock:
+            self._metrics_seq += 1
+            request_id = f"metrics-{self._metrics_seq}"
+            waiter = _MetricsWaiter(set(self.spec.names))
+            self._metrics_waiters[request_id] = waiter
+        record = serialize_message([CONTROL_GET_METRICS, request_id])
+        try:
+            for name in self.spec.names:
+                try:
+                    with self._write_locks[name]:
+                        self._connections[name].write_frame(
+                            FRAME_CONTROL, record)
+                except (ConnectionClosedError, FramingError) as exc:
+                    raise SessionClientError(
+                        f"metrics request to daemon {name!r} failed: "
+                        f"{exc}") from exc
+            budget = timeout if timeout is not None else self.spec.timeout_s
+            if not waiter.event.wait(budget):
+                with waiter.lock:
+                    missing = sorted(waiter.expected
+                                     - set(waiter.snapshots))
+                raise SessionClientError(
+                    f"metrics request timed out after {budget}s; no "
+                    f"answer from {missing}")
+            with waiter.lock:
+                return dict(waiter.snapshots)
+        finally:
+            with self._metrics_lock:
+                self._metrics_waiters.pop(request_id, None)
+
     def shutdown_mesh(self, *, drain: bool = False) -> None:
         """Ask every daemon to stop (idempotent, best-effort).
 
@@ -420,8 +495,13 @@ class _DaemonThread:
     """One in-process daemon on a background thread with its own loop."""
 
     def __init__(self, spec: MeshSpec, name: str,
-                 psk: str | None = None):
-        self.daemon = PartyDaemon(spec, name, psk=psk)
+                 psk: str | None = None, *,
+                 metrics_enabled: bool = True,
+                 trace_dir: str | None = None):
+        self.daemon = PartyDaemon(
+            spec, name, psk=psk,
+            metrics=MetricsRegistry(enabled=metrics_enabled),
+            trace_dir=trace_dir)
         self.thread = threading.Thread(target=self.daemon.run,
                                        name=f"daemon-{name}", daemon=True)
 
@@ -447,13 +527,16 @@ class _DaemonProcess:
     """One ``repro serve`` subprocess (real process isolation)."""
 
     def __init__(self, spec_path: pathlib.Path, name: str,
-                 psk: str | None = None):
+                 psk: str | None = None, *,
+                 trace_dir: str | None = None):
         self.name = name
         env = dict(os.environ)
         if psk:
             # The PSK travels by environment, never argv: command lines
             # are world-readable on a shared host.
             env["REPRO_PSK"] = psk
+        if trace_dir:
+            env["REPRO_TRACE_DIR"] = str(trace_dir)
         self.process = subprocess.Popen(
             [sys.executable, "-m", "repro", "serve",
              "--spec", str(spec_path), "--party", name],
@@ -484,7 +567,8 @@ class DaemonFleet:
                  net_delay_s: float = 0.0, engine_workers: int = 1,
                  timeout_s: float = 30.0, connect_timeout_s: float = 15.0,
                  mode: str = "thread", psk: str | None = None,
-                 max_sessions: int = 0):
+                 max_sessions: int = 0, metrics_enabled: bool = True,
+                 trace_dir: str | None = None):
         if mode not in ("thread", "process"):
             raise DaemonError(f"unknown fleet mode {mode!r}")
         names = tuple(names)
@@ -502,6 +586,8 @@ class DaemonFleet:
             **kwargs)
         self.mode = mode
         self.psk = psk
+        self.metrics_enabled = metrics_enabled
+        self.trace_dir = trace_dir
         self._members: list = []
         self._spec_dir: tempfile.TemporaryDirectory | None = None
 
@@ -513,8 +599,11 @@ class DaemonFleet:
 
     def start(self) -> "DaemonFleet":
         if self.mode == "thread":
-            self._members = [_DaemonThread(self.spec, name, self.psk)
-                             for name in self.spec.names]
+            self._members = [
+                _DaemonThread(self.spec, name, self.psk,
+                              metrics_enabled=self.metrics_enabled,
+                              trace_dir=self.trace_dir)
+                for name in self.spec.names]
             for member in self._members:
                 member.start()
             for member in self._members:
@@ -524,8 +613,10 @@ class DaemonFleet:
                 prefix="repro-mesh-")
             spec_path = pathlib.Path(self._spec_dir.name) / "mesh.json"
             spec_path.write_text(self.spec.to_json())
-            self._members = [_DaemonProcess(spec_path, name, self.psk)
-                             for name in self.spec.names]
+            self._members = [
+                _DaemonProcess(spec_path, name, self.psk,
+                               trace_dir=self.trace_dir)
+                for name in self.spec.names]
         return self
 
     def client(self, *, client_id: str = "client") -> SessionClient:

@@ -76,6 +76,7 @@ from dataclasses import dataclass, field
 from repro.core.distance import PeerCipherCache
 from repro.core.leakage import LeakageLedger
 from repro.crypto.engine import ModexpEngine
+from repro.crypto.integer_math import powmod_cache_report
 from repro.crypto.precompute import PrecomputeError, RandomnessService
 from repro.crypto.sealed import paillier_public_digest
 from repro.multiparty.horizontal import _peer_count
@@ -99,6 +100,8 @@ from repro.net.serialization import (
 )
 from repro.net.transcript import transcript_digest
 from repro.net.transport import AsyncTcpTransport
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import NULL_SPAN, Tracer, tracer_for
 from repro.runtime.handshake import (
     PROTOCOL_VERSION,
     ROLE_CLIENT,
@@ -146,6 +149,12 @@ REJECT_DRAINING = "draining"
 #: to finish in-flight sessions before closing its links.
 CONTROL_SHUTDOWN = "shutdown"
 SHUTDOWN_DRAIN = "drain"
+#: Live introspection: ``["get_metrics", request_id]`` on a client
+#: connection is answered with ``["metrics", request_id, <json>]``
+#: carrying the daemon's full metrics snapshot.  Read-only -- it never
+#: touches session state, so it is served even while draining.
+CONTROL_GET_METRICS = "get_metrics"
+CONTROL_METRICS = "metrics"
 #: Pair-plane per-session sync record (session-tagged ``c`` frame): each
 #: daemon announces the manifest digest of a freshly submitted session
 #: on every pair link and refuses the session unless the peer's matches.
@@ -417,7 +426,9 @@ class PartyDaemon:
     """
 
     def __init__(self, spec: MeshSpec, name: str, *,
-                 psk: str | None = None, bind_host: str | None = None):
+                 psk: str | None = None, bind_host: str | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 trace_dir: str | None = None):
         spec.slot_of(name)
         self.spec = spec
         self.name = name
@@ -451,6 +462,50 @@ class PartyDaemon:
         self._refill_task: asyncio.Task | None = None
         self._draining = False
         self._drain = False
+        # Observability: every subsystem of this daemon reports into
+        # one registry (the `repro stats` / get_metrics source) and one
+        # per-party tracer.  Both default to disabled null objects, so
+        # an un-instrumented daemon pays single no-op calls.
+        if metrics is None:
+            metrics = MetricsRegistry(enabled=True)
+        self.metrics = metrics
+        self.tracer: Tracer = tracer_for(trace_dir, name)
+        self._obs_admitted = metrics.counter("repro_sessions_admitted_total")
+        self._obs_completed = metrics.counter(
+            "repro_sessions_completed_total")
+        self._obs_failed = metrics.counter("repro_sessions_failed_total")
+        self._obs_rejected = {
+            code: metrics.counter("repro_sessions_rejected_total",
+                                  code=code)
+            for code in (REJECT_CAPACITY, REJECT_DRAINING)}
+        self._obs_threads = metrics.gauge("repro_daemon_threads")
+        self._obs_segments = {
+            mode: metrics.counter("repro_segment_frames_total", mode=mode)
+            for mode in ("live", "replayed")}
+        metrics.register_collector(self._collect_metrics)
+
+    def _observe_thread_count(self) -> int:
+        """The scale-out observable, published once: every reader (the
+        per-session ``runtime_info``, the snapshot gauge) goes through
+        here, so the two can never disagree."""
+        count = threading.active_count()
+        self._obs_threads.set(count)
+        return count
+
+    def _collect_metrics(self, registry: MetricsRegistry) -> None:
+        """Snapshot-time levels: cheaper to read on demand than track."""
+        self._observe_thread_count()
+        registry.gauge("repro_sessions_active").set(len(self._active))
+        registry.gauge("repro_sessions_run").set(self.sessions_run)
+        registry.gauge("repro_daemon_draining").set(int(self._draining))
+        registry.gauge("repro_daemon_setup_seconds").set(
+            round(self._setup_seconds, 6))
+        for key, value in self.engine.report().items():
+            registry.gauge("repro_engine", stat=key).set(value)
+        for key, value in self.randomness.report().items():
+            registry.gauge("repro_randomness", stat=key).set(value)
+        for key, value in powmod_cache_report().items():
+            registry.gauge("repro_powmod_cache", stat=key).set(value)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -533,6 +588,7 @@ class PartyDaemon:
             server.close()
             await server.wait_closed()
             self.engine.close()
+            self.tracer.close()
 
     # -- pair link-up ------------------------------------------------------
 
@@ -549,7 +605,8 @@ class PartyDaemon:
         hub = AsyncTcpTransport(left, right, self.name,
                                 timeout_s=self.spec.timeout_s,
                                 net_delay_s=self.spec.net_delay_s,
-                                authenticator=self._authenticator)
+                                authenticator=self._authenticator,
+                                metrics=self.metrics)
         hub.start(reader, writer)
         self.hubs[peer] = hub
         self._hub_events[peer].set()
@@ -640,6 +697,8 @@ class PartyDaemon:
         except FrameAuthenticationError:
             # Unauthenticated endpoint (wrong or missing PSK): drop the
             # connection without an answer; the daemon itself stays up.
+            self.metrics.counter(
+                "repro_accept_auth_failures_total").inc()
             writer.close()
         except (HandshakeError, asyncio.TimeoutError):
             writer.close()
@@ -742,9 +801,19 @@ class PartyDaemon:
                         # submits get the typed rejection below.
                         continue
                     return
+                if record[0] == CONTROL_GET_METRICS and len(record) == 2:
+                    # Read-only introspection: answered inline (before
+                    # any admission gate) so a draining or saturated
+                    # daemon can still be watched.
+                    await send_record([
+                        CONTROL_METRICS, record[1],
+                        json.dumps(self.metrics.snapshot(),
+                                   sort_keys=True)])
+                    continue
                 if record[0] != CONTROL_START_SESSION or len(record) != 3:
                     return
                 if self._draining:
+                    self._obs_rejected[REJECT_DRAINING].inc()
                     await send_record([
                         CONTROL_SESSION_REJECTED,
                         _session_id_of(record[1]),
@@ -755,6 +824,7 @@ class PartyDaemon:
                 if (self.spec.max_sessions
                         and len(self._session_tasks)
                         >= self.spec.max_sessions):
+                    self._obs_rejected[REJECT_CAPACITY].inc()
                     await send_record([
                         CONTROL_SESSION_REJECTED,
                         _session_id_of(record[1]),
@@ -763,6 +833,7 @@ class PartyDaemon:
                         f"when a session finishes",
                         REJECT_CAPACITY])
                     continue
+                self._obs_admitted.inc()
                 task = self._loop.create_task(
                     self._session_task(record[1], record[2], send_record))
                 self._session_tasks.add(task)
@@ -781,9 +852,11 @@ class PartyDaemon:
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # noqa: BLE001 - reported to the client
+            self._obs_failed.inc()
             await send_record([CONTROL_SESSION_FAILED, session_id,
                                f"{type(exc).__name__}: {exc}"])
         else:
+            self._obs_completed.inc()
             await send_record([CONTROL_SESSION_REPORT,
                                manifest.session_id, report.to_json()])
 
@@ -832,18 +905,30 @@ class PartyDaemon:
         lease = self.randomness.lease(manifest.session_id)
         lease_report: dict | None = None
         runtimes: dict[str, PairRuntime] = {}
+        session_span = self.tracer.span(
+            "session", manifest.session_id,
+            session_index=session_index, warm_start=warm_start,
+            parties=len(manifest.names), points=len(points))
         try:
             for peer in manifest.peers_of(self.name):
                 view = self.hubs[peer].session(manifest.session_id)
                 state.views[peer] = view
-                state.channels[peer] = RestartableMirrorChannel(
+                channel = RestartableMirrorChannel(
                     view.left_name, view.right_name, self.name, view)
-                runtimes[peer] = PairRuntime(state.channels[peer], view,
-                                             lease)
+                channel.obs_live = self._obs_segments["live"]
+                channel.obs_replayed = self._obs_segments["replayed"]
+                state.channels[peer] = channel
+                runtime = PairRuntime(channel, view, lease)
+                runtime.obs_restarts = self.metrics.counter(
+                    "repro_restarts_total")
+                runtime.obs_parked = self.metrics.gauge(
+                    "repro_parked_coroutines")
+                runtimes[peer] = runtime
             await self._session_sync(state, digest)
             await self._build_sessions(state, config, runtimes)
             self._register_pools(state, lease)
             setup_seconds = time.perf_counter() - started
+            session_span.set(setup_seconds=round(setup_seconds, 6))
 
             view = _SessionMeshView(self.name, state)
             points_view = {
@@ -853,16 +938,24 @@ class PartyDaemon:
             ledger = LeakageLedger()
             labels: tuple[int, ...] = ()
             passes_started = time.perf_counter()
-            for driver in manifest.names:
-                if driver == self.name:
-                    labels = await self._drive_pass(
-                        state, view, points_view, config, ledger,
-                        runtimes)
-                else:
-                    await self._respond_pass(state, driver, config,
-                                             runtimes)
+            for pass_index, driver in enumerate(manifest.names):
+                role = "drive" if driver == self.name else "respond"
+                with session_span.child("pass", f"pass{pass_index}",
+                                        index=pass_index, role=role,
+                                        driver=driver) as pass_span:
+                    if driver == self.name:
+                        labels = await self._drive_pass(
+                            state, view, points_view, config, ledger,
+                            runtimes, span=pass_span)
+                    else:
+                        served = await self._respond_pass(
+                            state, driver, config, runtimes,
+                            span=pass_span)
+                        pass_span.set(served=served)
             finished = time.perf_counter()
             lease_report = self.randomness.release(manifest.session_id)
+            restarts = sum(rt.restarts for rt in runtimes.values())
+            session_span.set(restarts=restarts)
             return self._build_report(
                 state, labels, ledger,
                 elapsed=finished - started,
@@ -871,6 +964,7 @@ class PartyDaemon:
                     state, session_index, warm_start, setup_seconds,
                     runtimes, lease_report))
         finally:
+            session_span.close()
             if lease_report is None:
                 with contextlib.suppress(PrecomputeError):
                     self.randomness.release(manifest.session_id)
@@ -987,7 +1081,7 @@ class PartyDaemon:
     async def _drive_pass(self, state: _SessionState, view, points_view,
                           config, ledger,
                           runtimes: dict[str, PairRuntime],
-                          ) -> tuple[int, ...]:
+                          span=None) -> tuple[int, ...]:
         manifest = state.manifest
         caches = ({peer: PeerCipherCache()
                    for peer in manifest.peers_of(self.name)}
@@ -997,7 +1091,8 @@ class PartyDaemon:
         try:
             labels, _executor = await drive_pass_async(
                 view, self.name, points_view, config,
-                manifest.value_bound, ledger, caches, runtimes)
+                manifest.value_bound, ledger, caches, runtimes,
+                span=span if span is not None else NULL_SPAN)
         finally:
             for runtime in runtimes.values():
                 runtime.cache = None
@@ -1008,7 +1103,8 @@ class PartyDaemon:
 
     async def _respond_pass(self, state: _SessionState, driver: str,
                             config,
-                            runtimes: dict[str, PairRuntime]) -> int:
+                            runtimes: dict[str, PairRuntime],
+                            span=None) -> int:
         """Serve one remote driver's pass (coroutine twin of
         ``PartyProcess._respond_pass``).
 
@@ -1037,6 +1133,8 @@ class PartyDaemon:
                 placeholder, state.points, config, manifest.value_bound,
                 attempt_ledger, cache, label=label)
 
+        if span is None:
+            span = NULL_SPAN
         served = 0
         try:
             while True:
@@ -1056,7 +1154,10 @@ class PartyDaemon:
                 if record[0] == CONTROL_END_PASS:
                     return served
                 served += 1
-                await runtime.run(serve_query)
+                with span.child("peer_query", f"serve{served}:{driver}",
+                                step=served - 1,
+                                peer=driver) as query_span:
+                    await runtime.run(serve_query, span=query_span)
         finally:
             runtime.cache = None
 
@@ -1066,12 +1167,21 @@ class PartyDaemon:
                       warm_start: bool, setup_seconds: float,
                       runtimes: dict[str, PairRuntime] | None = None,
                       lease_report: dict | None = None) -> dict:
-        pool_totals: dict[str, int] = {
-            "pregenerated": 0, "consumed": 0, "misses": 0}
-        for session in state.sessions.values():
-            for report in session.pool_report().values():
-                for key in pool_totals:
-                    pool_totals[key] += report.get(key, 0)
+        # One accounting source: the session's pool totals come from
+        # its lease's hit report (the same numbers the randomness
+        # service folds into the registry at release), not a second
+        # sum over the pools.  The fallback re-sum only covers a
+        # session that died before its lease released.
+        if lease_report is not None:
+            pool_totals = {key: lease_report.get(key, 0)
+                           for key in ("pregenerated", "consumed",
+                                       "misses")}
+        else:
+            pool_totals = {"pregenerated": 0, "consumed": 0, "misses": 0}
+            for session in state.sessions.values():
+                for report in session.pool_report().values():
+                    for key in pool_totals:
+                        pool_totals[key] += report.get(key, 0)
         info = {
             "runtime": "daemon",
             "pass_model": "async-restartable",
@@ -1084,7 +1194,9 @@ class PartyDaemon:
             "pool": pool_totals,
             # The scale-out observable: loop + engine machinery only,
             # independent of how many sessions run concurrently.
-            "thread_count": threading.active_count(),
+            # Published through the registry gauge so `repro stats`
+            # and per-session reports can never disagree.
+            "thread_count": self._observe_thread_count(),
         }
         if runtimes is not None:
             info["restarts"] = sum(rt.restarts for rt in runtimes.values())
@@ -1121,18 +1233,23 @@ class PartyDaemon:
 
 
 def run_daemon(spec_path, name: str, *, psk: str | None = None,
-               bind_host: str | None = None) -> None:
+               bind_host: str | None = None,
+               trace_dir: str | None = None) -> None:
     """CLI entry: load the mesh spec and serve until stopped.
 
     ``psk`` falls back to the ``REPRO_PSK`` environment variable so the
-    secret never has to appear on a command line or in the spec file.
+    secret never has to appear on a command line or in the spec file;
+    ``trace_dir`` falls back to ``REPRO_TRACE_DIR``.
     """
     import pathlib
 
     if psk is None:
         psk = os.environ.get("REPRO_PSK") or None
+    if trace_dir is None:
+        trace_dir = os.environ.get("REPRO_TRACE_DIR") or None
     spec = MeshSpec.from_json(pathlib.Path(spec_path).read_text())
-    daemon = PartyDaemon(spec, name, psk=psk, bind_host=bind_host)
+    daemon = PartyDaemon(spec, name, psk=psk, bind_host=bind_host,
+                         trace_dir=trace_dir)
     try:
         daemon.run()
     except KeyboardInterrupt:

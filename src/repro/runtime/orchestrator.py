@@ -58,6 +58,7 @@ from repro.crypto.sealed import paillier_public_digest
 from repro.data.quantize import squared_distance_bound
 from repro.multiparty.horizontal import MultipartyRunResult
 from repro.net.stats import merge_snapshots
+from repro.obs.metrics import default_registry
 from repro.runtime.backoff import backoff_delay, jitter_rng
 from repro.runtime.failure import (
     CAUSE_CRASH,
@@ -251,7 +252,8 @@ def _spawn_party(run_dir: pathlib.Path, name: str, *,
                  fail_after_queries: int | None,
                  resume: bool = False,
                  epoch: int = 0,
-                 psk: str | None = None) -> subprocess.Popen:
+                 psk: str | None = None,
+                 trace_dir: str | None = None) -> subprocess.Popen:
     command = [sys.executable, "-m", "repro", "party",
                "--run-dir", str(run_dir), "--party", name]
     if fail_after_queries is not None:
@@ -268,6 +270,8 @@ def _spawn_party(run_dir: pathlib.Path, name: str, *,
         # are authenticated; the secret itself never touches disk or a
         # world-readable command line.
         env["REPRO_PSK"] = psk
+    if trace_dir:
+        env["REPRO_TRACE_DIR"] = str(trace_dir)
     # Append on resume: the previous incarnation's output is part of the
     # run's story and must survive its re-spawn.
     mode = "a" if resume else "w"
@@ -327,6 +331,7 @@ def _supervise(processes: dict[str, subprocess.Popen],
                deadline_s: float, retry_budget: int,
                fault_injection: dict[str, int],
                psk: str | None = None,
+               trace_dir: str | None = None,
                ) -> tuple[dict[str, int], list[FailureReport]]:
     """Wait for the fleet, re-spawning retryable deaths within budget.
 
@@ -342,6 +347,8 @@ def _supervise(processes: dict[str, subprocess.Popen],
     respawns = {name: 0 for name in processes}
     failures: list[FailureReport] = []
     waves = 0
+    registry = default_registry()
+    obs_waves = registry.counter("repro_retry_waves_total")
     rng = jitter_rng(manifest.seeds[0], "respawn", manifest.session_id)
     while pending:
         progressed = False
@@ -370,6 +377,8 @@ def _supervise(processes: dict[str, subprocess.Popen],
                     f"stderr tail:\n{_stderr_tail(run_dir, name)}",
                     failures=tuple(failures))
             waves += 1
+            obs_waves.inc()
+            registry.counter("repro_respawns_total", party=name).inc()
             respawns[name] += 1
             # Clear the consumed report so the *next* death (if any)
             # re-classifies from fresh evidence.
@@ -383,7 +392,8 @@ def _supervise(processes: dict[str, subprocess.Popen],
                   flush=True)
             child = _spawn_party(run_dir, name,
                                  fail_after_queries=fault_injection.get(name),
-                                 resume=True, epoch=waves, psk=psk)
+                                 resume=True, epoch=waves, psk=psk,
+                                 trace_dir=trace_dir)
             processes[name] = child
             pending[name] = child
         if pending and time.monotonic() >= deadline:
@@ -503,6 +513,7 @@ def orchestrate_run(points_by_party: dict[str, list],
                     keep_run_dir: bool = False,
                     fault_injection: dict[str, int] | None = None,
                     psk: str | None = None,
+                    trace_dir: str | pathlib.Path | None = None,
                     ) -> OrchestratedRun:
     """Run the k-party horizontal protocol as real processes over TCP.
 
@@ -544,6 +555,12 @@ def orchestrate_run(points_by_party: dict[str, list],
             manifest's ``link_auth`` flag is set (inside the handshake
             digest) and every party frame carries an HMAC; the secret
             itself travels to the party processes by environment only.
+        trace_dir: when set, every party process writes a structured
+            span trace to ``<trace_dir>/<party>.jsonl`` (propagated via
+            the ``REPRO_TRACE_DIR`` environment variable).  Traces
+            record timings and sizes only -- never frame bytes or
+            plaintext values -- so tracing cannot perturb the
+            equivalence bar.
     """
     plan = _coerce_faults(faults, seed=seeds[0] if seeds else 0)
     manifest = build_manifest(points_by_party, config, seeds,
@@ -561,13 +578,18 @@ def orchestrate_run(points_by_party: dict[str, list],
     try:
         write_run_dir(run_path, manifest, points_by_party)
         fault_injection = fault_injection or {}
+        trace_dir_str = str(trace_dir) if trace_dir else None
+        if trace_dir_str:
+            pathlib.Path(trace_dir_str).mkdir(parents=True, exist_ok=True)
         for name in manifest.names:
             processes[name] = _spawn_party(
                 run_path, name,
-                fail_after_queries=fault_injection.get(name), psk=psk)
+                fail_after_queries=fault_injection.get(name), psk=psk,
+                trace_dir=trace_dir_str)
         respawns, failures = _supervise(processes, run_path, manifest,
                                         deadline_s, retry_budget,
-                                        fault_injection, psk=psk)
+                                        fault_injection, psk=psk,
+                                        trace_dir=trace_dir_str)
         reports = {}
         for name in manifest.names:
             report_path = run_path / f"report_{name}.json"

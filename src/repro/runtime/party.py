@@ -120,6 +120,7 @@ from repro.runtime.handshake import (
     perform_handshake,
 )
 from repro.runtime.manifest import RunManifest, manifest_digest, pair_key
+from repro.obs.trace import NULL_SPAN, tracer_for
 from repro.runtime.mirror import MirrorChannel, MirrorChannelError
 from repro.smc.session import SealedKeyProvider, SmcSession
 
@@ -337,7 +338,8 @@ class PartyProcess:
                  epoch: int = 0,
                  fail_after_queries: int | None = None,
                  psk: str | None = None,
-                 bind_host: str | None = None):
+                 bind_host: str | None = None,
+                 trace_dir: str | pathlib.Path | None = None):
         manifest.slot_of(name)
         if len(points) != manifest.counts[name]:
             raise PartyRuntimeError(
@@ -389,6 +391,10 @@ class PartyProcess:
         self._queries_seen = 0
         self._queries_in_pass = 0
         self._fail_after_queries = fail_after_queries
+        # Observation only: spans record sizes and timings, never frame
+        # bytes or plaintexts, so tracing cannot disturb bit-identity.
+        self.tracer = tracer_for(trace_dir, name)
+        self._session_span = NULL_SPAN
 
     # -- link-up -----------------------------------------------------------
 
@@ -802,6 +808,10 @@ class PartyProcess:
             config.concurrent_peers, config.peer_workers,
             expected_tasks=max(1, len(manifest.names) - 1))
         passes_started = time.perf_counter()
+        self._session_span = self.tracer.span(
+            "session", manifest.session_id, epoch=self.epoch,
+            resume_pass=resume_pass, recoveries=self._recoveries,
+            parties=len(manifest.names), points=len(self.points))
         try:
             self._phase = "session"
             self.build_sessions()
@@ -815,6 +825,8 @@ class PartyProcess:
                                executor)
         finally:
             executor.close()
+            self._session_span.close()
+            self._session_span = NULL_SPAN
 
         self._phase = "report"
         finished = time.perf_counter()
@@ -841,27 +853,32 @@ class PartyProcess:
         driver = manifest.names[pass_index]
         with self._query_lock:
             self._queries_in_pass = 0
-        if driver == self.name:
-            caches = ({peer: PeerCipherCache()
-                       for peer in view.peers_of(driver)}
-                      if config.cache_peer_ciphertexts else None)
-            result = _driver_pass(view, driver, points_view, config,
-                                  manifest.value_bound, self._ledger,
-                                  caches, executor)
-            self._labels = result.as_tuple()
-            served = 0
-            for peer in view.peers_of(driver):
-                try:
-                    self.pairs[peer].connection.write_frame(
-                        FRAME_CONTROL,
-                        serialize_message([CONTROL_END_PASS]))
-                except ConnectionClosedError as exc:
-                    raise PeerLostError(
-                        f"{self.name!r} lost peer {peer!r} while ending "
-                        f"its pass: {exc}", peer=peer,
-                        frame="control/end_pass") from exc
-        else:
-            served = self._respond_pass(driver, config)
+        role = "drive" if driver == self.name else "respond"
+        with self._session_span.child("pass", f"pass{pass_index}",
+                                      index=pass_index, role=role,
+                                      driver=driver) as pass_span:
+            if driver == self.name:
+                caches = ({peer: PeerCipherCache()
+                           for peer in view.peers_of(driver)}
+                          if config.cache_peer_ciphertexts else None)
+                result = _driver_pass(view, driver, points_view, config,
+                                      manifest.value_bound, self._ledger,
+                                      caches, executor)
+                self._labels = result.as_tuple()
+                served = 0
+                for peer in view.peers_of(driver):
+                    try:
+                        self.pairs[peer].connection.write_frame(
+                            FRAME_CONTROL,
+                            serialize_message([CONTROL_END_PASS]))
+                    except ConnectionClosedError as exc:
+                        raise PeerLostError(
+                            f"{self.name!r} lost peer {peer!r} while "
+                            f"ending its pass: {exc}", peer=peer,
+                            frame="control/end_pass") from exc
+            else:
+                served = self._respond_pass(driver, config)
+                pass_span.set(served=served)
         self.passes_done = pass_index + 1
         self._record_pass(driver, served)
         self._phase = "checkpoint"
@@ -1082,7 +1099,8 @@ def run_party(run_dir: str | pathlib.Path, name: str, *,
               fail_after_queries: int | None = None,
               resume: bool = False, epoch: int = 0,
               psk: str | None = None,
-              bind_host: str | None = None) -> PartyReport:
+              bind_host: str | None = None,
+              trace_dir: str | pathlib.Path | None = None) -> PartyReport:
     """CLI entry: load manifest + own partition, run, write the report.
 
     With ``resume=True`` the party first loads its checkpoint from the
@@ -1100,6 +1118,8 @@ def run_party(run_dir: str | pathlib.Path, name: str, *,
     run_path = pathlib.Path(run_dir)
     if psk is None:
         psk = os.environ.get("REPRO_PSK") or None
+    if trace_dir is None:
+        trace_dir = os.environ.get("REPRO_TRACE_DIR") or None
     manifest = RunManifest.from_json(
         (run_path / "manifest.json").read_text())
     partition = json.loads(
@@ -1122,7 +1142,11 @@ def run_party(run_dir: str | pathlib.Path, name: str, *,
     process = PartyProcess(manifest, name, points, run_dir=run_path,
                            resume_from=checkpoint, epoch=epoch,
                            fail_after_queries=fail_after_queries,
-                           psk=psk, bind_host=bind_host)
-    report = process.run()
+                           psk=psk, bind_host=bind_host,
+                           trace_dir=trace_dir)
+    try:
+        report = process.run()
+    finally:
+        process.tracer.close()
     (run_path / f"report_{name}.json").write_text(report.to_json())
     return report

@@ -74,3 +74,71 @@ class TestMergeSnapshots:
         from repro.net.stats import merge_snapshots
 
         assert merge_snapshots([]) == CommunicationStats().snapshot()
+
+    def test_missing_scalar_key_counts_as_zero(self):
+        """A snapshot written before a scalar field existed (an old
+        report replayed through a newer merge) must fold as zero, not
+        raise KeyError."""
+        from repro.net.stats import merge_snapshots
+
+        full = _populated().snapshot()
+        legacy = dict(full)
+        del legacy["simulated_seconds"]
+        merged = merge_snapshots([legacy, full])
+        assert merged["simulated_seconds"] == full["simulated_seconds"]
+        assert merged["total_bytes"] == 2 * full["total_bytes"]
+
+    def test_missing_mapping_key_counts_as_empty(self):
+        from repro.net.stats import merge_snapshots
+
+        full = _populated().snapshot()
+        legacy = dict(full)
+        del legacy["bytes_by_label"]
+        merged = merge_snapshots([legacy, full])
+        assert merged["bytes_by_label"] == full["bytes_by_label"]
+
+    def test_empty_dict_snapshot_is_ignored(self):
+        from repro.net.stats import merge_snapshots
+
+        full = _populated().snapshot()
+        assert merge_snapshots([{}, full]) == merge_snapshots([full])
+
+
+class TestConcurrency:
+    def test_concurrent_records_lose_nothing(self):
+        """record() from many threads must account every byte --
+        the daemon's session threads share per-pair stats objects."""
+        import threading
+
+        stats = CommunicationStats()
+        per_thread, threads = 500, 8
+
+        def work(index: int) -> None:
+            for _ in range(per_thread):
+                stats.record("a", "b", f"phase{index}", 1)
+
+        workers = [threading.Thread(target=work, args=(index,))
+                   for index in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert stats.total_bytes == per_thread * threads
+        assert stats.total_messages == per_thread * threads
+
+    def test_concurrent_merges_into_one_target(self):
+        import threading
+
+        source = _populated()
+        target = CommunicationStats()
+        merges = 6
+
+        def work() -> None:
+            target.merge(source)
+
+        workers = [threading.Thread(target=work) for _ in range(merges)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert target.total_bytes == merges * source.total_bytes

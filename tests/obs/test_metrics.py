@@ -1,0 +1,220 @@
+"""Metrics registry semantics, privacy bounds, and the null fast path."""
+
+import threading
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    NULL_INSTRUMENT,
+    VALUE_BOUND,
+    MetricsRegistry,
+    parse_series_key,
+    series_key,
+)
+
+
+class TestSeriesKeys:
+    def test_unlabeled_key_is_the_name(self):
+        assert series_key("repro_x_total", {}) == "repro_x_total"
+
+    def test_labels_sorted_into_key(self):
+        key = series_key("repro_x", {"b": "2", "a": "1"})
+        assert key == "repro_x{a=1,b=2}"
+
+    def test_parse_inverts_render(self):
+        name, labels = parse_series_key("repro_x{a=1,b=2}")
+        assert (name, labels) == ("repro_x", {"a": "1", "b": "2"})
+        assert parse_series_key("repro_x") == ("repro_x", {})
+
+    @given(st.dictionaries(
+        st.text(alphabet="abcdef_", min_size=1, max_size=8),
+        st.text(alphabet="xyz-0123456789", min_size=1, max_size=8),
+        max_size=4))
+    def test_roundtrip_property(self, labels):
+        name, parsed = parse_series_key(series_key("metric", labels))
+        assert name == "metric"
+        assert parsed == labels
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_frames_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        counter = MetricsRegistry().counter("repro_x_total")
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("repro_parked")
+        gauge.set(3)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 2
+
+    def test_histogram_summary(self):
+        histogram = MetricsRegistry().histogram("repro_pass_seconds")
+        for value in (0.5, 1.5, 2.5):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == pytest.approx(4.5)
+        assert summary["min"] == 0.5
+        assert summary["max"] == 2.5
+
+    def test_same_series_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_x", pair="a-b", dir="out")
+        second = registry.counter("repro_x", dir="out", pair="a-b")
+        assert first is second
+        assert registry.counter("repro_x", pair="a-b", dir="in") \
+            is not first
+
+
+class TestPrivacyBounds:
+    def test_value_at_bound_rejected(self):
+        counter = MetricsRegistry().counter("repro_x_total")
+        with pytest.raises(ValueError, match="2\\*\\*63"):
+            counter.inc(VALUE_BOUND)
+
+    def test_bool_value_rejected(self):
+        gauge = MetricsRegistry().gauge("repro_x")
+        with pytest.raises(ValueError, match="int or float"):
+            gauge.set(True)
+
+    @given(st.integers(min_value=VALUE_BOUND))
+    def test_any_crypto_sized_value_rejected(self, value):
+        """Paillier/RSA material is arbitrary-precision: no metric can
+        ever record it, in either sign."""
+        gauge = MetricsRegistry().gauge("repro_x")
+        with pytest.raises(ValueError):
+            gauge.set(value)
+        with pytest.raises(ValueError):
+            gauge.set(-value)
+
+    @given(st.integers(min_value=0, max_value=VALUE_BOUND - 1))
+    def test_protocol_sized_values_pass(self, value):
+        gauge = MetricsRegistry().gauge("repro_x")
+        gauge.set(value)
+        assert gauge.value == value
+
+    def test_label_digit_run_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="digit run"):
+            registry.counter("repro_x", pair="1" * 19)
+
+    def test_label_too_long_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="longer"):
+            registry.counter("repro_x", pair="a" * 121)
+
+
+class TestDisabledRegistry:
+    def test_hands_out_shared_null_instrument(self):
+        registry = MetricsRegistry(enabled=False)
+        assert registry.counter("repro_x_total") is NULL_INSTRUMENT
+        assert registry.gauge("repro_y") is NULL_INSTRUMENT
+        assert registry.histogram("repro_z") is NULL_INSTRUMENT
+
+    def test_null_instrument_is_inert(self):
+        NULL_INSTRUMENT.inc()
+        NULL_INSTRUMENT.dec()
+        NULL_INSTRUMENT.set(5)
+        NULL_INSTRUMENT.observe(0.5)
+        assert NULL_INSTRUMENT.value == 0
+
+    def test_snapshot_stays_empty(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("repro_x_total").inc()
+        snapshot = registry.snapshot()
+        assert snapshot["enabled"] is False
+        assert snapshot["counters"] == {}
+
+    def test_collectors_ignored(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.register_collector(
+            lambda _: (_ for _ in ()).throw(AssertionError))
+        assert registry.snapshot()["gauges"] == {}
+
+
+class TestSnapshot:
+    def test_structure_and_sorting(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_b_total").inc(2)
+        registry.counter("repro_a_total").inc()
+        registry.gauge("repro_level").set(7)
+        registry.histogram("repro_seconds").observe(0.1)
+        snapshot = registry.snapshot()
+        assert snapshot["enabled"] is True
+        assert list(snapshot["counters"]) == ["repro_a_total",
+                                              "repro_b_total"]
+        assert snapshot["gauges"]["repro_level"] == 7
+        assert snapshot["histograms"]["repro_seconds"]["count"] == 1
+
+    def test_collector_runs_at_snapshot_time(self):
+        registry = MetricsRegistry()
+        registry.register_collector(
+            lambda reg: reg.gauge("repro_threads").set(11))
+        assert registry.snapshot()["gauges"]["repro_threads"] == 11
+
+    def test_failing_collector_cannot_break_snapshot(self):
+        registry = MetricsRegistry()
+
+        def dead(reg):
+            raise RuntimeError("subsystem gone")
+
+        registry.register_collector(dead)
+        registry.register_collector(
+            lambda reg: reg.gauge("repro_alive").set(1))
+        assert registry.snapshot()["gauges"]["repro_alive"] == 1
+
+    def test_render_text_exposition(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_frames_total", pair="a-b").inc(3)
+        registry.gauge("repro_level").set(2)
+        registry.histogram("repro_seconds").observe(1.0)
+        text = registry.render_text()
+        assert 'repro_frames_total{pair="a-b"} 3' in text
+        assert "repro_level 2" in text
+        assert "repro_seconds_count 1" in text
+        assert "repro_seconds_sum 1.0" in text
+
+
+class TestConcurrency:
+    def test_concurrent_increments_lose_nothing(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_hits_total")
+        per_thread, threads = 2000, 8
+
+        def work() -> None:
+            for _ in range(per_thread):
+                counter.inc()
+
+        workers = [threading.Thread(target=work) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert counter.value == per_thread * threads
+
+    def test_concurrent_series_creation_is_single_instance(self):
+        registry = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def work() -> None:
+            barrier.wait()
+            seen.append(registry.counter("repro_x_total", pair="a-b"))
+
+        workers = [threading.Thread(target=work) for _ in range(8)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert len(set(map(id, seen))) == 1

@@ -1,0 +1,220 @@
+"""Span tracing: the privacy guard, JSONL emission, and summaries.
+
+The property tests are the PR's privacy bar: no integer large enough to
+be a plaintext, randomness factor, or key component -- and no long or
+numeric string, and no byte payload -- can appear in an emitted trace.
+The guard reduces them to sizes and truncated digests, which are too
+short to contain the original decimal expansion.
+"""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.trace import (
+    INT_BOUND,
+    NULL_SPAN,
+    format_trace_summary,
+    guard_value,
+    read_trace_dir,
+    summarize_trace_dir,
+    tracer_for,
+)
+
+
+class TestGuardValue:
+    def test_safe_shapes_pass_through(self):
+        for value in (None, True, False, 7, -12, 0.25, "pass0",
+                      "party0-party1"):
+            assert guard_value(value) == value
+
+    def test_big_int_reduced_to_digest(self):
+        secret = 2 ** 512 + 12345
+        guarded = guard_value(secret)
+        assert set(guarded) == {"digest", "bits"}
+        assert guarded["bits"] == secret.bit_length()
+        assert guarded["digest"].startswith("sha256:")
+
+    def test_bytes_reduced_to_digest_and_len(self):
+        guarded = guard_value(b"\x00\x01wire payload")
+        assert set(guarded) == {"digest", "len"}
+        assert guarded["len"] == 14
+
+    def test_containers_reduced_to_sizes(self):
+        assert guard_value([1, 2, 3]) == {"len": 3}
+        assert guard_value((1,)) == {"len": 1}
+        assert guard_value({"a": 1, "b": 2}) == {"keys": 2}
+
+    def test_unknown_object_reduced_to_type_name(self):
+        class Opaque:
+            pass
+
+        assert guard_value(Opaque()) == {"type": "Opaque"}
+
+    @given(st.integers(min_value=INT_BOUND, max_value=2 ** 2048))
+    def test_no_big_int_survives(self, secret):
+        """Crypto material is arbitrary precision: its decimal expansion
+        must never appear in the guarded output, in either sign."""
+        for value in (secret, -secret):
+            emitted = json.dumps(guard_value(value))
+            assert str(abs(value)) not in emitted
+
+    @given(st.integers(max_value=INT_BOUND - 1,
+                       min_value=-(INT_BOUND - 1)))
+    def test_protocol_sized_ints_pass(self, value):
+        assert guard_value(value) == value
+
+    @given(st.text(alphabet="0123456789", min_size=19, max_size=700))
+    def test_no_numeric_string_survives(self, digits):
+        """A stringified plaintext or factor is digested, and the
+        16-hex-char digest is too short to contain the original run."""
+        emitted = json.dumps(guard_value(digits))
+        assert digits not in emitted
+
+    @given(st.text(min_size=121, max_size=500))
+    def test_no_long_string_survives(self, text):
+        guarded = guard_value(text)
+        assert set(guarded) == {"digest", "len"}
+        assert guarded["len"] == len(text)
+
+    @given(st.binary(min_size=1, max_size=200))
+    def test_no_bytes_survive(self, payload):
+        guarded = guard_value(payload)
+        assert set(guarded) == {"digest", "len"}
+        assert len(guarded["digest"]) == len("sha256:") + 16
+
+
+class TestTracer:
+    def test_disabled_tracer_hands_out_null_span(self, tmp_path):
+        tracer = tracer_for(None, "party0")
+        assert not tracer.enabled
+        span = tracer.span("session", "s0")
+        assert span is NULL_SPAN
+        assert span.child("pass", "p0") is NULL_SPAN
+        assert list(tmp_path.iterdir()) == []
+
+    def test_spans_emit_jsonl_with_parent_ids(self, tmp_path):
+        tracer = tracer_for(tmp_path, "party0")
+        with tracer.span("session", "s0", parties=3) as session:
+            with session.child("pass", "pass0", index=0) as span:
+                span.set(served=2)
+        tracer.close()
+        records = read_trace_dir(tmp_path)
+        assert [record["kind"] for record in records] == ["pass",
+                                                          "session"]
+        by_kind = {record["kind"]: record for record in records}
+        assert by_kind["pass"]["parent"] == by_kind["session"]["id"]
+        assert by_kind["session"]["parent"] is None
+        assert by_kind["pass"]["attrs"] == {"index": 0, "served": 2}
+        assert by_kind["session"]["party"] == "party0"
+        assert by_kind["session"]["dur"] >= by_kind["pass"]["dur"] >= 0
+
+    def test_span_attrs_pass_the_guard(self, tmp_path):
+        tracer = tracer_for(tmp_path, "party0")
+        secret = 2 ** 256 + 7
+        with tracer.span("session", "s0", plaintext=secret):
+            pass
+        tracer.close()
+        raw = (tmp_path / "party0.jsonl").read_text()
+        assert str(secret) not in raw
+        assert "bits" in raw
+
+    def test_exception_recorded_as_error_attr(self, tmp_path):
+        tracer = tracer_for(tmp_path, "party0")
+        with pytest.raises(RuntimeError):
+            with tracer.span("session", "s0"):
+                raise RuntimeError("boom")
+        tracer.close()
+        [record] = read_trace_dir(tmp_path)
+        assert record["attrs"]["error"] == "RuntimeError"
+
+    def test_close_is_idempotent_and_final(self, tmp_path):
+        tracer = tracer_for(tmp_path, "party0")
+        span = tracer.span("session", "s0")
+        span.close()
+        span.close()
+        tracer.close()
+        tracer.close()
+        assert len(read_trace_dir(tmp_path)) == 1
+
+
+def _write_trace(path, party, records):
+    path.mkdir(exist_ok=True)
+    with open(path / f"{party}.jsonl", "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+def _span(party, span_id, parent, kind, name, dur, **attrs):
+    return {"id": span_id, "parent": parent, "kind": kind, "name": name,
+            "party": party, "t0": 0.0, "t1": dur, "dur": dur,
+            "attrs": attrs}
+
+
+class TestSummaries:
+    def test_critical_path_is_per_step_max(self, tmp_path):
+        """Two peers per step overlap: the pass waits for the slower
+        one, so the critical path sums the per-step maxima."""
+        _write_trace(tmp_path, "p0", [
+            _span("p0", 1, None, "session", "s0", 10.0),
+            _span("p0", 2, 1, "pass", "pass0", 9.0, role="drive"),
+            _span("p0", 3, 2, "peer_query", "step0:p1", 2.0,
+                  step=0, peer="p1"),
+            _span("p0", 4, 2, "peer_query", "step0:p2", 3.0,
+                  step=0, peer="p2"),
+            _span("p0", 5, 2, "peer_query", "step1:p1", 1.5,
+                  step=1, peer="p1"),
+            _span("p0", 6, 3, "attempt", "attempt0", 1.0, attempt=0),
+            _span("p0", 7, 3, "attempt", "attempt1", 1.0, attempt=1),
+            _span("p0", 8, 4, "attempt", "attempt0", 3.0, attempt=0),
+        ])
+        summary = summarize_trace_dir(tmp_path)
+        entry = summary["sessions"]["s0"]["parties"]["p0"]
+        assert entry["duration"] == 10.0
+        [row] = entry["passes"]
+        assert row["role"] == "drive"
+        assert row["queries"] == 3
+        assert row["critical_path"] == pytest.approx(3.0 + 1.5)
+        assert row["attempts"] == 3
+        assert row["restarts"] == 1  # one query needed a second attempt
+
+    def test_parties_grouped_under_one_session(self, tmp_path):
+        _write_trace(tmp_path, "p0", [
+            _span("p0", 1, None, "session", "s0", 4.0),
+            _span("p0", 2, 1, "pass", "pass0", 3.0, role="drive"),
+        ])
+        _write_trace(tmp_path, "p1", [
+            _span("p1", 1, None, "session", "s0", 4.5),
+            _span("p1", 2, 1, "pass", "pass0", 3.5, role="respond",
+                  served=2),
+        ])
+        summary = summarize_trace_dir(tmp_path)
+        parties = summary["sessions"]["s0"]["parties"]
+        assert set(parties) == {"p0", "p1"}
+        assert parties["p1"]["passes"][0]["role"] == "respond"
+
+    def test_orphan_spans_are_skipped(self, tmp_path):
+        _write_trace(tmp_path, "p0", [
+            _span("p0", 9, 99, "pass", "pass0", 1.0),
+        ])
+        assert summarize_trace_dir(tmp_path) == {"sessions": {}}
+
+    def test_format_renders_every_pass_line(self, tmp_path):
+        _write_trace(tmp_path, "p0", [
+            _span("p0", 1, None, "session", "s0", 4.0),
+            _span("p0", 2, 1, "pass", "pass0", 3.0, role="drive"),
+            _span("p0", 3, 1, "pass", "pass1", 1.0, role="respond"),
+        ])
+        text = format_trace_summary(summarize_trace_dir(tmp_path))
+        assert "session s0" in text
+        assert "party p0: 4.000s total" in text
+        assert "pass0 [drive] 3.000s" in text
+        assert "pass1 [respond] 1.000s" in text
+
+    def test_non_jsonl_files_ignored(self, tmp_path):
+        _write_trace(tmp_path, "p0", [
+            _span("p0", 1, None, "session", "s0", 1.0)])
+        (tmp_path / "notes.txt").write_text("not a trace")
+        assert len(read_trace_dir(tmp_path)) == 1
